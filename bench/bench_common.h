@@ -1,0 +1,53 @@
+// Shared helpers for the figure/table reproduction benches.
+#ifndef DISTCACHE_BENCH_BENCH_COMMON_H_
+#define DISTCACHE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_sim.h"
+#include "core/mechanism.h"
+
+namespace distcache {
+
+inline const std::vector<Mechanism>& AllMechanisms() {
+  static const std::vector<Mechanism> kAll{
+      Mechanism::kDistCache, Mechanism::kCacheReplication, Mechanism::kCachePartition,
+      Mechanism::kNoCache};
+  return kAll;
+}
+
+// The paper's default testbed shape (§6.2): 32 spine switches, 32 storage racks,
+// 32 servers per rack, 100 objects per cache switch, 100M keys, Zipf-0.99.
+inline ClusterConfig PaperDefaultConfig(Mechanism m) {
+  ClusterConfig cfg;
+  cfg.mechanism = m;
+  cfg.num_spine = 32;
+  cfg.num_racks = 32;
+  cfg.servers_per_rack = 32;
+  cfg.per_switch_objects = 100;
+  cfg.num_keys = 100'000'000;
+  cfg.zipf_theta = 0.99;
+  return cfg;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& note) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  if (!note.empty()) {
+    std::printf("%s\n", note.c_str());
+  }
+}
+
+inline void PrintRow(const std::string& label, const std::vector<double>& values,
+                     const std::vector<std::string>& names) {
+  std::printf("%-14s", label.c_str());
+  for (size_t i = 0; i < values.size(); ++i) {
+    std::printf("  %-16s %8.0f", names[i].c_str(), values[i]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_BENCH_BENCH_COMMON_H_

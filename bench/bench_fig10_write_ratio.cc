@@ -1,0 +1,45 @@
+// Figure 10: cache coherence cost — throughput vs write ratio.
+// (a) Zipf-0.9, cache size 640 (10 objects/switch); (b) Zipf-0.99, cache size 6400.
+// Paper shape: CacheReplication collapses fastest (a write updates all 32 spine
+// replicas); DistCache degrades slowly (2 copies); NoCache is flat; with enough
+// writes every caching mechanism falls below NoCache — the guideline to disable
+// in-network caching for write-intensive workloads.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace distcache {
+namespace {
+
+void RunPanel(const char* title, double theta, uint32_t per_switch) {
+  PrintHeader(title, "");
+  std::printf("%-12s %14s %18s %16s %10s\n", "write ratio", "DistCache",
+              "CacheReplication", "CachePartition", "NoCache");
+  for (double w : {0.0, 0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    std::printf("%-12.2f", w);
+    for (Mechanism m : AllMechanisms()) {
+      ClusterConfig cfg = PaperDefaultConfig(m);
+      cfg.zipf_theta = theta;
+      cfg.per_switch_objects = per_switch;
+      cfg.write_ratio = w;
+      ClusterSim sim(cfg);
+      const int width = m == Mechanism::kDistCache          ? 14
+                        : m == Mechanism::kCacheReplication ? 18
+                        : m == Mechanism::kCachePartition   ? 16
+                                                            : 10;
+      std::printf(" %*.0f", width, sim.SaturationThroughput());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace distcache
+
+int main() {
+  distcache::RunPanel("Figure 10(a): throughput vs write ratio (zipf-0.9, cache 640)",
+                      0.9, 10);
+  distcache::RunPanel("Figure 10(b): throughput vs write ratio (zipf-0.99, cache 6400)",
+                      0.99, 100);
+  return 0;
+}

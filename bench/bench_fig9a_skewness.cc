@@ -1,0 +1,40 @@
+// Figure 9(a): normalized system throughput vs workload skew, read-only.
+// Paper shape: uniform — all four mechanisms identical (server-bound). Skewed —
+// NoCache collapses, CachePartition limited by cache-switch imbalance, DistCache
+// tracks CacheReplication (the read-optimal baseline) at the saturated level.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace distcache {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 9(a): throughput vs. skewness (read-only)",
+              "32 spine x 32 racks x 32 servers, 100 objects/switch (6400 total), "
+              "throughput normalized to one storage server");
+  std::printf("%-12s %14s %18s %16s %10s\n", "workload", "DistCache",
+              "CacheReplication", "CachePartition", "NoCache");
+  for (double theta : {0.0, 0.9, 0.95, 0.99}) {
+    std::printf("%-12s", theta == 0.0 ? "uniform" : ("zipf-" + std::to_string(theta)).substr(0, 9).c_str());
+    for (Mechanism m : AllMechanisms()) {
+      ClusterConfig cfg = PaperDefaultConfig(m);
+      cfg.zipf_theta = theta;
+      ClusterSim sim(cfg);
+      const double column_width = m == Mechanism::kDistCache          ? 14
+                                  : m == Mechanism::kCacheReplication ? 18
+                                  : m == Mechanism::kCachePartition   ? 16
+                                                                      : 10;
+      std::printf(" %*.0f", static_cast<int>(column_width), sim.SaturationThroughput());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace distcache
+
+int main() {
+  distcache::Run();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Extension bench: tail latency vs offered load (the paper's intro motivation —
+// "overloaded nodes result in low throughput and long tail latencies" — quantified
+// with an M/M/1 sojourn model per node on top of the fluid simulator).
+// Shape to expect: NoCache's p99 explodes at a few percent of system capacity (the
+// hot server saturates); CachePartition pushes the explosion to its hot switch;
+// DistCache keeps p99 flat essentially until the servers themselves saturate.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "cluster/latency.h"
+
+namespace distcache {
+namespace {
+
+void Run() {
+  PrintHeader("Latency vs offered load (zipf-0.99, paper defaults)",
+              "latency in storage-server service-time units; 100 = saturated node");
+  std::printf("%-10s", "load");
+  for (Mechanism m : AllMechanisms()) {
+    std::printf("  %-16s p50/p99", MechanismName(m).c_str());
+  }
+  std::printf("\n");
+  for (double fraction : {0.05, 0.1, 0.25, 0.5, 0.75, 0.9}) {
+    std::printf("%-10.2f", fraction);
+    for (Mechanism m : AllMechanisms()) {
+      ClusterConfig cfg = PaperDefaultConfig(m);
+      ClusterSim sim(cfg);
+      const double rate = fraction * sim.TotalServerCapacity();
+      const LatencyReport report = ComputeLatencyReport(sim, rate);
+      std::printf("  %10.2f /%8.2f", report.p50, report.p99);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nhit fractions at 50%% load:\n");
+  for (Mechanism m : AllMechanisms()) {
+    ClusterConfig cfg = PaperDefaultConfig(m);
+    ClusterSim sim(cfg);
+    const LatencyReport report =
+        ComputeLatencyReport(sim, 0.5 * sim.TotalServerCapacity());
+    std::printf("  %-18s hit=%.2f overloaded=%.3f\n", MechanismName(m).c_str(),
+                report.hit_fraction, report.overloaded_fraction);
+  }
+}
+
+}  // namespace
+}  // namespace distcache
+
+int main() {
+  distcache::Run();
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Microbenchmarks of the substrate operations (google-benchmark): hashing, workload
+// generation, sketch updates, switch lookup path, KV store ops, PoT routing decision
+// and a full fluid-simulator tick.
+#include <benchmark/benchmark.h>
+
+#include "cache/cache_switch.h"
+#include "cluster/cluster_sim.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/zipf.h"
+#include "core/pot_router.h"
+#include "kv/kv_store.h"
+#include "sketch/bloom_filter.h"
+#include "sketch/count_min.h"
+#include "sketch/lru_map.h"
+
+namespace distcache {
+namespace {
+
+void BM_Mix64(benchmark::State& state) {
+  uint64_t x = 1;
+  for (auto _ : state) {
+    x = Mix64(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Mix64);
+
+void BM_TabulationHash(benchmark::State& state) {
+  TabulationHash h(1);
+  uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h(++k));
+  }
+}
+BENCHMARK(BM_TabulationHash);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfDistribution dist(100'000'000, 0.99);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_CountMinUpdate(benchmark::State& state) {
+  CountMinSketch cm(CountMinSketch::Config{});
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cm.Update(rng.NextBounded(1 << 20)));
+  }
+}
+BENCHMARK(BM_CountMinUpdate);
+
+void BM_BloomInsertAndTest(benchmark::State& state) {
+  BloomFilter bf(BloomFilter::Config{});
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bf.InsertAndTest(rng.NextBounded(1 << 20)));
+  }
+}
+BENCHMARK(BM_BloomInsertAndTest);
+
+void BM_LruPut(benchmark::State& state) {
+  LruMap<uint64_t, uint64_t> lru(1024);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lru.Put(rng.NextBounded(1 << 16), 1));
+  }
+}
+BENCHMARK(BM_LruPut);
+
+void BM_KvStorePut(benchmark::State& state) {
+  KvStore kv(1 << 16);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kv.Put(rng.NextBounded(1 << 14), "value"));
+  }
+}
+BENCHMARK(BM_KvStorePut);
+
+void BM_KvStoreGet(benchmark::State& state) {
+  KvStore kv(1 << 16);
+  for (uint64_t k = 0; k < (1 << 14); ++k) {
+    kv.Put(k, "value").ok();
+  }
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kv.Get(rng.NextBounded(1 << 14)));
+  }
+}
+BENCHMARK(BM_KvStoreGet);
+
+void BM_CacheSwitchLookupHit(benchmark::State& state) {
+  CacheSwitch::Config cfg;
+  cfg.hh.sketch.width = 1024;
+  cfg.hh.bloom.bits = 4096;
+  CacheSwitch sw(cfg);
+  for (uint64_t k = 0; k < 100; ++k) {
+    sw.InsertInvalid(k, 16).ok();
+    sw.UpdateValue(k, "0123456789abcdef").ok();
+  }
+  Rng rng(6);
+  std::string value;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sw.Lookup(rng.NextBounded(100), &value));
+  }
+}
+BENCHMARK(BM_CacheSwitchLookupHit);
+
+void BM_PotRouterChoose(benchmark::State& state) {
+  LoadTracker tracker({32, 32, 1.0});
+  for (uint32_t i = 0; i < 32; ++i) {
+    tracker.Update({0, i}, i * 10);
+    tracker.Update({1, i}, i * 7);
+  }
+  PotRouter router(&tracker, RoutingPolicy::kPowerOfTwo, 9);
+  const std::vector<CacheNodeId> candidates{{0, 5}, {1, 9}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.Choose(candidates));
+  }
+}
+BENCHMARK(BM_PotRouterChoose);
+
+void BM_ClusterSimTick(benchmark::State& state) {
+  ClusterConfig cfg;
+  cfg.num_spine = 32;
+  cfg.num_racks = 32;
+  cfg.servers_per_rack = 32;
+  cfg.per_switch_objects = 100;
+  ClusterSim sim(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.RunTicks(512.0, 1));
+  }
+}
+BENCHMARK(BM_ClusterSimTick)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace distcache
+
+BENCHMARK_MAIN();

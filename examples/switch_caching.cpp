@@ -1,0 +1,49 @@
+// The paper's motivating scenario (§1-§2): a multi-rack in-memory key-value store
+// under a highly skewed (Zipf-0.99) workload. Shows per-layer load distribution and
+// the saturation throughput for each caching mechanism, demonstrating why cache
+// partition and cache replication are not enough and how DistCache's "one big cache"
+// abstraction restores linear scale-out.
+//
+//   $ ./examples/switch_caching
+#include <algorithm>
+#include <cstdio>
+
+#include "cluster/cluster_sim.h"
+#include "common/stats.h"
+
+using namespace distcache;
+
+int main() {
+  std::printf("Scenario: 16 racks x 16 in-memory servers, zipf-0.99 over 10M keys\n\n");
+  for (Mechanism m : {Mechanism::kNoCache, Mechanism::kCachePartition,
+                      Mechanism::kCacheReplication, Mechanism::kDistCache}) {
+    ClusterConfig cfg;
+    cfg.mechanism = m;
+    cfg.num_spine = 16;
+    cfg.num_racks = 16;
+    cfg.servers_per_rack = 16;
+    cfg.per_switch_objects = 50;
+    cfg.num_keys = 10'000'000;
+    cfg.zipf_theta = 0.99;
+    ClusterSim sim(cfg);
+    const double throughput = sim.SaturationThroughput();
+
+    // Load shape at 90% of that rate.
+    const LoadSnapshot snap = sim.RunTicks(0.9 * throughput, 4);
+    const double server_imbalance = ImbalanceFactor(snap.server);
+    std::vector<double> caches = snap.spine;
+    caches.insert(caches.end(), snap.leaf.begin(), snap.leaf.end());
+    const double cache_imbalance = ImbalanceFactor(caches);
+
+    std::printf("%-18s throughput %7.0f (x server)   server imbalance %5.2f   "
+                "cache imbalance %5.2f\n",
+                MechanismName(m).c_str(), throughput, server_imbalance,
+                m == Mechanism::kNoCache ? 0.0 : cache_imbalance);
+  }
+  std::printf("\nReading the numbers: NoCache is bottlenecked by the server holding\n"
+              "the hottest object; CachePartition moves that object into one switch\n"
+              "but the *switch* layer inherits the imbalance; CacheReplication fixes\n"
+              "reads at the cost of m-copy writes; DistCache reaches the same\n"
+              "read throughput with only two copies per object.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "cache/resource_model.h"
+
+namespace distcache {
+namespace {
+
+uint32_t CeilDiv(size_t a, size_t b) { return static_cast<uint32_t>((a + b - 1) / b); }
+
+}  // namespace
+
+SwitchResources SwitchResourceModel::Estimate(SwitchRole role) const {
+  SwitchResources r;
+
+  // --- caching modules (spine and storage-rack leaf switches) ----------------------
+  const bool caches = role != SwitchRole::kLeafClient;
+  if (caches) {
+    // Key-value cache: one exact-match table on the 16-byte key steering to per-stage
+    // register arrays, one match entry per pipeline stage plus hit/miss actions.
+    r.match_entries += static_cast<uint32_t>(2 * config_.cache_stages);
+    // Cache index hash over the key: log2(slots) bits per stage lookup.
+    r.hash_bits += static_cast<uint32_t>(config_.cache_stages * 16);
+    r.sram_blocks += CeilDiv(
+        config_.cache_stages * config_.cache_slots_per_stage * config_.cache_slot_bytes,
+        config_.sram_block_bytes) / 8;  // value slots are spread across 8 pipelines
+    r.action_slots += static_cast<uint32_t>(3 * config_.cache_stages);  // read/write/skip
+
+    // Heavy-hitter detector: CM sketch + Bloom filter.
+    r.match_entries += static_cast<uint32_t>(config_.cm_rows + config_.bloom_rows);
+    r.hash_bits += static_cast<uint32_t>(config_.cm_rows * 16 + config_.bloom_rows * 18);
+    r.sram_blocks += CeilDiv(config_.cm_rows * config_.cm_width * config_.cm_counter_bits / 8,
+                             config_.sram_block_bytes);
+    r.sram_blocks += CeilDiv(config_.bloom_rows * config_.bloom_bits / 8,
+                             config_.sram_block_bytes);
+    r.action_slots += static_cast<uint32_t>(config_.cm_rows + config_.bloom_rows);
+
+    // Telemetry register + piggyback header rewrite.
+    r.match_entries += static_cast<uint32_t>(config_.telemetry_registers + 2);
+    r.hash_bits += 0;
+    r.sram_blocks += 1;
+    r.action_slots += 4;
+  }
+
+  // --- query routing (client-rack ToR) ----------------------------------------------
+  if (role == SwitchRole::kLeafClient) {
+    // Cache-load register array (256 × 32-bit), the two-choice compare, the reply-path
+    // telemetry extraction, and the reserved-L4-port classifier.
+    r.match_entries += static_cast<uint32_t>(config_.load_table_entries / 8 + 8);
+    r.hash_bits += 2 * 16;  // h0/h1 bucket hashes to locate the two candidate switches
+    r.sram_blocks += CeilDiv(config_.load_table_entries * 4, config_.sram_block_bytes) + 1;
+    r.action_slots += 12;
+  }
+
+  // --- miss forwarding to servers (storage-rack leaf only) --------------------------
+  if (role == SwitchRole::kLeafStorage) {
+    r.match_entries += 32;  // per-server forwarding entries for one rack
+    r.hash_bits += 16;
+    r.sram_blocks += 1;
+    r.action_slots += 8;
+  }
+
+  switch (role) {
+    case SwitchRole::kSpineCache:
+      r.role = "Spine";
+      break;
+    case SwitchRole::kLeafClient:
+      r.role = "Leaf (Client)";
+      break;
+    case SwitchRole::kLeafStorage:
+      r.role = "Leaf (Server)";
+      break;
+  }
+  return r;
+}
+
+std::vector<SwitchResources> SwitchResourceModel::EstimateAll() const {
+  return {Estimate(SwitchRole::kSpineCache), Estimate(SwitchRole::kLeafClient),
+          Estimate(SwitchRole::kLeafStorage)};
+}
+
+}  // namespace distcache

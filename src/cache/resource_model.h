@@ -1,0 +1,65 @@
+// Switch hardware-resource model (Table 1 substitution).
+//
+// The paper reports per-role resource usage of the P4 programs on Tofino: match
+// entries, hash bits, SRAM blocks and action slots for a spine cache switch, a client
+// ToR and a storage-rack ToR, compared against the baseline switch.p4. Without Tofino
+// tooling we account the same quantities from first principles for the P4 design
+// described in §5: key-value cache (8 stages × 64K 16-byte slots), Count-Min sketch
+// (4 arrays × 64K 16-bit), Bloom filter (3 arrays × 256K 1-bit), one 32-bit telemetry
+// register, and (client ToR only) a 256 × 32-bit cache-load register array plus the
+// power-of-two comparison tables.
+#ifndef DISTCACHE_CACHE_RESOURCE_MODEL_H_
+#define DISTCACHE_CACHE_RESOURCE_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace distcache {
+
+enum class SwitchRole {
+  kSpineCache,    // caches objects; no query routing
+  kLeafClient,    // client-rack ToR: PoT query routing, no cache
+  kLeafStorage,   // storage-rack ToR: caches objects + miss forwarding to servers
+};
+
+struct SwitchResources {
+  std::string role;
+  uint32_t match_entries = 0;
+  uint32_t hash_bits = 0;
+  uint32_t sram_blocks = 0;   // 16 KB SRAM blocks
+  uint32_t action_slots = 0;
+};
+
+class SwitchResourceModel {
+ public:
+  struct Config {
+    size_t cache_stages = 8;
+    size_t cache_slots_per_stage = 65536;
+    size_t cache_slot_bytes = 16;
+    size_t key_bytes = 16;
+    size_t cm_rows = 4;
+    size_t cm_width = 65536;
+    size_t cm_counter_bits = 16;
+    size_t bloom_rows = 3;
+    size_t bloom_bits = 262144;
+    size_t telemetry_registers = 1;
+    size_t load_table_entries = 256;  // client ToR: per-cache-switch load registers
+    size_t sram_block_bytes = 16 * 1024;
+  };
+
+  explicit SwitchResourceModel(const Config& config) : config_(config) {}
+
+  SwitchResources Estimate(SwitchRole role) const;
+
+  // All three DistCache roles, for the Table 1 printout.
+  std::vector<SwitchResources> EstimateAll() const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_CACHE_RESOURCE_MODEL_H_

@@ -1,0 +1,58 @@
+#include "cache/switch_agent.h"
+
+#include <utility>
+
+namespace distcache {
+
+SwitchAgent::SwitchAgent(CacheSwitch* data_plane, const Config& config, PopulateFn populate)
+    : data_plane_(data_plane), config_(config), populate_(std::move(populate)) {}
+
+void SwitchAgent::SetPartition(std::unordered_set<uint64_t> partition) {
+  partition_ = std::move(partition);
+  for (uint64_t key : data_plane_->CachedKeys()) {
+    if (!partition_.contains(key)) {
+      data_plane_->Evict(key);
+    }
+  }
+}
+
+size_t SwitchAgent::RunEpoch() {
+  size_t insertions = 0;
+  // Keys admitted within this epoch have no hit history yet; they must not be
+  // considered eviction victims, or each (colder) report would displace the hotter
+  // one admitted just before it.
+  std::unordered_set<uint64_t> admitted_this_epoch;
+  for (const auto& [key, estimate] : data_plane_->heavy_hitter().TopReports()) {
+    if (!partition_.contains(key) || data_plane_->Contains(key)) {
+      continue;
+    }
+    if (data_plane_->num_entries() >= config_.max_cached_objects) {
+      const auto coldest = data_plane_->ColdestKey();
+      if (!coldest || admitted_this_epoch.contains(*coldest)) {
+        // Reports are ranked hottest-first: everything further down is colder than
+        // what we already admitted, so this epoch's churn is done.
+        break;
+      }
+      const double bar =
+          config_.replace_margin * static_cast<double>(data_plane_->HitCount(*coldest));
+      if (static_cast<double>(estimate) <= bar) {
+        continue;  // not hot enough to displace anything
+      }
+      data_plane_->Evict(*coldest);
+    }
+    admitted_this_epoch.insert(key);
+    // Unified insertion (§4.3): insert marked invalid, then the server pushes the
+    // value via coherence phase 2 — reads hitting the invalid entry fall through to
+    // the server in the meantime, so no blocking occurs.
+    if (data_plane_->InsertInvalid(key, /*value_size=*/16).ok()) {
+      ++insertions;
+      if (populate_) {
+        populate_(key);
+      }
+    }
+  }
+  data_plane_->NewEpoch();
+  return insertions;
+}
+
+}  // namespace distcache

@@ -1,0 +1,56 @@
+// Switch local agent (§4.1, §4.3): receives its cache partition from the controller
+// and manages the hot objects of that partition in the switch data plane.
+//
+// Cache update runs decentralized, without the controller: the agent reads the
+// heavy-hitter reports, compares against the coldest cached object's hit count, evicts
+// directly and inserts via the unified insert-invalid + coherence-phase-2 path (the
+// server populates the value through the data plane and serializes it with writes).
+#ifndef DISTCACHE_CACHE_SWITCH_AGENT_H_
+#define DISTCACHE_CACHE_SWITCH_AGENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/cache_switch.h"
+
+namespace distcache {
+
+class SwitchAgent {
+ public:
+  struct Config {
+    size_t max_cached_objects = 100;  // paper §6.1: 100 hot objects per switch
+    // An HH report must beat the coldest cached object by this factor to trigger a
+    // replacement (hysteresis against thrashing).
+    double replace_margin = 1.5;
+  };
+
+  // `populate` is invoked for every inserted key; it models the agent notifying the
+  // storage server, which then pushes the value through coherence phase 2 (§4.3).
+  using PopulateFn = std::function<void(uint64_t key)>;
+
+  SwitchAgent(CacheSwitch* data_plane, const Config& config, PopulateFn populate);
+
+  // Installs the partition computed by the controller. Keys outside the partition are
+  // evicted immediately.
+  void SetPartition(std::unordered_set<uint64_t> partition);
+  bool InPartition(uint64_t key) const { return partition_.contains(key); }
+
+  // One agent epoch: consume HH reports, perform evictions/insertions, then reset the
+  // data-plane epoch state. Returns the number of cache insertions performed.
+  size_t RunEpoch();
+
+  const std::unordered_set<uint64_t>& partition() const { return partition_; }
+
+ private:
+  CacheSwitch* data_plane_;
+  Config config_;
+  PopulateFn populate_;
+  std::unordered_set<uint64_t> partition_;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_CACHE_SWITCH_AGENT_H_

@@ -1,0 +1,300 @@
+#include "cluster/cluster_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace distcache {
+
+ClusterSim::ClusterSim(const ClusterConfig& config)
+    : config_(config),
+      placement_(config.num_racks, config.servers_per_rack,
+                 HashCombine(config.seed, 0x91ace3e22ULL)),
+      dist_(MakeDistribution(config.num_keys, config.zipf_theta)),
+      rng_(HashCombine(config.seed, 0xc1057e4ULL)) {
+  AllocationConfig alloc;
+  alloc.mechanism = config_.mechanism;
+  alloc.num_spine = config_.num_spine;
+  alloc.num_racks = config_.num_racks;
+  alloc.per_switch_objects = config_.per_switch_objects;
+  alloc.hash_seed = HashCombine(config_.seed, 0xd15ca4eULL);
+  allocation_ = std::make_unique<CacheAllocation>(alloc, placement_);
+  controller_ = std::make_unique<CacheController>(allocation_.get(), config_.num_spine);
+  spine_alive_.assign(config_.num_spine, true);
+
+  popularity_ = BuildPopularityVector(*dist_, allocation_->candidate_pool());
+
+  const double rack_aggregate =
+      config_.server_capacity * static_cast<double>(config_.servers_per_rack);
+  spine_capacity_ = config_.spine_capacity > 0 ? config_.spine_capacity : rack_aggregate;
+  leaf_capacity_ = config_.leaf_capacity > 0 ? config_.leaf_capacity : rack_aggregate;
+
+  prev_.spine.assign(config_.num_spine, 0.0);
+  prev_.leaf.assign(config_.num_racks, 0.0);
+  prev_.server.assign(num_servers(), 0.0);
+}
+
+void ClusterSim::FailSpine(uint32_t spine) {
+  if (spine < config_.num_spine) {
+    spine_alive_[spine] = false;
+    recovery_ran_ = false;  // hot objects of the dead switch lose their spine copy
+  }
+}
+
+void ClusterSim::RecoverSpine(uint32_t spine) {
+  if (spine < config_.num_spine) {
+    spine_alive_[spine] = true;
+    ApplyRemap();  // restoration returns remapped partitions to their home switch
+  }
+}
+
+void ClusterSim::ApplyRemap() {
+  for (uint32_t s = 0; s < config_.num_spine; ++s) {
+    if (!spine_alive_[s] && controller_->IsAlive(s)) {
+      controller_->OnSpineFailure(s);
+    } else if (spine_alive_[s] && !controller_->IsAlive(s)) {
+      controller_->OnSpineRecovery(s);
+    }
+  }
+}
+
+double ClusterSim::RoutingLoad(bool spine_layer, uint32_t index,
+                               const LoadSnapshot& acc) const {
+  const double load = config_.stale_telemetry
+                          ? (spine_layer ? prev_.spine[index] : prev_.leaf[index])
+                          : (spine_layer ? acc.spine[index] : acc.leaf[index]);
+  return load / (spine_layer ? spine_capacity_ : leaf_capacity_);
+}
+
+void ClusterSim::RouteKeyReads(uint64_t key, double read_rate, const CacheCopies& copies,
+                               LoadSnapshot& acc) {
+  if (read_rate <= 0.0) {
+    return;
+  }
+  if (!copies.cached()) {
+    acc.server[placement_.ServerOf(key)] += read_rate;
+    return;
+  }
+
+  if (copies.replicated_all_spines) {
+    // CacheReplication: uniform spread over the spine replicas (plus the leaf copy,
+    // which is just one more replica). Until the controller reacts to failures, the
+    // client ToRs keep spraying dead replicas too; that traffic is lost (accounted at
+    // tick end).
+    std::vector<uint32_t> spines;
+    for (uint32_t s = 0; s < config_.num_spine; ++s) {
+      if (spine_alive_[s] || !recovery_ran_) {
+        spines.push_back(s);
+      }
+    }
+    const double n = static_cast<double>(spines.size() + (copies.leaf ? 1 : 0));
+    if (n == 0) {
+      acc.server[placement_.ServerOf(key)] += read_rate;
+      return;
+    }
+    for (uint32_t s : spines) {
+      acc.spine[s] += read_rate / n;
+    }
+    if (copies.leaf) {
+      acc.leaf[*copies.leaf] += read_rate / n;
+    }
+    return;
+  }
+
+  // A dead spine switch keeps receiving its routed share until the controller remaps
+  // the partition: the client ToRs have no failure signal beyond telemetry going
+  // stale, so queries sent to the dead switch are simply lost (§4.4 / Fig. 11 shows
+  // the resulting throughput dip). After RunFailureRecovery() the allocation maps the
+  // partition to an alive switch and CopiesOf() no longer points here.
+  const bool has_spine =
+      copies.spine && (spine_alive_[*copies.spine] || !recovery_ran_);
+  const bool has_leaf = copies.leaf.has_value();
+  if (!has_spine && !has_leaf) {
+    acc.server[placement_.ServerOf(key)] += read_rate;
+    return;
+  }
+  if (!has_spine || !has_leaf) {
+    if (has_spine) {
+      acc.spine[*copies.spine] += read_rate;
+    } else {
+      acc.leaf[*copies.leaf] += read_rate;
+    }
+    return;
+  }
+
+  const uint32_t s = *copies.spine;
+  const uint32_t l = *copies.leaf;
+  switch (config_.routing) {
+    case RoutingPolicy::kFirstChoice:
+      acc.spine[s] += read_rate;
+      return;
+    case RoutingPolicy::kRandom:
+      // Per-query coin flip: in the fluid limit, an even split.
+      acc.spine[s] += read_rate / 2.0;
+      acc.leaf[l] += read_rate / 2.0;
+      return;
+    case RoutingPolicy::kPowerOfTwo:
+      break;
+  }
+  if (config_.stale_telemetry) {
+    // Herding ablation: every query of the epoch chases the previous epoch's
+    // less-loaded switch.
+    if (RoutingLoad(true, s, acc) <= RoutingLoad(false, l, acc)) {
+      acc.spine[s] += read_rate;
+    } else {
+      acc.leaf[l] += read_rate;
+    }
+    return;
+  }
+  // Continuous telemetry: per-query choices equalize the two candidates' utilization
+  // — the fluid limit of the PoT process is a water-filling split.
+  const double load_s = acc.spine[s];
+  const double load_l = acc.leaf[l];
+  const double util =
+      (load_s + load_l + read_rate) / (spine_capacity_ + leaf_capacity_);
+  double to_spine = util * spine_capacity_ - load_s;
+  to_spine = std::clamp(to_spine, 0.0, read_rate);
+  acc.spine[s] += to_spine;
+  acc.leaf[l] += read_rate - to_spine;
+}
+
+void ClusterSim::ChargeWrite(uint64_t key, double write_rate, const CacheCopies& copies,
+                             LoadSnapshot& acc) {
+  if (write_rate <= 0.0) {
+    return;
+  }
+  uint32_t alive_spines = 0;
+  for (uint32_t s = 0; s < config_.num_spine; ++s) {
+    alive_spines += spine_alive_[s] ? 1 : 0;
+  }
+  size_t num_copies = 0;
+  if (copies.leaf) {
+    num_copies += 1;
+    acc.leaf[*copies.leaf] += config_.coherence_switch_cost * write_rate;
+  }
+  if (copies.replicated_all_spines) {
+    num_copies += alive_spines;
+    for (uint32_t s = 0; s < config_.num_spine; ++s) {
+      if (spine_alive_[s]) {
+        acc.spine[s] += config_.coherence_switch_cost * write_rate;
+      }
+    }
+  } else if (copies.spine && spine_alive_[*copies.spine]) {
+    num_copies += 1;
+    acc.spine[*copies.spine] += config_.coherence_switch_cost * write_rate;
+  }
+  // The primary server performs the write plus one invalidation+update round per copy
+  // (§4.3); uncached objects cost exactly one unit.
+  acc.server[placement_.ServerOf(key)] +=
+      write_rate * (1.0 + config_.coherence_server_cost * static_cast<double>(num_copies));
+}
+
+LoadSnapshot ClusterSim::RunTicks(double offered_rate, int ticks) {
+  LoadSnapshot acc;
+  for (int t = 0; t < ticks; ++t) {
+    acc = LoadSnapshot{};
+    acc.spine.assign(config_.num_spine, 0.0);
+    acc.leaf.assign(config_.num_racks, 0.0);
+    acc.server.assign(num_servers(), 0.0);
+
+    const double write_ratio = config_.write_ratio;
+    // Head keys, hottest first (greedy order matters for water-filling quality).
+    for (uint64_t key = 0; key < popularity_.head.size(); ++key) {
+      const double rate = offered_rate * popularity_.head[key];
+      if (rate <= 0.0) {
+        continue;
+      }
+      const CacheCopies copies = allocation_->CopiesOf(key);
+      RouteKeyReads(key, rate * (1.0 - write_ratio), copies, acc);
+      ChargeWrite(key, rate * write_ratio, copies, acc);
+    }
+    // Tail: individually negligible keys, spread uniformly by the placement hash;
+    // none are cached.
+    const double tail_rate = offered_rate * popularity_.tail_mass;
+    const double per_server = tail_rate / static_cast<double>(num_servers());
+    for (double& load : acc.server) {
+      load += per_server;
+    }
+
+    // Utilization & achieved throughput accounting. Traffic routed to a dead spine
+    // switch is lost entirely; dead switches do not constrain stability (they serve
+    // nothing), they only shed the queries sent to them.
+    double max_util = 0.0;
+    double dropped = 0.0;
+    for (uint32_t s = 0; s < config_.num_spine; ++s) {
+      if (!spine_alive_[s]) {
+        dropped += acc.spine[s];
+        continue;
+      }
+      const double util = acc.spine[s] / spine_capacity_;
+      max_util = std::max(max_util, util);
+      dropped += std::max(0.0, acc.spine[s] - spine_capacity_);
+    }
+    for (uint32_t l = 0; l < config_.num_racks; ++l) {
+      const double util = acc.leaf[l] / leaf_capacity_;
+      max_util = std::max(max_util, util);
+      dropped += std::max(0.0, acc.leaf[l] - leaf_capacity_);
+    }
+    for (double load : acc.server) {
+      const double util = load / config_.server_capacity;
+      max_util = std::max(max_util, util);
+      dropped += std::max(0.0, load - config_.server_capacity);
+    }
+    // Queries that are not spine cache hits still transit the spine layer (leaf hits
+    // and server misses go through an ECMP-chosen spine, §3.4). Until recovery, a
+    // dead spine blackholes its 1/num_spine share of that transit traffic as well —
+    // this is why the paper sees the throughput drop by the failed switches' share of
+    // the *total* throughput ("each spine switch provides 1/32 of the total
+    // throughput", §6.4). Transit consumes no cache capacity (forwarding runs at line
+    // rate; only the caching path is rate-limited).
+    if (!recovery_ran_) {
+      uint32_t dead = 0;
+      double spine_arrivals = 0.0;
+      for (uint32_t s = 0; s < config_.num_spine; ++s) {
+        dead += spine_alive_[s] ? 0 : 1;
+        spine_arrivals += acc.spine[s];
+      }
+      const double transit = std::max(0.0, offered_rate - spine_arrivals);
+      dropped += transit * static_cast<double>(dead) / static_cast<double>(config_.num_spine);
+    }
+    acc.max_utilization = max_util;
+    acc.achieved = std::max(0.0, offered_rate - dropped);
+    prev_ = acc;
+  }
+  return acc;
+}
+
+double ClusterSim::SaturationThroughput(double tolerance) {
+  const double total_capacity =
+      TotalServerCapacity() +
+      spine_capacity_ * static_cast<double>(config_.num_spine) +
+      leaf_capacity_ * static_cast<double>(config_.num_racks);
+  const auto stable = [&](double rate) {
+    return RunTicks(rate, config_.ticks_per_measurement).max_utilization <= 1.0 + 1e-9;
+  };
+  double hi_limit =
+      config_.cap_at_server_aggregate ? TotalServerCapacity() : total_capacity;
+  if (stable(hi_limit)) {
+    return hi_limit;
+  }
+  double lo = 0.0;
+  double hi = hi_limit;
+  // Converge relative to the answer itself (not the search range), so small
+  // saturation rates — e.g. NoCache at large scale — keep full resolution.
+  int iterations = 0;
+  while (hi - lo > tolerance * std::max(lo, 1.0) && iterations++ < 64) {
+    const double mid = 0.5 * (lo + hi);
+    if (stable(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double ClusterSim::AchievedThroughput(double offered_rate, int ticks) {
+  return RunTicks(offered_rate, ticks).achieved;
+}
+
+}  // namespace distcache

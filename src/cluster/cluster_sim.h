@@ -1,0 +1,153 @@
+// Slotted (fluid) simulator of the full distributed switch-based caching architecture
+// of Fig. 5, faithful to the paper's testbed methodology (§6.1):
+//
+//  * every storage server has normalized capacity 1.0 queries/s;
+//  * every cache switch is rate-limited to the aggregate capacity of one storage rack
+//    ("we use rate limiting to match the throughput of each emulated switch to the
+//    aggregated throughput of the emulated storage servers in a rack");
+//  * clients draw keys from uniform/Zipf distributions over 100M objects, with a
+//    configurable write ratio;
+//  * client ToRs route each read with the power-of-two-choices over the loads learned
+//    from piggybacked telemetry; writes go to the primary server and run the
+//    two-phase coherence protocol over all cached copies (§4.3, §6.3);
+//  * reported throughput is normalized to one storage server.
+//
+// One tick models one telemetry epoch (1 second in the prototype). Within a tick the
+// simulator processes hot keys hottest-first and routes each key's query rate to the
+// candidate cache node with the smallest *accumulated* load — the fluid limit of
+// queries interleaving across the epoch while telemetry keeps refreshing. Setting
+// `stale_telemetry` instead freezes routing decisions on the previous epoch's loads
+// (the herding ablation).
+//
+// Saturation throughput is the largest offered rate R such that no node's arrival
+// rate exceeds its capacity — exactly the stationarity criterion the paper proves for
+// the PoT process (Lemma 2) — found by binary search; optionally capped at the
+// aggregate server capacity like the testbed's rate limits cap the measured value.
+#ifndef DISTCACHE_CLUSTER_CLUSTER_SIM_H_
+#define DISTCACHE_CLUSTER_CLUSTER_SIM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/workload.h"
+#include "common/zipf.h"
+#include "core/allocation.h"
+#include "core/controller.h"
+#include "core/mechanism.h"
+#include "core/pot_router.h"
+#include "kv/placement.h"
+
+namespace distcache {
+
+struct ClusterConfig {
+  Mechanism mechanism = Mechanism::kDistCache;
+  uint32_t num_spine = 32;
+  uint32_t num_racks = 32;
+  uint32_t servers_per_rack = 32;
+
+  uint64_t num_keys = 100'000'000;
+  double zipf_theta = 0.99;  // 0 = uniform
+  double write_ratio = 0.0;
+
+  uint32_t per_switch_objects = 100;
+
+  RoutingPolicy routing = RoutingPolicy::kPowerOfTwo;
+  // false (default): routing sees loads accumulate within the epoch (continuous
+  // telemetry). true: routing uses only the previous epoch's snapshot (herding
+  // ablation).
+  bool stale_telemetry = false;
+
+  double server_capacity = 1.0;
+  // 0 = auto: servers_per_rack × server_capacity (the paper's rate-limit discipline).
+  double spine_capacity = 0.0;
+  double leaf_capacity = 0.0;
+  // Non-uniform layers (§3.3 remark): scale the spine layer as num_spine_override
+  // switches of spine_capacity each (set both; leave 0 to mirror the leaf layer).
+
+  // Two-phase coherence costs (§6.3): per write to a cached object, each copy costs
+  // the primary server `coherence_server_cost` extra units (sending/awaiting one
+  // invalidation and one update packet — a fraction of a full query's work), and each
+  // caching switch `coherence_switch_cost` units (invalidate + update data-plane
+  // touches).
+  double coherence_server_cost = 0.25;
+  double coherence_switch_cost = 2.0;
+
+  // Cap the reported saturation throughput at aggregate server capacity, mirroring
+  // the testbed whose clients/servers cannot offer more (paper figures saturate at
+  // n × T). Disable to study the uncapped capacity of the cache layers.
+  bool cap_at_server_aggregate = true;
+
+  int ticks_per_measurement = 8;
+  uint64_t seed = 42;
+};
+
+// Per-tick load snapshot (arrival units, not utilization).
+struct LoadSnapshot {
+  std::vector<double> spine;
+  std::vector<double> leaf;
+  std::vector<double> server;
+  double max_utilization = 0.0;
+  // Offered minus dropped (each node completes at most its capacity).
+  double achieved = 0.0;
+};
+
+class ClusterSim {
+ public:
+  explicit ClusterSim(const ClusterConfig& config);
+
+  // Runs `ticks` epochs at the given offered rate; returns the last epoch's loads.
+  LoadSnapshot RunTicks(double offered_rate, int ticks);
+
+  // Max offered rate with every node stable (binary search, relative tolerance).
+  double SaturationThroughput(double tolerance = 0.005);
+
+  // Achieved (completed) throughput at a fixed offered rate — used by the failure
+  // time series, where the offered rate is deliberately below saturation.
+  double AchievedThroughput(double offered_rate, int ticks = 4);
+
+  // Failure handling (§4.4 / Fig. 11).
+  void FailSpine(uint32_t spine);
+  void RecoverSpine(uint32_t spine);
+  // Controller recovery: remap failed partitions onto alive spines. Without this,
+  // objects whose spine copy died are served only by their leaf copy.
+  void RunFailureRecovery() { recovery_ran_ = true; ApplyRemap(); }
+
+  double TotalServerCapacity() const {
+    return config_.server_capacity * static_cast<double>(num_servers());
+  }
+  uint32_t num_servers() const { return config_.num_racks * config_.servers_per_rack; }
+  const ClusterConfig& config() const { return config_; }
+  const CacheAllocation& allocation() const { return *allocation_; }
+  const Placement& placement() const { return placement_; }
+  const PopularityVector& popularity() const { return popularity_; }
+  double spine_capacity() const { return spine_capacity_; }
+  double leaf_capacity() const { return leaf_capacity_; }
+
+ private:
+  void ApplyRemap();
+  // Candidate loads for routing: accumulated-this-tick or previous snapshot.
+  double RoutingLoad(bool spine_layer, uint32_t index, const LoadSnapshot& acc) const;
+  void RouteKeyReads(uint64_t key, double read_rate, const CacheCopies& copies,
+                     LoadSnapshot& acc);
+  void ChargeWrite(uint64_t key, double write_rate, const CacheCopies& copies,
+                   LoadSnapshot& acc);
+
+  ClusterConfig config_;
+  Placement placement_;
+  std::unique_ptr<KeyDistribution> dist_;
+  PopularityVector popularity_;
+  std::unique_ptr<CacheAllocation> allocation_;
+  std::unique_ptr<CacheController> controller_;
+  std::vector<bool> spine_alive_;
+  bool recovery_ran_ = true;  // partitions start mapped to their home switches
+  double spine_capacity_;
+  double leaf_capacity_;
+  LoadSnapshot prev_;  // previous epoch's loads (telemetry snapshot)
+  Rng rng_;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_CLUSTER_CLUSTER_SIM_H_

@@ -1,0 +1,123 @@
+#include "cluster/latency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace distcache {
+namespace {
+
+// M/M/1 sojourn time (service + queueing) for arrival rate `load` at capacity `cap`,
+// in units of one storage server's service time.
+double Sojourn(double load, double cap, const LatencyModelOptions& options) {
+  if (load >= cap * 0.999) {
+    return options.saturated_latency;
+  }
+  return 1.0 / (cap - load);
+}
+
+struct WeightedLatency {
+  double latency;
+  double weight;
+};
+
+}  // namespace
+
+LatencyReport ComputeLatencyReport(ClusterSim& sim, double offered_rate,
+                                   const LatencyModelOptions& options) {
+  const LoadSnapshot snap = sim.RunTicks(offered_rate, options.warmup_ticks);
+  const CacheAllocation& alloc = sim.allocation();
+  const PopularityVector& pop = sim.popularity();
+  const ClusterConfig& cfg = sim.config();
+
+  std::vector<WeightedLatency> samples;
+  samples.reserve(pop.head.size() + 1);
+  double hit_weight = 0.0;
+  double total_weight = 0.0;
+  double overloaded_weight = 0.0;
+
+  const auto add = [&](double latency, double weight, bool hit) {
+    samples.push_back({latency, weight});
+    total_weight += weight;
+    if (hit) {
+      hit_weight += weight;
+    }
+    if (latency >= options.saturated_latency) {
+      overloaded_weight += weight;
+    }
+  };
+
+  for (uint64_t key = 0; key < pop.head.size(); ++key) {
+    const double weight = pop.head[key];
+    if (weight <= 0.0) {
+      continue;
+    }
+    const CacheCopies copies = alloc.CopiesOf(key);
+    if (!copies.cached()) {
+      // Uncached: client ToR -> spine -> leaf -> server and back.
+      const double w =
+          Sojourn(snap.server[sim.placement().ServerOf(key)], cfg.server_capacity,
+                  options);
+      add(3 * options.network_rtt + w, weight, /*hit=*/false);
+      continue;
+    }
+    // Cached: the PoT router serves from the less-loaded candidate; a spine hit is
+    // one hop closer than a leaf hit (which transits a spine).
+    double best = options.saturated_latency + 3 * options.network_rtt;
+    if (copies.spine || copies.replicated_all_spines) {
+      const uint32_t s = copies.replicated_all_spines ? 0 : *copies.spine;
+      best = std::min(best, options.network_rtt +
+                                Sojourn(snap.spine[s], sim.spine_capacity(), options));
+    }
+    if (copies.leaf) {
+      best = std::min(best, 2 * options.network_rtt +
+                                Sojourn(snap.leaf[*copies.leaf], sim.leaf_capacity(),
+                                        options));
+    }
+    add(best, weight, /*hit=*/true);
+  }
+  // Tail keys: uniformly spread across servers; use the mean server load.
+  if (pop.tail_mass > 0.0) {
+    double mean_server = 0.0;
+    for (double l : snap.server) {
+      mean_server += l;
+    }
+    mean_server /= static_cast<double>(snap.server.size());
+    add(3 * options.network_rtt + Sojourn(mean_server, cfg.server_capacity, options),
+        pop.tail_mass, /*hit=*/false);
+  }
+
+  LatencyReport report;
+  if (samples.empty() || total_weight <= 0.0) {
+    return report;
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const WeightedLatency& a, const WeightedLatency& b) {
+              return a.latency < b.latency;
+            });
+  double acc = 0.0;
+  double mean = 0.0;
+  const double p50_target = 0.50 * total_weight;
+  const double p95_target = 0.95 * total_weight;
+  const double p99_target = 0.99 * total_weight;
+  for (const WeightedLatency& s : samples) {
+    const double prev = acc;
+    acc += s.weight;
+    mean += s.latency * s.weight;
+    if (prev < p50_target && acc >= p50_target) {
+      report.p50 = s.latency;
+    }
+    if (prev < p95_target && acc >= p95_target) {
+      report.p95 = s.latency;
+    }
+    if (prev < p99_target && acc >= p99_target) {
+      report.p99 = s.latency;
+    }
+  }
+  report.mean = mean / total_weight;
+  report.hit_fraction = hit_weight / total_weight;
+  report.overloaded_fraction = overloaded_weight / total_weight;
+  return report;
+}
+
+}  // namespace distcache

@@ -1,0 +1,45 @@
+// Query-latency model on top of the fluid cluster simulator (extension).
+//
+// The paper's introduction motivates load balancing with tail latency ("the system
+// is bottlenecked by the overloaded nodes, resulting in low throughput and long tail
+// latencies") but evaluates throughput only. This module closes the loop with a
+// standard open-network approximation: each node is an M/M/1 station whose sojourn
+// time at arrival rate λ and capacity μ is 1/(μ - λ); a query's latency is the
+// network round-trip plus the sojourn at the node that serves it (cache hits are
+// served by the less-loaded candidate, misses and uncached reads by the primary
+// server). Percentiles are computed over the query mix, weighted by key popularity.
+#ifndef DISTCACHE_CLUSTER_LATENCY_H_
+#define DISTCACHE_CLUSTER_LATENCY_H_
+
+#include "cluster/cluster_sim.h"
+
+namespace distcache {
+
+struct LatencyReport {
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  // Fraction of queries answered by a cache switch.
+  double hit_fraction = 0.0;
+  // Fraction of queries whose serving node is saturated (unbounded queueing delay);
+  // their latency is reported as `saturated_latency`.
+  double overloaded_fraction = 0.0;
+};
+
+struct LatencyModelOptions {
+  // One-way network hop cost in service-time units of a storage server.
+  double network_rtt = 0.2;
+  // Latency assigned to queries landing on a saturated node.
+  double saturated_latency = 100.0;
+  int warmup_ticks = 4;
+};
+
+// Runs the simulator at `offered_rate` and derives the latency distribution of the
+// read mix from the resulting per-node loads.
+LatencyReport ComputeLatencyReport(ClusterSim& sim, double offered_rate,
+                                   const LatencyModelOptions& options = {});
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_CLUSTER_LATENCY_H_

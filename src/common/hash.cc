@@ -1,0 +1,33 @@
+#include "common/hash.h"
+
+#include "common/random.h"
+
+namespace distcache {
+
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+TabulationHash::TabulationHash(uint64_t seed) : seed_(seed) {
+  Rng rng(Mix64(seed ^ 0x7ab1e5eedULL));
+  for (auto& row : table_) {
+    for (auto& cell : row) {
+      cell = rng.Next();
+    }
+  }
+}
+
+HashFamily::HashFamily(size_t count, uint64_t seed) {
+  functions_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    functions_.emplace_back(HashCombine(seed, Mix64(i + 1)));
+  }
+}
+
+}  // namespace distcache

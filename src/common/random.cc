@@ -1,0 +1,21 @@
+#include "common/random.h"
+
+#include "common/hash.h"
+
+namespace distcache {
+
+void Rng::Seed(uint64_t seed) {
+  // SplitMix64 expansion of the seed, per the xoshiro reference implementation.
+  uint64_t s = seed;
+  for (auto& word : state_) {
+    s += 0x9e3779b97f4a7c15ULL;
+    word = Mix64(s);
+  }
+  // All-zero state is invalid for xoshiro; Mix64 of distinct inputs cannot produce
+  // four zeros, but guard anyway for defence in depth.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 1;
+  }
+}
+
+}  // namespace distcache

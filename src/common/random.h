@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components (workload generators, hash-table seeds, event-driven
+// simulator) draw from `Rng` so that every experiment in this repository is exactly
+// reproducible from a seed. xoshiro256** is used for speed and statistical quality;
+// SplitMix64 seeds its state as recommended by the xoshiro authors.
+#ifndef DISTCACHE_COMMON_RANDOM_H_
+#define DISTCACHE_COMMON_RANDOM_H_
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace distcache {
+
+// xoshiro256** generator. Not thread-safe; use one instance per thread.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  // Next 64 random bits.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0. Uses Lemire's multiply-shift reduction.
+  uint64_t NextBounded(uint64_t bound) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * static_cast<unsigned __int128>(bound)) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Exponentially distributed with the given rate (mean 1/rate).
+  double NextExponential(double rate) {
+    double u = NextDouble();
+    // Guard against log(0).
+    if (u <= 0.0) {
+      u = 0x1.0p-53;
+    }
+    return -std::log(1.0 - u) / rate;
+  }
+
+  // Bernoulli trial with probability p of returning true.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::array<uint64_t, 4> state_{};
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_COMMON_RANDOM_H_

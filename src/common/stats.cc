@@ -1,0 +1,40 @@
+#include "common/stats.h"
+
+namespace distcache {
+
+double Histogram::Percentile(double p) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const auto target =
+      static_cast<uint64_t>(clamped / 100.0 * static_cast<double>(total_ - 1));
+  uint64_t seen = 0;
+  const size_t bins = counts_.size() - 1;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen > target) {
+      if (i == bins) {
+        return upper_;
+      }
+      return static_cast<double>(i) * upper_ / static_cast<double>(bins);
+    }
+  }
+  return upper_;
+}
+
+double ImbalanceFactor(const std::vector<double>& loads) {
+  if (loads.empty()) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  double max = 0.0;
+  for (double x : loads) {
+    sum += x;
+    max = std::max(max, x);
+  }
+  const double mean = sum / static_cast<double>(loads.size());
+  return mean > 0.0 ? max / mean : 1.0;
+}
+
+}  // namespace distcache

@@ -1,0 +1,77 @@
+// Streaming statistics and histograms used by the simulators and benches to report
+// per-node load, imbalance factors and latency percentiles.
+#ifndef DISTCACHE_COMMON_STATS_H_
+#define DISTCACHE_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace distcache {
+
+// Welford-style streaming mean/variance plus min/max.
+class StreamingStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const { return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  // Coefficient of variation — the load-imbalance measure used in our reports.
+  double cv() const { return mean() > 0.0 ? stddev() / mean() : 0.0; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed-resolution histogram over [0, upper) with `buckets` equal-width bins; values
+// ≥ upper land in the overflow bin. Supports percentile queries.
+class Histogram {
+ public:
+  Histogram(double upper, size_t buckets) : upper_(upper), counts_(buckets + 1, 0) {}
+
+  void Add(double x) {
+    ++total_;
+    if (x >= upper_ || x < 0.0) {
+      ++counts_.back();
+      return;
+    }
+    const auto idx = static_cast<size_t>(x / upper_ * static_cast<double>(counts_.size() - 1));
+    ++counts_[idx];
+  }
+
+  // Value at percentile p in [0, 100]. Returns the lower edge of the bucket containing
+  // the p-th percentile sample; the overflow bucket reports `upper`.
+  double Percentile(double p) const;
+
+  uint64_t total() const { return total_; }
+
+ private:
+  double upper_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+// Max/mean ratio of a load vector — "imbalance factor". 1.0 means perfectly balanced.
+double ImbalanceFactor(const std::vector<double>& loads);
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_COMMON_STATS_H_

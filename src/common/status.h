@@ -1,0 +1,102 @@
+// Minimal error-handling vocabulary. We avoid exceptions in the data path (os-systems
+// idiom); fallible operations return Status or StatusOr<T>.
+#ifndef DISTCACHE_COMMON_STATUS_H_
+#define DISTCACHE_COMMON_STATUS_H_
+
+#include <cstddef>
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace distcache {
+
+enum class StatusCode {
+  kOk,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kResourceExhausted,
+  kUnavailable,
+  kFailedPrecondition,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m = "") { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m = "") {
+    return {StatusCode::kAlreadyExists, std::move(m)};
+  }
+  static Status InvalidArgument(std::string m = "") {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status ResourceExhausted(std::string m = "") {
+    return {StatusCode::kResourceExhausted, std::move(m)};
+  }
+  static Status Unavailable(std::string m = "") {
+    return {StatusCode::kUnavailable, std::move(m)};
+  }
+  static Status FailedPrecondition(std::string m = "") {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : data_(std::move(status)) {  // NOLINT: implicit by design
+    assert(!std::get<Status>(data_).ok() && "StatusOr from OK status requires a value");
+  }
+  StatusOr(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> data_;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_COMMON_STATUS_H_

@@ -1,0 +1,32 @@
+#include "common/workload.h"
+
+#include "common/hash.h"
+
+namespace distcache {
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadConfig& config)
+    : config_(config),
+      dist_(MakeDistribution(config.num_keys, config.zipf_theta)),
+      rng_(Mix64(config.seed ^ 0x3081c10adULL)) {}
+
+Op WorkloadGenerator::Next() {
+  Op op;
+  op.type = rng_.NextBernoulli(config_.write_ratio) ? OpType::kPut : OpType::kGet;
+  op.key = dist_->Sample(rng_);
+  return op;
+}
+
+PopularityVector BuildPopularityVector(const KeyDistribution& dist, uint64_t top_k) {
+  PopularityVector pv;
+  const uint64_t k = top_k < dist.num_keys() ? top_k : dist.num_keys();
+  pv.head.resize(k);
+  double sum = 0.0;
+  for (uint64_t i = 0; i < k; ++i) {
+    pv.head[i] = dist.Pmf(i);
+    sum += pv.head[i];
+  }
+  pv.tail_mass = sum >= 1.0 ? 0.0 : 1.0 - sum;
+  return pv;
+}
+
+}  // namespace distcache

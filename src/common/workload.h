@@ -1,0 +1,63 @@
+// Workload generation: a stream of GET/PUT operations drawn from a key-popularity
+// distribution with a configurable write ratio, mirroring the paper's client library
+// (§6.1: uniform and Zipf-0.9/0.95/0.99 over 100M objects, varying write ratio).
+#ifndef DISTCACHE_COMMON_WORKLOAD_H_
+#define DISTCACHE_COMMON_WORKLOAD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace distcache {
+
+enum class OpType : uint8_t {
+  kGet,
+  kPut,
+};
+
+struct Op {
+  OpType type;
+  uint64_t key;
+};
+
+struct WorkloadConfig {
+  uint64_t num_keys = 100'000'000;  // paper: 100 million objects
+  double zipf_theta = 0.99;         // 0 => uniform; paper default zipf-0.99
+  double write_ratio = 0.0;         // fraction of PUTs
+  uint64_t seed = 1;
+};
+
+// Draws an i.i.d. stream of operations. One instance per client thread.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(const WorkloadConfig& config);
+
+  Op Next();
+
+  const KeyDistribution& distribution() const { return *dist_; }
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  WorkloadConfig config_;
+  std::unique_ptr<KeyDistribution> dist_;
+  Rng rng_;
+};
+
+// Exact popularity of the `top_k` hottest keys plus the aggregate tail mass, used by
+// the fluid cluster simulator: hot keys are tracked individually, the tail is spread
+// across storage servers by the placement hash.
+struct PopularityVector {
+  std::vector<double> head;  // head[i] = Pr[key == i], i < top_k
+  double tail_mass = 0.0;    // 1 - sum(head)
+};
+
+PopularityVector BuildPopularityVector(const KeyDistribution& dist, uint64_t top_k);
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_COMMON_WORKLOAD_H_

@@ -1,0 +1,90 @@
+#include "common/ycsb.h"
+
+#include "common/hash.h"
+
+namespace distcache {
+
+const char* YcsbWorkloadName(YcsbWorkload w) {
+  switch (w) {
+    case YcsbWorkload::kA:
+      return "YCSB-A (50r/50u)";
+    case YcsbWorkload::kB:
+      return "YCSB-B (95r/5u)";
+    case YcsbWorkload::kC:
+      return "YCSB-C (100r)";
+    case YcsbWorkload::kD:
+      return "YCSB-D (95r latest/5i)";
+    case YcsbWorkload::kF:
+      return "YCSB-F (50r/50rmw)";
+  }
+  return "?";
+}
+
+YcsbMix MixFor(YcsbWorkload w) {
+  YcsbMix mix;
+  switch (w) {
+    case YcsbWorkload::kA:
+      mix = {0.5, 0.5, 0.0, 0.0, false};
+      break;
+    case YcsbWorkload::kB:
+      mix = {0.95, 0.05, 0.0, 0.0, false};
+      break;
+    case YcsbWorkload::kC:
+      mix = {1.0, 0.0, 0.0, 0.0, false};
+      break;
+    case YcsbWorkload::kD:
+      mix = {0.95, 0.0, 0.05, 0.0, true};
+      break;
+    case YcsbWorkload::kF:
+      mix = {0.5, 0.0, 0.0, 0.5, false};
+      break;
+  }
+  return mix;
+}
+
+double EffectiveWriteRatio(YcsbWorkload w) {
+  const YcsbMix mix = MixFor(w);
+  // An RMW issues one read and one write; as an op-stream fraction, half of each RMW
+  // slot is a write.
+  return mix.updates + mix.inserts + 0.5 * mix.read_modify_writes;
+}
+
+YcsbGenerator::YcsbGenerator(const Config& config)
+    : config_(config),
+      dist_(MakeDistribution(config.num_keys, config.zipf_theta)),
+      rng_(HashCombine(config.seed, 0x5c5bULL)),
+      live_keys_(config.num_keys) {}
+
+uint64_t YcsbGenerator::SampleKey() {
+  const uint64_t rank = dist_->Sample(rng_);
+  if (!MixFor(config_.workload).latest) {
+    return rank;
+  }
+  // Latest distribution: rank 0 = the most recently inserted key. Keys are dense ids
+  // 0..live_keys-1 with larger ids newer.
+  return live_keys_ - 1 - (rank % live_keys_);
+}
+
+Op YcsbGenerator::Next() {
+  if (pending_rmw_put_) {
+    pending_rmw_put_ = false;
+    return Op{OpType::kPut, pending_rmw_key_};
+  }
+  const YcsbMix mix = MixFor(config_.workload);
+  const double roll = rng_.NextDouble();
+  if (roll < mix.reads) {
+    return Op{OpType::kGet, SampleKey()};
+  }
+  if (roll < mix.reads + mix.updates) {
+    return Op{OpType::kPut, SampleKey()};
+  }
+  if (roll < mix.reads + mix.updates + mix.inserts) {
+    return Op{OpType::kPut, live_keys_++};  // insert a brand-new key
+  }
+  // Read-modify-write: read now, write the same key on the next call.
+  pending_rmw_key_ = SampleKey();
+  pending_rmw_put_ = true;
+  return Op{OpType::kGet, pending_rmw_key_};
+}
+
+}  // namespace distcache

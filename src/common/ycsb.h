@@ -1,0 +1,72 @@
+// YCSB core workloads (Cooper et al., SoCC'10 — the paper's benchmarking reference
+// [6]). Standard mixes over a Zipf-popular keyspace:
+//   A: 50% reads / 50% updates        B: 95% reads / 5% updates
+//   C: 100% reads                     D: 95% reads of the *latest* keys / 5% inserts
+//   F: 50% reads / 50% read-modify-write
+// (E, short scans, is omitted: the switch cache serves point queries only.)
+#ifndef DISTCACHE_COMMON_YCSB_H_
+#define DISTCACHE_COMMON_YCSB_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "common/workload.h"
+#include "common/zipf.h"
+
+namespace distcache {
+
+enum class YcsbWorkload : uint8_t { kA, kB, kC, kD, kF };
+
+const char* YcsbWorkloadName(YcsbWorkload w);
+
+// Proportions of each op class for a workload (reads + updates + inserts + rmw = 1).
+struct YcsbMix {
+  double reads = 1.0;
+  double updates = 0.0;
+  double inserts = 0.0;
+  double read_modify_writes = 0.0;
+  bool latest = false;  // D: popularity follows recency instead of static rank
+};
+
+YcsbMix MixFor(YcsbWorkload w);
+
+// Effective write fraction of a workload (updates + inserts + RMW writes), which is
+// what the coherence protocol sees — used to map YCSB mixes onto the cluster
+// simulator's write_ratio.
+double EffectiveWriteRatio(YcsbWorkload w);
+
+class YcsbGenerator {
+ public:
+  struct Config {
+    YcsbWorkload workload = YcsbWorkload::kC;
+    uint64_t num_keys = 1'000'000;  // preloaded record count
+    double zipf_theta = 0.99;
+    uint64_t seed = 1;
+  };
+
+  explicit YcsbGenerator(const Config& config);
+
+  // Next operation. Read-modify-write surfaces as a kGet followed by a kPut to the
+  // same key on the subsequent call (the YCSB client does exactly that).
+  Op Next();
+
+  // D inserts grow the live keyspace; reads under `latest` target recent inserts.
+  uint64_t live_keys() const { return live_keys_; }
+  const Config& config() const { return config_; }
+
+ private:
+  uint64_t SampleKey();
+
+  Config config_;
+  std::unique_ptr<KeyDistribution> dist_;
+  Rng rng_;
+  uint64_t live_keys_;
+  bool pending_rmw_put_ = false;
+  uint64_t pending_rmw_key_ = 0;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_COMMON_YCSB_H_

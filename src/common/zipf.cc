@@ -1,0 +1,148 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace distcache {
+namespace {
+
+// Number of leading terms summed exactly before switching to the integral tail.
+constexpr uint64_t kExactPrefix = 10000;
+
+}  // namespace
+
+double ZipfDistribution::Zeta(uint64_t n, double theta) {
+  const uint64_t prefix = n < kExactPrefix ? n : kExactPrefix;
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= prefix; ++i) {
+    sum += std::pow(static_cast<double>(i), -theta);
+  }
+  if (n > prefix) {
+    // Midpoint-rule integral tail: sum_{i=prefix+1..n} i^-theta ≈
+    // ∫_{prefix+0.5}^{n+0.5} x^-theta dx. The midpoint correction makes the relative
+    // error negligible for theta < 1 at these scales.
+    const double a = static_cast<double>(prefix) + 0.5;
+    const double b = static_cast<double>(n) + 0.5;
+    sum += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) / (1.0 - theta);
+  }
+  return sum;
+}
+
+ZipfDistribution::ZipfDistribution(uint64_t num_keys, double theta)
+    : num_keys_(num_keys), theta_(theta) {
+  zetan_ = Zeta(num_keys_, theta_);
+  zeta2_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(num_keys_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  // Gray et al. / YCSB approximate inverse-CDF sampling.
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;  // rank 1
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;  // rank 2
+  }
+  const uint64_t rank =
+      1 + static_cast<uint64_t>(static_cast<double>(num_keys_) *
+                                std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return (rank >= num_keys_ ? num_keys_ - 1 : rank - 1) + 0;
+}
+
+double ZipfDistribution::Pmf(uint64_t key) const {
+  if (key >= num_keys_) {
+    return 0.0;
+  }
+  return std::pow(static_cast<double>(key + 1), -theta_) / zetan_;
+}
+
+double ZipfDistribution::TopMass(uint64_t k) const {
+  if (k >= num_keys_) {
+    return 1.0;
+  }
+  return Zeta(k, theta_) / zetan_;
+}
+
+std::string ZipfDistribution::name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "zipf-%.2f", theta_);
+  return buf;
+}
+
+DiscreteDistribution::DiscreteDistribution(std::vector<double> pmf, std::string name)
+    : pmf_(std::move(pmf)), name_(std::move(name)) {
+  double sum = 0.0;
+  for (double p : pmf_) {
+    sum += p;
+  }
+  if (sum > 0.0) {
+    for (double& p : pmf_) {
+      p /= sum;
+    }
+  }
+  cdf_.resize(pmf_.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < pmf_.size(); ++i) {
+    acc += pmf_[i];
+    cdf_[i] = acc;
+  }
+  if (!cdf_.empty()) {
+    cdf_.back() = 1.0;  // guard against rounding
+  }
+}
+
+uint64_t DiscreteDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double DiscreteDistribution::TopMass(uint64_t k) const {
+  if (k == 0) {
+    return 0.0;
+  }
+  if (k >= cdf_.size()) {
+    return 1.0;
+  }
+  return cdf_[k - 1];
+}
+
+std::vector<double> CappedZipfPmf(uint64_t num_keys, double theta, double cap) {
+  ZipfDistribution zipf(num_keys, theta);
+  std::vector<double> pmf(num_keys);
+  for (uint64_t i = 0; i < num_keys; ++i) {
+    pmf[i] = zipf.Pmf(i);
+  }
+  // Clip-and-renormalize until the cap holds; redistribution converges geometrically
+  // since each round moves the clipped surplus into the (large) unclipped tail.
+  for (int round = 0; round < 64; ++round) {
+    double sum = 0.0;
+    double max_p = 0.0;
+    for (double& p : pmf) {
+      p = std::min(p, cap);
+      sum += p;
+    }
+    for (double& p : pmf) {
+      p /= sum;
+      max_p = std::max(max_p, p);
+    }
+    if (max_p <= cap * (1.0 + 1e-12)) {
+      break;
+    }
+  }
+  return pmf;
+}
+
+std::unique_ptr<KeyDistribution> MakeDistribution(uint64_t num_keys, double theta) {
+  if (theta <= 0.0) {
+    return std::make_unique<UniformDistribution>(num_keys);
+  }
+  return std::make_unique<ZipfDistribution>(num_keys, theta);
+}
+
+}  // namespace distcache

@@ -1,0 +1,111 @@
+#include "core/allocation.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace distcache {
+
+CacheAllocation::CacheAllocation(const AllocationConfig& config, const Placement& placement)
+    : config_(config), h0_(HashCombine(config.hash_seed, 0xa110cULL)) {
+  assert(placement.num_racks() == config_.num_racks);
+  pool_ = config_.candidate_pool != 0
+              ? config_.candidate_pool
+              : uint64_t{8} * config_.per_switch_objects *
+                    (config_.num_spine + config_.num_racks);
+  Compute(placement);
+}
+
+void CacheAllocation::Compute(const Placement& placement) {
+  leaf_cached_.assign(pool_, 0);
+  spine_cached_.assign(pool_, 0);
+  leaf_of_.resize(pool_);
+  spine_of_.resize(pool_);
+  leaf_contents_.assign(config_.num_racks, {});
+  partition_contents_.assign(config_.num_spine, {});
+  spine_of_partition_.resize(config_.num_spine);
+  std::iota(spine_of_partition_.begin(), spine_of_partition_.end(), 0);
+
+  const bool leaf_caching = config_.mechanism != Mechanism::kNoCache;
+  const bool spine_partitioned = config_.mechanism == Mechanism::kDistCache;
+  const bool spine_replicated = config_.mechanism == Mechanism::kCacheReplication;
+
+  // Keys are popularity ranks, so a single ascending pass fills every per-switch
+  // budget with the hottest members of its partition.
+  for (uint64_t key = 0; key < pool_; ++key) {
+    const uint32_t rack = placement.RackOf(key);
+    leaf_of_[key] = rack;
+    const uint32_t partition = SpinePartitionOf(key);
+    spine_of_[key] = partition;
+
+    if (leaf_caching && leaf_contents_[rack].size() < config_.per_switch_objects) {
+      leaf_contents_[rack].push_back(key);
+      leaf_cached_[key] = 1;
+    }
+    if (spine_partitioned &&
+        partition_contents_[partition].size() < config_.per_switch_objects) {
+      partition_contents_[partition].push_back(key);
+      spine_cached_[key] = 1;
+    }
+    if (spine_replicated && key < config_.per_switch_objects) {
+      // The globally hottest objects; identical content in every spine switch.
+      partition_contents_[0].push_back(key);
+      spine_cached_[key] = 1;
+    }
+  }
+
+  // Derive spine switch contents from partition contents.
+  spine_contents_.assign(config_.num_spine, {});
+  if (spine_replicated) {
+    for (uint32_t s = 0; s < config_.num_spine; ++s) {
+      spine_contents_[s] = partition_contents_[0];
+    }
+  } else if (spine_partitioned) {
+    for (uint32_t p = 0; p < config_.num_spine; ++p) {
+      auto& dst = spine_contents_[spine_of_partition_[p]];
+      dst.insert(dst.end(), partition_contents_[p].begin(), partition_contents_[p].end());
+    }
+  }
+
+  num_cached_ = 0;
+  for (uint64_t key = 0; key < pool_; ++key) {
+    if (leaf_cached_[key] || spine_cached_[key]) {
+      ++num_cached_;
+    }
+  }
+}
+
+CacheCopies CacheAllocation::CopiesOf(uint64_t key) const {
+  CacheCopies copies;
+  if (key >= pool_) {
+    return copies;
+  }
+  if (leaf_cached_[key]) {
+    copies.leaf = leaf_of_[key];
+  }
+  if (spine_cached_[key]) {
+    if (config_.mechanism == Mechanism::kCacheReplication) {
+      copies.replicated_all_spines = true;
+    } else {
+      copies.spine = spine_of_partition_[spine_of_[key]];
+    }
+  }
+  return copies;
+}
+
+void CacheAllocation::RemapSpine(const std::vector<uint32_t>& spine_of_partition) {
+  assert(spine_of_partition.size() == config_.num_spine);
+  spine_of_partition_ = spine_of_partition;
+  spine_contents_.assign(config_.num_spine, {});
+  if (config_.mechanism == Mechanism::kCacheReplication) {
+    for (uint32_t s = 0; s < config_.num_spine; ++s) {
+      spine_contents_[s] = partition_contents_[0];
+    }
+    return;
+  }
+  for (uint32_t p = 0; p < config_.num_spine; ++p) {
+    auto& dst = spine_contents_[spine_of_partition_[p]];
+    dst.insert(dst.end(), partition_contents_[p].begin(), partition_contents_[p].end());
+  }
+}
+
+}  // namespace distcache

@@ -1,0 +1,112 @@
+// Cache allocation (§3.1): which hot objects are cached at which cache nodes.
+//
+// The controller computes, per mechanism:
+//   * leaf layer (group B): each storage rack's ToR caches the hottest objects whose
+//     primary copies live in that rack (hash h1 ≡ the storage placement hash);
+//   * spine layer (group A):
+//       - DistCache:        partition of the object space by the independent hash h0;
+//                           spine s caches the hottest objects with h0(key) % m == s;
+//       - CacheReplication: every spine caches the same globally hottest objects;
+//       - CachePartition / NoCache: no spine caching.
+//
+// Capacities are expressed in objects per switch (the paper populates 100 per switch).
+// Keys are popularity ranks (0 = hottest), so "hottest of a partition" is simply the
+// smallest-rank members of the partition within the candidate pool.
+#ifndef DISTCACHE_CORE_ALLOCATION_H_
+#define DISTCACHE_CORE_ALLOCATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/hash.h"
+#include "core/mechanism.h"
+#include "kv/placement.h"
+
+namespace distcache {
+
+struct AllocationConfig {
+  Mechanism mechanism = Mechanism::kDistCache;
+  uint32_t num_spine = 32;
+  uint32_t num_racks = 32;
+  // Objects cached per switch. Total cache size = per_switch_objects × (#spine+#leaf)
+  // for DistCache (paper: 100 × 64 = 6400).
+  uint32_t per_switch_objects = 100;
+  // How many of the hottest keys are considered for caching. Must comfortably exceed
+  // the per-partition demand; 8× the total budget is ample because partitions are
+  // hash-balanced.
+  uint32_t candidate_pool = 0;  // 0 = auto
+  uint64_t hash_seed = 0xd15ca4e;
+};
+
+// Where one key is cached.
+struct CacheCopies {
+  std::optional<uint32_t> spine;    // spine switch index, if spine-cached
+  std::optional<uint32_t> leaf;     // storage rack index, if leaf-cached
+  bool replicated_all_spines = false;  // CacheReplication: cached in every spine
+
+  bool cached() const { return spine.has_value() || leaf.has_value() || replicated_all_spines; }
+  // Number of cached copies that the coherence protocol must update on a write.
+  size_t NumCopies(uint32_t num_spine) const {
+    size_t n = leaf.has_value() ? 1 : 0;
+    if (replicated_all_spines) {
+      n += num_spine;
+    } else if (spine.has_value()) {
+      n += 1;
+    }
+    return n;
+  }
+};
+
+class CacheAllocation {
+ public:
+  // Computes the allocation for keys [0, candidate_pool) given the storage placement.
+  // `placement` determines each key's rack (h1); h0 is drawn from `hash_seed`.
+  CacheAllocation(const AllocationConfig& config, const Placement& placement);
+
+  // Copies of `key` (empty copies if the key is not cached).
+  CacheCopies CopiesOf(uint64_t key) const;
+
+  // Spine partition of a key under h0 (defined for every key, cached or not).
+  uint32_t SpinePartitionOf(uint64_t key) const {
+    return static_cast<uint32_t>(h0_(key) % config_.num_spine);
+  }
+
+  // Contents per switch.
+  const std::vector<std::vector<uint64_t>>& spine_contents() const { return spine_contents_; }
+  const std::vector<std::vector<uint64_t>>& leaf_contents() const { return leaf_contents_; }
+
+  // Total number of distinct cached keys.
+  size_t num_cached_keys() const { return num_cached_; }
+  uint64_t candidate_pool() const { return pool_; }
+  const AllocationConfig& config() const { return config_; }
+
+  // Re-runs allocation with some spine switches marked failed: their partitions are
+  // remapped onto alive spines via the provided remap (switch index → alive index).
+  // Used by the controller's failure handling (§4.4); see CacheController.
+  void RemapSpine(const std::vector<uint32_t>& spine_of_partition);
+
+ private:
+  void Compute(const Placement& placement);
+
+  AllocationConfig config_;
+  TabulationHash h0_;
+  uint64_t pool_ = 0;
+  size_t num_cached_ = 0;
+  // Dense per-key copy info for keys < pool_ (ranks are dense by construction).
+  std::vector<uint8_t> leaf_cached_;   // bool per key
+  std::vector<uint8_t> spine_cached_;  // bool per key
+  std::vector<uint32_t> leaf_of_;      // rack per key (from placement)
+  std::vector<uint32_t> spine_of_;     // spine switch per key (h0 partition, post-remap)
+  // Per-h0-partition cached keys; spine_contents_ derives from these through
+  // spine_of_partition_ so that failure remaps are cheap and lossless.
+  std::vector<std::vector<uint64_t>> partition_contents_;
+  std::vector<uint32_t> spine_of_partition_;
+  std::vector<std::vector<uint64_t>> spine_contents_;
+  std::vector<std::vector<uint64_t>> leaf_contents_;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_CORE_ALLOCATION_H_

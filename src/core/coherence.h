@@ -1,0 +1,80 @@
+// Two-phase cache-coherence protocol (§4.3).
+//
+// A write to a cached object must update the primary copy at the storage server and
+// every cached copy atomically with respect to readers:
+//   phase 1 — an invalidation packet walks every switch caching the object and clears
+//             the validity bits; lost packets are retried after a timeout;
+//   (optimization) — once all copies are invalid, the server updates its primary copy
+//             and acknowledges the client immediately, without waiting for phase 2;
+//   phase 2 — an update packet walks the same switches writing the new value and
+//             setting the validity bits.
+//
+// The same phase-2 path populates newly inserted (invalid-marked) cache entries,
+// unifying cache insertion with coherence (§4.3).
+#ifndef DISTCACHE_CORE_COHERENCE_H_
+#define DISTCACHE_CORE_COHERENCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cache/cache_switch.h"
+#include "common/status.h"
+#include "kv/storage_server.h"
+#include "net/topology.h"
+
+namespace distcache {
+
+class TwoPhaseCoherence {
+ public:
+  // Maps a cache node id to its switch, or nullptr if the switch is unreachable
+  // (failed) — the protocol retries and then skips copies that stay unreachable,
+  // matching the availability choice of §4.4.
+  using SwitchResolver = std::function<CacheSwitch*(CacheNodeId)>;
+
+  struct Config {
+    size_t max_retries = 3;
+  };
+
+  struct Stats {
+    uint64_t writes = 0;
+    uint64_t cached_writes = 0;        // writes that ran the two-phase protocol
+    uint64_t invalidations_sent = 0;   // per-switch phase-1 touches
+    uint64_t updates_sent = 0;         // per-switch phase-2 touches
+    uint64_t retries = 0;
+    uint64_t unreachable_copies = 0;
+  };
+
+  TwoPhaseCoherence(SwitchResolver resolver, const Config& config)
+      : resolver_(std::move(resolver)), config_(config) {}
+
+  // Executes the full write path for `key` with cached copies at `copies`. The client
+  // acknowledgment point is after the primary update (the §4.3 optimization); this
+  // function additionally completes phase 2 before returning, which is safe because
+  // all copies are invalid in between and readers fall through to the server.
+  Status Write(uint64_t key, std::string value, StorageServer* server,
+               const std::vector<CacheNodeId>& copies);
+
+  // Phase 2 only: pushes the server's current value into one switch. Used by the
+  // agent's insert-invalid flow; the server serializes it with concurrent writes.
+  Status Populate(uint64_t key, StorageServer* server, CacheNodeId copy);
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+ private:
+  // One protocol round over all copies; `phase1` selects invalidate vs update.
+  // Returns the number of copies successfully touched.
+  size_t Walk(uint64_t key, const std::vector<CacheNodeId>& copies, bool phase1,
+              const std::string& value);
+
+  SwitchResolver resolver_;
+  Config config_;
+  Stats stats_;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_CORE_COHERENCE_H_

@@ -1,0 +1,70 @@
+// Consistent hashing ring with virtual nodes (Karger et al. [24], Dabek et al. [25]).
+// Used by the controller's failure handling (§4.4): the partitions of a failed cache
+// switch are spread across the remaining switches instead of dogpiling one.
+#ifndef DISTCACHE_CORE_CONSISTENT_HASH_H_
+#define DISTCACHE_CORE_CONSISTENT_HASH_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace distcache {
+
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(uint32_t virtual_nodes = 64, uint64_t seed = 0xc0a51f)
+      : virtual_nodes_(virtual_nodes), seed_(seed) {}
+
+  void AddNode(uint32_t node) {
+    if (!members_.insert(node).second) {
+      return;
+    }
+    for (uint32_t v = 0; v < virtual_nodes_; ++v) {
+      ring_.emplace(PointFor(node, v), node);
+    }
+  }
+
+  void RemoveNode(uint32_t node) {
+    if (members_.erase(node) == 0) {
+      return;
+    }
+    for (uint32_t v = 0; v < virtual_nodes_; ++v) {
+      auto range = ring_.equal_range(PointFor(node, v));
+      for (auto it = range.first; it != range.second;) {
+        it = it->second == node ? ring_.erase(it) : std::next(it);
+      }
+    }
+  }
+
+  bool Contains(uint32_t node) const { return members_.contains(node); }
+  size_t size() const { return members_.size(); }
+
+  // Owner of `key`: the first ring point clockwise from hash(key).
+  std::optional<uint32_t> NodeFor(uint64_t key) const {
+    if (ring_.empty()) {
+      return std::nullopt;
+    }
+    auto it = ring_.lower_bound(Mix64(key ^ seed_));
+    if (it == ring_.end()) {
+      it = ring_.begin();
+    }
+    return it->second;
+  }
+
+ private:
+  uint64_t PointFor(uint32_t node, uint32_t vnode) const {
+    return Mix64(HashCombine(seed_, (uint64_t{node} << 32) | vnode));
+  }
+
+  uint32_t virtual_nodes_;
+  uint64_t seed_;
+  std::map<uint64_t, uint32_t> ring_;
+  std::unordered_set<uint32_t> members_;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_CORE_CONSISTENT_HASH_H_

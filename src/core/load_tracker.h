@@ -1,0 +1,89 @@
+// Client-ToR cache-load table fed by in-network telemetry (§4.2).
+//
+// Cache switches piggyback their epoch load in reply headers; the client ToR stores
+// the latest value per cache switch in on-chip registers (256 × 32-bit in the
+// prototype). Loads can go stale when a switch stops seeing traffic; the paper
+// proposes an aging mechanism that gradually decays un-refreshed loads toward zero
+// (not implementable in P4 at the time — we implement it and ablate it).
+#ifndef DISTCACHE_CORE_LOAD_TRACKER_H_
+#define DISTCACHE_CORE_LOAD_TRACKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace distcache {
+
+class LoadTracker {
+ public:
+  struct Config {
+    uint32_t num_spine = 32;
+    uint32_t num_leaf = 32;
+    // Multiplier applied per Age() call to entries not refreshed since the last
+    // Age(); 1.0 disables aging (the prototype's behaviour).
+    double aging_factor = 0.5;
+  };
+
+  explicit LoadTracker(const Config& config)
+      : config_(config),
+        spine_loads_(config.num_spine, 0.0),
+        leaf_loads_(config.num_leaf, 0.0),
+        spine_fresh_(config.num_spine, false),
+        leaf_fresh_(config.num_leaf, false) {}
+
+  // Telemetry arrival: reply traversed `node` which reported `load`.
+  void Update(CacheNodeId node, uint64_t load) {
+    if (node.layer == 0 && node.index < config_.num_spine) {
+      spine_loads_[node.index] = static_cast<double>(load);
+      spine_fresh_[node.index] = true;
+    } else if (node.layer == 1 && node.index < config_.num_leaf) {
+      leaf_loads_[node.index] = static_cast<double>(load);
+      leaf_fresh_[node.index] = true;
+    }
+  }
+
+  double Load(CacheNodeId node) const {
+    return node.layer == 0 ? spine_loads_[node.index] : leaf_loads_[node.index];
+  }
+
+  // Epoch boundary: decay entries that saw no telemetry this epoch (aging, §4.2), and
+  // clear freshness marks.
+  void Age() {
+    for (uint32_t i = 0; i < config_.num_spine; ++i) {
+      if (!spine_fresh_[i]) {
+        spine_loads_[i] *= config_.aging_factor;
+      }
+      spine_fresh_[i] = false;
+    }
+    for (uint32_t i = 0; i < config_.num_leaf; ++i) {
+      if (!leaf_fresh_[i]) {
+        leaf_loads_[i] *= config_.aging_factor;
+      }
+      leaf_fresh_[i] = false;
+    }
+  }
+
+  // ToR switch replacement (§4.4): a new client ToR "initializes the loads of all
+  // cache switches to be zero" and relearns from telemetry.
+  void Reset() {
+    spine_loads_.assign(config_.num_spine, 0.0);
+    leaf_loads_.assign(config_.num_leaf, 0.0);
+    spine_fresh_.assign(config_.num_spine, false);
+    leaf_fresh_.assign(config_.num_leaf, false);
+  }
+
+  const std::vector<double>& spine_loads() const { return spine_loads_; }
+  const std::vector<double>& leaf_loads() const { return leaf_loads_; }
+
+ private:
+  Config config_;
+  std::vector<double> spine_loads_;
+  std::vector<double> leaf_loads_;
+  std::vector<bool> spine_fresh_;
+  std::vector<bool> leaf_fresh_;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_CORE_LOAD_TRACKER_H_

@@ -1,0 +1,42 @@
+// The four mechanisms compared in the paper's evaluation (§6.1).
+#ifndef DISTCACHE_CORE_MECHANISM_H_
+#define DISTCACHE_CORE_MECHANISM_H_
+
+#include <string>
+
+namespace distcache {
+
+enum class Mechanism {
+  // No caching anywhere; every query goes to the primary storage server.
+  kNoCache,
+  // "Performs the same as only using NetCache for each rack (i.e., only caching in
+  // the ToR switches)" (§6.1): each storage rack's leaf switch caches the hottest
+  // objects of its own rack; there is no spine-layer cache.
+  kCachePartition,
+  // Leaf caching per rack plus the globally hottest objects replicated in *every*
+  // spine switch; reads spread uniformly over the spine replicas; writes to a cached
+  // object must update all replicas via the two-phase protocol (§2.2).
+  kCacheReplication,
+  // The paper's contribution: leaf caching per rack (hash h1 = storage placement) and
+  // a spine-layer partition by the independent hash h0, with power-of-two-choices
+  // query routing between the two copies (§3).
+  kDistCache,
+};
+
+inline std::string MechanismName(Mechanism m) {
+  switch (m) {
+    case Mechanism::kNoCache:
+      return "NoCache";
+    case Mechanism::kCachePartition:
+      return "CachePartition";
+    case Mechanism::kCacheReplication:
+      return "CacheReplication";
+    case Mechanism::kDistCache:
+      return "DistCache";
+  }
+  return "?";
+}
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_CORE_MECHANISM_H_

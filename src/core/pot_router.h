@@ -1,0 +1,79 @@
+// Power-of-two-choices query routing (§3.1, §4.2), generalized to power-of-k for
+// multi-layer hierarchies (§3.1 "Query routing uses the power-of-k-choices for k
+// layers").
+//
+// Unlike the classic balls-and-bins process, the two candidate nodes for a key are
+// *fixed* by the hash functions (every query to the same object sees the same two
+// nodes); the router picks the currently-less-loaded one from the telemetry table.
+// The paper shows this fixed-choices variant is a "life-or-death" improvement: with a
+// single hash the system is non-stationary (Lemma 3).
+#ifndef DISTCACHE_CORE_POT_ROUTER_H_
+#define DISTCACHE_CORE_POT_ROUTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "core/load_tracker.h"
+#include "net/topology.h"
+
+namespace distcache {
+
+enum class RoutingPolicy {
+  kPowerOfTwo,   // least-loaded of the candidate nodes (ties broken randomly)
+  kRandom,       // uniformly random candidate — ablation baseline
+  kFirstChoice,  // always the first (spine) candidate — degenerate baseline
+};
+
+class PotRouter {
+ public:
+  PotRouter(const LoadTracker* tracker, RoutingPolicy policy, uint64_t seed)
+      : tracker_(tracker), policy_(policy), rng_(seed) {}
+
+  // Picks one of `candidates` (the cache nodes holding a copy of the queried key;
+  // size 2 for the standard two-layer deployment, k for k layers, possibly 1 when a
+  // copy is missing). Returns the index into `candidates`.
+  size_t Choose(const std::vector<CacheNodeId>& candidates) {
+    if (candidates.size() <= 1) {
+      return 0;
+    }
+    switch (policy_) {
+      case RoutingPolicy::kFirstChoice:
+        return 0;
+      case RoutingPolicy::kRandom:
+        return static_cast<size_t>(rng_.NextBounded(candidates.size()));
+      case RoutingPolicy::kPowerOfTwo:
+        break;
+    }
+    size_t best = 0;
+    double best_load = tracker_->Load(candidates[0]);
+    size_t ties = 1;
+    for (size_t i = 1; i < candidates.size(); ++i) {
+      const double load = tracker_->Load(candidates[i]);
+      if (load < best_load) {
+        best = i;
+        best_load = load;
+        ties = 1;
+      } else if (load == best_load) {
+        // Reservoir-style uniform tie break among equally loaded candidates.
+        ++ties;
+        if (rng_.NextBounded(ties) == 0) {
+          best = i;
+        }
+      }
+    }
+    return best;
+  }
+
+  RoutingPolicy policy() const { return policy_; }
+
+ private:
+  const LoadTracker* tracker_;
+  RoutingPolicy policy_;
+  Rng rng_;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_CORE_POT_ROUTER_H_

@@ -1,0 +1,32 @@
+#include "dataplane/pipeline.h"
+
+namespace distcache {
+
+PipelineResources Pipeline::Resources() const {
+  PipelineResources res;
+  for (const auto& stage : stages_) {
+    bool used = false;
+    size_t register_bits = 0;
+    for (const auto& table : stage->tables()) {
+      res.match_entries += static_cast<uint32_t>(table->max_entries());
+      ++res.action_slots;  // default action slot per table
+      used = true;
+    }
+    for (const auto& reg : stage->registers()) {
+      register_bits += reg->memory_bits();
+      ++res.action_slots;  // register access ALU slot
+      used = true;
+    }
+    res.action_slots += static_cast<uint32_t>(stage->num_hooks());
+    used |= stage->num_hooks() > 0;
+    res.hash_bits += stage->hash_bits();
+    res.sram_blocks += static_cast<uint32_t>((register_bits / 8 + 16 * 1024 - 1) /
+                                             (16 * 1024));
+    if (used) {
+      ++res.stages_used;
+    }
+  }
+  return res;
+}
+
+}  // namespace distcache

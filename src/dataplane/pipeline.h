@@ -1,0 +1,231 @@
+// A PISA-style (Protocol Independent Switch Architecture) match-action pipeline model
+// — the substrate the paper's P4 programs run on (§5: "we can define the packet
+// formats and packet processing behaviors by a series of match-action tables. These
+// tables are allocated to different processing stages in a forwarding pipeline").
+//
+// The model captures what matters for DistCache:
+//   * a fixed sequence of stages; a packet traverses them in order, once (no loops);
+//   * per-stage match-action tables (exact match on a packet field, bounded entries);
+//   * per-stage register arrays (bounded width and count) readable/writable by at
+//     most one indexed access per stage — the constraint that forces NetCache-style
+//     value stores to spread a 128-byte value across 8 stages;
+//   * actions as small functions over a packet context (header fields + metadata).
+//
+// The pipeline also *accounts* for the resources every table/register consumes, so a
+// program's footprint (Table 1) is derived from the program itself rather than
+// asserted; see PipelineResources.
+#ifndef DISTCACHE_DATAPLANE_PIPELINE_H_
+#define DISTCACHE_DATAPLANE_PIPELINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace distcache {
+
+// The packet as the pipeline sees it: parsed header fields plus per-packet metadata
+// carried between stages.
+struct PacketContext {
+  std::unordered_map<std::string, uint64_t> fields;
+  bool dropped = false;
+
+  uint64_t Get(const std::string& name) const {
+    const auto it = fields.find(name);
+    return it == fields.end() ? 0 : it->second;
+  }
+  void Set(const std::string& name, uint64_t value) { fields[name] = value; }
+  bool Has(const std::string& name) const { return fields.contains(name); }
+};
+
+// A register array: stateful per-stage memory (the P4 `register` extern).
+class RegisterArray {
+ public:
+  RegisterArray(std::string name, size_t size, size_t bit_width)
+      : name_(std::move(name)), bits_(bit_width), cells_(size, 0) {}
+
+  uint64_t Read(size_t index) const { return index < cells_.size() ? cells_[index] : 0; }
+
+  void Write(size_t index, uint64_t value) {
+    if (index < cells_.size()) {
+      cells_[index] = value & Mask();
+    }
+  }
+
+  // Read-modify-write, the canonical data-plane register op (saturating add).
+  uint64_t AddSaturating(size_t index, uint64_t delta) {
+    if (index >= cells_.size()) {
+      return 0;
+    }
+    const uint64_t max = Mask();
+    cells_[index] = cells_[index] + delta >= max ? max : cells_[index] + delta;
+    return cells_[index];
+  }
+
+  void Reset() { cells_.assign(cells_.size(), 0); }
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return cells_.size(); }
+  size_t bit_width() const { return bits_; }
+  size_t memory_bits() const { return cells_.size() * bits_; }
+
+ private:
+  uint64_t Mask() const {
+    return bits_ >= 64 ? ~uint64_t{0} : (uint64_t{1} << bits_) - 1;
+  }
+
+  std::string name_;
+  size_t bits_;
+  std::vector<uint64_t> cells_;
+};
+
+// An exact-match match-action table over one packet field.
+class MatchActionTable {
+ public:
+  using Action = std::function<void(PacketContext&)>;
+
+  MatchActionTable(std::string name, std::string match_field, size_t max_entries)
+      : name_(std::move(name)), match_field_(std::move(match_field)),
+        max_entries_(max_entries) {}
+
+  Status AddEntry(uint64_t match_value, Action action) {
+    if (entries_.size() >= max_entries_ && !entries_.contains(match_value)) {
+      return Status::ResourceExhausted("table " + name_ + " full");
+    }
+    entries_[match_value] = std::move(action);
+    return Status::Ok();
+  }
+
+  Status RemoveEntry(uint64_t match_value) {
+    return entries_.erase(match_value) > 0 ? Status::Ok() : Status::NotFound();
+  }
+
+  void SetDefaultAction(Action action) { default_action_ = std::move(action); }
+
+  // Applies the table to the packet: the matching entry's action, else the default.
+  void Apply(PacketContext& packet) const {
+    const auto it = entries_.find(packet.Get(match_field_));
+    if (it != entries_.end()) {
+      it->second(packet);
+    } else if (default_action_) {
+      default_action_(packet);
+    }
+  }
+
+  const std::string& name() const { return name_; }
+  size_t num_entries() const { return entries_.size(); }
+  size_t max_entries() const { return max_entries_; }
+
+ private:
+  std::string name_;
+  std::string match_field_;
+  size_t max_entries_;
+  std::unordered_map<uint64_t, Action> entries_;
+  Action default_action_;
+};
+
+// Aggregate resource footprint of a pipeline program (Table 1 quantities).
+struct PipelineResources {
+  uint32_t stages_used = 0;
+  uint32_t match_entries = 0;   // max entries provisioned across tables
+  uint32_t hash_bits = 0;       // declared via Stage::DeclareHashBits
+  uint32_t sram_blocks = 0;     // register memory in 16 KB blocks
+  uint32_t action_slots = 0;    // registered actions
+};
+
+// One pipeline stage: tables applied in order, then stage hooks; owns its registers.
+class Stage {
+ public:
+  explicit Stage(std::string name) : name_(std::move(name)) {}
+
+  MatchActionTable* AddTable(std::string table_name, std::string match_field,
+                             size_t max_entries) {
+    tables_.push_back(std::make_unique<MatchActionTable>(
+        std::move(table_name), std::move(match_field), max_entries));
+    return tables_.back().get();
+  }
+
+  RegisterArray* AddRegisterArray(std::string reg_name, size_t size, size_t bit_width) {
+    registers_.push_back(
+        std::make_unique<RegisterArray>(std::move(reg_name), size, bit_width));
+    return registers_.back().get();
+  }
+
+  // A fixed-function hook run after the tables (models ALU/hash units configured by
+  // the program; counted as action slots).
+  void AddHook(std::function<void(PacketContext&)> hook) {
+    hooks_.push_back(std::move(hook));
+  }
+
+  // Hash units consumed by this stage's lookups (for resource accounting).
+  void DeclareHashBits(uint32_t bits) { hash_bits_ += bits; }
+
+  void Apply(PacketContext& packet) const {
+    for (const auto& table : tables_) {
+      table->Apply(packet);
+      if (packet.dropped) {
+        return;
+      }
+    }
+    for (const auto& hook : hooks_) {
+      hook(packet);
+      if (packet.dropped) {
+        return;
+      }
+    }
+  }
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::unique_ptr<MatchActionTable>>& tables() const { return tables_; }
+  const std::vector<std::unique_ptr<RegisterArray>>& registers() const {
+    return registers_;
+  }
+  size_t num_hooks() const { return hooks_.size(); }
+  uint32_t hash_bits() const { return hash_bits_; }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<MatchActionTable>> tables_;
+  std::vector<std::unique_ptr<RegisterArray>> registers_;
+  std::vector<std::function<void(PacketContext&)>> hooks_;
+  uint32_t hash_bits_ = 0;
+};
+
+// The pipeline: an ordered list of stages with single-pass execution.
+class Pipeline {
+ public:
+  explicit Pipeline(size_t num_stages) {
+    stages_.reserve(num_stages);
+    for (size_t i = 0; i < num_stages; ++i) {
+      stages_.push_back(std::make_unique<Stage>("stage" + std::to_string(i)));
+    }
+  }
+
+  Stage& stage(size_t index) { return *stages_[index]; }
+  const Stage& stage(size_t index) const { return *stages_[index]; }
+  size_t num_stages() const { return stages_.size(); }
+
+  // Processes one packet through all stages (or until dropped).
+  void Process(PacketContext& packet) const {
+    for (const auto& stage : stages_) {
+      stage->Apply(packet);
+      if (packet.dropped) {
+        return;
+      }
+    }
+  }
+
+  // Resource accounting derived from the program itself.
+  PipelineResources Resources() const;
+
+ private:
+  std::vector<std::unique_ptr<Stage>> stages_;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_DATAPLANE_PIPELINE_H_

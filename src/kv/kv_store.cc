@@ -1,0 +1,136 @@
+#include "kv/kv_store.h"
+
+#include <bit>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace distcache {
+namespace {
+
+constexpr double kMaxLoadFactor = 0.7;
+
+size_t RoundUpPow2(size_t n) { return std::bit_ceil(n < 8 ? size_t{8} : n); }
+
+}  // namespace
+
+KvStore::KvStore(size_t initial_capacity) : slots_(RoundUpPow2(initial_capacity)) {}
+
+size_t KvStore::IndexFor(uint64_t key) const { return Mix64(key) & Mask(); }
+
+Status KvStore::Put(uint64_t key, std::string value) {
+  if (value.size() > kMaxValueSize) {
+    return Status::InvalidArgument("value exceeds 128-byte limit");
+  }
+  if (static_cast<double>(size_ + 1) >
+      kMaxLoadFactor * static_cast<double>(slots_.size())) {
+    Grow();
+  }
+  uint64_t k = key;
+  std::string v = std::move(value);
+  uint8_t distance = 0;
+  size_t idx = IndexFor(k);
+  while (true) {
+    Slot& slot = slots_[idx];
+    if (!slot.occupied()) {
+      slot.key = k;
+      slot.value = std::move(v);
+      slot.distance = distance;
+      ++size_;
+      return Status::Ok();
+    }
+    if (slot.key == k && slot.distance != Slot::kEmpty) {
+      // Only a true match at an equal-or-less probe chain is a real hit; with robin
+      // hood ordering a match can be identified directly by key comparison.
+      slot.value = std::move(v);
+      return Status::Ok();
+    }
+    if (slot.distance < distance) {
+      // Robin hood: steal from the rich (shorter-probed) resident.
+      std::swap(slot.key, k);
+      std::swap(slot.value, v);
+      std::swap(slot.distance, distance);
+    }
+    idx = (idx + 1) & Mask();
+    ++distance;
+    if (distance >= Slot::kEmpty) {
+      // Pathological chain; force growth and retry.
+      Grow();
+      return Put(k, std::move(v));
+    }
+  }
+}
+
+const KvStore::Slot* KvStore::FindSlot(uint64_t key) const {
+  size_t idx = IndexFor(key);
+  uint8_t distance = 0;
+  while (true) {
+    const Slot& slot = slots_[idx];
+    if (!slot.occupied() || slot.distance < distance) {
+      return nullptr;  // robin-hood early termination
+    }
+    if (slot.key == key) {
+      return &slot;
+    }
+    idx = (idx + 1) & Mask();
+    ++distance;
+  }
+}
+
+StatusOr<std::string> KvStore::Get(uint64_t key) const {
+  const Slot* slot = FindSlot(key);
+  if (slot == nullptr) {
+    return Status::NotFound();
+  }
+  return slot->value;
+}
+
+bool KvStore::Contains(uint64_t key) const { return FindSlot(key) != nullptr; }
+
+Status KvStore::Delete(uint64_t key) {
+  const Slot* found = FindSlot(key);
+  if (found == nullptr) {
+    return Status::NotFound();
+  }
+  size_t idx = static_cast<size_t>(found - slots_.data());
+  // Backward-shift deletion keeps probe distances tight without tombstones.
+  while (true) {
+    size_t next = (idx + 1) & Mask();
+    Slot& cur = slots_[idx];
+    Slot& nxt = slots_[next];
+    if (!nxt.occupied() || nxt.distance == 0) {
+      cur = Slot{};
+      break;
+    }
+    cur.key = nxt.key;
+    cur.value = std::move(nxt.value);
+    cur.distance = static_cast<uint8_t>(nxt.distance - 1);
+    idx = next;
+  }
+  --size_;
+  return Status::Ok();
+}
+
+std::vector<uint64_t> KvStore::Keys() const {
+  std::vector<uint64_t> keys;
+  keys.reserve(size_);
+  for (const Slot& slot : slots_) {
+    if (slot.occupied()) {
+      keys.push_back(slot.key);
+    }
+  }
+  return keys;
+}
+
+void KvStore::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  size_ = 0;
+  for (Slot& slot : old) {
+    if (slot.occupied()) {
+      Put(slot.key, std::move(slot.value)).ok();
+    }
+  }
+}
+
+}  // namespace distcache

@@ -1,0 +1,65 @@
+// In-memory key-value store — the storage-engine substrate (the paper integrates with
+// Redis through a shim; this robin-hood open-addressing table is our Redis stand-in,
+// exercised through the same Get/Put/Delete paths).
+//
+// Keys are 64-bit (the paper's 16-byte keys hash to fixed-width lookups in the switch
+// anyway); values are variable-length byte strings up to kMaxValueSize, matching the
+// prototype's 128-byte cap (§5).
+#ifndef DISTCACHE_KV_KV_STORE_H_
+#define DISTCACHE_KV_KV_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace distcache {
+
+class KvStore {
+ public:
+  static constexpr size_t kMaxValueSize = 128;  // paper §5: values up to 128 bytes
+
+  explicit KvStore(size_t initial_capacity = 64);
+
+  // Inserts or overwrites. Fails with kInvalidArgument if the value exceeds
+  // kMaxValueSize.
+  Status Put(uint64_t key, std::string value);
+
+  // Returns the value or kNotFound.
+  StatusOr<std::string> Get(uint64_t key) const;
+
+  // Removes the key; kNotFound if absent.
+  Status Delete(uint64_t key);
+
+  bool Contains(uint64_t key) const;
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // All live keys (test/inspection helper; O(capacity)).
+  std::vector<uint64_t> Keys() const;
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    std::string value;
+    uint8_t distance = kEmpty;  // robin-hood probe distance; kEmpty marks a free slot
+
+    static constexpr uint8_t kEmpty = 0xff;
+    bool occupied() const { return distance != kEmpty; }
+  };
+
+  size_t Mask() const { return slots_.size() - 1; }
+  size_t IndexFor(uint64_t key) const;
+  void Grow();
+  const Slot* FindSlot(uint64_t key) const;
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_KV_KV_STORE_H_

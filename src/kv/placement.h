@@ -1,0 +1,43 @@
+// Key placement: which rack and which server within the rack owns a key's primary
+// copy. The paper's storage clusters are "randomly partitioned" (Fan et al. [9]); we
+// realize that with a placement hash independent of the cache-layer hashes h0/h1.
+#ifndef DISTCACHE_KV_PLACEMENT_H_
+#define DISTCACHE_KV_PLACEMENT_H_
+
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace distcache {
+
+class Placement {
+ public:
+  Placement(uint32_t num_racks, uint32_t servers_per_rack, uint64_t seed = 0x91aceULL)
+      : num_racks_(num_racks), servers_per_rack_(servers_per_rack), seed_(seed) {}
+
+  uint32_t RackOf(uint64_t key) const {
+    return static_cast<uint32_t>(Mix64(key ^ seed_) % num_racks_);
+  }
+
+  uint32_t ServerInRack(uint64_t key) const {
+    return static_cast<uint32_t>(Mix64(Mix64(key ^ seed_) + 1) % servers_per_rack_);
+  }
+
+  // Global server id in [0, num_racks * servers_per_rack).
+  uint32_t ServerOf(uint64_t key) const {
+    return RackOf(key) * servers_per_rack_ + ServerInRack(key);
+  }
+
+  uint32_t num_racks() const { return num_racks_; }
+  uint32_t servers_per_rack() const { return servers_per_rack_; }
+  uint32_t num_servers() const { return num_racks_ * servers_per_rack_; }
+
+ private:
+  uint32_t num_racks_;
+  uint32_t servers_per_rack_;
+  uint64_t seed_;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_KV_PLACEMENT_H_

@@ -1,0 +1,71 @@
+// Storage-server model: one KV engine plus the accounting the evaluation needs
+// (service capacity, per-epoch load counters, write-path cost for cache coherence).
+//
+// §6.1: every storage server is rate-limited to the same capacity ("we allocate the
+// 1 MQPS throughput to the emulated storage servers equally") and throughput is
+// normalized to one server; we adopt capacity 1.0 units/s per server.
+#ifndef DISTCACHE_KV_STORAGE_SERVER_H_
+#define DISTCACHE_KV_STORAGE_SERVER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "kv/kv_store.h"
+
+namespace distcache {
+
+class StorageServer {
+ public:
+  struct Config {
+    uint32_t server_id = 0;
+    double capacity = 1.0;  // service units per second (normalized)
+  };
+
+  explicit StorageServer(const Config& config) : config_(config) {}
+
+  // Read path (cache miss): serves the primary copy.
+  StatusOr<std::string> Get(uint64_t key) {
+    load_ += 1.0;
+    return store_.Get(key);
+  }
+
+  // Write path. `coherence_copies` is the number of cached copies that must run the
+  // two-phase update protocol; each costs `coherence_unit_cost` extra service units at
+  // this server (invalidation round + update round are server work, §4.3/§6.3).
+  Status Put(uint64_t key, std::string value, size_t coherence_copies = 0,
+             double coherence_unit_cost = 1.0) {
+    load_ += 1.0 + coherence_unit_cost * static_cast<double>(coherence_copies);
+    return store_.Put(key, std::move(value));
+  }
+
+  Status Delete(uint64_t key) {
+    load_ += 1.0;
+    return store_.Delete(key);
+  }
+
+  // Loads a value without charging service capacity (bulk population / recovery).
+  Status Seed(uint64_t key, std::string value) { return store_.Put(key, std::move(value)); }
+
+  bool Contains(uint64_t key) const { return store_.Contains(key); }
+
+  uint32_t id() const { return config_.server_id; }
+  double capacity() const { return config_.capacity; }
+  size_t num_objects() const { return store_.size(); }
+
+  // Epoch load accounting (reset each measurement window).
+  double load() const { return load_; }
+  void ResetLoad() { load_ = 0.0; }
+  double utilization() const { return config_.capacity > 0 ? load_ / config_.capacity : 0.0; }
+
+  const KvStore& store() const { return store_; }
+
+ private:
+  Config config_;
+  KvStore store_;
+  double load_ = 0.0;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_KV_STORAGE_SERVER_H_

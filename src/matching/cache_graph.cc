@@ -1,0 +1,142 @@
+#include "matching/cache_graph.h"
+
+#include <cassert>
+#include <numeric>
+#include <unordered_map>
+
+#include "matching/max_flow.h"
+
+namespace distcache {
+
+CacheGraph::CacheGraph(size_t num_objects, size_t upper_nodes, size_t lower_nodes,
+                       uint64_t seed, bool single_hash)
+    : num_objects_(num_objects),
+      upper_nodes_(single_hash ? 0 : upper_nodes),
+      lower_nodes_(lower_nodes),
+      single_hash_(single_hash) {
+  HashFamily family(2, seed);
+  a_of_.resize(num_objects_);
+  b_of_.resize(num_objects_);
+  for (uint64_t i = 0; i < num_objects_; ++i) {
+    if (!single_hash_) {
+      a_of_[i] = family.Bucket(0, i, upper_nodes_);
+    }
+    b_of_[i] = family.Bucket(1, i, lower_nodes_);
+  }
+}
+
+bool CacheGraph::FeasibleMatching(const std::vector<double>& rates,
+                                  double node_capacity) const {
+  assert(rates.size() == num_objects_);
+  const size_t nodes = num_cache_nodes();
+  // Node ids in the flow network: 0 = source, 1..k = objects,
+  // k+1 .. k+nodes = cache nodes, k+nodes+1 = sink.
+  const size_t source = 0;
+  const size_t sink = num_objects_ + nodes + 1;
+  MaxFlow flow(sink + 1);
+  double demand = 0.0;
+  for (size_t i = 0; i < num_objects_; ++i) {
+    flow.AddEdge(source, 1 + i, rates[i]);
+    demand += rates[i];
+    if (!single_hash_) {
+      flow.AddEdge(1 + i, 1 + num_objects_ + a_of_[i], rates[i]);
+    }
+    flow.AddEdge(1 + i, 1 + num_objects_ + LowerNodeOf(i), rates[i]);
+  }
+  for (size_t v = 0; v < nodes; ++v) {
+    flow.AddEdge(1 + num_objects_ + v, sink, node_capacity);
+  }
+  const double max_flow = flow.Solve(source, sink);
+  return max_flow >= demand * (1.0 - 1e-9) - 1e-9;
+}
+
+double CacheGraph::MaxSupportedRate(const std::vector<double>& pmf, double node_capacity,
+                                    double tolerance) const {
+  assert(pmf.size() == num_objects_);
+  const double mass = std::accumulate(pmf.begin(), pmf.end(), 0.0);
+  if (mass <= 0.0) {
+    return 0.0;
+  }
+  // Upper bound: total cache capacity. Lower bound: zero.
+  double lo = 0.0;
+  double hi = node_capacity * static_cast<double>(num_cache_nodes());
+  std::vector<double> rates(num_objects_);
+  const auto feasible = [&](double total_rate) {
+    for (size_t i = 0; i < num_objects_; ++i) {
+      rates[i] = total_rate * pmf[i] / mass;
+    }
+    return FeasibleMatching(rates, node_capacity);
+  };
+  if (feasible(hi)) {
+    return hi;
+  }
+  while (hi - lo > tolerance * hi) {
+    const double mid = 0.5 * (lo + hi);
+    if (feasible(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+bool CacheGraph::HasExpansionProperty() const {
+  assert(num_objects_ <= 20 && "exhaustive expansion check limited to 20 objects");
+  assert(num_cache_nodes() <= 64);
+  std::vector<uint64_t> mask(num_objects_);
+  for (size_t i = 0; i < num_objects_; ++i) {
+    uint64_t m = uint64_t{1} << LowerNodeOf(i);
+    if (!single_hash_) {
+      m |= uint64_t{1} << a_of_[i];
+    }
+    mask[i] = m;
+  }
+  const size_t subsets = size_t{1} << num_objects_;
+  // neighbors[S] built incrementally: Γ(S) = Γ(S \ lowbit) ∪ Γ(lowbit).
+  std::vector<uint64_t> neighbors(subsets, 0);
+  for (size_t s = 1; s < subsets; ++s) {
+    const size_t low = s & (~s + 1);
+    const size_t low_idx = static_cast<size_t>(std::countr_zero(low));
+    neighbors[s] = neighbors[s ^ low] | mask[low_idx];
+    if (static_cast<size_t>(std::popcount(neighbors[s])) <
+        static_cast<size_t>(std::popcount(s))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double CacheGraph::RhoMax(const std::vector<double>& rates, double node_capacity) const {
+  assert(rates.size() == num_objects_);
+  assert(num_cache_nodes() <= 24 && "exhaustive rho_max limited to 24 cache nodes");
+  // Aggregate object rates by their choice-set mask D(i) = {a_{h0(i)}, b_{h1(i)}};
+  // there are at most upper*lower distinct masks regardless of k.
+  std::unordered_map<uint64_t, double> lambda_by_mask;
+  for (size_t i = 0; i < num_objects_; ++i) {
+    uint64_t m = uint64_t{1} << LowerNodeOf(i);
+    if (!single_hash_) {
+      m |= uint64_t{1} << a_of_[i];
+    }
+    lambda_by_mask[m] += rates[i];
+  }
+  const size_t nodes = num_cache_nodes();
+  const uint64_t subsets = uint64_t{1} << nodes;
+  double rho_max = 0.0;
+  for (uint64_t q = 1; q < subsets; ++q) {
+    double arrivals = 0.0;
+    for (const auto& [mask, lambda] : lambda_by_mask) {
+      if ((mask & ~q) == 0) {
+        arrivals += lambda;  // every choice of these objects lies inside Q
+      }
+    }
+    if (arrivals <= 0.0) {
+      continue;
+    }
+    const double mu = node_capacity * static_cast<double>(std::popcount(q));
+    rho_max = std::max(rho_max, arrivals / mu);
+  }
+  return rho_max;
+}
+
+}  // namespace distcache

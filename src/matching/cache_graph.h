@@ -1,0 +1,72 @@
+// The bipartite object→cache-node graph of the paper's analysis (§3.2, appendix A):
+// U = k hot objects, V = cache nodes in groups A (upper/spine layer) and B
+// (lower/leaf layer); object i has edges to a_{h0(i)} and b_{h1(i)}.
+//
+// Provides:
+//  * fractional perfect-matching feasibility (Definition 1) via max-flow, i.e., can
+//    the cache layers absorb query rates {r_i} without overloading any node;
+//  * the largest supportable total rate R* (binary search over feasibility);
+//  * the expansion property |Γ(S)| ≥ |S| (Definition 3), exhaustively for small k;
+//  * the traffic intensity ρ_max of the PoT queueing process (Theorem 3 condition),
+//    exhaustively for small node counts.
+#ifndef DISTCACHE_MATCHING_CACHE_GRAPH_H_
+#define DISTCACHE_MATCHING_CACHE_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace distcache {
+
+class CacheGraph {
+ public:
+  // Builds the graph for objects {0..num_objects-1} hashed into `upper_nodes` group-A
+  // nodes with h0 and `lower_nodes` group-B nodes with h1 (independent functions
+  // derived from `seed`). When `single_hash` is true, group A is not used and both
+  // "choices" collapse to the one node b_{h1(i)} — the Lemma 3 strawman.
+  CacheGraph(size_t num_objects, size_t upper_nodes, size_t lower_nodes, uint64_t seed,
+             bool single_hash = false);
+
+  size_t num_objects() const { return num_objects_; }
+  size_t upper_nodes() const { return upper_nodes_; }
+  size_t lower_nodes() const { return lower_nodes_; }
+  size_t num_cache_nodes() const { return upper_nodes_ + lower_nodes_; }
+
+  // Group-A node of object i (undefined when single_hash). Node ids are
+  // 0..upper_nodes-1 for A, upper_nodes..upper_nodes+lower_nodes-1 for B.
+  size_t UpperNodeOf(uint64_t object) const { return a_of_[object]; }
+  size_t LowerNodeOf(uint64_t object) const { return upper_nodes_ + b_of_[object]; }
+  bool single_hash() const { return single_hash_; }
+
+  // Definition 1 feasibility: can rates[i] (i < num_objects) be fully served with
+  // every cache node's load ≤ node_capacity? Exact via max-flow.
+  bool FeasibleMatching(const std::vector<double>& rates, double node_capacity) const;
+
+  // Largest total rate R such that rates proportional to `pmf` are feasible, found by
+  // binary search; `tolerance` is relative.
+  double MaxSupportedRate(const std::vector<double>& pmf, double node_capacity,
+                          double tolerance = 1e-3) const;
+
+  // Definition 3: |Γ(S)| ≥ |S| for every non-empty S ⊆ U. Exhaustive (2^k subsets);
+  // requires num_objects ≤ 24.
+  bool HasExpansionProperty() const;
+
+  // ρ_max of the PoT arrival process (appendix A.3): max over node subsets Q of
+  // (total rate of objects whose both choices lie in Q) / (capacity of Q).
+  // Exhaustive (2^(num nodes) subsets); requires num_cache_nodes() ≤ 24.
+  double RhoMax(const std::vector<double>& rates, double node_capacity) const;
+
+ private:
+  size_t num_objects_;
+  size_t upper_nodes_;
+  size_t lower_nodes_;
+  bool single_hash_;
+  std::vector<size_t> a_of_;
+  std::vector<size_t> b_of_;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_MATCHING_CACHE_GRAPH_H_

@@ -1,0 +1,96 @@
+#include "matching/hierarchy.h"
+
+#include <cassert>
+#include <numeric>
+
+#include "matching/max_flow.h"
+
+namespace distcache {
+
+HierarchicalCacheGraph::HierarchicalCacheGraph(size_t num_objects,
+                                               std::vector<size_t> layer_sizes,
+                                               uint64_t seed)
+    : num_objects_(num_objects), layer_sizes_(std::move(layer_sizes)) {
+  assert(!layer_sizes_.empty());
+  layer_offsets_.resize(layer_sizes_.size());
+  size_t offset = 0;
+  for (size_t l = 0; l < layer_sizes_.size(); ++l) {
+    layer_offsets_[l] = offset;
+    offset += layer_sizes_[l];
+  }
+  total_nodes_ = offset;
+
+  HashFamily family(layer_sizes_.size(), seed);
+  choice_.resize(num_objects_ * layer_sizes_.size());
+  for (uint64_t i = 0; i < num_objects_; ++i) {
+    for (size_t l = 0; l < layer_sizes_.size(); ++l) {
+      choice_[i * layer_sizes_.size() + l] =
+          static_cast<uint32_t>(family.Bucket(l, i, layer_sizes_[l]));
+    }
+  }
+}
+
+std::vector<size_t> HierarchicalCacheGraph::ChoicesOf(uint64_t object) const {
+  std::vector<size_t> choices(num_layers());
+  for (size_t l = 0; l < num_layers(); ++l) {
+    choices[l] = NodeOf(object, l);
+  }
+  return choices;
+}
+
+bool HierarchicalCacheGraph::FeasibleMatching(
+    const std::vector<double>& rates, const std::vector<double>& layer_capacity) const {
+  assert(rates.size() == num_objects_);
+  assert(layer_capacity.size() == num_layers());
+  const size_t source = 0;
+  const size_t sink = num_objects_ + total_nodes_ + 1;
+  MaxFlow flow(sink + 1);
+  double demand = 0.0;
+  for (size_t i = 0; i < num_objects_; ++i) {
+    flow.AddEdge(source, 1 + i, rates[i]);
+    demand += rates[i];
+    for (size_t l = 0; l < num_layers(); ++l) {
+      flow.AddEdge(1 + i, 1 + num_objects_ + NodeOf(i, l), rates[i]);
+    }
+  }
+  for (size_t l = 0; l < num_layers(); ++l) {
+    for (size_t v = 0; v < layer_sizes_[l]; ++v) {
+      flow.AddEdge(1 + num_objects_ + layer_offsets_[l] + v, sink, layer_capacity[l]);
+    }
+  }
+  return flow.Solve(source, sink) >= demand * (1.0 - 1e-9) - 1e-9;
+}
+
+double HierarchicalCacheGraph::MaxSupportedRate(const std::vector<double>& pmf,
+                                                double node_capacity,
+                                                double tolerance) const {
+  const double mass = std::accumulate(pmf.begin(), pmf.end(), 0.0);
+  if (mass <= 0.0) {
+    return 0.0;
+  }
+  const std::vector<double> capacity(num_layers(), node_capacity);
+  std::vector<double> rates(num_objects_);
+  const auto feasible = [&](double total) {
+    for (size_t i = 0; i < num_objects_; ++i) {
+      rates[i] = total * pmf[i] / mass;
+    }
+    return FeasibleMatching(rates, capacity);
+  };
+  double hi = node_capacity * static_cast<double>(total_nodes_);
+  if (feasible(hi)) {
+    return hi;
+  }
+  double lo = 0.0;
+  int iterations = 0;
+  while (hi - lo > tolerance * std::max(lo, 1.0) && iterations++ < 64) {
+    const double mid = 0.5 * (lo + hi);
+    if (feasible(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace distcache

@@ -1,0 +1,64 @@
+// Multi-layer hierarchical caching (§3.1): "Our mechanism can be applied recursively
+// for multi-layer hierarchical caching. Applying the mechanism to layer i can balance
+// the load for a set of 'big servers' in layer i-1. Query routing uses the
+// power-of-k-choices for k layers."
+//
+// HierarchicalCacheGraph generalizes the two-layer CacheGraph to L layers with
+// independent hash functions h_0..h_{L-1}: object i has one candidate cache node per
+// layer. Feasibility of serving query rates without overloading any node is again a
+// fractional-matching/max-flow question; the benefit of more layers is a smaller
+// per-layer cache (the paper's trade-off: more total nodes, less memory per node).
+#ifndef DISTCACHE_MATCHING_HIERARCHY_H_
+#define DISTCACHE_MATCHING_HIERARCHY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace distcache {
+
+class HierarchicalCacheGraph {
+ public:
+  // `layer_sizes[l]` = number of cache nodes in layer l; every layer uses an
+  // independent hash function derived from `seed`.
+  HierarchicalCacheGraph(size_t num_objects, std::vector<size_t> layer_sizes,
+                         uint64_t seed);
+
+  size_t num_objects() const { return num_objects_; }
+  size_t num_layers() const { return layer_sizes_.size(); }
+  size_t layer_size(size_t layer) const { return layer_sizes_[layer]; }
+  size_t num_cache_nodes() const { return total_nodes_; }
+
+  // Global node id of object `i`'s candidate in `layer` (layers are laid out
+  // consecutively: layer 0 nodes first, then layer 1, ...).
+  size_t NodeOf(uint64_t object, size_t layer) const {
+    return layer_offsets_[layer] + choice_[object * num_layers() + layer];
+  }
+
+  // All L candidates of an object (one per layer).
+  std::vector<size_t> ChoicesOf(uint64_t object) const;
+
+  // Can rates[i] be fully served with every cache node's load ≤ per-layer capacity
+  // `layer_capacity[l]`? Exact via max-flow.
+  bool FeasibleMatching(const std::vector<double>& rates,
+                        const std::vector<double>& layer_capacity) const;
+
+  // Largest total rate for pmf-proportional rates (binary search), with uniform node
+  // capacity `node_capacity` in every layer.
+  double MaxSupportedRate(const std::vector<double>& pmf, double node_capacity,
+                          double tolerance = 1e-3) const;
+
+ private:
+  size_t num_objects_;
+  std::vector<size_t> layer_sizes_;
+  std::vector<size_t> layer_offsets_;
+  size_t total_nodes_;
+  // choice_[i * L + l] = node index (within layer l) of object i.
+  std::vector<uint32_t> choice_;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_MATCHING_HIERARCHY_H_

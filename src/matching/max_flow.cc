@@ -1,0 +1,80 @@
+#include "matching/max_flow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace distcache {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+}  // namespace
+
+MaxFlow::MaxFlow(size_t num_nodes) : graph_(num_nodes) {}
+
+size_t MaxFlow::AddEdge(size_t u, size_t v, double capacity) {
+  graph_[u].push_back(Edge{v, graph_[v].size(), capacity, capacity});
+  graph_[v].push_back(Edge{u, graph_[u].size() - 1, 0.0, 0.0});
+  edge_refs_.emplace_back(u, graph_[u].size() - 1);
+  return edge_refs_.size() - 1;
+}
+
+bool MaxFlow::Bfs(size_t source, size_t sink) {
+  level_.assign(graph_.size(), -1);
+  std::queue<size_t> queue;
+  level_[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const size_t v = queue.front();
+    queue.pop();
+    for (const Edge& e : graph_[v]) {
+      if (e.capacity > kEps && level_[e.to] < 0) {
+        level_[e.to] = level_[v] + 1;
+        queue.push(e.to);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+double MaxFlow::Dfs(size_t v, size_t sink, double pushed) {
+  if (v == sink) {
+    return pushed;
+  }
+  for (size_t& i = iter_[v]; i < graph_[v].size(); ++i) {
+    Edge& e = graph_[v][i];
+    if (e.capacity > kEps && level_[v] < level_[e.to]) {
+      const double got = Dfs(e.to, sink, std::min(pushed, e.capacity));
+      if (got > kEps) {
+        e.capacity -= got;
+        graph_[e.to][e.rev].capacity += got;
+        return got;
+      }
+    }
+  }
+  return 0.0;
+}
+
+double MaxFlow::Solve(size_t source, size_t sink) {
+  double flow = 0.0;
+  while (Bfs(source, sink)) {
+    iter_.assign(graph_.size(), 0);
+    while (true) {
+      const double pushed = Dfs(source, sink, std::numeric_limits<double>::infinity());
+      if (pushed <= kEps) {
+        break;
+      }
+      flow += pushed;
+    }
+  }
+  return flow;
+}
+
+double MaxFlow::FlowOn(size_t edge_index) const {
+  const auto& [node, offset] = edge_refs_[edge_index];
+  const Edge& e = graph_[node][offset];
+  return e.original - e.capacity;
+}
+
+}  // namespace distcache

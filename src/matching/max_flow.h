@@ -1,0 +1,48 @@
+// Dinic max-flow on a directed graph with real-valued capacities. Used to decide
+// whether a fractional perfect matching (Definition 1) exists for a given query
+// distribution and cache-node capacities — the feasibility core of Lemma 1.
+#ifndef DISTCACHE_MATCHING_MAX_FLOW_H_
+#define DISTCACHE_MATCHING_MAX_FLOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace distcache {
+
+class MaxFlow {
+ public:
+  explicit MaxFlow(size_t num_nodes);
+
+  // Adds a directed edge u→v with the given capacity; returns the edge index, which
+  // can be used to query the flow pushed through it after Solve().
+  size_t AddEdge(size_t u, size_t v, double capacity);
+
+  // Max flow from `source` to `sink`.
+  double Solve(size_t source, size_t sink);
+
+  // Flow routed through edge `edge_index` (valid after Solve()).
+  double FlowOn(size_t edge_index) const;
+
+  size_t num_nodes() const { return graph_.size(); }
+
+ private:
+  struct Edge {
+    size_t to;
+    size_t rev;       // index of the reverse edge in graph_[to]
+    double capacity;  // residual capacity
+    double original;
+  };
+
+  bool Bfs(size_t source, size_t sink);
+  double Dfs(size_t v, size_t sink, double pushed);
+
+  std::vector<std::vector<Edge>> graph_;
+  std::vector<std::pair<size_t, size_t>> edge_refs_;  // edge index → (node, offset)
+  std::vector<int> level_;
+  std::vector<size_t> iter_;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_MATCHING_MAX_FLOW_H_

@@ -1,0 +1,16 @@
+#include "net/topology.h"
+
+#include <cstdio>
+
+namespace distcache {
+
+std::string LeafSpineTopology::Describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "leaf-spine: %u spine switches, %u storage racks x %u servers, %u client racks",
+                config_.num_spine, config_.num_storage_racks, config_.servers_per_rack,
+                config_.num_client_racks);
+  return buf;
+}
+
+}  // namespace distcache

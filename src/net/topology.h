@@ -1,0 +1,67 @@
+// Two-layer leaf-spine datacenter topology (Fig. 5): spine switches on top; each
+// storage rack has a ToR (leaf) cache switch and `servers_per_rack` storage servers;
+// client racks have ToRs that perform query routing. Provides the id scheme and the
+// switch traversal paths that query handling (§4.2) and cache coherence (§4.3) need.
+#ifndef DISTCACHE_NET_TOPOLOGY_H_
+#define DISTCACHE_NET_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace distcache {
+
+// Cache-node id: layer 0 = spine (group A in the analysis), layer 1 = storage-rack
+// leaf (group B). `index` is the position within the layer.
+struct CacheNodeId {
+  uint32_t layer = 0;
+  uint32_t index = 0;
+
+  bool operator==(const CacheNodeId&) const = default;
+};
+
+class LeafSpineTopology {
+ public:
+  struct Config {
+    uint32_t num_spine = 32;          // paper default: 32 spine switches
+    uint32_t num_storage_racks = 32;  // paper default: 32 storage racks
+    uint32_t servers_per_rack = 32;   // paper default: 32 servers per rack
+    uint32_t num_client_racks = 4;
+  };
+
+  explicit LeafSpineTopology(const Config& config) : config_(config) {}
+
+  uint32_t num_spine() const { return config_.num_spine; }
+  uint32_t num_storage_racks() const { return config_.num_storage_racks; }
+  uint32_t servers_per_rack() const { return config_.servers_per_rack; }
+  uint32_t num_client_racks() const { return config_.num_client_racks; }
+  uint32_t num_servers() const { return config_.num_storage_racks * config_.servers_per_rack; }
+  // Total cache nodes across both layers (2m in the analysis when layers are equal).
+  uint32_t num_cache_nodes() const { return config_.num_spine + config_.num_storage_racks; }
+
+  uint32_t RackOfServer(uint32_t server_id) const { return server_id / config_.servers_per_rack; }
+
+  // The switches a read query traverses from a client rack to cache node `target` —
+  // hitting a spine cache traverses only that spine; hitting a leaf cache traverses an
+  // (arbitrary, load-balanced) spine and the leaf (§3.4: such pass-through spines are
+  // interchangeable, so we expose the leaf as the single cache touch point).
+  std::vector<CacheNodeId> QueryPath(CacheNodeId target) const {
+    return {target};
+  }
+
+  // The cache switches an invalidation/update packet must traverse for an object whose
+  // copies live at the given nodes (§4.3: one packet walks all caching switches, e.g.
+  // server → leaf → spine → leaf → server).
+  std::vector<CacheNodeId> CoherencePath(const std::vector<CacheNodeId>& copies) const {
+    return copies;
+  }
+
+  std::string Describe() const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_NET_TOPOLOGY_H_

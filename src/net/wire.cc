@@ -1,0 +1,144 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace distcache {
+namespace {
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool U8(uint8_t* v) { return Copy(v, 1); }
+  bool U16(uint16_t* v) { return Copy(v, 2); }
+  bool U32(uint32_t* v) { return Copy(v, 4); }
+  bool U64(uint64_t* v) { return Copy(v, 8); }
+
+  bool Bytes(std::string* out, size_t n) {
+    if (pos_ + n > size_) {
+      return false;
+    }
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  bool Copy(void* v, size_t n) {
+    if (pos_ + n > size_) {
+      return false;
+    }
+    std::memcpy(v, data_ + pos_, n);  // little-endian host assumed (x86/arm64)
+    pos_ += n;
+    return true;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status EncodeMessage(const Message& msg, std::vector<uint8_t>* out) {
+  if (msg.value.size() > kMaxWireValue) {
+    return Status::InvalidArgument("value exceeds wire limit");
+  }
+  if (msg.piggyback.size() > kMaxPiggyback) {
+    return Status::InvalidArgument("piggyback exceeds wire limit");
+  }
+  PutU8(out, kWireMagic);
+  PutU8(out, static_cast<uint8_t>(msg.type));
+  PutU16(out, static_cast<uint16_t>(msg.piggyback.size()));
+  PutU32(out, msg.client_id);
+  PutU64(out, msg.request_id);
+  PutU64(out, msg.key);
+  const uint8_t flags = static_cast<uint8_t>((msg.cache_hit ? 1 : 0) |
+                                             (msg.has_target ? 2 : 0));
+  PutU8(out, flags);
+  PutU8(out, static_cast<uint8_t>(msg.target.layer));
+  PutU32(out, msg.target.index);
+  PutU16(out, static_cast<uint16_t>(msg.value.size()));
+  out->insert(out->end(), msg.value.begin(), msg.value.end());
+  for (const LoadSample& sample : msg.piggyback) {
+    PutU8(out, static_cast<uint8_t>(sample.node.layer));
+    PutU32(out, sample.node.index);
+    PutU64(out, sample.load);
+  }
+  return Status::Ok();
+}
+
+StatusOr<Message> DecodeMessage(const uint8_t* data, size_t size, size_t* consumed) {
+  Reader reader(data, size);
+  uint8_t magic = 0;
+  if (!reader.U8(&magic) || magic != kWireMagic) {
+    return Status::InvalidArgument("bad magic");
+  }
+  Message msg;
+  uint8_t type = 0;
+  uint16_t piggyback_count = 0;
+  if (!reader.U8(&type) || !reader.U16(&piggyback_count) ||
+      !reader.U32(&msg.client_id) || !reader.U64(&msg.request_id) ||
+      !reader.U64(&msg.key)) {
+    return Status::InvalidArgument("truncated header");
+  }
+  if (type > static_cast<uint8_t>(MsgType::kCacheUpdateAck)) {
+    return Status::InvalidArgument("unknown message type");
+  }
+  if (piggyback_count > kMaxPiggyback) {
+    return Status::InvalidArgument("piggyback exceeds wire limit");
+  }
+  msg.type = static_cast<MsgType>(type);
+  uint8_t flags = 0;
+  uint8_t target_layer = 0;
+  uint16_t value_len = 0;
+  if (!reader.U8(&flags) || !reader.U8(&target_layer) || !reader.U32(&msg.target.index) ||
+      !reader.U16(&value_len)) {
+    return Status::InvalidArgument("truncated header");
+  }
+  msg.cache_hit = (flags & 1) != 0;
+  msg.has_target = (flags & 2) != 0;
+  msg.target.layer = target_layer;
+  if (value_len > kMaxWireValue) {
+    return Status::InvalidArgument("value exceeds wire limit");
+  }
+  if (!reader.Bytes(&msg.value, value_len)) {
+    return Status::InvalidArgument("truncated value");
+  }
+  msg.piggyback.resize(piggyback_count);
+  for (LoadSample& sample : msg.piggyback) {
+    uint8_t layer = 0;
+    if (!reader.U8(&layer) || !reader.U32(&sample.node.index) ||
+        !reader.U64(&sample.load)) {
+      return Status::InvalidArgument("truncated piggyback");
+    }
+    sample.node.layer = layer;
+  }
+  if (consumed != nullptr) {
+    *consumed = reader.pos();
+  }
+  return msg;
+}
+
+}  // namespace distcache

@@ -1,0 +1,45 @@
+// Wire format for DistCache packets (§4.1/§5: the prototype reserves an L4 port and
+// defines custom headers carrying op, key, value and the telemetry piggyback).
+//
+// Layout (little-endian, after the reserved-port transport header):
+//   u8  magic (0xDC)     u8 type      u16 piggyback_count
+//   u32 client_id        u64 request_id
+//   u64 key              u8 flags (bit0 = cache_hit, bit1 = has_target)
+//   u8 target_layer      u32 target_index
+//   u16 value_len        value bytes
+//   piggyback entries: { u8 layer, u32 index, u64 load } x piggyback_count
+//
+// Values are capped at 128 bytes like the switch value store; piggyback entries at
+// 16 (a reply traverses at most a handful of switches).
+#ifndef DISTCACHE_NET_WIRE_H_
+#define DISTCACHE_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/message.h"
+
+namespace distcache {
+
+inline constexpr uint8_t kWireMagic = 0xDC;
+inline constexpr size_t kMaxWireValue = 128;
+inline constexpr size_t kMaxPiggyback = 16;
+
+// Serializes `msg` into `out` (appended). Fails if the value or piggyback exceed the
+// wire limits.
+Status EncodeMessage(const Message& msg, std::vector<uint8_t>* out);
+
+// Parses one message from `data`. On success, sets `consumed` to the number of bytes
+// read. Rejects truncated/corrupt input without reading out of bounds.
+StatusOr<Message> DecodeMessage(const uint8_t* data, size_t size, size_t* consumed);
+
+inline StatusOr<Message> DecodeMessage(const std::vector<uint8_t>& data) {
+  size_t consumed = 0;
+  return DecodeMessage(data.data(), data.size(), &consumed);
+}
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_NET_WIRE_H_

@@ -1,0 +1,64 @@
+// Blocking MPMC channel — the message transport between node threads in the runtime.
+#ifndef DISTCACHE_RUNTIME_CHANNEL_H_
+#define DISTCACHE_RUNTIME_CHANNEL_H_
+
+#include <cstddef>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace distcache {
+
+template <typename T>
+class Channel {
+ public:
+  // Returns false if the channel is closed.
+  bool Send(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the channel is closed and drained.
+  std::optional<T> Receive() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_RUNTIME_CHANNEL_H_

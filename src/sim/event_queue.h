@@ -1,0 +1,66 @@
+// Minimal discrete-event simulation kernel: a time-ordered event queue with stable
+// FIFO ordering for simultaneous events.
+#ifndef DISTCACHE_SIM_EVENT_QUEUE_H_
+#define DISTCACHE_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace distcache {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  double now() const { return now_; }
+
+  // Schedules `handler` to run `delay` time units from now (delay ≥ 0).
+  void Schedule(double delay, Handler handler) {
+    events_.push(Event{now_ + (delay < 0 ? 0 : delay), seq_++, std::move(handler)});
+  }
+
+  // Runs events until the queue drains or simulated time reaches `until`.
+  // Returns the number of events executed.
+  uint64_t RunUntil(double until) {
+    uint64_t executed = 0;
+    while (!events_.empty() && events_.top().time <= until) {
+      // The handler may schedule more events; pop first so `now_` is consistent.
+      Event event = events_.top();
+      events_.pop();
+      now_ = event.time;
+      event.handler();
+      ++executed;
+    }
+    if (events_.empty() || now_ < until) {
+      now_ = until;
+    }
+    return executed;
+  }
+
+  bool empty() const { return events_.empty(); }
+  size_t pending() const { return events_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;
+    Handler handler;
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return seq > other.seq;  // FIFO among simultaneous events
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  double now_ = 0.0;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_SIM_EVENT_QUEUE_H_

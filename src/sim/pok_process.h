@@ -1,0 +1,70 @@
+// Power-of-k-choices queueing process over an L-layer cache hierarchy (§3.1):
+// each query joins the shortest of its L hashed candidate queues (one per layer).
+// Generalizes PotProcess to validate the multi-layer extension: with more layers,
+// stationarity holds at the same per-node load while each layer's cache can be
+// smaller (more choices → better spread → cheaper per-layer provisioning).
+#ifndef DISTCACHE_SIM_POK_PROCESS_H_
+#define DISTCACHE_SIM_POK_PROCESS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/zipf.h"
+#include "matching/hierarchy.h"
+#include "sim/event_queue.h"
+
+namespace distcache {
+
+class PokProcess {
+ public:
+  struct Config {
+    size_t num_objects = 256;
+    std::vector<size_t> layer_sizes{16, 16};  // L layers of cache nodes
+    double service_rate = 1.0;
+    double total_rate = 0.0;  // required
+    double zipf_theta = 0.99;
+    double pmf_cap = 0.0;  // 0 = raw zipf; see PotProcess::Config::pmf_cap
+    // How many of the L layers the router may use (1 = single choice, L = full
+    // power-of-k). Candidates are taken from the first `choices` layers.
+    size_t choices = 2;
+    uint64_t seed = 7;
+  };
+
+  struct Result {
+    std::vector<double> backlog_series;
+    double max_queue = 0.0;
+    double drift = 0.0;
+    bool stationary = false;
+    uint64_t arrivals = 0;
+    uint64_t departures = 0;
+  };
+
+  explicit PokProcess(const Config& config);
+
+  Result Run(double duration);
+
+  const HierarchicalCacheGraph& graph() const { return graph_; }
+
+ private:
+  size_t ChooseQueue(uint64_t object);
+  void Arrive();
+  void Depart(size_t queue_index);
+  void StartServiceIfIdle(size_t queue_index);
+
+  Config config_;
+  HierarchicalCacheGraph graph_;
+  std::unique_ptr<KeyDistribution> dist_;
+  EventQueue events_;
+  Rng rng_;
+  std::vector<uint64_t> queue_len_;
+  std::vector<bool> busy_;
+  uint64_t arrivals_ = 0;
+  uint64_t departures_ = 0;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_SIM_POK_PROCESS_H_

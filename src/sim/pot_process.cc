@@ -1,0 +1,111 @@
+#include "sim/pot_process.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace distcache {
+
+PotProcess::PotProcess(const Config& config)
+    : config_(config),
+      graph_(config.num_objects, config.upper_nodes, config.lower_nodes,
+             HashCombine(config.seed, 0x907a11ULL),
+             config.policy == ChoicePolicy::kSingleHash),
+      dist_(config.pmf_cap > 0.0
+                ? std::make_unique<DiscreteDistribution>(
+                      CappedZipfPmf(config.num_objects, config.zipf_theta,
+                                    config.pmf_cap),
+                      "capped-zipf")
+                : MakeDistribution(config.num_objects, config.zipf_theta)),
+      rng_(HashCombine(config.seed, 0x4ea1ULL)) {
+  assert(config_.total_rate > 0.0 && "total_rate must be set");
+  queue_len_.assign(graph_.num_cache_nodes(), 0);
+  busy_.assign(graph_.num_cache_nodes(), false);
+}
+
+size_t PotProcess::ChooseQueue(uint64_t object) {
+  if (graph_.single_hash()) {
+    return graph_.LowerNodeOf(object);
+  }
+  const size_t a = graph_.UpperNodeOf(object);
+  const size_t b = graph_.LowerNodeOf(object);
+  switch (config_.policy) {
+    case ChoicePolicy::kRandomOfTwo:
+      return rng_.NextBounded(2) == 0 ? a : b;
+    case ChoicePolicy::kSingleHash:
+    case ChoicePolicy::kPowerOfTwo:
+      break;
+  }
+  if (queue_len_[a] != queue_len_[b]) {
+    return queue_len_[a] < queue_len_[b] ? a : b;
+  }
+  return rng_.NextBounded(2) == 0 ? a : b;  // ties broken randomly (appendix A.3)
+}
+
+void PotProcess::StartServiceIfIdle(size_t queue_index) {
+  if (busy_[queue_index] || queue_len_[queue_index] == 0) {
+    return;
+  }
+  busy_[queue_index] = true;
+  events_.Schedule(rng_.NextExponential(config_.service_rate),
+                   [this, queue_index] { Depart(queue_index); });
+}
+
+void PotProcess::Depart(size_t queue_index) {
+  busy_[queue_index] = false;
+  assert(queue_len_[queue_index] > 0);
+  --queue_len_[queue_index];
+  ++departures_;
+  StartServiceIfIdle(queue_index);
+}
+
+void PotProcess::Arrive() {
+  const uint64_t object = dist_->Sample(rng_);
+  const size_t q = ChooseQueue(object);
+  ++queue_len_[q];
+  ++arrivals_;
+  StartServiceIfIdle(q);
+  events_.Schedule(rng_.NextExponential(config_.total_rate), [this] { Arrive(); });
+}
+
+PotProcess::Result PotProcess::Run(double duration) {
+  Result result;
+  events_.Schedule(rng_.NextExponential(config_.total_rate), [this] { Arrive(); });
+  const int samples = std::max(4, static_cast<int>(duration));
+  const double step = duration / samples;
+  result.backlog_series.reserve(samples);
+  for (int i = 0; i < samples; ++i) {
+    events_.RunUntil(step * (i + 1));
+    const double backlog = static_cast<double>(
+        std::accumulate(queue_len_.begin(), queue_len_.end(), uint64_t{0}));
+    result.backlog_series.push_back(backlog);
+    result.max_queue = std::max(
+        result.max_queue,
+        static_cast<double>(*std::max_element(queue_len_.begin(), queue_len_.end())));
+  }
+  result.arrivals = arrivals_;
+  result.departures = departures_;
+
+  // Drift: least-squares slope of the backlog over the second half of the samples.
+  const size_t half = result.backlog_series.size() / 2;
+  const size_t n = result.backlog_series.size() - half;
+  if (n >= 2) {
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const double x = static_cast<double>(i) * step;
+      const double y = result.backlog_series[half + i];
+      sx += x;
+      sy += y;
+      sxx += x * x;
+      sxy += x * y;
+    }
+    const double denom = static_cast<double>(n) * sxx - sx * sx;
+    result.drift = denom != 0.0 ? (static_cast<double>(n) * sxy - sx * sy) / denom : 0.0;
+  }
+  // Stationary when the backlog is not persistently growing: drift well below 1% of
+  // the arrival rate (an unstable system drifts at Θ(R - capacity)).
+  result.stationary = result.drift < 0.01 * config_.total_rate;
+  return result;
+}
+
+}  // namespace distcache

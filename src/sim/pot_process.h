@@ -1,0 +1,88 @@
+// The power-of-two-choices queueing process of the paper's analysis (appendix A.3):
+// 2m cache-node queues with exponential service times; Poisson query arrivals; a
+// query for object i joins the shorter of the two queues {a_{h0(i)}, b_{h1(i)}}
+// (ties broken randomly). Object choices are FIXED by the hash functions — the
+// crucial difference from the classic balls-and-bins supermarket model.
+//
+// Lemma 2: if a fractional perfect matching exists, this Markov process is positive
+// recurrent (queues stay bounded). Lemma 3: with a single hash function the process
+// is non-stationary with constant probability (queues grow linearly). This simulator
+// lets the benches exhibit both behaviours and cross-check against the max-flow
+// feasibility certificate from src/matching.
+#ifndef DISTCACHE_SIM_POT_PROCESS_H_
+#define DISTCACHE_SIM_POT_PROCESS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/zipf.h"
+#include "matching/cache_graph.h"
+#include "sim/event_queue.h"
+
+namespace distcache {
+
+enum class ChoicePolicy {
+  kPowerOfTwo,   // join the shorter of the two hashed queues
+  kSingleHash,   // only h1 exists (Lemma 3 strawman)
+  kRandomOfTwo,  // uniformly random of the two hashed queues (no load awareness)
+};
+
+class PotProcess {
+ public:
+  struct Config {
+    size_t num_objects = 256;     // k
+    size_t upper_nodes = 16;      // |A| = m
+    size_t lower_nodes = 16;      // |B| = m
+    double service_rate = 1.0;    // T̃ per cache node
+    double total_rate = 0.0;      // R; required
+    double zipf_theta = 0.0;      // object popularity (0 = uniform)
+    // When > 0, clip the object pmf at this value (redistributing mass to the tail).
+    // Setting pmf_cap = service_rate / (2 * total_rate) puts the workload exactly at
+    // Theorem 1's precondition max_i p_i * R = T~/2.
+    double pmf_cap = 0.0;
+    ChoicePolicy policy = ChoicePolicy::kPowerOfTwo;
+    uint64_t seed = 7;
+  };
+
+  struct Result {
+    std::vector<double> backlog_series;  // total queued jobs sampled each time unit
+    uint64_t arrivals = 0;
+    uint64_t departures = 0;
+    double max_queue = 0.0;
+    // Least-squares slope of the backlog over the second half of the run, in jobs per
+    // time unit. ~0 for a stationary system; ≈ (R - served rate) when unstable.
+    double drift = 0.0;
+    bool stationary = false;
+  };
+
+  explicit PotProcess(const Config& config);
+
+  // Runs the process for `duration` time units, sampling the backlog each unit.
+  Result Run(double duration);
+
+  // The choice-set graph, shared with the matching analysis for cross-checks.
+  const CacheGraph& graph() const { return graph_; }
+
+ private:
+  size_t ChooseQueue(uint64_t object);
+  void Arrive();
+  void Depart(size_t queue_index);
+  void StartServiceIfIdle(size_t queue_index);
+
+  Config config_;
+  CacheGraph graph_;
+  std::unique_ptr<KeyDistribution> dist_;
+  EventQueue events_;
+  Rng rng_;
+  std::vector<uint64_t> queue_len_;
+  std::vector<bool> busy_;
+  uint64_t arrivals_ = 0;
+  uint64_t departures_ = 0;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_SIM_POT_PROCESS_H_

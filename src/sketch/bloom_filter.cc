@@ -1,0 +1,37 @@
+#include "sketch/bloom_filter.h"
+
+namespace distcache {
+
+BloomFilter::BloomFilter(const Config& config)
+    : config_(config),
+      hashes_(config.hashes, config.seed),
+      bits_(config.hashes, std::vector<bool>(config.bits, false)) {}
+
+bool BloomFilter::InsertAndTest(uint64_t key) {
+  bool present = true;
+  for (size_t r = 0; r < config_.hashes; ++r) {
+    std::vector<bool>::reference bit = bits_[r][Slot(r, key)];
+    if (!bit) {
+      present = false;
+      bit = true;
+    }
+  }
+  return present;
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  for (size_t r = 0; r < config_.hashes; ++r) {
+    if (!bits_[r][Slot(r, key)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void BloomFilter::Reset() {
+  for (auto& row : bits_) {
+    row.assign(row.size(), false);
+  }
+}
+
+}  // namespace distcache

@@ -1,0 +1,51 @@
+// Bloom filter — paired with the Count-Min sketch in the heavy-hitter detector to
+// avoid reporting the same heavy key to the switch agent repeatedly. The paper's
+// prototype uses 3 register arrays × 256K 1-bit slots (§5); those are the defaults.
+#ifndef DISTCACHE_SKETCH_BLOOM_FILTER_H_
+#define DISTCACHE_SKETCH_BLOOM_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace distcache {
+
+class BloomFilter {
+ public:
+  struct Config {
+    size_t hashes = 3;       // paper: 3 register arrays
+    size_t bits = 262144;    // paper: 256K 1-bit slots per array
+    uint64_t seed = 0xb100f11e;
+  };
+
+  explicit BloomFilter(const Config& config);
+
+  // Inserts `key`; returns true if the key was possibly already present (i.e., all its
+  // bits were already set before this insert).
+  bool InsertAndTest(uint64_t key);
+
+  void Insert(uint64_t key) { InsertAndTest(key); }
+
+  // True if `key` may be present (false positives possible, negatives exact).
+  bool MayContain(uint64_t key) const;
+
+  void Reset();
+
+  size_t MemoryBits() const { return config_.hashes * config_.bits; }
+
+ private:
+  size_t Slot(size_t row, uint64_t key) const {
+    return static_cast<size_t>(hashes_.Hash(row, key) % config_.bits);
+  }
+
+  Config config_;
+  HashFamily hashes_;
+  // One bit-array per hash, as in the P4 implementation (one register array per stage).
+  std::vector<std::vector<bool>> bits_;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_SKETCH_BLOOM_FILTER_H_

@@ -1,0 +1,38 @@
+#include "sketch/count_min.h"
+
+#include <algorithm>
+
+namespace distcache {
+
+CountMinSketch::CountMinSketch(const Config& config)
+    : config_(config),
+      hashes_(config.rows, config.seed),
+      counters_(config.rows, std::vector<uint32_t>(config.width, 0)) {}
+
+uint32_t CountMinSketch::Update(uint64_t key) {
+  uint32_t estimate = std::numeric_limits<uint32_t>::max();
+  for (size_t r = 0; r < config_.rows; ++r) {
+    uint32_t& cell = counters_[r][Slot(r, key)];
+    if (cell < config_.counter_max) {
+      ++cell;  // saturating, like a fixed-width data-plane register
+    }
+    estimate = std::min(estimate, cell);
+  }
+  return estimate;
+}
+
+uint32_t CountMinSketch::Estimate(uint64_t key) const {
+  uint32_t estimate = std::numeric_limits<uint32_t>::max();
+  for (size_t r = 0; r < config_.rows; ++r) {
+    estimate = std::min(estimate, counters_[r][Slot(r, key)]);
+  }
+  return estimate;
+}
+
+void CountMinSketch::Reset() {
+  for (auto& row : counters_) {
+    std::fill(row.begin(), row.end(), 0);
+  }
+}
+
+}  // namespace distcache

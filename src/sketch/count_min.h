@@ -1,0 +1,55 @@
+// Count-Min sketch (Cormode & Muthukrishnan) — the frequency estimator inside the
+// switch heavy-hitter detector. The paper's prototype uses 4 register arrays × 64K
+// 16-bit slots per array (§5); those are the defaults here, including saturating
+// 16-bit counters to mirror the data-plane register width.
+#ifndef DISTCACHE_SKETCH_COUNT_MIN_H_
+#define DISTCACHE_SKETCH_COUNT_MIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace distcache {
+
+class CountMinSketch {
+ public:
+  struct Config {
+    size_t rows = 4;        // paper: 4 register arrays
+    size_t width = 65536;   // paper: 64K slots per array
+    uint32_t counter_max = std::numeric_limits<uint16_t>::max();  // 16-bit registers
+    uint64_t seed = 0x5eedc0de;
+  };
+
+  explicit CountMinSketch(const Config& config);
+
+  // Increments the counters for `key` and returns the post-update estimate.
+  uint32_t Update(uint64_t key);
+
+  // Point-query estimate of the count of `key` (an overestimate in expectation).
+  uint32_t Estimate(uint64_t key) const;
+
+  // Zeroes all counters. The switch agent does this every second (§5).
+  void Reset();
+
+  size_t rows() const { return config_.rows; }
+  size_t width() const { return config_.width; }
+
+  // Total bits of state — used by the switch resource model (Table 1).
+  size_t MemoryBits() const { return config_.rows * config_.width * 16; }
+
+ private:
+  size_t Slot(size_t row, uint64_t key) const {
+    return static_cast<size_t>(hashes_.Hash(row, key) % config_.width);
+  }
+
+  Config config_;
+  HashFamily hashes_;
+  std::vector<std::vector<uint32_t>> counters_;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_SKETCH_COUNT_MIN_H_

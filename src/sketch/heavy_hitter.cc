@@ -1,0 +1,42 @@
+#include "sketch/heavy_hitter.h"
+
+#include <algorithm>
+
+namespace distcache {
+
+HeavyHitterDetector::HeavyHitterDetector(const Config& config)
+    : config_(config), sketch_(config.sketch), bloom_(config.bloom) {}
+
+bool HeavyHitterDetector::Record(uint64_t key) {
+  const uint32_t estimate = sketch_.Update(key);
+  if (estimate < config_.report_threshold) {
+    return false;
+  }
+  if (reports_.size() >= config_.max_reports_per_epoch && !reports_.contains(key)) {
+    return false;
+  }
+  // The bloom filter suppresses duplicate reports for the same key within an epoch;
+  // we still refresh the stored estimate so TopReports ranks by the latest count.
+  const bool already_reported = bloom_.InsertAndTest(key);
+  reports_[key] = estimate;
+  return !already_reported;
+}
+
+std::vector<std::pair<uint64_t, uint32_t>> HeavyHitterDetector::TopReports() const {
+  std::vector<std::pair<uint64_t, uint32_t>> out(reports_.begin(), reports_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) {
+      return a.second > b.second;
+    }
+    return a.first < b.first;
+  });
+  return out;
+}
+
+void HeavyHitterDetector::NewEpoch() {
+  sketch_.Reset();
+  bloom_.Reset();
+  reports_.clear();
+}
+
+}  // namespace distcache

@@ -1,0 +1,54 @@
+// NetCache-style heavy-hitter (HH) detector: Count-Min sketch for frequency estimates
+// of uncached keys + Bloom filter to dedupe reports + a small top-k table. The switch
+// local agent uses the reports to decide cache insertions/evictions (§4.3, §5).
+//
+// Counters are reset every epoch (1 second in the paper). A key is reported as a heavy
+// hitter when its estimated count within the epoch crosses `report_threshold`.
+#ifndef DISTCACHE_SKETCH_HEAVY_HITTER_H_
+#define DISTCACHE_SKETCH_HEAVY_HITTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sketch/bloom_filter.h"
+#include "sketch/count_min.h"
+
+namespace distcache {
+
+class HeavyHitterDetector {
+ public:
+  struct Config {
+    CountMinSketch::Config sketch;
+    BloomFilter::Config bloom;
+    uint32_t report_threshold = 64;  // epoch-relative heaviness cutoff
+    size_t max_reports_per_epoch = 1024;
+  };
+
+  explicit HeavyHitterDetector(const Config& config);
+
+  // Records one access to an *uncached* key (cached keys are counted by the per-object
+  // hit counters instead, as in NetCache). Returns true if this access pushed the key
+  // over the report threshold for the first time this epoch.
+  bool Record(uint64_t key);
+
+  // Keys reported this epoch, hottest-first by sketch estimate.
+  std::vector<std::pair<uint64_t, uint32_t>> TopReports() const;
+
+  // Clears sketch, bloom filter and report list. Called by the agent every second.
+  void NewEpoch();
+
+  uint32_t Estimate(uint64_t key) const { return sketch_.Estimate(key); }
+  size_t MemoryBits() const { return sketch_.MemoryBits() + bloom_.MemoryBits(); }
+
+ private:
+  Config config_;
+  CountMinSketch sketch_;
+  BloomFilter bloom_;
+  std::unordered_map<uint64_t, uint32_t> reports_;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_SKETCH_HEAVY_HITTER_H_

@@ -1,0 +1,86 @@
+// Bounded LRU map. Used by cache nodes for victim selection when a partition's slot
+// budget is exceeded, and generally useful as a substrate container.
+#ifndef DISTCACHE_SKETCH_LRU_MAP_H_
+#define DISTCACHE_SKETCH_LRU_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace distcache {
+
+template <typename K, typename V>
+class LruMap {
+ public:
+  explicit LruMap(size_t capacity) : capacity_(capacity) {}
+
+  // Inserts or updates; returns the evicted entry, if any.
+  std::optional<std::pair<K, V>> Put(const K& key, V value) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      Touch(it->second);
+      return std::nullopt;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+    if (index_.size() <= capacity_) {
+      return std::nullopt;
+    }
+    auto victim = std::move(order_.back());
+    index_.erase(victim.first);
+    order_.pop_back();
+    return victim;
+  }
+
+  // Looks up and promotes to most-recently-used.
+  V* Get(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      return nullptr;
+    }
+    Touch(it->second);
+    return &it->second->second;
+  }
+
+  // Lookup without promoting.
+  const V* Peek(const K& key) const {
+    auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &it->second->second;
+  }
+
+  bool Erase(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      return false;
+    }
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  bool Contains(const K& key) const { return index_.contains(key); }
+  size_t size() const { return index_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return index_.empty(); }
+
+  // Least-recently-used entry, if any (the next eviction victim).
+  const std::pair<K, V>* Oldest() const { return order_.empty() ? nullptr : &order_.back(); }
+
+ private:
+  using Entry = std::pair<K, V>;
+  using Iter = typename std::list<Entry>::iterator;
+
+  void Touch(Iter it) { order_.splice(order_.begin(), order_, it); }
+
+  size_t capacity_;
+  std::list<Entry> order_;
+  std::unordered_map<K, Iter> index_;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_SKETCH_LRU_MAP_H_

@@ -1,0 +1,61 @@
+#include "cache/resource_model.h"
+
+#include <gtest/gtest.h>
+
+namespace distcache {
+namespace {
+
+TEST(SwitchResourceModel, AllRolesReported) {
+  SwitchResourceModel model{SwitchResourceModel::Config{}};
+  const auto all = model.EstimateAll();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].role, "Spine");
+  EXPECT_EQ(all[1].role, "Leaf (Client)");
+  EXPECT_EQ(all[2].role, "Leaf (Server)");
+}
+
+TEST(SwitchResourceModel, CachingRolesUseMoreSramThanClientToR) {
+  // Table 1 structure: the caching switches (spine, storage leaf) carry the value
+  // store + HH detector; the client ToR only keeps the 256-entry load table.
+  SwitchResourceModel model{SwitchResourceModel::Config{}};
+  const auto spine = model.Estimate(SwitchRole::kSpineCache);
+  const auto client = model.Estimate(SwitchRole::kLeafClient);
+  EXPECT_GT(spine.sram_blocks, client.sram_blocks);
+  EXPECT_GT(spine.hash_bits, client.hash_bits);
+  EXPECT_GT(spine.action_slots, client.action_slots);
+}
+
+TEST(SwitchResourceModel, StorageLeafExceedsSpine) {
+  // Matches Table 1's ordering: the storage-rack leaf adds miss forwarding on top of
+  // the caching modules.
+  SwitchResourceModel model{SwitchResourceModel::Config{}};
+  const auto spine = model.Estimate(SwitchRole::kSpineCache);
+  const auto leaf = model.Estimate(SwitchRole::kLeafStorage);
+  EXPECT_GT(leaf.match_entries, spine.match_entries);
+  EXPECT_GE(leaf.action_slots, spine.action_slots);
+}
+
+TEST(SwitchResourceModel, ResourcesScaleWithSketchSize) {
+  SwitchResourceModel::Config small;
+  small.cm_width = 1024;
+  small.bloom_bits = 4096;
+  SwitchResourceModel::Config big;
+  big.cm_width = 65536 * 4;
+  big.bloom_bits = 262144 * 4;
+  const auto s = SwitchResourceModel(small).Estimate(SwitchRole::kSpineCache);
+  const auto b = SwitchResourceModel(big).Estimate(SwitchRole::kSpineCache);
+  EXPECT_GT(b.sram_blocks, s.sram_blocks);
+}
+
+TEST(SwitchResourceModel, NonZeroEverywhere) {
+  SwitchResourceModel model{SwitchResourceModel::Config{}};
+  for (const auto& r : model.EstimateAll()) {
+    EXPECT_GT(r.match_entries, 0u) << r.role;
+    EXPECT_GT(r.hash_bits, 0u) << r.role;
+    EXPECT_GT(r.sram_blocks, 0u) << r.role;
+    EXPECT_GT(r.action_slots, 0u) << r.role;
+  }
+}
+
+}  // namespace
+}  // namespace distcache

@@ -1,0 +1,105 @@
+#include "cache/switch_agent.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace distcache {
+namespace {
+
+CacheSwitch::Config SwitchConfig() {
+  CacheSwitch::Config cfg;
+  cfg.hh.sketch.width = 1024;
+  cfg.hh.bloom.bits = 4096;
+  cfg.hh.report_threshold = 8;
+  return cfg;
+}
+
+TEST(SwitchAgent, SetPartitionEvictsForeignKeys) {
+  CacheSwitch sw(SwitchConfig());
+  sw.InsertInvalid(1, 16).ok();
+  sw.InsertInvalid(2, 16).ok();
+  SwitchAgent agent(&sw, SwitchAgent::Config{}, nullptr);
+  agent.SetPartition({1});
+  EXPECT_TRUE(sw.Contains(1));
+  EXPECT_FALSE(sw.Contains(2));
+  EXPECT_TRUE(agent.InPartition(1));
+  EXPECT_FALSE(agent.InPartition(2));
+}
+
+TEST(SwitchAgent, InsertsReportedHeavyHitter) {
+  CacheSwitch sw(SwitchConfig());
+  std::vector<uint64_t> populated;
+  SwitchAgent agent(&sw, SwitchAgent::Config{},
+                    [&](uint64_t key) { populated.push_back(key); });
+  agent.SetPartition({42});
+  for (int i = 0; i < 20; ++i) {
+    sw.RecordMiss(42);
+  }
+  EXPECT_EQ(agent.RunEpoch(), 1u);
+  EXPECT_TRUE(sw.Contains(42));
+  EXPECT_FALSE(sw.IsValid(42));  // inserted invalid; server populates via phase 2
+  EXPECT_EQ(populated, (std::vector<uint64_t>{42}));
+}
+
+TEST(SwitchAgent, IgnoresKeysOutsidePartition) {
+  CacheSwitch sw(SwitchConfig());
+  SwitchAgent agent(&sw, SwitchAgent::Config{}, nullptr);
+  agent.SetPartition({1});
+  for (int i = 0; i < 20; ++i) {
+    sw.RecordMiss(99);
+  }
+  EXPECT_EQ(agent.RunEpoch(), 0u);
+  EXPECT_FALSE(sw.Contains(99));
+}
+
+TEST(SwitchAgent, EvictsColdToAdmitHotterWhenFull) {
+  CacheSwitch sw(SwitchConfig());
+  SwitchAgent::Config cfg;
+  cfg.max_cached_objects = 1;
+  cfg.replace_margin = 1.0;
+  SwitchAgent agent(&sw, cfg, nullptr);
+  agent.SetPartition({1, 2});
+  // Key 1 cached with zero hits this epoch; key 2 very hot.
+  sw.InsertInvalid(1, 16).ok();
+  sw.UpdateValue(1, "v").ok();
+  for (int i = 0; i < 50; ++i) {
+    sw.RecordMiss(2);
+  }
+  EXPECT_EQ(agent.RunEpoch(), 1u);
+  EXPECT_FALSE(sw.Contains(1));
+  EXPECT_TRUE(sw.Contains(2));
+}
+
+TEST(SwitchAgent, KeepsHotIncumbentAgainstLukewarmReport) {
+  CacheSwitch sw(SwitchConfig());
+  SwitchAgent::Config cfg;
+  cfg.max_cached_objects = 1;
+  cfg.replace_margin = 1.5;
+  SwitchAgent agent(&sw, cfg, nullptr);
+  agent.SetPartition({1, 2});
+  sw.InsertInvalid(1, 16).ok();
+  sw.UpdateValue(1, "v").ok();
+  std::string value;
+  for (int i = 0; i < 20; ++i) {
+    sw.Lookup(1, &value);  // incumbent has 20 hits
+  }
+  for (int i = 0; i < 10; ++i) {
+    sw.RecordMiss(2);  // challenger only 10
+  }
+  EXPECT_EQ(agent.RunEpoch(), 0u);
+  EXPECT_TRUE(sw.Contains(1));
+  EXPECT_FALSE(sw.Contains(2));
+}
+
+TEST(SwitchAgent, RunEpochResetsDataPlaneEpochState) {
+  CacheSwitch sw(SwitchConfig());
+  SwitchAgent agent(&sw, SwitchAgent::Config{}, nullptr);
+  agent.SetPartition({});
+  sw.AddTelemetryLoad(9);
+  agent.RunEpoch();
+  EXPECT_EQ(sw.TelemetryLoad(), 0u);
+}
+
+}  // namespace
+}  // namespace distcache

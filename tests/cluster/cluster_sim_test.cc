@@ -1,0 +1,208 @@
+#include "cluster/cluster_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace distcache {
+namespace {
+
+// Load imbalance between cache nodes only bites at scale (§3.3: "the load imbalance
+// issue is only significant when m is large"), so the mechanism-separation tests run
+// a 32-rack cluster; 8 servers per rack keeps them fast.
+ClusterConfig SmallCluster(Mechanism m, double theta = 0.99) {
+  ClusterConfig cfg;
+  cfg.mechanism = m;
+  cfg.num_spine = 32;
+  cfg.num_racks = 32;
+  cfg.servers_per_rack = 8;
+  cfg.per_switch_objects = 20;
+  cfg.num_keys = 1'000'000;
+  cfg.zipf_theta = theta;
+  return cfg;
+}
+
+TEST(ClusterSim, UniformWorkloadEqualizesMechanisms) {
+  // Fig. 9(a) leftmost group: under uniform load all four mechanisms saturate the
+  // servers and perform identically.
+  double results[4];
+  int i = 0;
+  for (Mechanism m : {Mechanism::kNoCache, Mechanism::kCachePartition,
+                      Mechanism::kCacheReplication, Mechanism::kDistCache}) {
+    ClusterSim sim(SmallCluster(m, /*theta=*/0.0));
+    results[i++] = sim.SaturationThroughput();
+  }
+  for (int j = 1; j < 4; ++j) {
+    EXPECT_NEAR(results[j], results[0], 0.05 * results[0]);
+  }
+  EXPECT_GT(results[0], 0.9 * 256.0);  // ~aggregate server capacity
+}
+
+TEST(ClusterSim, SkewCollapsesNoCache) {
+  ClusterSim uniform(SmallCluster(Mechanism::kNoCache, 0.0));
+  ClusterSim skewed(SmallCluster(Mechanism::kNoCache, 0.99));
+  EXPECT_LT(skewed.SaturationThroughput(), 0.3 * uniform.SaturationThroughput());
+}
+
+TEST(ClusterSim, MechanismOrderingUnderSkew) {
+  // Fig. 9(a): DistCache ≈ CacheReplication > CachePartition > NoCache.
+  ClusterSim dist(SmallCluster(Mechanism::kDistCache));
+  ClusterSim repl(SmallCluster(Mechanism::kCacheReplication));
+  ClusterSim part(SmallCluster(Mechanism::kCachePartition));
+  ClusterSim none(SmallCluster(Mechanism::kNoCache));
+  const double d = dist.SaturationThroughput();
+  const double r = repl.SaturationThroughput();
+  const double p = part.SaturationThroughput();
+  const double n = none.SaturationThroughput();
+  EXPECT_NEAR(d, r, 0.15 * r);  // comparable to the read-optimal mechanism
+  EXPECT_GT(d, 1.3 * p);
+  EXPECT_GT(p, n);
+}
+
+TEST(ClusterSim, BiggerCacheHelpsDistCache) {
+  // Fig. 9(b): throughput grows with cache size until saturation.
+  ClusterConfig small = SmallCluster(Mechanism::kDistCache);
+  small.per_switch_objects = 1;
+  ClusterConfig big = SmallCluster(Mechanism::kDistCache);
+  big.per_switch_objects = 50;
+  ClusterSim s(small);
+  ClusterSim b(big);
+  EXPECT_GT(b.SaturationThroughput(), 1.5 * s.SaturationThroughput());
+}
+
+TEST(ClusterSim, CachePartitionGainsLittleFromCacheSize) {
+  // Fig. 9(b): CachePartition stays bottlenecked by its hottest switch.
+  ClusterConfig small = SmallCluster(Mechanism::kCachePartition);
+  small.per_switch_objects = 20;
+  ClusterConfig big = SmallCluster(Mechanism::kCachePartition);
+  big.per_switch_objects = 200;
+  ClusterSim s(small);
+  ClusterSim b(big);
+  EXPECT_LT(b.SaturationThroughput(), 1.5 * s.SaturationThroughput());
+}
+
+TEST(ClusterSim, DistCacheScalesWithClusterCount) {
+  // Fig. 9(c) regime (within the theorem's max-object-rate precondition).
+  ClusterConfig half = SmallCluster(Mechanism::kDistCache, 0.8);
+  ClusterConfig full = SmallCluster(Mechanism::kDistCache, 0.8);
+  full.num_spine = 64;
+  full.num_racks = 64;
+  ClusterSim h(half);
+  ClusterSim f(full);
+  EXPECT_GT(f.SaturationThroughput(), 1.8 * h.SaturationThroughput());
+}
+
+TEST(ClusterSim, WritesHurtReplicationMost) {
+  // Fig. 10: CacheReplication pays m-copy coherence; DistCache pays 2.
+  ClusterConfig dist_cfg = SmallCluster(Mechanism::kDistCache);
+  dist_cfg.write_ratio = 0.1;
+  ClusterConfig repl_cfg = SmallCluster(Mechanism::kCacheReplication);
+  repl_cfg.write_ratio = 0.1;
+  ClusterSim dist(dist_cfg);
+  ClusterSim repl(repl_cfg);
+  EXPECT_GT(dist.SaturationThroughput(), 2.0 * repl.SaturationThroughput());
+}
+
+TEST(ClusterSim, NoCacheUnaffectedByWriteRatio) {
+  ClusterConfig a = SmallCluster(Mechanism::kNoCache);
+  ClusterConfig b = SmallCluster(Mechanism::kNoCache);
+  b.write_ratio = 0.8;
+  ClusterSim sa(a);
+  ClusterSim sb(b);
+  EXPECT_NEAR(sa.SaturationThroughput(), sb.SaturationThroughput(),
+              0.05 * sa.SaturationThroughput());
+}
+
+TEST(ClusterSim, HighWriteRatioMakesCachingWorseThanNoCache) {
+  // Fig. 10 endgame: "in-network caching should be disabled for write-intensive
+  // workloads".
+  ClusterConfig cached = SmallCluster(Mechanism::kDistCache);
+  cached.write_ratio = 1.0;
+  ClusterConfig none = SmallCluster(Mechanism::kNoCache);
+  none.write_ratio = 1.0;
+  ClusterSim c(cached);
+  ClusterSim n(none);
+  EXPECT_LT(c.SaturationThroughput(), n.SaturationThroughput());
+}
+
+TEST(ClusterSim, AchievedBoundedByOffered) {
+  ClusterSim sim(SmallCluster(Mechanism::kDistCache));
+  EXPECT_LE(sim.AchievedThroughput(100.0), 100.0 + 1e-9);
+  EXPECT_NEAR(sim.AchievedThroughput(10.0), 10.0, 1e-6);  // far below saturation
+}
+
+TEST(ClusterSim, FailureDropsThroughputUntilRecovery) {
+  // Fig. 11 storyline at reduced scale.
+  ClusterSim sim(SmallCluster(Mechanism::kDistCache));
+  const double offered = 0.5 * sim.SaturationThroughput();
+  const double healthy = sim.AchievedThroughput(offered);
+  EXPECT_NEAR(healthy, offered, 0.02 * offered);
+  sim.FailSpine(0);
+  const double degraded = sim.AchievedThroughput(offered);
+  EXPECT_LT(degraded, 0.99 * healthy);
+  sim.RunFailureRecovery();
+  const double recovered = sim.AchievedThroughput(offered);
+  EXPECT_NEAR(recovered, healthy, 0.03 * healthy);
+  sim.RecoverSpine(0);
+  EXPECT_NEAR(sim.AchievedThroughput(offered), healthy, 0.03 * healthy);
+}
+
+TEST(ClusterSim, RecoveryKeepsHotObjectsCached) {
+  ClusterConfig cfg = SmallCluster(Mechanism::kDistCache);
+  ClusterSim sim(cfg);
+  const double before = sim.SaturationThroughput();
+  sim.FailSpine(0);
+  sim.RunFailureRecovery();
+  const double after = sim.SaturationThroughput();
+  // One of 8 spines lost: capacity dips, but caching still works (≫ leaf-only).
+  EXPECT_GT(after, 0.5 * before);
+}
+
+TEST(ClusterSim, StaleTelemetryHerdingHurts) {
+  ClusterConfig fresh = SmallCluster(Mechanism::kDistCache);
+  ClusterConfig stale = SmallCluster(Mechanism::kDistCache);
+  stale.stale_telemetry = true;
+  ClusterSim f(fresh);
+  ClusterSim s(stale);
+  EXPECT_GE(f.SaturationThroughput(), s.SaturationThroughput() - 1e-9);
+}
+
+TEST(ClusterSim, RandomRoutingWorseThanPoT) {
+  ClusterConfig pot = SmallCluster(Mechanism::kDistCache);
+  ClusterConfig rnd = SmallCluster(Mechanism::kDistCache);
+  rnd.routing = RoutingPolicy::kRandom;
+  ClusterSim p(pot);
+  ClusterSim r(rnd);
+  EXPECT_GE(p.SaturationThroughput(), r.SaturationThroughput() - 1e-9);
+}
+
+TEST(ClusterSim, FastSpineVariantSupportsHotterObjects) {
+  // §3.3 non-uniform throughput remark: fewer-but-faster spines raise the
+  // per-object ceiling.
+  ClusterConfig slow = SmallCluster(Mechanism::kDistCache);
+  ClusterConfig fast = SmallCluster(Mechanism::kDistCache);
+  fast.spine_capacity = 4.0 * 8.0;  // 4x the 8-server rack aggregate
+  ClusterSim s(slow);
+  ClusterSim f(fast);
+  EXPECT_GE(f.SaturationThroughput(), s.SaturationThroughput());
+}
+
+TEST(ClusterSim, UncappedModeExceedsServerAggregate) {
+  ClusterConfig cfg = SmallCluster(Mechanism::kDistCache);
+  cfg.cap_at_server_aggregate = false;
+  cfg.zipf_theta = 0.9;
+  ClusterSim sim(cfg);
+  // With caches absorbing the head, stable rate can exceed what servers alone could
+  // serve — the cap exists only to mirror the paper's testbed normalization.
+  EXPECT_GT(sim.SaturationThroughput(), sim.TotalServerCapacity());
+}
+
+TEST(ClusterSim, SnapshotShapesMatchTopology) {
+  ClusterSim sim(SmallCluster(Mechanism::kDistCache));
+  const LoadSnapshot snap = sim.RunTicks(10.0, 2);
+  EXPECT_EQ(snap.spine.size(), 32u);
+  EXPECT_EQ(snap.leaf.size(), 32u);
+  EXPECT_EQ(snap.server.size(), 256u);
+  EXPECT_GT(snap.max_utilization, 0.0);
+}
+
+}  // namespace
+}  // namespace distcache

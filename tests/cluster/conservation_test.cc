@@ -1,0 +1,91 @@
+// Conservation and monotonicity properties of the fluid cluster simulator that must
+// hold for every mechanism and workload shape.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "cluster/cluster_sim.h"
+
+namespace distcache {
+namespace {
+
+using Param = std::tuple<Mechanism, double /*theta*/, double /*write_ratio*/>;
+
+class ConservationTest : public ::testing::TestWithParam<Param> {
+ protected:
+  ClusterConfig Config() const {
+    const auto [mechanism, theta, write_ratio] = GetParam();
+    ClusterConfig cfg;
+    cfg.mechanism = mechanism;
+    cfg.num_spine = 8;
+    cfg.num_racks = 8;
+    cfg.servers_per_rack = 8;
+    cfg.per_switch_objects = 10;
+    cfg.num_keys = 100000;
+    cfg.zipf_theta = theta;
+    cfg.write_ratio = write_ratio;
+    return cfg;
+  }
+};
+
+TEST_P(ConservationTest, ReadLoadIsConserved) {
+  ClusterSim sim(Config());
+  const double rate = 10.0;
+  const LoadSnapshot snap = sim.RunTicks(rate, 2);
+  const double spine = std::accumulate(snap.spine.begin(), snap.spine.end(), 0.0);
+  const double leaf = std::accumulate(snap.leaf.begin(), snap.leaf.end(), 0.0);
+  const double server = std::accumulate(snap.server.begin(), snap.server.end(), 0.0);
+  const auto [mechanism, theta, write_ratio] = GetParam();
+  // Reads are conserved exactly; writes add coherence work, so total load is at
+  // least the offered rate and bounded by the max possible amplification.
+  const double total = spine + leaf + server;
+  EXPECT_GE(total, rate * (1.0 - 1e-9));
+  const double max_copies = mechanism == Mechanism::kCacheReplication ? 9.0 : 2.0;
+  const double max_amplification =
+      1.0 + write_ratio * (sim.config().coherence_server_cost +
+                           sim.config().coherence_switch_cost) * max_copies;
+  EXPECT_LE(total, rate * max_amplification + 1e-6);
+}
+
+TEST_P(ConservationTest, ReadOnlyLoadExactlyOffered) {
+  ClusterConfig cfg = Config();
+  cfg.write_ratio = 0.0;
+  ClusterSim sim(cfg);
+  const double rate = 25.0;
+  const LoadSnapshot snap = sim.RunTicks(rate, 1);
+  const double total = std::accumulate(snap.spine.begin(), snap.spine.end(), 0.0) +
+                       std::accumulate(snap.leaf.begin(), snap.leaf.end(), 0.0) +
+                       std::accumulate(snap.server.begin(), snap.server.end(), 0.0);
+  EXPECT_NEAR(total, rate, 1e-6 * rate);
+}
+
+TEST_P(ConservationTest, UtilizationScalesLinearly) {
+  ClusterSim sim(Config());
+  const double low = sim.RunTicks(5.0, 1).max_utilization;
+  const double high = sim.RunTicks(10.0, 1).max_utilization;
+  EXPECT_NEAR(high, 2.0 * low, 0.15 * high);  // fluid routing is near-homogeneous
+}
+
+TEST_P(ConservationTest, SaturationIsStableAndBeyondIsNot) {
+  ClusterSim sim(Config());
+  const double r_star = sim.SaturationThroughput();
+  if (r_star < 1.0) {
+    return;  // degenerate configs
+  }
+  EXPECT_LE(sim.RunTicks(0.95 * r_star, 4).max_utilization, 1.0 + 1e-6);
+  if (r_star < sim.TotalServerCapacity() * 0.99) {  // not clipped by the cap
+    EXPECT_GT(sim.RunTicks(1.1 * r_star, 4).max_utilization, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConservationTest,
+    ::testing::Combine(::testing::Values(Mechanism::kNoCache, Mechanism::kCachePartition,
+                                         Mechanism::kCacheReplication,
+                                         Mechanism::kDistCache),
+                       ::testing::Values(0.0, 0.9, 0.99),   // skew
+                       ::testing::Values(0.0, 0.2)));       // write ratio
+
+}  // namespace
+}  // namespace distcache

@@ -1,0 +1,78 @@
+#include "cluster/latency.h"
+
+#include <gtest/gtest.h>
+
+namespace distcache {
+namespace {
+
+ClusterConfig Cfg(Mechanism m) {
+  ClusterConfig cfg;
+  cfg.mechanism = m;
+  cfg.num_spine = 16;
+  cfg.num_racks = 16;
+  cfg.servers_per_rack = 8;
+  cfg.per_switch_objects = 20;
+  cfg.num_keys = 1'000'000;
+  cfg.zipf_theta = 0.99;
+  return cfg;
+}
+
+TEST(Latency, PercentilesAreOrdered) {
+  ClusterSim sim(Cfg(Mechanism::kDistCache));
+  const LatencyReport r = ComputeLatencyReport(sim, 0.3 * sim.TotalServerCapacity());
+  EXPECT_GT(r.p50, 0.0);
+  EXPECT_LE(r.p50, r.p95);
+  EXPECT_LE(r.p95, r.p99);
+  EXPECT_GT(r.mean, 0.0);
+}
+
+TEST(Latency, LatencyGrowsWithLoad) {
+  ClusterSim sim(Cfg(Mechanism::kDistCache));
+  const double cap = sim.TotalServerCapacity();
+  const LatencyReport light = ComputeLatencyReport(sim, 0.1 * cap);
+  const LatencyReport heavy = ComputeLatencyReport(sim, 0.8 * cap);
+  EXPECT_GE(heavy.mean, light.mean);
+  EXPECT_GE(heavy.p99, light.p99);
+}
+
+TEST(Latency, NoCacheTailExplodesEarly) {
+  ClusterSim none(Cfg(Mechanism::kNoCache));
+  ClusterSim dist(Cfg(Mechanism::kDistCache));
+  const double rate = 0.3 * none.TotalServerCapacity();
+  const LatencyReport rn = ComputeLatencyReport(none, rate);
+  const LatencyReport rd = ComputeLatencyReport(dist, rate);
+  EXPECT_GT(rn.p99, 10.0 * rd.p99);  // the hot server is saturated without caching
+  EXPECT_GT(rn.overloaded_fraction, 0.0);
+  EXPECT_EQ(rd.overloaded_fraction, 0.0);
+}
+
+TEST(Latency, CacheHitsReduceMedian) {
+  ClusterSim none(Cfg(Mechanism::kNoCache));
+  ClusterSim dist(Cfg(Mechanism::kDistCache));
+  const double rate = 0.2 * none.TotalServerCapacity();
+  // Cache hits skip the server sojourn; with ~half the mass cached the median
+  // must not be worse.
+  EXPECT_LE(ComputeLatencyReport(dist, rate).p50,
+            ComputeLatencyReport(none, rate).p50 + 1e-9);
+}
+
+TEST(Latency, HitFractionMatchesCacheSize) {
+  ClusterSim sim(Cfg(Mechanism::kDistCache));
+  const LatencyReport r = ComputeLatencyReport(sim, 0.3 * sim.TotalServerCapacity());
+  EXPECT_GT(r.hit_fraction, 0.3);
+  EXPECT_LT(r.hit_fraction, 0.9);
+  ClusterSim none(Cfg(Mechanism::kNoCache));
+  EXPECT_EQ(ComputeLatencyReport(none, 1.0).hit_fraction, 0.0);
+}
+
+TEST(Latency, NetworkRttIsFloor) {
+  ClusterSim sim(Cfg(Mechanism::kDistCache));
+  LatencyModelOptions options;
+  options.network_rtt = 5.0;
+  const LatencyReport r =
+      ComputeLatencyReport(sim, 0.05 * sim.TotalServerCapacity(), options);
+  EXPECT_GE(r.p50, 5.0);
+}
+
+}  // namespace
+}  // namespace distcache

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace distcache {
+namespace {
+
+TEST(DiscreteDistribution, NormalizesPmf) {
+  DiscreteDistribution d({2.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(d.Pmf(0), 0.25);
+  EXPECT_DOUBLE_EQ(d.Pmf(2), 0.5);
+  EXPECT_DOUBLE_EQ(d.Pmf(3), 0.0);
+  EXPECT_EQ(d.num_keys(), 3u);
+}
+
+TEST(DiscreteDistribution, TopMassIsCdf) {
+  DiscreteDistribution d({1.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(d.TopMass(0), 0.0);
+  EXPECT_DOUBLE_EQ(d.TopMass(1), 0.25);
+  EXPECT_DOUBLE_EQ(d.TopMass(2), 0.5);
+  EXPECT_DOUBLE_EQ(d.TopMass(3), 1.0);
+  EXPECT_DOUBLE_EQ(d.TopMass(99), 1.0);
+}
+
+TEST(DiscreteDistribution, SamplesFollowPmf) {
+  DiscreteDistribution d({0.7, 0.2, 0.1});
+  Rng rng(5);
+  int counts[3] = {};
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[d.Sample(rng)];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(kSamples), 0.7, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kSamples), 0.2, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kSamples), 0.1, 0.02);
+}
+
+TEST(DiscreteDistribution, ZeroMassKeysNeverSampled) {
+  DiscreteDistribution d({1.0, 0.0, 1.0});
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_NE(d.Sample(rng), 1u);
+  }
+}
+
+TEST(CappedZipfPmf, RespectsCap) {
+  const auto pmf = CappedZipfPmf(100, 0.99, 0.02);
+  double sum = 0.0;
+  for (double p : pmf) {
+    EXPECT_LE(p, 0.02 * (1.0 + 1e-9));
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(CappedZipfPmf, UnbindingCapReturnsZipf) {
+  const auto pmf = CappedZipfPmf(100, 0.9, 1.0);
+  ZipfDistribution zipf(100, 0.9);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_NEAR(pmf[i], zipf.Pmf(i), 1e-12);
+  }
+}
+
+TEST(CappedZipfPmf, ClippedMassGoesToTail) {
+  const auto raw = CappedZipfPmf(1000, 0.99, 1.0);
+  const auto capped = CappedZipfPmf(1000, 0.99, 0.005);
+  EXPECT_LT(capped[0], raw[0]);
+  EXPECT_GT(capped[999], raw[999]);  // tail inflated by renormalization
+}
+
+TEST(CappedZipfPmf, HeadIsFlatAtCap) {
+  const auto pmf = CappedZipfPmf(1000, 0.99, 0.01);
+  // The hottest keys all sit exactly at the cap.
+  EXPECT_NEAR(pmf[0], 0.01, 1e-9);
+  EXPECT_NEAR(pmf[1], 0.01, 1e-9);
+  EXPECT_LT(pmf[999], 0.01);
+}
+
+}  // namespace
+}  // namespace distcache

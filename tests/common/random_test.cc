@@ -1,0 +1,99 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace distcache {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += a.Next() == b.Next() ? 1 : 0;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(Rng, BoundedIsRoughlyUniform) {
+  Rng rng(4);
+  int counts[10] = {};
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.NextBounded(10)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / 10, kSamples / 50);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialHasCorrectMean) {
+  Rng rng(6);
+  for (double rate : {0.5, 1.0, 4.0}) {
+    double sum = 0.0;
+    constexpr int kSamples = 200000;
+    for (int i = 0; i < kSamples; ++i) {
+      sum += rng.NextExponential(rate);
+    }
+    EXPECT_NEAR(sum / kSamples, 1.0 / rate, 0.05 / rate) << "rate=" << rate;
+  }
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(rng.NextExponential(2.0), 0.0);
+  }
+}
+
+TEST(Rng, BernoulliTracksProbability) {
+  Rng rng(9);
+  for (double p : {0.1, 0.5, 0.9}) {
+    int hits = 0;
+    constexpr int kSamples = 100000;
+    for (int i = 0; i < kSamples; ++i) {
+      hits += rng.NextBernoulli(p) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / kSamples, p, 0.01);
+  }
+}
+
+TEST(Rng, ReseedResetsSequence) {
+  Rng rng(10);
+  const uint64_t first = rng.Next();
+  rng.Next();
+  rng.Seed(10);
+  EXPECT_EQ(rng.Next(), first);
+}
+
+}  // namespace
+}  // namespace distcache

@@ -1,0 +1,85 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace distcache {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(StreamingStats, SingleValue) {
+  StreamingStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStats, KnownMoments) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StreamingStats, CvOfConstantIsZero) {
+  StreamingStats s;
+  s.Add(3.0);
+  s.Add(3.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(Histogram, PercentilesOfUniformRamp) {
+  Histogram h(100.0, 100);
+  for (int i = 0; i < 100; ++i) {
+    h.Add(i + 0.5);
+  }
+  EXPECT_NEAR(h.Percentile(50), 50.0, 2.0);
+  EXPECT_NEAR(h.Percentile(90), 90.0, 2.0);
+  EXPECT_NEAR(h.Percentile(0), 0.0, 2.0);
+}
+
+TEST(Histogram, OverflowGoesToUpperBound) {
+  Histogram h(10.0, 10);
+  for (int i = 0; i < 10; ++i) {
+    h.Add(1e9);
+  }
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 10.0);
+}
+
+TEST(Histogram, EmptyPercentileIsZero) {
+  Histogram h(10.0, 10);
+  EXPECT_EQ(h.Percentile(99), 0.0);
+}
+
+TEST(Histogram, NegativeClampsToOverflow) {
+  Histogram h(10.0, 10);
+  h.Add(-1.0);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 10.0);
+}
+
+TEST(ImbalanceFactor, BalancedIsOne) {
+  EXPECT_DOUBLE_EQ(ImbalanceFactor({3.0, 3.0, 3.0}), 1.0);
+}
+
+TEST(ImbalanceFactor, SkewedExceedsOne) {
+  EXPECT_DOUBLE_EQ(ImbalanceFactor({0.0, 0.0, 6.0}), 3.0);
+}
+
+TEST(ImbalanceFactor, EmptyIsOne) { EXPECT_DOUBLE_EQ(ImbalanceFactor({}), 1.0); }
+
+}  // namespace
+}  // namespace distcache

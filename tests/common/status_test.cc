@@ -1,0 +1,63 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace distcache {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+}
+
+TEST(Status, FactoriesCarryCode) {
+  EXPECT_EQ(Status::NotFound().code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::InvalidArgument().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::ResourceExhausted().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unavailable().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::FailedPrecondition().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Status, ToStringIncludesMessage) {
+  EXPECT_EQ(Status::NotFound("key 7").ToString(), "NOT_FOUND: key 7");
+  EXPECT_EQ(Status().ToString(), "OK");
+}
+
+TEST(Status, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v(Status::NotFound("gone"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOr, MoveOutValue) {
+  StatusOr<std::string> v(std::string("payload"));
+  const std::string s = std::move(v).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(StatusOr, ArrowOperator) {
+  StatusOr<std::string> v(std::string("abc"));
+  EXPECT_EQ(v->size(), 3u);
+}
+
+TEST(StatusCodeName, AllNamesDistinct) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "UNAVAILABLE");
+}
+
+}  // namespace
+}  // namespace distcache

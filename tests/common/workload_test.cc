@@ -1,0 +1,93 @@
+#include "common/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace distcache {
+namespace {
+
+TEST(WorkloadGenerator, ReadOnlyProducesNoWrites) {
+  WorkloadConfig cfg;
+  cfg.num_keys = 1000;
+  cfg.write_ratio = 0.0;
+  WorkloadGenerator gen(cfg);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(gen.Next().type, OpType::kGet);
+  }
+}
+
+TEST(WorkloadGenerator, WriteOnlyProducesAllWrites) {
+  WorkloadConfig cfg;
+  cfg.num_keys = 1000;
+  cfg.write_ratio = 1.0;
+  WorkloadGenerator gen(cfg);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(gen.Next().type, OpType::kPut);
+  }
+}
+
+TEST(WorkloadGenerator, WriteRatioIsRespected) {
+  WorkloadConfig cfg;
+  cfg.num_keys = 1000;
+  cfg.write_ratio = 0.3;
+  WorkloadGenerator gen(cfg);
+  int writes = 0;
+  constexpr int kOps = 50000;
+  for (int i = 0; i < kOps; ++i) {
+    writes += gen.Next().type == OpType::kPut ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / kOps, 0.3, 0.02);
+}
+
+TEST(WorkloadGenerator, KeysInRange) {
+  WorkloadConfig cfg;
+  cfg.num_keys = 500;
+  cfg.zipf_theta = 0.99;
+  WorkloadGenerator gen(cfg);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(gen.Next().key, 500u);
+  }
+}
+
+TEST(WorkloadGenerator, DeterministicFromSeed) {
+  WorkloadConfig cfg;
+  cfg.num_keys = 1000;
+  cfg.write_ratio = 0.5;
+  WorkloadGenerator a(cfg);
+  WorkloadGenerator b(cfg);
+  for (int i = 0; i < 100; ++i) {
+    const Op x = a.Next();
+    const Op y = b.Next();
+    EXPECT_EQ(x.key, y.key);
+    EXPECT_EQ(x.type, y.type);
+  }
+}
+
+TEST(BuildPopularityVector, HeadPlusTailIsOne) {
+  auto dist = MakeDistribution(100000, 0.99);
+  const PopularityVector pv = BuildPopularityVector(*dist, 1000);
+  double head = 0.0;
+  for (double p : pv.head) {
+    head += p;
+  }
+  EXPECT_NEAR(head + pv.tail_mass, 1.0, 1e-9);
+  EXPECT_EQ(pv.head.size(), 1000u);
+}
+
+TEST(BuildPopularityVector, TopKClampsToNumKeys) {
+  auto dist = MakeDistribution(50, 0.9);
+  const PopularityVector pv = BuildPopularityVector(*dist, 1000);
+  EXPECT_EQ(pv.head.size(), 50u);
+  EXPECT_NEAR(pv.tail_mass, 0.0, 1e-9);
+}
+
+TEST(BuildPopularityVector, UniformHead) {
+  auto dist = MakeDistribution(1000, 0.0);
+  const PopularityVector pv = BuildPopularityVector(*dist, 10);
+  for (double p : pv.head) {
+    EXPECT_DOUBLE_EQ(p, 0.001);
+  }
+  EXPECT_NEAR(pv.tail_mass, 0.99, 1e-9);
+}
+
+}  // namespace
+}  // namespace distcache

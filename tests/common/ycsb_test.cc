@@ -1,0 +1,111 @@
+#include "common/ycsb.h"
+
+#include <gtest/gtest.h>
+
+namespace distcache {
+namespace {
+
+YcsbGenerator::Config Cfg(YcsbWorkload w) {
+  YcsbGenerator::Config cfg;
+  cfg.workload = w;
+  cfg.num_keys = 10000;
+  return cfg;
+}
+
+TEST(YcsbMix, ProportionsSumToOne) {
+  for (YcsbWorkload w : {YcsbWorkload::kA, YcsbWorkload::kB, YcsbWorkload::kC,
+                         YcsbWorkload::kD, YcsbWorkload::kF}) {
+    const YcsbMix mix = MixFor(w);
+    EXPECT_NEAR(mix.reads + mix.updates + mix.inserts + mix.read_modify_writes, 1.0,
+                1e-12)
+        << YcsbWorkloadName(w);
+  }
+}
+
+TEST(YcsbMix, EffectiveWriteRatios) {
+  EXPECT_DOUBLE_EQ(EffectiveWriteRatio(YcsbWorkload::kA), 0.5);
+  EXPECT_DOUBLE_EQ(EffectiveWriteRatio(YcsbWorkload::kB), 0.05);
+  EXPECT_DOUBLE_EQ(EffectiveWriteRatio(YcsbWorkload::kC), 0.0);
+  EXPECT_DOUBLE_EQ(EffectiveWriteRatio(YcsbWorkload::kD), 0.05);
+  EXPECT_DOUBLE_EQ(EffectiveWriteRatio(YcsbWorkload::kF), 0.25);
+}
+
+TEST(YcsbGenerator, WorkloadCIsReadOnly) {
+  YcsbGenerator gen(Cfg(YcsbWorkload::kC));
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(gen.Next().type, OpType::kGet);
+  }
+}
+
+TEST(YcsbGenerator, WorkloadAMixesEvenly) {
+  YcsbGenerator gen(Cfg(YcsbWorkload::kA));
+  int writes = 0;
+  constexpr int kOps = 50000;
+  for (int i = 0; i < kOps; ++i) {
+    writes += gen.Next().type == OpType::kPut ? 1 : 0;
+  }
+  EXPECT_NEAR(writes / static_cast<double>(kOps), 0.5, 0.02);
+}
+
+TEST(YcsbGenerator, RmwEmitsGetThenPutOnSameKey) {
+  YcsbGenerator gen(Cfg(YcsbWorkload::kF));
+  int rmw_pairs = 0;
+  Op prev = gen.Next();
+  for (int i = 0; i < 20000; ++i) {
+    const Op cur = gen.Next();
+    if (prev.type == OpType::kGet && cur.type == OpType::kPut) {
+      EXPECT_EQ(prev.key, cur.key);
+      ++rmw_pairs;
+    }
+    prev = cur;
+  }
+  EXPECT_GT(rmw_pairs, 2000);
+}
+
+TEST(YcsbGenerator, InsertsGrowTheKeyspaceWithFreshKeys) {
+  YcsbGenerator gen(Cfg(YcsbWorkload::kD));
+  const uint64_t initial = gen.live_keys();
+  uint64_t last_insert = 0;
+  int inserts = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const Op op = gen.Next();
+    if (op.type == OpType::kPut) {
+      EXPECT_GE(op.key, initial);  // D writes are inserts of brand-new keys
+      EXPECT_GT(op.key + 1, last_insert);
+      last_insert = op.key + 1;
+      ++inserts;
+    }
+  }
+  EXPECT_EQ(gen.live_keys(), initial + inserts);
+  EXPECT_NEAR(inserts / 20000.0, 0.05, 0.01);
+}
+
+TEST(YcsbGenerator, LatestDistributionFavorsRecentKeys) {
+  YcsbGenerator gen(Cfg(YcsbWorkload::kD));
+  uint64_t recent_reads = 0;
+  uint64_t reads = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const Op op = gen.Next();
+    if (op.type == OpType::kGet) {
+      ++reads;
+      if (op.key + 100 >= gen.live_keys()) {
+        ++recent_reads;  // among the 100 newest keys
+      }
+    }
+  }
+  // Zipf-0.99 over 10k ranks: the top-100 ranks carry ~half the mass.
+  EXPECT_GT(static_cast<double>(recent_reads) / static_cast<double>(reads), 0.3);
+}
+
+TEST(YcsbGenerator, KeysStayInLiveRange) {
+  for (YcsbWorkload w : {YcsbWorkload::kA, YcsbWorkload::kD, YcsbWorkload::kF}) {
+    YcsbGenerator gen(Cfg(w));
+    for (int i = 0; i < 5000; ++i) {
+      const Op op = gen.Next();  // evaluate before reading live_keys()
+      EXPECT_LT(op.key, gen.live_keys()) << YcsbWorkloadName(w);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace distcache

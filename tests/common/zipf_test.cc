@@ -1,0 +1,133 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+
+namespace distcache {
+namespace {
+
+TEST(Zeta, MatchesExactSmallN) {
+  for (double theta : {0.5, 0.9, 0.99}) {
+    double exact = 0.0;
+    for (int i = 1; i <= 500; ++i) {
+      exact += std::pow(i, -theta);
+    }
+    EXPECT_NEAR(ZipfDistribution::Zeta(500, theta), exact, 1e-9) << "theta=" << theta;
+  }
+}
+
+TEST(Zeta, IntegralTailIsAccurate) {
+  // Compare prefix+integral (used for n > 10000) against a brute-force sum.
+  const double theta = 0.9;
+  const uint64_t n = 200000;
+  double exact = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    exact += std::pow(static_cast<double>(i), -theta);
+  }
+  EXPECT_NEAR(ZipfDistribution::Zeta(n, theta) / exact, 1.0, 1e-5);
+}
+
+TEST(ZipfDistribution, PmfIsNormalized) {
+  ZipfDistribution dist(10000, 0.95);
+  double sum = 0.0;
+  for (uint64_t k = 0; k < 10000; ++k) {
+    sum += dist.Pmf(k);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(ZipfDistribution, PmfIsDecreasing) {
+  ZipfDistribution dist(1000, 0.9);
+  for (uint64_t k = 1; k < 1000; ++k) {
+    EXPECT_LT(dist.Pmf(k), dist.Pmf(k - 1));
+  }
+}
+
+TEST(ZipfDistribution, PmfOutOfRangeIsZero) {
+  ZipfDistribution dist(100, 0.9);
+  EXPECT_EQ(dist.Pmf(100), 0.0);
+  EXPECT_EQ(dist.Pmf(1000000), 0.0);
+}
+
+TEST(ZipfDistribution, TopMassMonotone) {
+  ZipfDistribution dist(100000, 0.99);
+  double prev = 0.0;
+  for (uint64_t k : {1, 10, 100, 1000, 10000, 100000}) {
+    const double mass = dist.TopMass(k);
+    EXPECT_GT(mass, prev);
+    prev = mass;
+  }
+  EXPECT_NEAR(dist.TopMass(100000), 1.0, 1e-9);
+  EXPECT_NEAR(dist.TopMass(1000000), 1.0, 1e-12);  // clamped beyond num_keys
+}
+
+TEST(ZipfDistribution, PaperHeadlineSkew) {
+  // §2.1 cites measurements where 60-90% of queries go to the hottest 10% of objects;
+  // zipf-0.99 over 100M keys concentrates ~4.9% of all queries on the single hottest.
+  ZipfDistribution dist(100'000'000, 0.99);
+  EXPECT_NEAR(dist.Pmf(0), 0.0495, 0.002);
+  EXPECT_GT(dist.TopMass(10'000'000), 0.6);
+}
+
+TEST(UniformDistribution, Basics) {
+  UniformDistribution dist(1000);
+  EXPECT_DOUBLE_EQ(dist.Pmf(0), 0.001);
+  EXPECT_DOUBLE_EQ(dist.Pmf(999), 0.001);
+  EXPECT_DOUBLE_EQ(dist.Pmf(1000), 0.0);
+  EXPECT_DOUBLE_EQ(dist.TopMass(500), 0.5);
+  EXPECT_EQ(dist.name(), "uniform");
+}
+
+TEST(MakeDistribution, FactorySelectsByTheta) {
+  EXPECT_EQ(MakeDistribution(10, 0.0)->name(), "uniform");
+  EXPECT_EQ(MakeDistribution(10, 0.99)->name(), "zipf-0.99");
+  EXPECT_EQ(MakeDistribution(10, 0.9)->name(), "zipf-0.90");
+}
+
+// Property sweep: for each skew, empirical frequencies from Sample() must track the
+// analytic Pmf() on the hottest ranks (this validates the Gray et al. approximation).
+class ZipfSamplingTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSamplingTest, EmpiricalMatchesPmf) {
+  const double theta = GetParam();
+  const uint64_t kKeys = 100000;
+  ZipfDistribution dist(kKeys, theta);
+  Rng rng(1234);
+  constexpr int kSamples = 200000;
+  std::vector<int> counts(64, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    const uint64_t key = dist.Sample(rng);
+    ASSERT_LT(key, kKeys);
+    if (key < counts.size()) {
+      ++counts[key];
+    }
+  }
+  for (uint64_t k : {0, 1, 2, 7, 31}) {
+    const double expected = dist.Pmf(k) * kSamples;
+    if (expected < 50) {
+      continue;  // too rare for a tight bound
+    }
+    EXPECT_NEAR(counts[k] / expected, 1.0, 0.25)
+        << "theta=" << theta << " rank=" << k;
+  }
+}
+
+TEST_P(ZipfSamplingTest, SamplesWithinRange) {
+  const double theta = GetParam();
+  ZipfDistribution dist(5000, theta);
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(dist.Sample(rng), 5000u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfSamplingTest,
+                         ::testing::Values(0.5, 0.9, 0.95, 0.99));
+
+}  // namespace
+}  // namespace distcache

@@ -1,0 +1,112 @@
+// Property sweep over mechanisms, shapes and budgets: structural invariants of the
+// cache allocation that every configuration must satisfy.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "core/allocation.h"
+
+namespace distcache {
+namespace {
+
+using Param = std::tuple<Mechanism, uint32_t /*spine*/, uint32_t /*racks*/,
+                         uint32_t /*per_switch*/>;
+
+class AllocationPropertyTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(AllocationPropertyTest, StructuralInvariants) {
+  const auto [mechanism, num_spine, num_racks, per_switch] = GetParam();
+  AllocationConfig cfg;
+  cfg.mechanism = mechanism;
+  cfg.num_spine = num_spine;
+  cfg.num_racks = num_racks;
+  cfg.per_switch_objects = per_switch;
+  Placement placement(num_racks, 4);
+  CacheAllocation alloc(cfg, placement);
+
+  // 1. Per-switch budgets are never exceeded.
+  for (const auto& contents : alloc.leaf_contents()) {
+    EXPECT_LE(contents.size(), per_switch);
+  }
+  for (const auto& contents : alloc.spine_contents()) {
+    EXPECT_LE(contents.size(), per_switch);
+  }
+
+  // 2. Leaf budgets are fully used when caching is on (the candidate pool is large
+  //    enough that every rack has per_switch hot keys).
+  if (mechanism != Mechanism::kNoCache) {
+    for (const auto& contents : alloc.leaf_contents()) {
+      EXPECT_EQ(contents.size(), per_switch);
+    }
+  }
+
+  // 3. No key appears twice within a layer (at most one copy per layer, §3.1 —
+  //    replication is the deliberate exception on the spine layer).
+  std::set<uint64_t> leaf_seen;
+  for (const auto& contents : alloc.leaf_contents()) {
+    for (uint64_t key : contents) {
+      EXPECT_TRUE(leaf_seen.insert(key).second) << key;
+    }
+  }
+  if (mechanism == Mechanism::kDistCache) {
+    std::set<uint64_t> spine_seen;
+    for (const auto& contents : alloc.spine_contents()) {
+      for (uint64_t key : contents) {
+        EXPECT_TRUE(spine_seen.insert(key).second) << key;
+      }
+    }
+  }
+
+  // 4. CopiesOf is consistent: every key in contents reports the hosting switch,
+  //    and cached() keys are exactly the union of the contents.
+  size_t contents_union = 0;
+  {
+    std::set<uint64_t> all;
+    for (const auto& contents : alloc.leaf_contents()) {
+      all.insert(contents.begin(), contents.end());
+    }
+    for (const auto& contents : alloc.spine_contents()) {
+      all.insert(contents.begin(), contents.end());
+    }
+    contents_union = all.size();
+    for (uint64_t key : all) {
+      EXPECT_TRUE(alloc.CopiesOf(key).cached());
+    }
+  }
+  EXPECT_EQ(alloc.num_cached_keys(), contents_union);
+
+  // 5. Write copy counts: at most 1 per layer, except spine replication.
+  for (uint64_t key = 0; key < 64; ++key) {
+    const CacheCopies copies = alloc.CopiesOf(key);
+    const size_t n = copies.NumCopies(num_spine);
+    switch (mechanism) {
+      case Mechanism::kNoCache:
+        EXPECT_EQ(n, 0u);
+        break;
+      case Mechanism::kCachePartition:
+        EXPECT_LE(n, 1u);
+        break;
+      case Mechanism::kDistCache:
+        EXPECT_LE(n, 2u);
+        break;
+      case Mechanism::kCacheReplication:
+        if (copies.replicated_all_spines) {
+          EXPECT_GE(n, num_spine);
+        }
+        break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllocationPropertyTest,
+    ::testing::Combine(::testing::Values(Mechanism::kNoCache, Mechanism::kCachePartition,
+                                         Mechanism::kCacheReplication,
+                                         Mechanism::kDistCache),
+                       ::testing::Values(4u, 16u),   // spine switches
+                       ::testing::Values(4u, 16u),   // racks
+                       ::testing::Values(5u, 50u))); // objects per switch
+
+}  // namespace
+}  // namespace distcache

@@ -1,0 +1,116 @@
+#include "core/coherence.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace distcache {
+namespace {
+
+class CoherenceTest : public ::testing::Test {
+ protected:
+  CoherenceTest() : server_(StorageServer::Config{0, 1.0}) {
+    CacheSwitch::Config cfg;
+    cfg.hh.sketch.width = 512;
+    cfg.hh.bloom.bits = 2048;
+    spine_ = std::make_unique<CacheSwitch>(cfg);
+    leaf_ = std::make_unique<CacheSwitch>(cfg);
+    coherence_ = std::make_unique<TwoPhaseCoherence>(
+        [this](CacheNodeId node) -> CacheSwitch* {
+          if (fail_all_) {
+            return nullptr;
+          }
+          return node.layer == 0 ? spine_.get() : leaf_.get();
+        },
+        TwoPhaseCoherence::Config{});
+    server_.Seed(1, "old").ok();
+    for (CacheSwitch* sw : {spine_.get(), leaf_.get()}) {
+      sw->InsertInvalid(1, 16).ok();
+      sw->UpdateValue(1, "old").ok();
+    }
+  }
+
+  StorageServer server_;
+  std::unique_ptr<CacheSwitch> spine_;
+  std::unique_ptr<CacheSwitch> leaf_;
+  std::unique_ptr<TwoPhaseCoherence> coherence_;
+  bool fail_all_ = false;
+  const std::vector<CacheNodeId> copies_{{0, 0}, {1, 0}};
+};
+
+TEST_F(CoherenceTest, UncachedWriteSkipsProtocol) {
+  ASSERT_TRUE(coherence_->Write(2, "v", &server_, {}).ok());
+  EXPECT_EQ(coherence_->stats().writes, 1u);
+  EXPECT_EQ(coherence_->stats().cached_writes, 0u);
+  EXPECT_EQ(coherence_->stats().invalidations_sent, 0u);
+  EXPECT_EQ(server_.store().Get(2).value(), "v");
+}
+
+TEST_F(CoherenceTest, CachedWriteUpdatesEveryCopy) {
+  ASSERT_TRUE(coherence_->Write(1, "new", &server_, copies_).ok());
+  EXPECT_EQ(server_.store().Get(1).value(), "new");
+  std::string v;
+  EXPECT_EQ(spine_->Lookup(1, &v), LookupResult::kHit);
+  EXPECT_EQ(v, "new");
+  EXPECT_EQ(leaf_->Lookup(1, &v), LookupResult::kHit);
+  EXPECT_EQ(v, "new");
+}
+
+TEST_F(CoherenceTest, StatsCountPhases) {
+  coherence_->Write(1, "new", &server_, copies_).ok();
+  const auto& stats = coherence_->stats();
+  EXPECT_EQ(stats.writes, 1u);
+  EXPECT_EQ(stats.cached_writes, 1u);
+  EXPECT_EQ(stats.invalidations_sent, 2u);
+  EXPECT_EQ(stats.updates_sent, 2u);
+  EXPECT_EQ(stats.unreachable_copies, 0u);
+}
+
+TEST_F(CoherenceTest, ServerChargedPerCopy) {
+  coherence_->Write(1, "new", &server_, copies_).ok();
+  EXPECT_DOUBLE_EQ(server_.load(), 1.0 + 2.0);  // default unit cost 1.0 per copy
+}
+
+TEST_F(CoherenceTest, SwitchTelemetryChargedPerPhase) {
+  coherence_->Write(1, "new", &server_, copies_).ok();
+  EXPECT_EQ(spine_->TelemetryLoad(), 2u);  // invalidate + update
+  EXPECT_EQ(leaf_->TelemetryLoad(), 2u);
+}
+
+TEST_F(CoherenceTest, UnreachableCopiesRetriedThenSkipped) {
+  fail_all_ = true;
+  ASSERT_TRUE(coherence_->Write(1, "new", &server_, copies_).ok());
+  EXPECT_EQ(server_.store().Get(1).value(), "new");  // primary still updated
+  const auto& stats = coherence_->stats();
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_EQ(stats.unreachable_copies, 4u);  // 2 copies x 2 phases
+}
+
+TEST_F(CoherenceTest, PopulatePushesServerValue) {
+  server_.Seed(3, "seeded").ok();
+  spine_->InsertInvalid(3, 16).ok();
+  ASSERT_TRUE(coherence_->Populate(3, &server_, {0, 0}).ok());
+  std::string v;
+  EXPECT_EQ(spine_->Lookup(3, &v), LookupResult::kHit);
+  EXPECT_EQ(v, "seeded");
+}
+
+TEST_F(CoherenceTest, PopulateMissingKeyFails) {
+  EXPECT_EQ(coherence_->Populate(99, &server_, {0, 0}).code(), StatusCode::kNotFound);
+}
+
+TEST_F(CoherenceTest, PopulateUnreachableSwitchFails) {
+  server_.Seed(4, "x").ok();
+  fail_all_ = true;
+  EXPECT_EQ(coherence_->Populate(4, &server_, {0, 0}).code(), StatusCode::kUnavailable);
+}
+
+TEST_F(CoherenceTest, ResetStatsClears) {
+  coherence_->Write(1, "new", &server_, copies_).ok();
+  coherence_->ResetStats();
+  EXPECT_EQ(coherence_->stats().writes, 0u);
+}
+
+}  // namespace
+}  // namespace distcache

@@ -1,0 +1,114 @@
+#include "core/consistent_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace distcache {
+namespace {
+
+TEST(ConsistentHashRing, EmptyRingReturnsNothing) {
+  ConsistentHashRing ring;
+  EXPECT_FALSE(ring.NodeFor(1).has_value());
+}
+
+TEST(ConsistentHashRing, SingleNodeOwnsEverything) {
+  ConsistentHashRing ring;
+  ring.AddNode(7);
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(ring.NodeFor(k).value(), 7u);
+  }
+}
+
+TEST(ConsistentHashRing, AddRemoveIdempotent) {
+  ConsistentHashRing ring;
+  ring.AddNode(1);
+  ring.AddNode(1);
+  EXPECT_EQ(ring.size(), 1u);
+  ring.RemoveNode(1);
+  ring.RemoveNode(1);
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(ConsistentHashRing, KeysSpreadOverNodes) {
+  ConsistentHashRing ring(64);
+  for (uint32_t n = 0; n < 8; ++n) {
+    ring.AddNode(n);
+  }
+  std::map<uint32_t, int> counts;
+  constexpr int kKeys = 8000;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    ++counts[ring.NodeFor(k).value()];
+  }
+  EXPECT_EQ(counts.size(), 8u);
+  for (const auto& [node, count] : counts) {
+    EXPECT_GT(count, kKeys / 8 / 3) << "node " << node;
+    EXPECT_LT(count, kKeys / 8 * 3) << "node " << node;
+  }
+}
+
+TEST(ConsistentHashRing, RemovalOnlyMovesVictimsKeys) {
+  ConsistentHashRing ring(64);
+  for (uint32_t n = 0; n < 8; ++n) {
+    ring.AddNode(n);
+  }
+  std::map<uint64_t, uint32_t> before;
+  for (uint64_t k = 0; k < 2000; ++k) {
+    before[k] = ring.NodeFor(k).value();
+  }
+  ring.RemoveNode(3);
+  for (uint64_t k = 0; k < 2000; ++k) {
+    const uint32_t now = ring.NodeFor(k).value();
+    if (before[k] != 3) {
+      EXPECT_EQ(now, before[k]) << "key " << k << " moved unnecessarily";
+    } else {
+      EXPECT_NE(now, 3u);
+    }
+  }
+}
+
+TEST(ConsistentHashRing, ReAddRestoresOwnership) {
+  ConsistentHashRing ring(64);
+  for (uint32_t n = 0; n < 4; ++n) {
+    ring.AddNode(n);
+  }
+  std::map<uint64_t, uint32_t> before;
+  for (uint64_t k = 0; k < 500; ++k) {
+    before[k] = ring.NodeFor(k).value();
+  }
+  ring.RemoveNode(2);
+  ring.AddNode(2);
+  for (uint64_t k = 0; k < 500; ++k) {
+    EXPECT_EQ(ring.NodeFor(k).value(), before[k]);
+  }
+}
+
+TEST(ConsistentHashRing, FailedNodeLoadSpreadsAcrossSurvivors) {
+  // §4.4: virtual nodes spread a failed switch's partitions, not dogpile one node.
+  ConsistentHashRing ring(64);
+  for (uint32_t n = 0; n < 8; ++n) {
+    ring.AddNode(n);
+  }
+  std::map<uint64_t, uint32_t> before;
+  for (uint64_t k = 0; k < 4000; ++k) {
+    before[k] = ring.NodeFor(k).value();
+  }
+  ring.RemoveNode(0);
+  std::map<uint32_t, int> inherited;
+  for (const auto& [k, owner] : before) {
+    if (owner == 0) {
+      ++inherited[ring.NodeFor(k).value()];
+    }
+  }
+  EXPECT_GE(inherited.size(), 4u) << "failed node's keys should spread widely";
+}
+
+TEST(ConsistentHashRing, ContainsTracksMembership) {
+  ConsistentHashRing ring;
+  EXPECT_FALSE(ring.Contains(1));
+  ring.AddNode(1);
+  EXPECT_TRUE(ring.Contains(1));
+}
+
+}  // namespace
+}  // namespace distcache

@@ -1,0 +1,113 @@
+#include "core/controller.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace distcache {
+namespace {
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest() : placement_(8, 4) {
+    AllocationConfig cfg;
+    cfg.mechanism = Mechanism::kDistCache;
+    cfg.num_spine = 8;
+    cfg.num_racks = 8;
+    cfg.per_switch_objects = 10;
+    allocation_ = std::make_unique<CacheAllocation>(cfg, placement_);
+    controller_ = std::make_unique<CacheController>(allocation_.get(), 8);
+  }
+
+  Placement placement_;
+  std::unique_ptr<CacheAllocation> allocation_;
+  std::unique_ptr<CacheController> controller_;
+};
+
+TEST_F(ControllerTest, StartsWithIdentityMapping) {
+  for (uint32_t p = 0; p < 8; ++p) {
+    EXPECT_EQ(controller_->spine_of_partition()[p], p);
+    EXPECT_TRUE(controller_->IsAlive(p));
+  }
+  EXPECT_EQ(controller_->num_alive(), 8u);
+}
+
+TEST_F(ControllerTest, FailureRemapsToAliveSwitch) {
+  controller_->OnSpineFailure(2);
+  EXPECT_FALSE(controller_->IsAlive(2));
+  EXPECT_EQ(controller_->num_alive(), 7u);
+  const uint32_t target = controller_->spine_of_partition()[2];
+  EXPECT_NE(target, 2u);
+  EXPECT_TRUE(controller_->IsAlive(target));
+  // Allocation reflects the remap: partition 2's objects live on `target` now.
+  EXPECT_TRUE(allocation_->spine_contents()[2].empty());
+}
+
+TEST_F(ControllerTest, HealthyPartitionsStayHome) {
+  controller_->OnSpineFailure(2);
+  for (uint32_t p = 0; p < 8; ++p) {
+    if (p != 2) {
+      EXPECT_EQ(controller_->spine_of_partition()[p], p);
+    }
+  }
+}
+
+TEST_F(ControllerTest, MultipleFailuresSpread) {
+  controller_->OnSpineFailure(0);
+  controller_->OnSpineFailure(1);
+  controller_->OnSpineFailure(2);
+  std::set<uint32_t> targets;
+  for (uint32_t p : {0u, 1u, 2u}) {
+    const uint32_t t = controller_->spine_of_partition()[p];
+    EXPECT_TRUE(controller_->IsAlive(t));
+    targets.insert(t);
+  }
+  EXPECT_GE(targets.size(), 2u);  // consistent hashing should not dogpile one switch
+}
+
+TEST_F(ControllerTest, RecoveryRestoresIdentity) {
+  controller_->OnSpineFailure(3);
+  controller_->OnSpineRecovery(3);
+  EXPECT_TRUE(controller_->IsAlive(3));
+  EXPECT_EQ(controller_->spine_of_partition()[3], 3u);
+  EXPECT_EQ(allocation_->spine_contents()[3].size(), 10u);
+}
+
+TEST_F(ControllerTest, DuplicateEventsAreNoOps) {
+  controller_->OnSpineFailure(3);
+  controller_->OnSpineFailure(3);
+  EXPECT_EQ(controller_->num_alive(), 7u);
+  controller_->OnSpineRecovery(3);
+  controller_->OnSpineRecovery(3);
+  EXPECT_EQ(controller_->num_alive(), 8u);
+}
+
+TEST_F(ControllerTest, LastAliveSwitchCannotFail) {
+  for (uint32_t s = 0; s < 7; ++s) {
+    controller_->OnSpineFailure(s);
+  }
+  EXPECT_EQ(controller_->num_alive(), 1u);
+  controller_->OnSpineFailure(7);  // refused
+  EXPECT_TRUE(controller_->IsAlive(7));
+  EXPECT_EQ(controller_->num_alive(), 1u);
+}
+
+TEST_F(ControllerTest, ListenerNotifiedOnRemap) {
+  int calls = 0;
+  controller_->set_remap_listener(
+      [&](const std::vector<uint32_t>& map) {
+        ++calls;
+        EXPECT_EQ(map.size(), 8u);
+      });
+  controller_->OnSpineFailure(1);
+  controller_->OnSpineRecovery(1);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST_F(ControllerTest, OutOfRangeIgnored) {
+  controller_->OnSpineFailure(99);
+  EXPECT_EQ(controller_->num_alive(), 8u);
+}
+
+}  // namespace
+}  // namespace distcache

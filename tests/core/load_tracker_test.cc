@@ -1,0 +1,79 @@
+#include "core/load_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace distcache {
+namespace {
+
+LoadTracker::Config SmallConfig(double aging = 0.5) {
+  return LoadTracker::Config{4, 4, aging};
+}
+
+TEST(LoadTracker, StartsAtZero) {
+  LoadTracker t(SmallConfig());
+  EXPECT_EQ(t.Load({0, 2}), 0.0);
+  EXPECT_EQ(t.Load({1, 3}), 0.0);
+}
+
+TEST(LoadTracker, UpdateStoresPerLayer) {
+  LoadTracker t(SmallConfig());
+  t.Update({0, 1}, 100);
+  t.Update({1, 1}, 50);
+  EXPECT_EQ(t.Load({0, 1}), 100.0);
+  EXPECT_EQ(t.Load({1, 1}), 50.0);
+}
+
+TEST(LoadTracker, OutOfRangeUpdateIgnored) {
+  LoadTracker t(SmallConfig());
+  t.Update({0, 99}, 7);
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(t.Load({0, i}), 0.0);
+  }
+}
+
+TEST(LoadTracker, AgingDecaysStaleEntries) {
+  LoadTracker t(SmallConfig(0.5));
+  t.Update({0, 0}, 80);
+  t.Age();  // entry was fresh this epoch: no decay on the first boundary
+  EXPECT_EQ(t.Load({0, 0}), 80.0);
+  t.Age();  // no refresh since: decays
+  EXPECT_EQ(t.Load({0, 0}), 40.0);
+  t.Age();
+  EXPECT_EQ(t.Load({0, 0}), 20.0);
+}
+
+TEST(LoadTracker, RefreshPreventsDecay) {
+  LoadTracker t(SmallConfig(0.5));
+  t.Update({0, 0}, 80);
+  t.Age();
+  t.Update({0, 0}, 60);
+  t.Age();
+  EXPECT_EQ(t.Load({0, 0}), 60.0);
+}
+
+TEST(LoadTracker, AgingFactorOneDisablesDecay) {
+  LoadTracker t(SmallConfig(1.0));
+  t.Update({1, 2}, 30);
+  t.Age();
+  t.Age();
+  EXPECT_EQ(t.Load({1, 2}), 30.0);
+}
+
+TEST(LoadTracker, ResetClearsEverything) {
+  LoadTracker t(SmallConfig());
+  t.Update({0, 1}, 10);
+  t.Update({1, 2}, 20);
+  t.Reset();
+  EXPECT_EQ(t.Load({0, 1}), 0.0);
+  EXPECT_EQ(t.Load({1, 2}), 0.0);
+}
+
+TEST(LoadTracker, VectorsExposeLayers) {
+  LoadTracker t(SmallConfig());
+  t.Update({0, 3}, 5);
+  EXPECT_EQ(t.spine_loads()[3], 5.0);
+  EXPECT_EQ(t.leaf_loads()[3], 0.0);
+}
+
+}  // namespace
+}  // namespace distcache

@@ -1,0 +1,84 @@
+#include "core/pot_router.h"
+
+#include <gtest/gtest.h>
+
+namespace distcache {
+namespace {
+
+TEST(PotRouter, SingleCandidateAlwaysChosen) {
+  LoadTracker t({4, 4, 1.0});
+  PotRouter router(&t, RoutingPolicy::kPowerOfTwo, 1);
+  EXPECT_EQ(router.Choose({{0, 1}}), 0u);
+}
+
+TEST(PotRouter, PicksLessLoaded) {
+  LoadTracker t({4, 4, 1.0});
+  t.Update({0, 0}, 100);
+  t.Update({1, 0}, 10);
+  PotRouter router(&t, RoutingPolicy::kPowerOfTwo, 2);
+  const std::vector<CacheNodeId> candidates{{0, 0}, {1, 0}};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(router.Choose(candidates), 1u);
+  }
+  t.Update({1, 0}, 500);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(router.Choose(candidates), 0u);
+  }
+}
+
+TEST(PotRouter, TiesBrokenRoughlyEvenly) {
+  LoadTracker t({4, 4, 1.0});
+  t.Update({0, 0}, 50);
+  t.Update({1, 0}, 50);
+  PotRouter router(&t, RoutingPolicy::kPowerOfTwo, 3);
+  const std::vector<CacheNodeId> candidates{{0, 0}, {1, 0}};
+  int first = 0;
+  constexpr int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    first += router.Choose(candidates) == 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(first) / kTrials, 0.5, 0.05);
+}
+
+TEST(PotRouter, PowerOfKChoosesGlobalMinimum) {
+  // §3.1: multi-layer hierarchies use power-of-k-choices.
+  LoadTracker t({8, 8, 1.0});
+  t.Update({0, 0}, 30);
+  t.Update({0, 1}, 20);
+  t.Update({1, 2}, 10);
+  t.Update({1, 3}, 40);
+  PotRouter router(&t, RoutingPolicy::kPowerOfTwo, 4);
+  const std::vector<CacheNodeId> candidates{{0, 0}, {0, 1}, {1, 2}, {1, 3}};
+  EXPECT_EQ(router.Choose(candidates), 2u);
+}
+
+TEST(PotRouter, RandomPolicyUsesBothCandidates) {
+  LoadTracker t({4, 4, 1.0});
+  t.Update({0, 0}, 1000);  // load-aware routing would avoid this one entirely
+  PotRouter router(&t, RoutingPolicy::kRandom, 5);
+  const std::vector<CacheNodeId> candidates{{0, 0}, {1, 0}};
+  int first = 0;
+  for (int i = 0; i < 10000; ++i) {
+    first += router.Choose(candidates) == 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(first / 10000.0, 0.5, 0.05);
+}
+
+TEST(PotRouter, FirstChoicePolicyIsDeterministic) {
+  LoadTracker t({4, 4, 1.0});
+  t.Update({0, 0}, 1000);
+  PotRouter router(&t, RoutingPolicy::kFirstChoice, 6);
+  const std::vector<CacheNodeId> candidates{{0, 0}, {1, 0}};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(router.Choose(candidates), 0u);
+  }
+}
+
+TEST(PotRouter, EmptyCandidatesReturnsZero) {
+  LoadTracker t({4, 4, 1.0});
+  PotRouter router(&t, RoutingPolicy::kPowerOfTwo, 7);
+  EXPECT_EQ(router.Choose({}), 0u);
+}
+
+}  // namespace
+}  // namespace distcache

@@ -1,0 +1,111 @@
+#include "dataplane/pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace distcache {
+namespace {
+
+TEST(RegisterArray, ReadWriteMasked) {
+  RegisterArray reg("r", 8, 4);  // 4-bit cells
+  reg.Write(0, 0xFF);
+  EXPECT_EQ(reg.Read(0), 0xFu);  // masked to width
+  reg.Write(7, 3);
+  EXPECT_EQ(reg.Read(7), 3u);
+}
+
+TEST(RegisterArray, OutOfRangeIsSafe) {
+  RegisterArray reg("r", 4, 16);
+  reg.Write(99, 5);
+  EXPECT_EQ(reg.Read(99), 0u);
+  EXPECT_EQ(reg.AddSaturating(99, 1), 0u);
+}
+
+TEST(RegisterArray, AddSaturates) {
+  RegisterArray reg("r", 2, 8);
+  for (int i = 0; i < 300; ++i) {
+    reg.AddSaturating(0, 1);
+  }
+  EXPECT_EQ(reg.Read(0), 255u);
+}
+
+TEST(RegisterArray, ResetZeroes) {
+  RegisterArray reg("r", 4, 32);
+  reg.Write(1, 7);
+  reg.Reset();
+  EXPECT_EQ(reg.Read(1), 0u);
+}
+
+TEST(RegisterArray, MemoryBits) {
+  RegisterArray reg("r", 1024, 16);
+  EXPECT_EQ(reg.memory_bits(), 1024u * 16u);
+}
+
+TEST(MatchActionTable, MatchRunsEntryAction) {
+  MatchActionTable table("t", "key", 4);
+  ASSERT_TRUE(table.AddEntry(7, [](PacketContext& pkt) { pkt.Set("out", 1); }).ok());
+  table.SetDefaultAction([](PacketContext& pkt) { pkt.Set("out", 2); });
+  PacketContext hit;
+  hit.Set("key", 7);
+  table.Apply(hit);
+  EXPECT_EQ(hit.Get("out"), 1u);
+  PacketContext miss;
+  miss.Set("key", 8);
+  table.Apply(miss);
+  EXPECT_EQ(miss.Get("out"), 2u);
+}
+
+TEST(MatchActionTable, CapacityEnforced) {
+  MatchActionTable table("t", "key", 2);
+  EXPECT_TRUE(table.AddEntry(1, [](PacketContext&) {}).ok());
+  EXPECT_TRUE(table.AddEntry(2, [](PacketContext&) {}).ok());
+  EXPECT_EQ(table.AddEntry(3, [](PacketContext&) {}).code(),
+            StatusCode::kResourceExhausted);
+  // Updating an existing entry is allowed at capacity.
+  EXPECT_TRUE(table.AddEntry(2, [](PacketContext&) {}).ok());
+}
+
+TEST(MatchActionTable, RemoveEntry) {
+  MatchActionTable table("t", "key", 2);
+  table.AddEntry(1, [](PacketContext&) {}).ok();
+  EXPECT_TRUE(table.RemoveEntry(1).ok());
+  EXPECT_EQ(table.RemoveEntry(1).code(), StatusCode::kNotFound);
+}
+
+TEST(Pipeline, StagesRunInOrder) {
+  Pipeline pipe(3);
+  for (size_t s = 0; s < 3; ++s) {
+    pipe.stage(s).AddHook([s](PacketContext& pkt) {
+      pkt.Set("trace", pkt.Get("trace") * 10 + (s + 1));
+    });
+  }
+  PacketContext pkt;
+  pipe.Process(pkt);
+  EXPECT_EQ(pkt.Get("trace"), 123u);
+}
+
+TEST(Pipeline, DropStopsProcessing) {
+  Pipeline pipe(3);
+  pipe.stage(0).AddHook([](PacketContext& pkt) { pkt.dropped = true; });
+  pipe.stage(1).AddHook([](PacketContext& pkt) { pkt.Set("ran", 1); });
+  PacketContext pkt;
+  pipe.Process(pkt);
+  EXPECT_TRUE(pkt.dropped);
+  EXPECT_EQ(pkt.Get("ran"), 0u);
+}
+
+TEST(Pipeline, ResourceAccountingFromProgram) {
+  Pipeline pipe(4);
+  pipe.stage(0).AddTable("t0", "key", 100);
+  pipe.stage(0).DeclareHashBits(16);
+  pipe.stage(1).AddRegisterArray("r1", 65536, 16);  // 128 KB => 8 SRAM blocks
+  pipe.stage(1).AddHook([](PacketContext&) {});
+  const PipelineResources res = pipe.Resources();
+  EXPECT_EQ(res.stages_used, 2u);
+  EXPECT_EQ(res.match_entries, 100u);
+  EXPECT_EQ(res.hash_bits, 16u);
+  EXPECT_EQ(res.sram_blocks, 8u);
+  EXPECT_EQ(res.action_slots, 3u);  // table default + register ALU + hook
+}
+
+}  // namespace
+}  // namespace distcache

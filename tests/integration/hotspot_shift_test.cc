@@ -1,0 +1,112 @@
+// Integration test for the decentralized cache-update loop (§4.3): heavy-hitter
+// detection -> agent eviction/insertion -> server-populated values, under a
+// workload whose hot set moves.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "cache/cache_switch.h"
+#include "cache/switch_agent.h"
+#include "common/random.h"
+#include "common/zipf.h"
+#include "kv/storage_server.h"
+
+namespace distcache {
+namespace {
+
+class HotspotShiftTest : public ::testing::Test {
+ protected:
+  HotspotShiftTest() : server_(StorageServer::Config{0, 1.0}) {
+    CacheSwitch::Config sw_cfg;
+    sw_cfg.hh.report_threshold = 32;
+    sw_ = std::make_unique<CacheSwitch>(sw_cfg);
+    SwitchAgent::Config agent_cfg;
+    agent_cfg.max_cached_objects = 64;
+    agent_ = std::make_unique<SwitchAgent>(sw_.get(), agent_cfg, [this](uint64_t key) {
+      auto value = server_.Get(key);
+      ASSERT_TRUE(value.ok());
+      sw_->UpdateValue(key, std::move(value).value()).ok();
+    });
+    for (uint64_t key = 0; key < kKeys; ++key) {
+      server_.Seed(key, "v" + std::to_string(key)).ok();
+    }
+    std::unordered_set<uint64_t> all;
+    for (uint64_t k = 0; k < kKeys; ++k) {
+      all.insert(k);
+    }
+    agent_->SetPartition(std::move(all));
+  }
+
+  double RunEpoch(uint64_t shift, Rng& rng) {
+    ZipfDistribution dist(kKeys, 0.99);
+    uint64_t hits = 0;
+    constexpr int kQueries = 30000;
+    std::string value;
+    for (int q = 0; q < kQueries; ++q) {
+      const uint64_t key = (dist.Sample(rng) + shift) % kKeys;
+      if (sw_->Lookup(key, &value) == LookupResult::kHit) {
+        ++hits;
+      } else {
+        sw_->RecordMiss(key);
+      }
+    }
+    agent_->RunEpoch();
+    return static_cast<double>(hits) / kQueries;
+  }
+
+  static constexpr uint64_t kKeys = 50000;
+  StorageServer server_;
+  std::unique_ptr<CacheSwitch> sw_;
+  std::unique_ptr<SwitchAgent> agent_;
+};
+
+TEST_F(HotspotShiftTest, WarmupReachesHighHitRatio) {
+  Rng rng(1);
+  double hit_ratio = 0.0;
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    hit_ratio = RunEpoch(0, rng);
+  }
+  EXPECT_GT(hit_ratio, 0.4);  // 64 hottest of zipf-0.99/50k hold ~45% of the mass
+}
+
+TEST_F(HotspotShiftTest, RecoversAfterHotSetShift) {
+  Rng rng(2);
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    RunEpoch(0, rng);
+  }
+  const double before = RunEpoch(0, rng);
+  const double at_shift = RunEpoch(25000, rng);  // cold caches for the new hot set
+  EXPECT_LT(at_shift, 0.5 * before);
+  double recovered = 0.0;
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    recovered = RunEpoch(25000, rng);
+  }
+  EXPECT_GT(recovered, 0.8 * before);
+}
+
+TEST_F(HotspotShiftTest, PopulatedValuesAreServerValues) {
+  Rng rng(3);
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    RunEpoch(0, rng);
+  }
+  std::string value;
+  int checked = 0;
+  for (uint64_t key : sw_->CachedKeys()) {
+    if (sw_->Lookup(key, &value) == LookupResult::kHit) {
+      EXPECT_EQ(value, "v" + std::to_string(key));
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_F(HotspotShiftTest, CacheSizeBudgetRespected) {
+  Rng rng(4);
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    RunEpoch(epoch % 2 == 0 ? 0 : 10000, rng);  // churny workload
+    EXPECT_LE(sw_->num_entries(), 64u);
+  }
+}
+
+}  // namespace
+}  // namespace distcache

@@ -1,0 +1,138 @@
+#include "kv/kv_store.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "common/random.h"
+
+namespace distcache {
+namespace {
+
+TEST(KvStore, GetMissingIsNotFound) {
+  KvStore kv;
+  EXPECT_EQ(kv.Get(1).status().code(), StatusCode::kNotFound);
+}
+
+TEST(KvStore, PutGetRoundTrip) {
+  KvStore kv;
+  ASSERT_TRUE(kv.Put(1, "hello").ok());
+  const auto v = kv.Get(1);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), "hello");
+}
+
+TEST(KvStore, OverwriteReplacesValue) {
+  KvStore kv;
+  ASSERT_TRUE(kv.Put(1, "a").ok());
+  ASSERT_TRUE(kv.Put(1, "b").ok());
+  EXPECT_EQ(kv.Get(1).value(), "b");
+  EXPECT_EQ(kv.size(), 1u);
+}
+
+TEST(KvStore, DeleteRemoves) {
+  KvStore kv;
+  kv.Put(1, "x").ok();
+  ASSERT_TRUE(kv.Delete(1).ok());
+  EXPECT_FALSE(kv.Contains(1));
+  EXPECT_EQ(kv.Delete(1).code(), StatusCode::kNotFound);
+}
+
+TEST(KvStore, RejectsOversizedValue) {
+  KvStore kv;
+  const std::string big(KvStore::kMaxValueSize + 1, 'x');
+  EXPECT_EQ(kv.Put(1, big).code(), StatusCode::kInvalidArgument);
+  const std::string max(KvStore::kMaxValueSize, 'x');
+  EXPECT_TRUE(kv.Put(1, max).ok());
+}
+
+TEST(KvStore, EmptyValueAllowed) {
+  KvStore kv;
+  ASSERT_TRUE(kv.Put(5, "").ok());
+  EXPECT_TRUE(kv.Contains(5));
+  EXPECT_EQ(kv.Get(5).value(), "");
+}
+
+TEST(KvStore, GrowsPastInitialCapacity) {
+  KvStore kv(8);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(kv.Put(k, std::to_string(k)).ok());
+  }
+  EXPECT_EQ(kv.size(), 1000u);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_EQ(kv.Get(k).value(), std::to_string(k)) << k;
+  }
+}
+
+TEST(KvStore, KeysEnumeratesLiveEntries) {
+  KvStore kv;
+  kv.Put(1, "a").ok();
+  kv.Put(2, "b").ok();
+  kv.Put(3, "c").ok();
+  kv.Delete(2).ok();
+  auto keys = kv.Keys();
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(keys, (std::vector<uint64_t>{1, 3}));
+}
+
+TEST(KvStore, DeleteKeepsOtherEntriesReachable) {
+  // Backward-shift deletion must not break probe chains.
+  KvStore kv(16);
+  for (uint64_t k = 0; k < 64; ++k) {
+    kv.Put(k, std::to_string(k)).ok();
+  }
+  for (uint64_t k = 0; k < 64; k += 2) {
+    ASSERT_TRUE(kv.Delete(k).ok());
+  }
+  for (uint64_t k = 1; k < 64; k += 2) {
+    ASSERT_TRUE(kv.Contains(k)) << k;
+    EXPECT_EQ(kv.Get(k).value(), std::to_string(k));
+  }
+  for (uint64_t k = 0; k < 64; k += 2) {
+    EXPECT_FALSE(kv.Contains(k)) << k;
+  }
+}
+
+// Property test: a long random op sequence must behave exactly like a reference map.
+class KvStoreFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KvStoreFuzzTest, MatchesReferenceMap) {
+  KvStore kv(8);
+  std::unordered_map<uint64_t, std::string> ref;
+  Rng rng(GetParam());
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t key = rng.NextBounded(300);
+    switch (rng.NextBounded(4)) {
+      case 0:
+      case 1: {  // put
+        std::string value = "v" + std::to_string(rng.NextBounded(1000));
+        ASSERT_TRUE(kv.Put(key, value).ok());
+        ref[key] = std::move(value);
+        break;
+      }
+      case 2: {  // delete
+        const bool existed = ref.erase(key) > 0;
+        EXPECT_EQ(kv.Delete(key).ok(), existed);
+        break;
+      }
+      case 3: {  // get
+        const auto it = ref.find(key);
+        const auto got = kv.Get(key);
+        if (it == ref.end()) {
+          EXPECT_FALSE(got.ok());
+        } else {
+          ASSERT_TRUE(got.ok());
+          EXPECT_EQ(got.value(), it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(kv.size(), ref.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvStoreFuzzTest, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace distcache

@@ -1,0 +1,66 @@
+#include "kv/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace distcache {
+namespace {
+
+TEST(Placement, Deterministic) {
+  Placement p(8, 4);
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(p.RackOf(k), p.RackOf(k));
+    EXPECT_EQ(p.ServerOf(k), p.ServerOf(k));
+  }
+}
+
+TEST(Placement, ServerWithinBounds) {
+  Placement p(8, 4);
+  for (uint64_t k = 0; k < 10000; ++k) {
+    EXPECT_LT(p.RackOf(k), 8u);
+    EXPECT_LT(p.ServerInRack(k), 4u);
+    EXPECT_LT(p.ServerOf(k), 32u);
+  }
+}
+
+TEST(Placement, ServerIdConsistentWithRack) {
+  Placement p(8, 4);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_EQ(p.ServerOf(k) / 4, p.RackOf(k));
+    EXPECT_EQ(p.ServerOf(k) % 4, p.ServerInRack(k));
+  }
+}
+
+TEST(Placement, KeysSpreadAcrossRacks) {
+  Placement p(16, 2);
+  std::vector<int> counts(16, 0);
+  constexpr int kKeys = 32000;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    ++counts[p.RackOf(k)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, kKeys / 16 / 2);
+    EXPECT_LT(c, kKeys / 16 * 2);
+  }
+}
+
+TEST(Placement, SeedChangesPlacement) {
+  Placement a(8, 4, 1);
+  Placement b(8, 4, 2);
+  int moved = 0;
+  for (uint64_t k = 0; k < 1000; ++k) {
+    moved += a.ServerOf(k) != b.ServerOf(k) ? 1 : 0;
+  }
+  EXPECT_GT(moved, 900);  // ~31/32 expected to move
+}
+
+TEST(Placement, Accessors) {
+  Placement p(8, 4);
+  EXPECT_EQ(p.num_racks(), 8u);
+  EXPECT_EQ(p.servers_per_rack(), 4u);
+  EXPECT_EQ(p.num_servers(), 32u);
+}
+
+}  // namespace
+}  // namespace distcache

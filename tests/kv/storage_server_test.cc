@@ -1,0 +1,70 @@
+#include "kv/storage_server.h"
+
+#include <gtest/gtest.h>
+
+namespace distcache {
+namespace {
+
+StorageServer MakeServer() {
+  StorageServer::Config cfg;
+  cfg.server_id = 3;
+  cfg.capacity = 2.0;
+  return StorageServer(cfg);
+}
+
+TEST(StorageServer, SeedDoesNotChargeLoad) {
+  StorageServer s = MakeServer();
+  ASSERT_TRUE(s.Seed(1, "x").ok());
+  EXPECT_EQ(s.load(), 0.0);
+  EXPECT_TRUE(s.Contains(1));
+}
+
+TEST(StorageServer, GetChargesOneUnit) {
+  StorageServer s = MakeServer();
+  s.Seed(1, "x").ok();
+  EXPECT_TRUE(s.Get(1).ok());
+  EXPECT_DOUBLE_EQ(s.load(), 1.0);
+}
+
+TEST(StorageServer, GetMissingStillChargesAndFails) {
+  StorageServer s = MakeServer();
+  EXPECT_FALSE(s.Get(9).ok());
+  EXPECT_DOUBLE_EQ(s.load(), 1.0);
+}
+
+TEST(StorageServer, UncachedWriteCostsOneUnit) {
+  StorageServer s = MakeServer();
+  ASSERT_TRUE(s.Put(1, "v").ok());
+  EXPECT_DOUBLE_EQ(s.load(), 1.0);
+}
+
+TEST(StorageServer, CoherenceCopiesAddCost) {
+  StorageServer s = MakeServer();
+  ASSERT_TRUE(s.Put(1, "v", /*coherence_copies=*/2, /*coherence_unit_cost=*/0.5).ok());
+  EXPECT_DOUBLE_EQ(s.load(), 2.0);  // 1 + 0.5*2
+}
+
+TEST(StorageServer, UtilizationNormalizesByCapacity) {
+  StorageServer s = MakeServer();  // capacity 2
+  s.Put(1, "v").ok();
+  EXPECT_DOUBLE_EQ(s.utilization(), 0.5);
+  s.ResetLoad();
+  EXPECT_DOUBLE_EQ(s.utilization(), 0.0);
+}
+
+TEST(StorageServer, DeleteWorks) {
+  StorageServer s = MakeServer();
+  s.Seed(1, "x").ok();
+  EXPECT_TRUE(s.Delete(1).ok());
+  EXPECT_FALSE(s.Contains(1));
+}
+
+TEST(StorageServer, IdAndCapacity) {
+  StorageServer s = MakeServer();
+  EXPECT_EQ(s.id(), 3u);
+  EXPECT_DOUBLE_EQ(s.capacity(), 2.0);
+  EXPECT_EQ(s.num_objects(), 0u);
+}
+
+}  // namespace
+}  // namespace distcache

@@ -1,0 +1,149 @@
+#include "matching/cache_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/zipf.h"
+
+namespace distcache {
+namespace {
+
+TEST(CacheGraph, NodeIndicesPartitionLayers) {
+  CacheGraph g(100, 8, 8, /*seed=*/1);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_LT(g.UpperNodeOf(i), 8u);
+    EXPECT_GE(g.LowerNodeOf(i), 8u);
+    EXPECT_LT(g.LowerNodeOf(i), 16u);
+  }
+  EXPECT_EQ(g.num_cache_nodes(), 16u);
+}
+
+TEST(CacheGraph, SingleHashHasNoUpperLayer) {
+  CacheGraph g(50, 8, 8, 1, /*single_hash=*/true);
+  EXPECT_TRUE(g.single_hash());
+  EXPECT_EQ(g.num_cache_nodes(), 8u);
+}
+
+TEST(CacheGraph, UnderloadedAlwaysFeasible) {
+  CacheGraph g(64, 8, 8, 2);
+  const std::vector<double> rates(64, 0.1);  // total 6.4 vs capacity 16
+  EXPECT_TRUE(g.FeasibleMatching(rates, 1.0));
+}
+
+TEST(CacheGraph, SingleObjectOverCombinedCapacityInfeasible) {
+  CacheGraph g(1, 4, 4, 3);
+  // The object has exactly two candidate nodes of capacity 1 each: rate > 2 must fail.
+  EXPECT_TRUE(g.FeasibleMatching({1.9}, 1.0));
+  EXPECT_FALSE(g.FeasibleMatching({2.1}, 1.0));
+}
+
+TEST(CacheGraph, TotalOverCapacityInfeasible) {
+  CacheGraph g(32, 4, 4, 4);
+  const std::vector<double> rates(32, 0.3);  // total 9.6 > capacity 8
+  EXPECT_FALSE(g.FeasibleMatching(rates, 1.0));
+}
+
+TEST(CacheGraph, MaxSupportedRateBracketsFeasibility) {
+  CacheGraph g(64, 8, 8, 5);
+  ZipfDistribution dist(64, 0.9);
+  std::vector<double> pmf(64);
+  for (uint64_t i = 0; i < 64; ++i) {
+    pmf[i] = dist.Pmf(i);
+  }
+  const double r_star = g.MaxSupportedRate(pmf, 1.0);
+  EXPECT_GT(r_star, 0.0);
+  EXPECT_LE(r_star, 16.0);
+  // Just below R* must be feasible; 10% above must not.
+  std::vector<double> rates(64);
+  double mass = 0.0;
+  for (double p : pmf) {
+    mass += p;
+  }
+  for (size_t i = 0; i < 64; ++i) {
+    rates[i] = 0.98 * r_star * pmf[i] / mass;
+  }
+  EXPECT_TRUE(g.FeasibleMatching(rates, 1.0));
+  for (size_t i = 0; i < 64; ++i) {
+    rates[i] = 1.1 * r_star * pmf[i] / mass;
+  }
+  EXPECT_FALSE(g.FeasibleMatching(rates, 1.0));
+}
+
+TEST(CacheGraph, TwoHashesBeatOneHash) {
+  // Lemma 3's point, as supportable rate: the PoT graph supports far more than the
+  // single-hash graph under the same per-node capacity.
+  ZipfDistribution dist(64, 0.99);
+  std::vector<double> pmf(64);
+  for (uint64_t i = 0; i < 64; ++i) {
+    pmf[i] = dist.Pmf(i);
+  }
+  double two = 0.0;
+  double one = 0.0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    two += CacheGraph(64, 8, 8, seed).MaxSupportedRate(pmf, 1.0);
+    one += CacheGraph(64, 8, 8, seed, true).MaxSupportedRate(pmf, 1.0);
+  }
+  EXPECT_GT(two, 1.5 * one);
+}
+
+TEST(CacheGraph, ExpansionHoldsForSmallLoad) {
+  // k = m/2 objects on 2m nodes: expansion holds w.h.p.
+  int holds = 0;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    holds += CacheGraph(8, 8, 8, seed).HasExpansionProperty() ? 1 : 0;
+  }
+  EXPECT_GE(holds, 9);
+}
+
+TEST(CacheGraph, SingleHashExpansionOftenFails) {
+  // With one hash and k = m objects, some node gets ≥ 2 objects w.h.p. (birthday),
+  // and any 2 objects on one node violate |Γ(S)| ≥ |S|.
+  int fails = 0;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    fails += CacheGraph(8, 8, 8, seed, true).HasExpansionProperty() ? 0 : 1;
+  }
+  EXPECT_GE(fails, 8);
+}
+
+TEST(CacheGraph, RhoMaxBelowOneWhenFeasible) {
+  CacheGraph g(16, 4, 4, 6);
+  const std::vector<double> rates(16, 0.2);  // total 3.2 vs 8 capacity
+  ASSERT_TRUE(g.FeasibleMatching(rates, 1.0));
+  EXPECT_LT(g.RhoMax(rates, 1.0), 1.0);
+}
+
+TEST(CacheGraph, RhoMaxAboveOneWhenInfeasible) {
+  CacheGraph g(16, 4, 4, 7);
+  const std::vector<double> rates(16, 0.8);  // total 12.8 > 8 capacity
+  ASSERT_FALSE(g.FeasibleMatching(rates, 1.0));
+  EXPECT_GT(g.RhoMax(rates, 1.0), 1.0);
+}
+
+// Property cross-check of the appendix's equivalence: feasible matching ⟺ ρ_max < 1
+// (Lemma 2 uses feasibility ⇒ ρ_max < 1; the converse holds by max-flow/min-cut).
+class RhoFeasibilityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RhoFeasibilityTest, FlowFeasibilityMatchesRho) {
+  const uint64_t seed = GetParam();
+  CacheGraph g(24, 6, 6, seed);
+  ZipfDistribution dist(24, 0.95);
+  for (double scale : {2.0, 5.0, 8.0, 11.0, 14.0}) {
+    std::vector<double> rates(24);
+    for (uint64_t i = 0; i < 24; ++i) {
+      rates[i] = scale * dist.Pmf(i);
+    }
+    const bool feasible = g.FeasibleMatching(rates, 1.0);
+    const double rho = g.RhoMax(rates, 1.0);
+    if (feasible) {
+      EXPECT_LE(rho, 1.0 + 1e-6) << "scale=" << scale;
+    } else {
+      EXPECT_GT(rho, 1.0 - 1e-6) << "scale=" << scale;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RhoFeasibilityTest, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace distcache

@@ -1,0 +1,84 @@
+#include "matching/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/zipf.h"
+
+namespace distcache {
+namespace {
+
+TEST(HierarchicalCacheGraph, LayerLayoutIsConsecutive) {
+  HierarchicalCacheGraph g(50, {4, 8, 2}, 1);
+  EXPECT_EQ(g.num_layers(), 3u);
+  EXPECT_EQ(g.num_cache_nodes(), 14u);
+  for (uint64_t i = 0; i < 50; ++i) {
+    EXPECT_LT(g.NodeOf(i, 0), 4u);
+    EXPECT_GE(g.NodeOf(i, 1), 4u);
+    EXPECT_LT(g.NodeOf(i, 1), 12u);
+    EXPECT_GE(g.NodeOf(i, 2), 12u);
+    EXPECT_LT(g.NodeOf(i, 2), 14u);
+  }
+}
+
+TEST(HierarchicalCacheGraph, ChoicesOfReturnsOnePerLayer) {
+  HierarchicalCacheGraph g(10, {4, 4}, 2);
+  const auto choices = g.ChoicesOf(3);
+  ASSERT_EQ(choices.size(), 2u);
+  EXPECT_EQ(choices[0], g.NodeOf(3, 0));
+  EXPECT_EQ(choices[1], g.NodeOf(3, 1));
+}
+
+TEST(HierarchicalCacheGraph, TwoLayerMatchesCacheGraphSemantics) {
+  // Same object, different layers must be able to split a rate up to 2 units.
+  HierarchicalCacheGraph g(1, {4, 4}, 3);
+  EXPECT_TRUE(g.FeasibleMatching({1.9}, {1.0, 1.0}));
+  EXPECT_FALSE(g.FeasibleMatching({2.1}, {1.0, 1.0}));
+}
+
+TEST(HierarchicalCacheGraph, ThreeLayersAbsorbHotterObjects) {
+  HierarchicalCacheGraph g(1, {4, 4, 4}, 4);
+  EXPECT_TRUE(g.FeasibleMatching({2.9}, {1.0, 1.0, 1.0}));
+  EXPECT_FALSE(g.FeasibleMatching({3.1}, {1.0, 1.0, 1.0}));
+}
+
+TEST(HierarchicalCacheGraph, HeterogeneousLayerCapacities) {
+  HierarchicalCacheGraph g(1, {2, 2}, 5);
+  // Layer 0 nodes have capacity 3, layer 1 capacity 1: combined 4 for one object.
+  EXPECT_TRUE(g.FeasibleMatching({3.9}, {3.0, 1.0}));
+  EXPECT_FALSE(g.FeasibleMatching({4.1}, {3.0, 1.0}));
+}
+
+TEST(HierarchicalCacheGraph, MoreLayersRaiseSupportedRate) {
+  constexpr size_t kObjects = 64;
+  const std::vector<double> pmf = CappedZipfPmf(kObjects, 0.99, 1.0 / 16.0);
+  double prev = 0.0;
+  for (size_t layers : {1, 2, 3}) {
+    double sum = 0.0;
+    for (uint64_t seed = 0; seed < 5; ++seed) {
+      HierarchicalCacheGraph g(kObjects, std::vector<size_t>(layers, 8), seed);
+      sum += g.MaxSupportedRate(pmf, 1.0, 0.01);
+    }
+    const double avg = sum / 5.0;
+    EXPECT_GT(avg, prev);
+    prev = avg;
+  }
+}
+
+TEST(HierarchicalCacheGraph, SingleLayerIsSingleChoice) {
+  // One layer = single hash: two objects colliding on a node share its capacity.
+  HierarchicalCacheGraph g(64, {8}, 7);
+  const std::vector<double> uniform(64, 1.0 / 64.0);
+  const double r = g.MaxSupportedRate(uniform, 1.0, 0.01);
+  // Max-loaded node has ≥ 8 objects hashed in expectation + imbalance, so the
+  // supportable rate is well below the 8-node aggregate.
+  EXPECT_LT(r, 7.0);
+}
+
+TEST(HierarchicalCacheGraph, OverTotalCapacityInfeasible) {
+  HierarchicalCacheGraph g(32, {4, 4}, 8);
+  const std::vector<double> rates(32, 0.3);  // 9.6 > 8 aggregate
+  EXPECT_FALSE(g.FeasibleMatching(rates, {1.0, 1.0}));
+}
+
+}  // namespace
+}  // namespace distcache

@@ -1,0 +1,98 @@
+#include "matching/max_flow.h"
+
+#include <gtest/gtest.h>
+
+namespace distcache {
+namespace {
+
+TEST(MaxFlow, SingleEdge) {
+  MaxFlow f(2);
+  f.AddEdge(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(f.Solve(0, 1), 5.0);
+}
+
+TEST(MaxFlow, SeriesBottleneck) {
+  MaxFlow f(3);
+  f.AddEdge(0, 1, 5.0);
+  f.AddEdge(1, 2, 3.0);
+  EXPECT_DOUBLE_EQ(f.Solve(0, 2), 3.0);
+}
+
+TEST(MaxFlow, ParallelPathsAdd) {
+  MaxFlow f(4);
+  f.AddEdge(0, 1, 2.0);
+  f.AddEdge(1, 3, 2.0);
+  f.AddEdge(0, 2, 3.0);
+  f.AddEdge(2, 3, 3.0);
+  EXPECT_DOUBLE_EQ(f.Solve(0, 3), 5.0);
+}
+
+TEST(MaxFlow, ClassicAugmentingPathCase) {
+  // Diamond with a cross edge: requires flow rerouting via the residual graph.
+  MaxFlow f(4);
+  f.AddEdge(0, 1, 1.0);
+  f.AddEdge(0, 2, 1.0);
+  f.AddEdge(1, 2, 1.0);
+  f.AddEdge(1, 3, 1.0);
+  f.AddEdge(2, 3, 1.0);
+  EXPECT_DOUBLE_EQ(f.Solve(0, 3), 2.0);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  MaxFlow f(4);
+  f.AddEdge(0, 1, 1.0);
+  f.AddEdge(2, 3, 1.0);
+  EXPECT_DOUBLE_EQ(f.Solve(0, 3), 0.0);
+}
+
+TEST(MaxFlow, FractionalCapacities) {
+  MaxFlow f(3);
+  f.AddEdge(0, 1, 0.75);
+  f.AddEdge(1, 2, 0.5);
+  EXPECT_NEAR(f.Solve(0, 2), 0.5, 1e-9);
+}
+
+TEST(MaxFlow, FlowOnReportsPerEdgeFlow) {
+  MaxFlow f(4);
+  const size_t top = f.AddEdge(0, 1, 2.0);
+  f.AddEdge(1, 3, 2.0);
+  const size_t bottom = f.AddEdge(0, 2, 3.0);
+  f.AddEdge(2, 3, 1.0);
+  EXPECT_DOUBLE_EQ(f.Solve(0, 3), 3.0);
+  EXPECT_DOUBLE_EQ(f.FlowOn(top), 2.0);
+  EXPECT_DOUBLE_EQ(f.FlowOn(bottom), 1.0);
+}
+
+TEST(MaxFlow, BipartiteMatchingExample) {
+  // Figure 4 style: 3 objects, 3 nodes, unit demands/capacities, perfect matching.
+  // source=0, objects 1-3, nodes 4-6, sink=7.
+  MaxFlow f(8);
+  for (int i = 1; i <= 3; ++i) {
+    f.AddEdge(0, i, 1.0);
+    f.AddEdge(i + 3, 7, 1.0);
+  }
+  f.AddEdge(1, 4, 1.0);
+  f.AddEdge(1, 5, 1.0);
+  f.AddEdge(2, 5, 1.0);
+  f.AddEdge(2, 6, 1.0);
+  f.AddEdge(3, 6, 1.0);
+  f.AddEdge(3, 4, 1.0);
+  EXPECT_DOUBLE_EQ(f.Solve(0, 7), 3.0);
+}
+
+TEST(MaxFlow, LargeGridTerminates) {
+  constexpr size_t kN = 50;
+  MaxFlow f(kN * 2 + 2);
+  const size_t source = kN * 2;
+  const size_t sink = kN * 2 + 1;
+  for (size_t i = 0; i < kN; ++i) {
+    f.AddEdge(source, i, 1.0);
+    f.AddEdge(kN + i, sink, 1.0);
+    f.AddEdge(i, kN + i, 1.0);
+    f.AddEdge(i, kN + (i + 1) % kN, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(f.Solve(source, sink), static_cast<double>(kN));
+}
+
+}  // namespace
+}  // namespace distcache

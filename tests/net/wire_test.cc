@@ -1,0 +1,167 @@
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace distcache {
+namespace {
+
+Message SampleMessage() {
+  Message msg;
+  msg.type = MsgType::kGetReply;
+  msg.key = 0x1122334455667788ULL;
+  msg.value = "hello-distcache";
+  msg.client_id = 42;
+  msg.request_id = 777;
+  msg.cache_hit = true;
+  msg.has_target = true;
+  msg.target = CacheNodeId{1, 9};
+  msg.piggyback = {{CacheNodeId{0, 3}, 123456}, {CacheNodeId{1, 7}, 42}};
+  return msg;
+}
+
+void ExpectEqual(const Message& a, const Message& b) {
+  EXPECT_EQ(a.type, b.type);
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.client_id, b.client_id);
+  EXPECT_EQ(a.request_id, b.request_id);
+  EXPECT_EQ(a.cache_hit, b.cache_hit);
+  EXPECT_EQ(a.has_target, b.has_target);
+  EXPECT_EQ(a.target, b.target);
+  ASSERT_EQ(a.piggyback.size(), b.piggyback.size());
+  for (size_t i = 0; i < a.piggyback.size(); ++i) {
+    EXPECT_EQ(a.piggyback[i].node, b.piggyback[i].node);
+    EXPECT_EQ(a.piggyback[i].load, b.piggyback[i].load);
+  }
+}
+
+TEST(Wire, RoundTrip) {
+  const Message original = SampleMessage();
+  std::vector<uint8_t> buffer;
+  ASSERT_TRUE(EncodeMessage(original, &buffer).ok());
+  const auto decoded = DecodeMessage(buffer);
+  ASSERT_TRUE(decoded.ok());
+  ExpectEqual(original, decoded.value());
+}
+
+TEST(Wire, RoundTripMinimalMessage) {
+  Message msg;
+  msg.type = MsgType::kInvalidate;
+  msg.key = 5;
+  std::vector<uint8_t> buffer;
+  ASSERT_TRUE(EncodeMessage(msg, &buffer).ok());
+  const auto decoded = DecodeMessage(buffer);
+  ASSERT_TRUE(decoded.ok());
+  ExpectEqual(msg, decoded.value());
+}
+
+TEST(Wire, ConsumedReportsExactLength) {
+  std::vector<uint8_t> buffer;
+  ASSERT_TRUE(EncodeMessage(SampleMessage(), &buffer).ok());
+  buffer.push_back(0xAA);  // trailing garbage from the next packet
+  size_t consumed = 0;
+  const auto decoded = DecodeMessage(buffer.data(), buffer.size(), &consumed);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(consumed, buffer.size() - 1);
+}
+
+TEST(Wire, BackToBackMessagesParse) {
+  std::vector<uint8_t> buffer;
+  Message a = SampleMessage();
+  Message b;
+  b.type = MsgType::kPutRequest;
+  b.key = 9;
+  b.value = "v";
+  ASSERT_TRUE(EncodeMessage(a, &buffer).ok());
+  ASSERT_TRUE(EncodeMessage(b, &buffer).ok());
+  size_t consumed = 0;
+  const auto first = DecodeMessage(buffer.data(), buffer.size(), &consumed);
+  ASSERT_TRUE(first.ok());
+  const auto second =
+      DecodeMessage(buffer.data() + consumed, buffer.size() - consumed, &consumed);
+  ASSERT_TRUE(second.ok());
+  ExpectEqual(b, second.value());
+}
+
+TEST(Wire, RejectsOversizedValue) {
+  Message msg;
+  msg.value = std::string(kMaxWireValue + 1, 'x');
+  std::vector<uint8_t> buffer;
+  EXPECT_EQ(EncodeMessage(msg, &buffer).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Wire, RejectsOversizedPiggyback) {
+  Message msg;
+  msg.piggyback.resize(kMaxPiggyback + 1);
+  std::vector<uint8_t> buffer;
+  EXPECT_EQ(EncodeMessage(msg, &buffer).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Wire, RejectsBadMagic) {
+  std::vector<uint8_t> buffer;
+  ASSERT_TRUE(EncodeMessage(SampleMessage(), &buffer).ok());
+  buffer[0] = 0x00;
+  EXPECT_FALSE(DecodeMessage(buffer).ok());
+}
+
+TEST(Wire, RejectsUnknownType) {
+  std::vector<uint8_t> buffer;
+  ASSERT_TRUE(EncodeMessage(SampleMessage(), &buffer).ok());
+  buffer[1] = 0xFF;
+  EXPECT_FALSE(DecodeMessage(buffer).ok());
+}
+
+TEST(Wire, RejectsAllTruncations) {
+  // Every strict prefix of a valid encoding must fail cleanly, never read OOB.
+  std::vector<uint8_t> buffer;
+  ASSERT_TRUE(EncodeMessage(SampleMessage(), &buffer).ok());
+  for (size_t len = 0; len < buffer.size(); ++len) {
+    size_t consumed = 0;
+    EXPECT_FALSE(DecodeMessage(buffer.data(), len, &consumed).ok()) << "len=" << len;
+  }
+}
+
+TEST(Wire, FuzzRandomBytesNeverCrash) {
+  Rng rng(99);
+  std::vector<uint8_t> buffer(64);
+  for (int trial = 0; trial < 5000; ++trial) {
+    for (auto& b : buffer) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    size_t consumed = 0;
+    const auto result = DecodeMessage(buffer.data(), rng.NextBounded(65), &consumed);
+    (void)result;  // must not crash or overflow; validity is incidental
+  }
+}
+
+TEST(Wire, FuzzRoundTripRandomMessages) {
+  Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Message msg;
+    msg.type = static_cast<MsgType>(rng.NextBounded(8));
+    msg.key = rng.Next();
+    msg.client_id = static_cast<uint32_t>(rng.Next());
+    msg.request_id = rng.Next();
+    msg.cache_hit = rng.NextBernoulli(0.5);
+    msg.has_target = rng.NextBernoulli(0.5);
+    msg.target = CacheNodeId{static_cast<uint32_t>(rng.NextBounded(2)),
+                             static_cast<uint32_t>(rng.NextBounded(256))};
+    msg.value = std::string(rng.NextBounded(kMaxWireValue + 1), 'a');
+    msg.piggyback.resize(rng.NextBounded(kMaxPiggyback + 1));
+    for (auto& sample : msg.piggyback) {
+      sample.node = CacheNodeId{static_cast<uint32_t>(rng.NextBounded(2)),
+                                static_cast<uint32_t>(rng.NextBounded(64))};
+      sample.load = rng.Next();
+    }
+    std::vector<uint8_t> buffer;
+    ASSERT_TRUE(EncodeMessage(msg, &buffer).ok());
+    const auto decoded = DecodeMessage(buffer);
+    ASSERT_TRUE(decoded.ok());
+    ExpectEqual(msg, decoded.value());
+  }
+}
+
+}  // namespace
+}  // namespace distcache

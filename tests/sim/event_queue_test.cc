@@ -1,0 +1,81 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace distcache {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(3.0, [&] { order.push_back(3); });
+  q.Schedule(1.0, [&] { order.push_back(1); });
+  q.Schedule(2.0, [&] { order.push_back(2); });
+  q.RunUntil(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.RunUntil(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int ran = 0;
+  q.Schedule(1.0, [&] { ++ran; });
+  q.Schedule(5.0, [&] { ++ran; });
+  EXPECT_EQ(q.RunUntil(2.0), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.RunUntil(10.0), 1u);
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(EventQueue, HandlersCanScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) {
+      q.Schedule(1.0, tick);
+    }
+  };
+  q.Schedule(1.0, tick);
+  q.RunUntil(100.0);
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 100.0);
+}
+
+TEST(EventQueue, NowAdvancesWithEvents) {
+  EventQueue q;
+  double seen = -1.0;
+  q.Schedule(2.5, [&] { seen = q.now(); });
+  q.RunUntil(5.0);
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+}
+
+TEST(EventQueue, NegativeDelayClampsToNow) {
+  EventQueue q;
+  bool ran = false;
+  q.Schedule(-1.0, [&] { ran = true; });
+  q.RunUntil(0.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, PendingCount) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.Schedule(1.0, [] {});
+  q.Schedule(2.0, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+}
+
+}  // namespace
+}  // namespace distcache

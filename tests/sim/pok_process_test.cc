@@ -1,0 +1,78 @@
+#include "sim/pok_process.h"
+
+#include <gtest/gtest.h>
+
+namespace distcache {
+namespace {
+
+PokProcess::Config BaseConfig(size_t layers, size_t choices, double load) {
+  PokProcess::Config cfg;
+  cfg.num_objects = 128;
+  cfg.layer_sizes = std::vector<size_t>(layers, 8);
+  cfg.total_rate = load * static_cast<double>(layers * 8);
+  cfg.zipf_theta = 0.99;
+  cfg.pmf_cap = 1.0 / (2.0 * cfg.total_rate);  // theorem precondition at this rate
+  cfg.choices = choices;
+  return cfg;
+}
+
+TEST(PokProcess, TwoLayerLightLoadStationary) {
+  PokProcess p(BaseConfig(2, 2, 0.5));
+  const auto result = p.Run(400.0);
+  EXPECT_TRUE(result.stationary) << result.drift;
+}
+
+TEST(PokProcess, TwoLayerHighLoadStationary) {
+  PokProcess p(BaseConfig(2, 2, 0.85));
+  EXPECT_TRUE(p.Run(500.0).stationary);
+}
+
+TEST(PokProcess, OverloadUnstable) {
+  PokProcess p(BaseConfig(2, 2, 1.3));
+  const auto result = p.Run(300.0);
+  EXPECT_FALSE(result.stationary);
+  EXPECT_GT(result.backlog_series.back(), 500.0);
+}
+
+TEST(PokProcess, MoreChoicesReduceBacklog) {
+  const auto two = PokProcess(BaseConfig(4, 2, 0.8)).Run(400.0);
+  const auto four = PokProcess(BaseConfig(4, 4, 0.8)).Run(400.0);
+  EXPECT_LE(four.backlog_series.back(), two.backlog_series.back() + 50.0);
+}
+
+TEST(PokProcess, SingleChoiceWorstAtEqualCapacity) {
+  // choices=1 over the same node pool is the single-hash strawman.
+  const auto one = PokProcess(BaseConfig(2, 1, 0.8)).Run(400.0);
+  const auto two = PokProcess(BaseConfig(2, 2, 0.8)).Run(400.0);
+  EXPECT_LT(two.drift, one.drift + 0.01);
+}
+
+TEST(PokProcess, WorkConservation) {
+  PokProcess p(BaseConfig(3, 3, 0.6));
+  const auto result = p.Run(400.0);
+  // Everything that arrived is either served or still queued.
+  EXPECT_EQ(result.arrivals,
+            result.departures + static_cast<uint64_t>(result.backlog_series.back()));
+}
+
+TEST(PokProcess, ArrivalRateMatchesConfig) {
+  PokProcess p(BaseConfig(2, 2, 0.5));
+  const auto result = p.Run(400.0);
+  EXPECT_NEAR(static_cast<double>(result.arrivals) / 400.0, 8.0, 1.0);
+}
+
+TEST(PokProcess, FeasibilityCrossCheck) {
+  // If the L-layer matching is feasible with slack, the PoK process is stationary.
+  PokProcess::Config cfg = BaseConfig(3, 3, 0.7);
+  PokProcess p(cfg);
+  DiscreteDistribution dist(CappedZipfPmf(cfg.num_objects, 0.99, cfg.pmf_cap));
+  std::vector<double> rates(cfg.num_objects);
+  for (size_t i = 0; i < cfg.num_objects; ++i) {
+    rates[i] = cfg.total_rate * dist.Pmf(i);
+  }
+  ASSERT_TRUE(p.graph().FeasibleMatching(rates, {1.0, 1.0, 1.0}));
+  EXPECT_TRUE(p.Run(500.0).stationary);
+}
+
+}  // namespace
+}  // namespace distcache

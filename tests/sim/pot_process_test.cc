@@ -1,0 +1,102 @@
+#include "sim/pot_process.h"
+
+#include <gtest/gtest.h>
+
+namespace distcache {
+namespace {
+
+PotProcess::Config BaseConfig(double rate, ChoicePolicy policy) {
+  PotProcess::Config cfg;
+  cfg.num_objects = 128;
+  cfg.upper_nodes = 8;
+  cfg.lower_nodes = 8;
+  cfg.service_rate = 1.0;
+  cfg.total_rate = rate;
+  cfg.zipf_theta = 0.9;
+  cfg.policy = policy;
+  return cfg;
+}
+
+TEST(PotProcess, LightLoadIsStationary) {
+  PotProcess p(BaseConfig(4.0, ChoicePolicy::kPowerOfTwo));  // 25% of 16 capacity
+  const auto result = p.Run(400.0);
+  EXPECT_TRUE(result.stationary) << "drift=" << result.drift;
+  EXPECT_LT(result.backlog_series.back(), 50.0);
+}
+
+TEST(PotProcess, ModerateLoadStationaryUnderPoT) {
+  // Lemma 2 regime: ~70% of aggregate capacity, skewed objects; PoT keeps it stable.
+  PotProcess p(BaseConfig(11.0, ChoicePolicy::kPowerOfTwo));
+  const auto result = p.Run(600.0);
+  EXPECT_TRUE(result.stationary) << "drift=" << result.drift;
+}
+
+TEST(PotProcess, OverloadIsNotStationary) {
+  PotProcess p(BaseConfig(24.0, ChoicePolicy::kPowerOfTwo));  // 150% of capacity
+  const auto result = p.Run(400.0);
+  EXPECT_FALSE(result.stationary);
+  EXPECT_GT(result.backlog_series.back(), 1000.0);
+}
+
+TEST(PotProcess, SingleHashUnstableWherePoTIsStable) {
+  // Lemma 3's life-or-death gap: at a rate PoT sustains, one hash blows up because
+  // some node's hashed-in objects exceed its service rate.
+  const double rate = 11.0;
+  PotProcess pot(BaseConfig(rate, ChoicePolicy::kPowerOfTwo));
+  const auto pot_result = pot.Run(600.0);
+  EXPECT_TRUE(pot_result.stationary);
+
+  PotProcess::Config single_cfg = BaseConfig(rate, ChoicePolicy::kSingleHash);
+  // Same aggregate capacity for fairness: 16 lower nodes, no upper layer.
+  single_cfg.lower_nodes = 16;
+  int unstable = 0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    single_cfg.seed = seed;
+    PotProcess single(single_cfg);
+    unstable += single.Run(600.0).stationary ? 0 : 1;
+  }
+  EXPECT_GE(unstable, 3) << "single-hash should blow up with constant probability";
+}
+
+TEST(PotProcess, RandomOfTwoWorseThanPoT) {
+  // Load-oblivious random-of-two splits 50/50 and overloads the hot pair member.
+  const double rate = 13.0;
+  PotProcess pot(BaseConfig(rate, ChoicePolicy::kPowerOfTwo));
+  PotProcess rnd(BaseConfig(rate, ChoicePolicy::kRandomOfTwo));
+  const auto pot_result = pot.Run(500.0);
+  const auto rnd_result = rnd.Run(500.0);
+  EXPECT_LE(pot_result.drift, rnd_result.drift + 0.01);
+  EXPECT_LE(pot_result.backlog_series.back(),
+            rnd_result.backlog_series.back() + 100.0);
+}
+
+TEST(PotProcess, ArrivalsMatchConfiguredRate) {
+  PotProcess p(BaseConfig(8.0, ChoicePolicy::kPowerOfTwo));
+  const auto result = p.Run(500.0);
+  EXPECT_NEAR(static_cast<double>(result.arrivals) / 500.0, 8.0, 0.8);
+}
+
+TEST(PotProcess, DeparturesTrackArrivalsWhenStable) {
+  PotProcess p(BaseConfig(6.0, ChoicePolicy::kPowerOfTwo));
+  const auto result = p.Run(500.0);
+  EXPECT_NEAR(static_cast<double>(result.departures) /
+                  static_cast<double>(result.arrivals),
+              1.0, 0.05);
+}
+
+// Cross-check against the matching certificate (Lemma 2): when the max-flow problem
+// is feasible with slack, the simulated PoT process is stationary.
+TEST(PotProcess, FeasibleMatchingImpliesStationary) {
+  PotProcess::Config cfg = BaseConfig(10.0, ChoicePolicy::kPowerOfTwo);
+  PotProcess p(cfg);
+  ZipfDistribution dist(cfg.num_objects, cfg.zipf_theta);
+  std::vector<double> rates(cfg.num_objects);
+  for (uint64_t i = 0; i < cfg.num_objects; ++i) {
+    rates[i] = cfg.total_rate * dist.Pmf(i);
+  }
+  ASSERT_TRUE(p.graph().FeasibleMatching(rates, cfg.service_rate));
+  EXPECT_TRUE(p.Run(600.0).stationary);
+}
+
+}  // namespace
+}  // namespace distcache

@@ -1,0 +1,105 @@
+#include "sketch/heavy_hitter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace distcache {
+namespace {
+
+HeavyHitterDetector::Config SmallConfig(uint32_t threshold = 32) {
+  HeavyHitterDetector::Config cfg;
+  cfg.sketch.rows = 4;
+  cfg.sketch.width = 4096;
+  cfg.bloom.hashes = 3;
+  cfg.bloom.bits = 16384;
+  cfg.report_threshold = threshold;
+  return cfg;
+}
+
+TEST(HeavyHitterDetector, ColdKeysNotReported) {
+  HeavyHitterDetector hh(SmallConfig());
+  for (uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_FALSE(hh.Record(k));
+  }
+  EXPECT_TRUE(hh.TopReports().empty());
+}
+
+TEST(HeavyHitterDetector, HotKeyReportedOnceAtThreshold) {
+  HeavyHitterDetector hh(SmallConfig(10));
+  int reports = 0;
+  for (int i = 0; i < 100; ++i) {
+    reports += hh.Record(7) ? 1 : 0;
+  }
+  EXPECT_EQ(reports, 1);  // bloom filter suppresses duplicates within the epoch
+  const auto top = hh.TopReports();
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].first, 7u);
+  EXPECT_GE(top[0].second, 100u);
+}
+
+TEST(HeavyHitterDetector, ReportsRankedByCount) {
+  HeavyHitterDetector hh(SmallConfig(5));
+  for (int i = 0; i < 50; ++i) {
+    hh.Record(1);
+  }
+  for (int i = 0; i < 20; ++i) {
+    hh.Record(2);
+  }
+  const auto top = hh.TopReports();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 1u);
+  EXPECT_EQ(top[1].first, 2u);
+}
+
+TEST(HeavyHitterDetector, NewEpochClearsState) {
+  HeavyHitterDetector hh(SmallConfig(5));
+  for (int i = 0; i < 10; ++i) {
+    hh.Record(3);
+  }
+  hh.NewEpoch();
+  EXPECT_TRUE(hh.TopReports().empty());
+  EXPECT_EQ(hh.Estimate(3), 0u);
+  // Reportable again in the new epoch.
+  int reports = 0;
+  for (int i = 0; i < 10; ++i) {
+    reports += hh.Record(3) ? 1 : 0;
+  }
+  EXPECT_EQ(reports, 1);
+}
+
+TEST(HeavyHitterDetector, FindsZipfHeadUnderRealisticTraffic) {
+  HeavyHitterDetector hh(SmallConfig(64));
+  ZipfDistribution dist(100000, 0.99);
+  Rng rng(5);
+  for (int i = 0; i < 50000; ++i) {
+    hh.Record(dist.Sample(rng));
+  }
+  const auto top = hh.TopReports();
+  ASSERT_GE(top.size(), 5u);
+  // The hottest object must be among the first few reports.
+  bool found_rank0 = false;
+  for (size_t i = 0; i < 3 && i < top.size(); ++i) {
+    found_rank0 |= top[i].first == 0;
+  }
+  EXPECT_TRUE(found_rank0);
+}
+
+TEST(HeavyHitterDetector, ReportCapIsEnforced) {
+  HeavyHitterDetector::Config cfg = SmallConfig(1);
+  cfg.max_reports_per_epoch = 8;
+  HeavyHitterDetector hh(cfg);
+  for (uint64_t k = 0; k < 100; ++k) {
+    hh.Record(k);
+  }
+  EXPECT_LE(hh.TopReports().size(), 8u);
+}
+
+TEST(HeavyHitterDetector, MemoryBitsCombineSketchAndBloom) {
+  HeavyHitterDetector hh(SmallConfig());
+  EXPECT_EQ(hh.MemoryBits(), 4u * 4096u * 16u + 3u * 16384u);
+}
+
+}  // namespace
+}  // namespace distcache

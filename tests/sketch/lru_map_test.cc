@@ -1,0 +1,95 @@
+#include "sketch/lru_map.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace distcache {
+namespace {
+
+TEST(LruMap, PutGetRoundTrip) {
+  LruMap<int, std::string> lru(4);
+  EXPECT_FALSE(lru.Put(1, "one").has_value());
+  ASSERT_NE(lru.Get(1), nullptr);
+  EXPECT_EQ(*lru.Get(1), "one");
+}
+
+TEST(LruMap, MissingKeyIsNull) {
+  LruMap<int, int> lru(2);
+  EXPECT_EQ(lru.Get(5), nullptr);
+  EXPECT_EQ(lru.Peek(5), nullptr);
+}
+
+TEST(LruMap, EvictsLeastRecentlyUsed) {
+  LruMap<int, int> lru(2);
+  lru.Put(1, 10);
+  lru.Put(2, 20);
+  const auto evicted = lru.Put(3, 30);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->first, 1);
+  EXPECT_EQ(evicted->second, 10);
+  EXPECT_FALSE(lru.Contains(1));
+  EXPECT_TRUE(lru.Contains(2));
+  EXPECT_TRUE(lru.Contains(3));
+}
+
+TEST(LruMap, GetPromotes) {
+  LruMap<int, int> lru(2);
+  lru.Put(1, 10);
+  lru.Put(2, 20);
+  lru.Get(1);  // 2 becomes LRU
+  const auto evicted = lru.Put(3, 30);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->first, 2);
+}
+
+TEST(LruMap, PeekDoesNotPromote) {
+  LruMap<int, int> lru(2);
+  lru.Put(1, 10);
+  lru.Put(2, 20);
+  lru.Peek(1);  // 1 stays LRU
+  const auto evicted = lru.Put(3, 30);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->first, 1);
+}
+
+TEST(LruMap, PutExistingUpdatesAndPromotes) {
+  LruMap<int, int> lru(2);
+  lru.Put(1, 10);
+  lru.Put(2, 20);
+  EXPECT_FALSE(lru.Put(1, 11).has_value());
+  EXPECT_EQ(*lru.Get(1), 11);
+  const auto evicted = lru.Put(3, 30);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->first, 2);
+}
+
+TEST(LruMap, EraseRemoves) {
+  LruMap<int, int> lru(2);
+  lru.Put(1, 10);
+  EXPECT_TRUE(lru.Erase(1));
+  EXPECT_FALSE(lru.Erase(1));
+  EXPECT_EQ(lru.size(), 0u);
+}
+
+TEST(LruMap, OldestReportsEvictionCandidate) {
+  LruMap<int, int> lru(3);
+  EXPECT_EQ(lru.Oldest(), nullptr);
+  lru.Put(1, 10);
+  lru.Put(2, 20);
+  EXPECT_EQ(lru.Oldest()->first, 1);
+  lru.Get(1);
+  EXPECT_EQ(lru.Oldest()->first, 2);
+}
+
+TEST(LruMap, SizeTracksCapacity) {
+  LruMap<int, int> lru(3);
+  for (int i = 0; i < 10; ++i) {
+    lru.Put(i, i);
+  }
+  EXPECT_EQ(lru.size(), 3u);
+  EXPECT_EQ(lru.capacity(), 3u);
+}
+
+}  // namespace
+}  // namespace distcache

@@ -1,0 +1,104 @@
+// distcache_sim — command-line driver for the cluster simulator.
+//
+// Examples:
+//   distcache_sim --mechanism=distcache --racks=32 --servers-per-rack=32
+//                 --zipf=0.99 --cache-per-switch=100   (one command line)
+//   distcache_sim --mechanism=nocache --zipf=0.9 --write-ratio=0.2
+//   distcache_sim --mechanism=distcache --latency --load=0.5
+//   distcache_sim --mechanism=distcache --fail-spines=4 --offered=512
+#include <cstdio>
+#include <string>
+
+#include "cluster/cluster_sim.h"
+#include "cluster/latency.h"
+#include "tools/flags.h"
+
+namespace distcache {
+namespace {
+
+Mechanism ParseMechanism(const std::string& name) {
+  if (name == "nocache") {
+    return Mechanism::kNoCache;
+  }
+  if (name == "partition") {
+    return Mechanism::kCachePartition;
+  }
+  if (name == "replication") {
+    return Mechanism::kCacheReplication;
+  }
+  return Mechanism::kDistCache;
+}
+
+int Run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.Has("help")) {
+    std::printf(
+        "usage: distcache_sim [--mechanism=distcache|replication|partition|nocache]\n"
+        "  [--spines=N] [--racks=N] [--servers-per-rack=N] [--cache-per-switch=N]\n"
+        "  [--keys=N] [--zipf=T] [--write-ratio=W] [--seed=S]\n"
+        "  [--routing=pot|random|first] [--stale-telemetry] [--uncapped]\n"
+        "  [--latency --load=F] [--fail-spines=K --offered=R]\n");
+    return 0;
+  }
+  ClusterConfig cfg;
+  cfg.mechanism = ParseMechanism(flags.GetString("mechanism", "distcache"));
+  cfg.num_spine = static_cast<uint32_t>(flags.GetUint("spines", 32));
+  cfg.num_racks = static_cast<uint32_t>(flags.GetUint("racks", 32));
+  cfg.servers_per_rack = static_cast<uint32_t>(flags.GetUint("servers-per-rack", 32));
+  cfg.per_switch_objects =
+      static_cast<uint32_t>(flags.GetUint("cache-per-switch", 100));
+  cfg.num_keys = flags.GetUint("keys", 100'000'000);
+  cfg.zipf_theta = flags.GetDouble("zipf", 0.99);
+  cfg.write_ratio = flags.GetDouble("write-ratio", 0.0);
+  cfg.seed = flags.GetUint("seed", 42);
+  cfg.stale_telemetry = flags.GetBool("stale-telemetry", false);
+  cfg.cap_at_server_aggregate = !flags.GetBool("uncapped", false);
+  const std::string routing = flags.GetString("routing", "pot");
+  cfg.routing = routing == "random"  ? RoutingPolicy::kRandom
+                : routing == "first" ? RoutingPolicy::kFirstChoice
+                                     : RoutingPolicy::kPowerOfTwo;
+
+  ClusterSim sim(cfg);
+  std::printf("mechanism=%s  %u spines, %u racks x %u servers, cache %u/switch, %s, "
+              "write ratio %.2f\n",
+              MechanismName(cfg.mechanism).c_str(), cfg.num_spine, cfg.num_racks,
+              cfg.servers_per_rack, cfg.per_switch_objects,
+              cfg.zipf_theta > 0 ? ("zipf-" + std::to_string(cfg.zipf_theta)).c_str()
+                                 : "uniform",
+              cfg.write_ratio);
+
+  if (flags.Has("fail-spines")) {
+    const auto k = static_cast<uint32_t>(flags.GetUint("fail-spines", 1));
+    const double offered = flags.GetDouble("offered", 0.5 * sim.TotalServerCapacity());
+    std::printf("offered rate %.0f\n", offered);
+    std::printf("healthy            : %8.0f\n", sim.AchievedThroughput(offered));
+    for (uint32_t s = 0; s < k && s < cfg.num_spine; ++s) {
+      sim.FailSpine(s);
+    }
+    std::printf("%u spines failed   : %8.0f\n", k, sim.AchievedThroughput(offered));
+    sim.RunFailureRecovery();
+    std::printf("after recovery     : %8.0f\n", sim.AchievedThroughput(offered));
+    return 0;
+  }
+
+  if (flags.Has("latency")) {
+    const double load = flags.GetDouble("load", 0.5);
+    const LatencyReport report =
+        ComputeLatencyReport(sim, load * sim.TotalServerCapacity());
+    std::printf("latency @ %.0f%% load: mean=%.2f p50=%.2f p95=%.2f p99=%.2f "
+                "(hit fraction %.2f)\n",
+                100 * load, report.mean, report.p50, report.p95, report.p99,
+                report.hit_fraction);
+    return 0;
+  }
+
+  const double throughput = sim.SaturationThroughput();
+  std::printf("saturation throughput: %.0f (x one storage server; aggregate %.0f)\n",
+              throughput, sim.TotalServerCapacity());
+  return 0;
+}
+
+}  // namespace
+}  // namespace distcache
+
+int main(int argc, char** argv) { return distcache::Run(argc, argv); }

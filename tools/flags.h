@@ -1,0 +1,63 @@
+// Minimal command-line flag parsing for the CLI tools: --name=value or --name value.
+#ifndef DISTCACHE_TOOLS_FLAGS_H_
+#define DISTCACHE_TOOLS_FLAGS_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace distcache {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        continue;
+      }
+      arg = arg.substr(2);
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";
+      }
+    }
+  }
+
+  std::string GetString(const std::string& name, const std::string& def) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+  }
+
+  double GetDouble(const std::string& name, double def) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  }
+
+  uint64_t GetUint(const std::string& name, uint64_t def) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? def : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+
+  bool GetBool(const std::string& name, bool def) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) {
+      return def;
+    }
+    return it->second == "true" || it->second == "1";
+  }
+
+  bool Has(const std::string& name) const { return values_.contains(name); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_TOOLS_FLAGS_H_
