@@ -55,7 +55,9 @@ void Run() {
   PrintHeader("Ablation 4: coherence cost sensitivity (write ratio 0.1, zipf-0.99)",
               "per-copy server cost kappa; paper's protocol corresponds to a small "
               "fraction of a query's work");
-  for (double kappa : {0.0, 0.25, 0.5, 1.0, 2.0}) {
+  const std::vector<double> kappas =
+      SmokeSweep<double>({0.25}, {0.0, 0.25, 0.5, 1.0, 2.0});
+  for (double kappa : kappas) {
     ClusterConfig dist_cfg = PaperDefaultConfig(Mechanism::kDistCache);
     dist_cfg.write_ratio = 0.1;
     dist_cfg.coherence_server_cost = kappa;

@@ -3,6 +3,7 @@
 #define DISTCACHE_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,20 @@
 #include "core/mechanism.h"
 
 namespace distcache {
+
+// True when DISTCACHE_BENCH_SMOKE is set: benches shrink their sweeps to finish in
+// about a second so `make bench-smoke` can catch bitrot without reproducing full
+// figures. Numbers printed under smoke mode are NOT meaningful.
+inline bool BenchSmoke() {
+  const char* env = std::getenv("DISTCACHE_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+// Sweep selector: the reduced list under smoke mode, the full list otherwise.
+template <typename T>
+std::vector<T> SmokeSweep(std::vector<T> smoke, std::vector<T> full) {
+  return BenchSmoke() ? std::move(smoke) : std::move(full);
+}
 
 inline const std::vector<Mechanism>& AllMechanisms() {
   static const std::vector<Mechanism> kAll{

@@ -15,7 +15,9 @@ void RunPanel(const char* title, double theta, uint32_t per_switch) {
   PrintHeader(title, "");
   std::printf("%-12s %14s %18s %16s %10s\n", "write ratio", "DistCache",
               "CacheReplication", "CachePartition", "NoCache");
-  for (double w : {0.0, 0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+  const std::vector<double> ratios = SmokeSweep<double>(
+      {0.0, 0.2}, {0.0, 0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0});
+  for (double w : ratios) {
     std::printf("%-12.2f", w);
     for (Mechanism m : AllMechanisms()) {
       ClusterConfig cfg = PaperDefaultConfig(m);

@@ -16,6 +16,9 @@ void Run() {
               "32 spines; fail 4 one-by-one at t=40,50,60,70; controller recovery at "
               "t=110; switches restored at t=160; sending rate = half of max");
   ClusterConfig cfg = PaperDefaultConfig(Mechanism::kDistCache);
+  if (BenchSmoke()) {
+    cfg.num_spine = cfg.num_racks = 8;  // smaller cluster, identical event series
+  }
   ClusterSim sim(cfg);
   const double max_rate = sim.SaturationThroughput();
   const double offered = 0.5 * max_rate;

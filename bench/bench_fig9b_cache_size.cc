@@ -14,7 +14,9 @@ void Run() {
               "cache size = objects across all 64 switches; log-scale x in the paper");
   std::printf("%-12s %14s %18s %16s\n", "cache size", "DistCache", "CacheReplication",
               "CachePartition");
-  for (uint32_t total : {64u, 96u, 160u, 320u, 640u, 6400u}) {
+  const std::vector<uint32_t> sizes =
+      SmokeSweep<uint32_t>({64u, 6400u}, {64u, 96u, 160u, 320u, 640u, 6400u});
+  for (uint32_t total : sizes) {
     // 64 cache switches; 96 total => alternate 1/2 per switch, approximated by the
     // ceiling (the paper's own 96/64 is fractional too).
     const uint32_t per_switch = (total + 63) / 64;

@@ -12,8 +12,10 @@
 // actual Tofino:server ratio), linear scaling holds through 4096 servers. We print
 // both, plus Zipf-0.9 where the precondition binds later.
 #include <cstdio>
+#include <memory>
 
 #include "bench/bench_common.h"
+#include "sim/sim_backend.h"
 
 namespace distcache {
 namespace {
@@ -34,7 +36,9 @@ void Run() {
               "(spine capacity 8x rack aggregate, §3.3 non-uniform remark)");
   std::printf("%-8s %12s %12s %18s %16s %10s\n", "servers", "DistCache", "DistCache*",
               "CacheReplication", "CachePartition", "NoCache");
-  for (uint32_t racks : {4u, 8u, 16u, 32u, 64u, 128u}) {
+  const std::vector<uint32_t> rack_sweep =
+      SmokeSweep<uint32_t>({4u, 8u}, {4u, 8u, 16u, 32u, 64u, 128u});
+  for (uint32_t racks : rack_sweep) {
     std::printf("%-8u", racks * 32);
     std::printf(" %12.0f", Measure(Mechanism::kDistCache, racks, 0.99, 0.0));
     std::printf(" %12.0f", Measure(Mechanism::kDistCache, racks, 0.99, 8.0 * 32.0));
@@ -44,10 +48,44 @@ void Run() {
   }
   PrintHeader("Figure 9(c) auxiliary: zipf-0.9 (theorem precondition binds later)", "");
   std::printf("%-8s %12s %18s\n", "servers", "DistCache", "CacheReplication");
-  for (uint32_t racks : {4u, 8u, 16u, 32u, 64u}) {
+  const std::vector<uint32_t> aux_sweep =
+      SmokeSweep<uint32_t>({4u}, {4u, 8u, 16u, 32u, 64u});
+  for (uint32_t racks : aux_sweep) {
     std::printf("%-8u %12.0f %18.0f\n", racks * 32,
                 Measure(Mechanism::kDistCache, racks, 0.9, 0.0),
                 Measure(Mechanism::kCacheReplication, racks, 0.9, 0.0));
+  }
+
+  // Engine scaling: the same fig-9(c) workload executed request-by-request through
+  // the pluggable SimBackend engines (see sim/sim_backend.h). The sharded runtime's
+  // batched hot path must beat the sequential reference by >=2x while reproducing
+  // its cache hit ratio and load-imbalance stats within 5%.
+  PrintHeader("Engine throughput on the fig-9(c) workload (requests/s of the simulator itself)",
+              "paper-default cluster, zipf-0.99, read-only; 8M requests per engine");
+  const uint64_t kRequests = BenchSmoke() ? 200'000 : 8'000'000;
+  SimBackendConfig bcfg;
+  bcfg.cluster = PaperDefaultConfig(Mechanism::kDistCache);
+  double sequential_mrps = 0.0;
+  std::printf("%-16s %10s %10s %12s %12s %12s\n", "engine", "Mreq/s", "speedup",
+              "hit ratio", "cache imb", "server imb");
+  for (uint32_t shards : {0u, 1u, 2u, 4u}) {
+    bcfg.shards = shards == 0 ? 1 : shards;
+    auto backend = MakeSimBackend(
+        shards == 0 ? BackendKind::kSequential : BackendKind::kSharded, bcfg);
+    const BackendStats stats = backend->Run(kRequests);
+    if (shards == 0) {
+      sequential_mrps = stats.throughput_mrps();
+    }
+    char label[32];
+    if (shards == 0) {
+      std::snprintf(label, sizeof(label), "%s", backend->name().c_str());
+    } else {
+      std::snprintf(label, sizeof(label), "%s x%u", backend->name().c_str(), shards);
+    }
+    std::printf("%-16s %10.2f %9.2fx %12.4f %12.3f %12.3f\n", label,
+                stats.throughput_mrps(),
+                sequential_mrps > 0 ? stats.throughput_mrps() / sequential_mrps : 0.0,
+                stats.hit_ratio(), stats.CacheImbalance(), stats.ServerImbalance());
   }
 }
 

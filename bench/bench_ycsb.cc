@@ -18,8 +18,10 @@ void Run() {
               "normalized saturation throughput per mechanism");
   std::printf("%-24s %12s %18s %16s %10s\n", "workload", "DistCache",
               "CacheReplication", "CachePartition", "NoCache");
-  for (YcsbWorkload w : {YcsbWorkload::kA, YcsbWorkload::kB, YcsbWorkload::kC,
-                         YcsbWorkload::kD, YcsbWorkload::kF}) {
+  const std::vector<YcsbWorkload> mixes = SmokeSweep<YcsbWorkload>(
+      {YcsbWorkload::kB}, {YcsbWorkload::kA, YcsbWorkload::kB, YcsbWorkload::kC,
+                           YcsbWorkload::kD, YcsbWorkload::kF});
+  for (YcsbWorkload w : mixes) {
     std::printf("%-24s", YcsbWorkloadName(w));
     for (Mechanism m : AllMechanisms()) {
       ClusterConfig cfg = PaperDefaultConfig(m);
@@ -36,7 +38,9 @@ void Run() {
 
   PrintHeader("YCSB on the threaded runtime (2 spines, 2 racks x 2 servers)",
               "real executed operations; hit ratio of the cache layers");
-  for (YcsbWorkload w : {YcsbWorkload::kA, YcsbWorkload::kB, YcsbWorkload::kC}) {
+  const std::vector<YcsbWorkload> rt_mixes = SmokeSweep<YcsbWorkload>(
+      {YcsbWorkload::kB}, {YcsbWorkload::kA, YcsbWorkload::kB, YcsbWorkload::kC});
+  for (YcsbWorkload w : rt_mixes) {
     RuntimeConfig rt_cfg;
     rt_cfg.num_spine = 2;
     rt_cfg.num_racks = 2;

@@ -1,0 +1,37 @@
+// SimBackend adapter over ClusterSim, the analytic fluid model.
+//
+// ClusterSim reasons about offered *rates*, not individual requests, so this backend
+// is the licensed exception to the Run(n)-executes-n-requests contract (see
+// sim/sim_backend.h): it runs the fluid simulator at 50% of aggregate server
+// capacity for the configured number of telemetry epochs and reports analytic
+// equivalents — per-node loads from the final epoch's LoadSnapshot, and the exact
+// cache-hit probability (total pmf mass of cached keys) scaled to the nominal
+// request count so BackendStats::hit_ratio() is comparable across backends.
+//
+// Use it to cross-validate the request-level backends: their measured hit ratios
+// converge to this backend's analytic value as the request count grows.
+#ifndef DISTCACHE_CLUSTER_FLUID_BACKEND_H_
+#define DISTCACHE_CLUSTER_FLUID_BACKEND_H_
+
+#include <string>
+
+#include "cluster/cluster_sim.h"
+#include "sim/sim_backend.h"
+
+namespace distcache {
+
+class FluidBackend : public SimBackend {
+ public:
+  explicit FluidBackend(const SimBackendConfig& config);
+
+  std::string name() const override { return "fluid"; }
+  BackendStats Run(uint64_t num_requests) override;
+
+ private:
+  SimBackendConfig config_;
+  ClusterSim sim_;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_CLUSTER_FLUID_BACKEND_H_

@@ -1,0 +1,51 @@
+#include "common/alias_sampler.h"
+
+#include <numeric>
+
+namespace distcache {
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  const size_t n = weights.empty() ? 1 : weights.size();
+  prob_.assign(n, 1.0);
+  alias_.assign(n, 0);
+  if (weights.empty()) {
+    return;
+  }
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) {
+    return;
+  }
+
+  // Vose's stable two-worklist construction: scale weights so the mean is 1, then
+  // repeatedly pair an under-full bucket with an over-full one.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical leftovers are within rounding of 1.0.
+  for (uint32_t i : small) {
+    prob_[i] = 1.0;
+  }
+  for (uint32_t i : large) {
+    prob_[i] = 1.0;
+  }
+}
+
+}  // namespace distcache

@@ -1,0 +1,47 @@
+// Walker/Vose alias-method sampler over a finite pmf: O(n) build, O(1) per draw.
+//
+// This is the "amortized Zipf sampling" half of the batched request hot path: the
+// sequential reference backend draws keys by inverse-CDF binary search (O(log n) with
+// a data-dependent branch per probe), while the sharded backend builds one alias
+// table over the head-key pmf (plus an aggregated tail bucket) and then samples each
+// request with two table reads — the build cost is amortized over millions of draws.
+#ifndef DISTCACHE_COMMON_ALIAS_SAMPLER_H_
+#define DISTCACHE_COMMON_ALIAS_SAMPLER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace distcache {
+
+class AliasSampler {
+ public:
+  // Builds the table from (unnormalized, non-negative) weights. Empty or all-zero
+  // weight vectors yield a sampler that always returns 0.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  // Draws one bucket index, distributed proportionally to the build weights.
+  uint32_t Sample(Rng& rng) const {
+    const uint32_t i = static_cast<uint32_t>(rng.NextBounded(prob_.size()));
+    return rng.NextDouble() < prob_[i] ? i : alias_[i];
+  }
+
+  // Amortized batch draw: fills out[0..n) with i.i.d. samples.
+  void SampleBatch(Rng& rng, uint32_t* out, size_t n) const {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = Sample(rng);
+    }
+  }
+
+  size_t num_buckets() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;    // acceptance threshold per bucket
+  std::vector<uint32_t> alias_; // fallback bucket
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_COMMON_ALIAS_SAMPLER_H_

@@ -5,6 +5,27 @@
 // prototype). Loads can go stale when a switch stops seeing traffic; the paper
 // proposes an aging mechanism that gradually decays un-refreshed loads toward zero
 // (not implementable in P4 at the time — we implement it and ablate it).
+//
+// Invariants this table must maintain for the power-of-two-choices guarantee
+// (Theorem 1) to apply:
+//
+//  1. *Per-node monotone freshness*: the stored load for a node is always some past
+//     true load of that node (possibly decayed by aging) plus optimistic local
+//     increments the client itself caused — never an arbitrary value. PoT tolerates
+//     bounded staleness (it only compares two candidates), but it does not tolerate
+//     systematically inverted loads.
+//  2. *Bounded staleness*: every node's entry is refreshed at least once per
+//     telemetry epoch while the node serves traffic. The sharded simulation backend
+//     preserves this with partial-sum gossip — each shard broadcasts its own
+//     cumulative per-node contributions every epoch and receivers fold in the
+//     monotone increments — while each client tracks its own contributions via
+//     Add(), so the view error for any node is at most the traffic other clients
+//     sent it within one epoch (see sim/sharded_backend.h for why absolute-load
+//     broadcasts would violate this).
+//  3. *Herding avoidance*: decisions within an epoch must not all see the identical
+//     frozen snapshot (else every query chases the same "less loaded" node — the
+//     stale-telemetry ablation in ClusterSim). Local Add() increments provide the
+//     within-epoch feedback that keeps the fixed-candidates PoT process stationary.
 #ifndef DISTCACHE_CORE_LOAD_TRACKER_H_
 #define DISTCACHE_CORE_LOAD_TRACKER_H_
 
@@ -33,18 +54,33 @@ class LoadTracker {
         leaf_fresh_(config.num_leaf, false) {}
 
   // Telemetry arrival: reply traversed `node` which reported `load`.
-  void Update(CacheNodeId node, uint64_t load) {
+  void Update(CacheNodeId node, uint64_t load) { Set(node, static_cast<double>(load)); }
+
+  double Load(CacheNodeId node) const {
+    return node.layer == 0 ? spine_loads_[node.index] : leaf_loads_[node.index];
+  }
+
+  // Authoritative refresh (epoch telemetry broadcast in the simulation backends):
+  // replaces the view with the owner's true cumulative load and marks it fresh.
+  void Set(CacheNodeId node, double load) {
     if (node.layer == 0 && node.index < config_.num_spine) {
-      spine_loads_[node.index] = static_cast<double>(load);
+      spine_loads_[node.index] = load;
       spine_fresh_[node.index] = true;
     } else if (node.layer == 1 && node.index < config_.num_leaf) {
-      leaf_loads_[node.index] = static_cast<double>(load);
+      leaf_loads_[node.index] = load;
       leaf_fresh_[node.index] = true;
     }
   }
 
-  double Load(CacheNodeId node) const {
-    return node.layer == 0 ? spine_loads_[node.index] : leaf_loads_[node.index];
+  // Optimistic local increment: the client just routed `delta` work to `node` and
+  // accounts for it immediately, without waiting for the next telemetry epoch
+  // (invariant 3 above). Does not mark the entry fresh — only real telemetry does.
+  void Add(CacheNodeId node, double delta) {
+    if (node.layer == 0 && node.index < config_.num_spine) {
+      spine_loads_[node.index] += delta;
+    } else if (node.layer == 1 && node.index < config_.num_leaf) {
+      leaf_loads_[node.index] += delta;
+    }
   }
 
   // Epoch boundary: decay entries that saw no telemetry this epoch (aging, §4.2), and

@@ -7,6 +7,21 @@
 // nodes); the router picks the currently-less-loaded one from the telemetry table.
 // The paper shows this fixed-choices variant is a "life-or-death" improvement: with a
 // single hash the system is non-stationary (Lemma 3).
+//
+// Invariants the router maintains (and that callers must not break):
+//
+//  1. *Fixed candidates*: the candidate set for a key is derived from the allocation
+//     hashes (h0 → spine partition, h1 ≡ storage placement → leaf), never from load.
+//     Load only picks *among* the fixed candidates; choosing candidates by load would
+//     void the independence assumption behind Theorem 1's stationarity proof.
+//  2. *Less-loaded wins*: under kPowerOfTwo the chosen candidate has minimal load in
+//     the router's current view. Combined with the LoadTracker invariants (bounded
+//     staleness + local increments) this makes each key's query stream a water-filling
+//     split between its two copies — the discrete analogue of ClusterSim's fluid
+//     split.
+//  3. *Uniform tie-breaks*: ties are broken uniformly at random (reservoir style), so
+//     two equally loaded candidates share load evenly in expectation rather than
+//     herding onto the lower index.
 #ifndef DISTCACHE_CORE_POT_ROUTER_H_
 #define DISTCACHE_CORE_POT_ROUTER_H_
 
@@ -64,6 +79,29 @@ class PotRouter {
       }
     }
     return best;
+  }
+
+  // Hot-path binary choice used by the batched simulation backends: semantically
+  // identical to Choose({a, b}) but without materializing a candidate vector.
+  // Returns the chosen node id directly.
+  CacheNodeId ChoosePair(CacheNodeId a, CacheNodeId b) {
+    switch (policy_) {
+      case RoutingPolicy::kFirstChoice:
+        return a;
+      case RoutingPolicy::kRandom:
+        return rng_.NextBounded(2) == 0 ? a : b;
+      case RoutingPolicy::kPowerOfTwo:
+        break;
+    }
+    const double load_a = tracker_->Load(a);
+    const double load_b = tracker_->Load(b);
+    if (load_a < load_b) {
+      return a;
+    }
+    if (load_b < load_a) {
+      return b;
+    }
+    return rng_.NextBounded(2) == 0 ? a : b;  // uniform tie-break (invariant 3)
   }
 
   RoutingPolicy policy() const { return policy_; }

@@ -27,6 +27,20 @@ class Channel {
     return true;
   }
 
+  // Non-blocking receive: returns nullopt when the queue is momentarily empty, even
+  // if the channel is still open. Shard workers poll their inbox with this at batch
+  // boundaries so cross-shard load deltas are absorbed without ever blocking the
+  // request hot path.
+  std::optional<T> TryReceive() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
   // Blocks until an item is available or the channel is closed and drained.
   std::optional<T> Receive() {
     std::unique_lock<std::mutex> lock(mu_);

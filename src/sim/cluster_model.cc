@@ -1,0 +1,25 @@
+#include "sim/cluster_model.h"
+
+#include "common/hash.h"
+
+namespace distcache {
+
+ClusterModel::ClusterModel(const ClusterConfig& config)
+    : cfg(config),
+      placement(config.num_racks, config.servers_per_rack,
+                HashCombine(config.seed, 0x91ace3e22ULL)),
+      dist(MakeDistribution(config.num_keys, config.zipf_theta)) {
+  AllocationConfig alloc;
+  alloc.mechanism = cfg.mechanism;
+  alloc.num_spine = cfg.num_spine;
+  alloc.num_racks = cfg.num_racks;
+  alloc.per_switch_objects = cfg.per_switch_objects;
+  alloc.hash_seed = HashCombine(cfg.seed, 0xd15ca4eULL);
+  allocation = std::make_unique<CacheAllocation>(alloc, placement);
+  pool = allocation->candidate_pool();
+  popularity = BuildPopularityVector(*dist, pool);
+  head_with_tail = popularity.head;
+  head_with_tail.push_back(popularity.tail_mass);
+}
+
+}  // namespace distcache

@@ -1,0 +1,54 @@
+// Immutable cluster state shared by the request-level simulation backends.
+//
+// Derived hash seeds are identical to ClusterSim's, so a given (ClusterConfig, seed)
+// produces the same storage placement, cache allocation and head-key popularity in
+// every backend — cross-backend stat comparisons (sequential vs sharded vs fluid)
+// compare engines, never workloads.
+#ifndef DISTCACHE_SIM_CLUSTER_MODEL_H_
+#define DISTCACHE_SIM_CLUSTER_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster_sim.h"
+#include "common/workload.h"
+#include "common/zipf.h"
+#include "core/allocation.h"
+#include "core/load_tracker.h"
+#include "kv/placement.h"
+
+namespace distcache {
+
+// Client-view tracker dimensions for a cluster; both request-level backends use
+// this so their telemetry policy (no aging — the prototype's behaviour) cannot
+// diverge, which their parity tests assume.
+inline LoadTracker::Config MakeTrackerConfig(const ClusterConfig& cfg) {
+  LoadTracker::Config tc;
+  tc.num_spine = cfg.num_spine;
+  tc.num_leaf = cfg.num_racks;
+  tc.aging_factor = 1.0;
+  return tc;
+}
+
+struct ClusterModel {
+  explicit ClusterModel(const ClusterConfig& config);
+
+  ClusterConfig cfg;
+  Placement placement;
+  std::unique_ptr<KeyDistribution> dist;
+  std::unique_ptr<CacheAllocation> allocation;
+
+  // Keys [0, pool) are tracked individually ("head"); the rest is the uniform tail.
+  uint64_t pool = 0;
+  PopularityVector popularity;
+  // popularity.head with the aggregate tail mass appended as one extra bucket —
+  // the pmf both request-level samplers draw from.
+  std::vector<double> head_with_tail;
+
+  uint32_t num_servers() const { return cfg.num_racks * cfg.servers_per_rack; }
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_SIM_CLUSTER_MODEL_H_

@@ -1,0 +1,104 @@
+#include "sim/sequential_backend.h"
+
+#include <chrono>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace distcache {
+
+SequentialBackend::SequentialBackend(const SimBackendConfig& config)
+    : config_(config),
+      model_(config.cluster),
+      head_dist_(std::make_unique<DiscreteDistribution>(model_.head_with_tail,
+                                                        "head+tail")),
+      tracker_(MakeTrackerConfig(config.cluster)),
+      router_(&tracker_, config.cluster.routing,
+              HashCombine(config.cluster.seed, 0x90076eULL)),
+      rng_(HashCombine(config.cluster.seed, 0xc1057e4ULL)) {}
+
+BackendStats SequentialBackend::Run(uint64_t num_requests) {
+  const ClusterConfig& cc = config_.cluster;
+  BackendStats st;
+  st.spine_load.assign(cc.num_spine, 0.0);
+  st.leaf_load.assign(cc.num_racks, 0.0);
+  st.server_load.assign(model_.num_servers(), 0.0);
+
+  const double write_ratio = cc.write_ratio;
+  const uint64_t tail_keys = cc.num_keys - model_.pool;
+  std::vector<CacheNodeId> candidates;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < num_requests; ++i) {
+    // Telemetry epoch boundary: refresh the client's view from true loads. Between
+    // boundaries the per-request Set() below keeps the view exact for routed nodes.
+    if (config_.epoch_requests != 0 && i % config_.epoch_requests == 0) {
+      for (uint32_t s = 0; s < cc.num_spine; ++s) {
+        tracker_.Set({0, s}, st.spine_load[s]);
+      }
+      for (uint32_t l = 0; l < cc.num_racks; ++l) {
+        tracker_.Set({1, l}, st.leaf_load[l]);
+      }
+    }
+
+    const uint64_t bucket = head_dist_->Sample(rng_);
+    const bool is_tail = bucket == model_.pool;
+    const uint64_t key =
+        is_tail ? model_.pool + rng_.NextBounded(tail_keys) : bucket;
+    const CacheCopies copies =
+        is_tail ? CacheCopies{} : model_.allocation->CopiesOf(key);
+    const bool is_write = write_ratio > 0.0 && rng_.NextBernoulli(write_ratio);
+
+    if (is_write) {
+      // Two-phase coherence (§4.3): each cached copy costs the switch
+      // coherence_switch_cost units; the primary pays one write plus
+      // coherence_server_cost per copy.
+      ++st.writes;
+      if (copies.leaf) {
+        st.leaf_load[*copies.leaf] += cc.coherence_switch_cost;
+      }
+      if (copies.replicated_all_spines) {
+        for (uint32_t s = 0; s < cc.num_spine; ++s) {
+          st.spine_load[s] += cc.coherence_switch_cost;
+        }
+      } else if (copies.spine) {
+        st.spine_load[*copies.spine] += cc.coherence_switch_cost;
+      }
+      st.server_load[model_.placement.ServerOf(key)] +=
+          1.0 + cc.coherence_server_cost *
+                    static_cast<double>(copies.NumCopies(cc.num_spine));
+      continue;
+    }
+
+    ++st.reads;
+    if (!copies.cached()) {
+      st.server_load[model_.placement.ServerOf(key)] += 1.0;
+      ++st.server_reads;
+      continue;
+    }
+    candidates.clear();
+    if (copies.replicated_all_spines) {
+      for (uint32_t s = 0; s < cc.num_spine; ++s) {
+        candidates.push_back({0, s});
+      }
+    } else if (copies.spine) {
+      candidates.push_back({0, *copies.spine});
+    }
+    if (copies.leaf) {
+      candidates.push_back({1, *copies.leaf});
+    }
+    const CacheNodeId node = candidates[router_.Choose(candidates)];
+    double& load =
+        node.layer == 0 ? st.spine_load[node.index] : st.leaf_load[node.index];
+    load += 1.0;
+    tracker_.Set(node, load);  // telemetry piggybacked on the reply
+    ++st.cache_hits;
+    ++(node.layer == 0 ? st.spine_hits : st.leaf_hits);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  st.requests = num_requests;
+  st.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return st;
+}
+
+}  // namespace distcache

@@ -1,0 +1,42 @@
+// The single-threaded request-level reference backend.
+//
+// Deliberately the straightforward implementation: every request individually walks
+// the faithful path — inverse-CDF key sampling (O(log pool) binary search through a
+// virtual KeyDistribution), per-request CacheAllocation::CopiesOf, a materialized
+// candidate vector handed to PotRouter::Choose, and a per-request LoadTracker update
+// (the piggybacked-telemetry semantics of §4.2). It is the semantic baseline the
+// sharded backend's batched hot path is validated against, and the denominator of
+// the engine-throughput comparison in bench_fig9c_scalability.
+#ifndef DISTCACHE_SIM_SEQUENTIAL_BACKEND_H_
+#define DISTCACHE_SIM_SEQUENTIAL_BACKEND_H_
+
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "core/load_tracker.h"
+#include "core/pot_router.h"
+#include "sim/cluster_model.h"
+#include "sim/sim_backend.h"
+
+namespace distcache {
+
+class SequentialBackend : public SimBackend {
+ public:
+  explicit SequentialBackend(const SimBackendConfig& config);
+
+  std::string name() const override { return "sequential"; }
+  BackendStats Run(uint64_t num_requests) override;
+
+ private:
+  SimBackendConfig config_;
+  ClusterModel model_;
+  std::unique_ptr<DiscreteDistribution> head_dist_;  // head keys + one tail bucket
+  LoadTracker tracker_;
+  PotRouter router_;
+  Rng rng_;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_SIM_SEQUENTIAL_BACKEND_H_

@@ -1,0 +1,43 @@
+// Cross-shard message for the sharded simulation backend.
+//
+// One Channel<ShardMsg> inbox per shard. Senders batch everything: a single message
+// carries all the load deltas one source-shard batch produced for one owner shard,
+// so channel traffic is O(messages per batch), not O(requests).
+#ifndef DISTCACHE_SIM_SHARD_MESSAGE_H_
+#define DISTCACHE_SIM_SHARD_MESSAGE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace distcache {
+
+struct ShardMsg {
+  enum class Kind : uint8_t {
+    // cache_entries/server_entries are *deltas* to the owner's authoritative
+    // cumulative load counters (flushed when a shard finishes its quota).
+    kLoadDeltas,
+    // cache_partials[flat_node] is the sender's *own cumulative contribution* to
+    // each cache node (flat index: spine i → i, leaf l → num_spine + l). Partials
+    // are monotone per sender, so receivers fold in `new - last_seen` and every
+    // shard's load view stays a consistent sum of per-shard partials — immune to
+    // shard scheduling skew (absolute-load broadcasts from differently-aged epochs
+    // would mix inconsistently).
+    kTelemetry,
+    // Sender has processed its whole request quota and flushed all deltas. Because
+    // each inbox is FIFO per sender, a Done marks the end of that sender's stream.
+    kDone,
+  };
+
+  Kind kind = Kind::kLoadDeltas;
+  uint32_t from = 0;
+  std::vector<std::pair<CacheNodeId, double>> cache_entries;
+  std::vector<std::pair<uint32_t, double>> server_entries;
+  std::vector<double> cache_partials;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_SIM_SHARD_MESSAGE_H_

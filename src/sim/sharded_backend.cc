@@ -1,0 +1,387 @@
+#include "sim/sharded_backend.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <thread>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace distcache {
+
+struct ShardedBackend::Shard {
+  Shard(uint32_t id, const SimBackendConfig& cfg, uint64_t seed)
+      : id(id),
+        rng(HashCombine(HashCombine(seed, 0x5aa4dedULL), id)),
+        view(MakeTrackerConfig(cfg.cluster)),
+        router(&view, cfg.cluster.routing,
+               HashCombine(HashCombine(seed, 0x90076eULL), id)) {}
+
+  uint32_t id;
+  Rng rng;
+  EventQueue queue;
+  LoadTracker view;
+  PotRouter router;
+  Channel<ShardMsg> inbox;
+
+  // Authoritative cumulative loads for *owned* nodes live in local.{spine,leaf,
+  // server}_load (non-owned entries stay zero); counters are shard-local partials.
+  // Merging all shards' stats yields the global picture.
+  BackendStats local;
+
+  // Dense unsent-delta scratch for non-owned nodes, drained by the end-of-run
+  // flush. Cache nodes are flat-indexed spine-first (spine i → i, leaf l →
+  // num_spine + l).
+  std::vector<double> cache_unsent;
+  std::vector<double> server_unsent;
+  // This shard's own cumulative contribution per cache node (reads routed there
+  // plus write coherence touches) — the payload of telemetry broadcasts.
+  std::vector<double> own_cache;
+  // last_partial[peer][flat]: the most recent partial received from `peer`, so
+  // telemetry application can fold in only the monotone increment.
+  std::vector<std::vector<double>> last_partial;
+  std::vector<ShardMsg> out;        // flush assembly, one slot per destination shard
+  std::vector<uint32_t> batch_keys; // sampled buckets for the current batch
+  uint64_t processed = 0;
+  uint32_t done_seen = 0;
+  std::vector<CacheNodeId> scratch_candidates;  // kReplicated slow path
+  std::thread thread;
+};
+
+ShardedBackend::ShardedBackend(const SimBackendConfig& config)
+    : config_(config),
+      model_(config.cluster),
+      shard_map_(config.cluster.num_spine, config.cluster.num_racks,
+                 model_.num_servers(), config.shards),
+      sampler_(model_.head_with_tail),
+      routes_(model_.pool) {
+  if (config_.batch_size == 0) {
+    config_.batch_size = 1;  // a 0-request batch would respawn itself forever
+  }
+  for (uint64_t key = 0; key < model_.pool; ++key) {
+    RouteEntry& e = routes_[key];
+    e.server = model_.placement.ServerOf(key);
+    const CacheCopies copies = model_.allocation->CopiesOf(key);
+    if (copies.replicated_all_spines) {
+      e.kind = RouteEntry::kReplicated;
+      e.leaf = copies.leaf.value_or(0);
+    } else if (copies.spine && copies.leaf) {
+      e.kind = RouteEntry::kPair;
+      e.spine = *copies.spine;
+      e.leaf = *copies.leaf;
+    } else if (copies.spine) {
+      e.kind = RouteEntry::kSpineOnly;
+      e.spine = *copies.spine;
+    } else if (copies.leaf) {
+      e.kind = RouteEntry::kLeafOnly;
+      e.leaf = *copies.leaf;
+    }
+  }
+}
+
+ShardedBackend::~ShardedBackend() = default;
+
+void ShardedBackend::AddCacheLoad(Shard& shard, CacheNodeId node, double delta) {
+  const uint32_t flat = shard_map_.FlatIndex(node);
+  shard.own_cache[flat] += delta;     // telemetry partial
+  shard.view.Add(node, delta);        // optimistic local view (invariant 3)
+  if (shard_map_.OwnerOfCache(node) == shard.id) {
+    (node.layer == 0 ? shard.local.spine_load[node.index]
+                     : shard.local.leaf_load[node.index]) += delta;
+  } else {
+    shard.cache_unsent[flat] += delta;
+  }
+}
+
+void ShardedBackend::AddServerLoad(Shard& shard, uint32_t server, double delta) {
+  if (shard_map_.OwnerOfServer(server) == shard.id) {
+    shard.local.server_load[server] += delta;
+  } else {
+    shard.server_unsent[server] += delta;
+  }
+}
+
+void ShardedBackend::Apply(Shard& shard, ShardMsg& msg) {
+  switch (msg.kind) {
+    case ShardMsg::Kind::kLoadDeltas:
+      for (const auto& [node, delta] : msg.cache_entries) {
+        (node.layer == 0 ? shard.local.spine_load[node.index]
+                         : shard.local.leaf_load[node.index]) += delta;
+      }
+      for (const auto& [server, delta] : msg.server_entries) {
+        shard.local.server_load[server] += delta;
+      }
+      break;
+    case ShardMsg::Kind::kTelemetry: {
+      // Fold in the sender's monotone increment since its previous broadcast; the
+      // view stays the sum of per-shard partials plus our exact own counts.
+      std::vector<double>& last = shard.last_partial[msg.from];
+      for (uint32_t flat = 0; flat < msg.cache_partials.size(); ++flat) {
+        const double delta = msg.cache_partials[flat] - last[flat];
+        if (delta != 0.0) {
+          shard.view.Add(shard_map_.NodeOfFlat(flat), delta);
+          last[flat] = msg.cache_partials[flat];
+        }
+      }
+      break;
+    }
+    case ShardMsg::Kind::kDone:
+      ++shard.done_seen;
+      break;
+  }
+}
+
+void ShardedBackend::DrainInbox(Shard& shard, bool blocking) {
+  if (blocking) {
+    const uint32_t peers = shard_map_.shards() - 1;
+    while (shard.done_seen < peers) {
+      auto msg = shard.inbox.Receive();
+      if (!msg) {
+        return;  // channel closed
+      }
+      Apply(shard, *msg);
+    }
+    return;
+  }
+  while (auto msg = shard.inbox.TryReceive()) {
+    Apply(shard, *msg);
+  }
+}
+
+void ShardedBackend::FlushCacheDeltas(Shard& shard) {
+  for (uint32_t flat = 0; flat < shard.cache_unsent.size(); ++flat) {
+    const double delta = shard.cache_unsent[flat];
+    if (delta == 0.0) {
+      continue;
+    }
+    const CacheNodeId node = shard_map_.NodeOfFlat(flat);
+    shard.out[shard_map_.OwnerOfCache(node)].cache_entries.emplace_back(node, delta);
+    shard.cache_unsent[flat] = 0.0;
+  }
+  for (uint32_t peer = 0; peer < shard_map_.shards(); ++peer) {
+    ShardMsg& pending = shard.out[peer];
+    if (pending.cache_entries.empty() && pending.server_entries.empty()) {
+      continue;
+    }
+    ShardMsg msg;
+    msg.kind = ShardMsg::Kind::kLoadDeltas;
+    msg.from = shard.id;
+    msg.cache_entries = std::move(pending.cache_entries);
+    msg.server_entries = std::move(pending.server_entries);
+    pending.cache_entries.clear();
+    pending.server_entries.clear();
+    shards_[peer]->inbox.Send(std::move(msg));
+    ++shard.local.cross_shard_messages;
+  }
+}
+
+void ShardedBackend::FlushServerDeltas(Shard& shard) {
+  for (uint32_t server = 0; server < shard.server_unsent.size(); ++server) {
+    const double delta = shard.server_unsent[server];
+    if (delta == 0.0) {
+      continue;
+    }
+    shard.out[shard_map_.OwnerOfServer(server)].server_entries.emplace_back(server,
+                                                                            delta);
+    shard.server_unsent[server] = 0.0;
+  }
+}
+
+void ShardedBackend::BroadcastTelemetry(Shard& shard) {
+  ShardMsg msg;
+  msg.kind = ShardMsg::Kind::kTelemetry;
+  msg.from = shard.id;
+  msg.cache_partials = shard.own_cache;  // dense snapshot of own contributions
+  for (uint32_t peer = 0; peer < shard_map_.shards(); ++peer) {
+    if (peer == shard.id) {
+      continue;
+    }
+    shards_[peer]->inbox.Send(msg);  // copy: same snapshot to every peer
+    ++shard.local.cross_shard_messages;
+  }
+}
+
+void ShardedBackend::ProcessRequest(Shard& shard, uint32_t bucket) {
+  const ClusterConfig& cc = config_.cluster;
+  BackendStats& st = shard.local;
+  const bool is_tail = bucket == model_.pool;
+  const bool is_write =
+      cc.write_ratio > 0.0 && shard.rng.NextBernoulli(cc.write_ratio);
+
+  uint32_t server;
+  const RouteEntry* entry = nullptr;
+  if (is_tail) {
+    const uint64_t key =
+        model_.pool + shard.rng.NextBounded(cc.num_keys - model_.pool);
+    server = model_.placement.ServerOf(key);
+  } else {
+    entry = &routes_[bucket];
+    server = entry->server;
+  }
+
+  if (is_write) {
+    ++st.writes;
+    size_t num_copies = 0;
+    if (entry != nullptr) {
+      switch (entry->kind) {
+        case RouteEntry::kPair:
+          num_copies = 2;
+          AddCacheLoad(shard, {0, entry->spine}, cc.coherence_switch_cost);
+          AddCacheLoad(shard, {1, entry->leaf}, cc.coherence_switch_cost);
+          break;
+        case RouteEntry::kSpineOnly:
+          num_copies = 1;
+          AddCacheLoad(shard, {0, entry->spine}, cc.coherence_switch_cost);
+          break;
+        case RouteEntry::kLeafOnly:
+          num_copies = 1;
+          AddCacheLoad(shard, {1, entry->leaf}, cc.coherence_switch_cost);
+          break;
+        case RouteEntry::kReplicated:
+          num_copies = static_cast<size_t>(cc.num_spine) + 1;
+          for (uint32_t s = 0; s < cc.num_spine; ++s) {
+            AddCacheLoad(shard, {0, s}, cc.coherence_switch_cost);
+          }
+          AddCacheLoad(shard, {1, entry->leaf}, cc.coherence_switch_cost);
+          break;
+        default:
+          break;
+      }
+    }
+    AddServerLoad(shard, server,
+                  1.0 + cc.coherence_server_cost * static_cast<double>(num_copies));
+    return;
+  }
+
+  ++st.reads;
+  if (entry == nullptr || entry->kind == RouteEntry::kUncached) {
+    AddServerLoad(shard, server, 1.0);
+    ++st.server_reads;
+    return;
+  }
+
+  CacheNodeId node;
+  switch (entry->kind) {
+    case RouteEntry::kPair:
+      node = shard.router.ChoosePair({0, entry->spine}, {1, entry->leaf});
+      break;
+    case RouteEntry::kSpineOnly:
+      node = {0, entry->spine};
+      break;
+    case RouteEntry::kLeafOnly:
+      node = {1, entry->leaf};
+      break;
+    default: {  // kReplicated
+      auto& cands = shard.scratch_candidates;
+      cands.clear();
+      for (uint32_t s = 0; s < cc.num_spine; ++s) {
+        cands.push_back({0, s});
+      }
+      cands.push_back({1, entry->leaf});
+      node = cands[shard.router.Choose(cands)];
+      break;
+    }
+  }
+  AddCacheLoad(shard, node, 1.0);
+  ++st.cache_hits;
+  ++(node.layer == 0 ? st.spine_hits : st.leaf_hits);
+}
+
+void ShardedBackend::ProcessBatch(Shard& shard, uint32_t count) {
+  DrainInbox(shard, /*blocking=*/false);
+  shard.batch_keys.resize(count);
+  sampler_.SampleBatch(shard.rng, shard.batch_keys.data(), count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ProcessRequest(shard, shard.batch_keys[i]);
+  }
+  shard.processed += count;
+}
+
+void ShardedBackend::ShardMain(Shard& shard, uint64_t quota) {
+  const ClusterConfig& cc = config_.cluster;
+  shard.local.spine_load.assign(cc.num_spine, 0.0);
+  shard.local.leaf_load.assign(cc.num_racks, 0.0);
+  shard.local.server_load.assign(model_.num_servers(), 0.0);
+  shard.cache_unsent.assign(cc.num_spine + cc.num_racks, 0.0);
+  shard.server_unsent.assign(model_.num_servers(), 0.0);
+  shard.own_cache.assign(cc.num_spine + cc.num_racks, 0.0);
+  shard.last_partial.assign(shard_map_.shards(),
+                            std::vector<double>(cc.num_spine + cc.num_racks, 0.0));
+  shard.out.resize(shard_map_.shards());
+
+  // Event-driven shard loop: one simulated time unit per request. Batch events
+  // self-reschedule until the quota is met; telemetry events fire every epoch.
+  std::function<void()> batch_event = [&] {
+    if (shard.processed >= quota) {
+      return;
+    }
+    const uint32_t count = static_cast<uint32_t>(
+        std::min<uint64_t>(config_.batch_size, quota - shard.processed));
+    ProcessBatch(shard, count);
+    if (shard.processed < quota) {
+      shard.queue.Schedule(static_cast<double>(count), batch_event);
+    }
+  };
+  std::function<void()> telemetry_event = [&] {
+    if (shard.processed >= quota) {
+      return;
+    }
+    BroadcastTelemetry(shard);
+    shard.queue.Schedule(static_cast<double>(config_.epoch_requests),
+                         telemetry_event);
+  };
+  shard.queue.Schedule(0.0, batch_event);
+  if (config_.epoch_requests > 0 && shard_map_.shards() > 1) {
+    shard.queue.Schedule(static_cast<double>(config_.epoch_requests),
+                         telemetry_event);
+  }
+  shard.queue.RunUntil(static_cast<double>(quota) + 1.0);
+
+  // Quota done: flush every remaining delta (server deltas are end-of-run only),
+  // tell every peer, then absorb in-flight deltas until all peers are done too
+  // (per-sender FIFO makes Done a reliable end-of-stream marker).
+  FlushServerDeltas(shard);
+  FlushCacheDeltas(shard);
+  for (uint32_t peer = 0; peer < shard_map_.shards(); ++peer) {
+    if (peer == shard.id) {
+      continue;
+    }
+    ShardMsg done;
+    done.kind = ShardMsg::Kind::kDone;
+    done.from = shard.id;
+    shards_[peer]->inbox.Send(std::move(done));
+  }
+  DrainInbox(shard, /*blocking=*/true);
+  shard.local.requests = shard.processed;
+}
+
+BackendStats ShardedBackend::Run(uint64_t num_requests) {
+  const uint32_t n = shard_map_.shards();
+  shards_.clear();
+  shards_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>(i, config_, config_.cluster.seed));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint64_t quota = num_requests / n + (i < num_requests % n ? 1 : 0);
+    Shard* shard = shards_[i].get();
+    shard->thread = std::thread([this, shard, quota] { ShardMain(*shard, quota); });
+  }
+  for (auto& shard : shards_) {
+    shard->thread.join();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  BackendStats total;
+  for (auto& shard : shards_) {
+    total.Merge(shard->local);
+  }
+  total.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  shards_.clear();
+  return total;
+}
+
+}  // namespace distcache

@@ -1,0 +1,106 @@
+// The sharded, event-driven cluster runtime.
+//
+// Topology nodes (cache switches + storage servers) are partitioned across N worker
+// shards by net/shard_map.h; each shard owns the authoritative cumulative load
+// counters of its nodes. Every shard runs its own discrete-event loop (one
+// sim/event_queue.h EventQueue) with two event types:
+//
+//   * batch events   — process `batch_size` (~64) requests through the amortized hot
+//                      path: alias-table key sampling (common/alias_sampler.h),
+//                      precomputed per-key route entries instead of per-request
+//                      CopiesOf, and PotRouter::ChoosePair on the shard's local
+//                      LoadTracker view;
+//   * telemetry events — every `epoch_requests` simulated requests the shard
+//                      broadcasts a dense snapshot of its *own cumulative per-node
+//                      contributions* to all peers (the §4.2 telemetry epoch).
+//
+// Load views are *partial-sum gossip*: a shard's LoadTracker view of a switch is
+// its own exact contribution (updated per request via LoadTracker::Add) plus the
+// latest monotone partial received from every peer. Receivers fold broadcasts in as
+// `new_partial - last_seen_partial`, so views stay consistent sums regardless of
+// how the OS schedules the worker threads — broadcasting absolute owner loads
+// instead would mix snapshots of different ages and systematically misroute. The
+// view error for any switch is bounded by what peers routed to it within one epoch:
+// the bounded-staleness invariant that keeps the PoT process stationary (see
+// core/load_tracker.h).
+//
+// Owner-authoritative statistics (per-node cumulative loads for the final report)
+// are partitioned by net/shard_map.h. Remote contributions accumulate in a dense
+// unsent-delta scratch and are flushed to owners as one runtime/channel.h message
+// per destination when the shard finishes its quota — routing never reads them, so
+// channel traffic stays O(epochs), not O(requests).
+//
+// Termination: a shard that finishes its quota sends kDone to every peer and then
+// blocks on its inbox until it has seen kDone from all peers, guaranteeing every
+// in-flight delta is applied before stats are merged.
+#ifndef DISTCACHE_SIM_SHARDED_BACKEND_H_
+#define DISTCACHE_SIM_SHARDED_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/alias_sampler.h"
+#include "common/random.h"
+#include "core/load_tracker.h"
+#include "core/pot_router.h"
+#include "net/shard_map.h"
+#include "runtime/channel.h"
+#include "sim/cluster_model.h"
+#include "sim/event_queue.h"
+#include "sim/shard_message.h"
+#include "sim/sim_backend.h"
+
+namespace distcache {
+
+class ShardedBackend : public SimBackend {
+ public:
+  explicit ShardedBackend(const SimBackendConfig& config);
+  ~ShardedBackend() override;  // out-of-line: Shard is incomplete here
+
+  std::string name() const override { return "sharded"; }
+  BackendStats Run(uint64_t num_requests) override;
+
+ private:
+  // Precomputed routing decision per head key ("amortized hash routing"): the
+  // allocation and placement hashes are evaluated once at construction, not once
+  // per request.
+  struct RouteEntry {
+    enum Kind : uint8_t {
+      kUncached = 0,   // read goes to the primary server
+      kPair = 1,       // PoT between the spine copy and the leaf copy
+      kSpineOnly = 2,
+      kLeafOnly = 3,
+      kReplicated = 4, // CacheReplication: all spines + leaf (slow path)
+    };
+    uint8_t kind = kUncached;
+    uint32_t spine = 0;
+    uint32_t leaf = 0;
+    uint32_t server = 0;
+  };
+
+  struct Shard;
+
+  void ShardMain(Shard& shard, uint64_t quota);
+  void ProcessBatch(Shard& shard, uint32_t count);
+  void ProcessRequest(Shard& shard, uint32_t bucket);
+  void BroadcastTelemetry(Shard& shard);
+  void FlushCacheDeltas(Shard& shard);
+  void FlushServerDeltas(Shard& shard);
+  void DrainInbox(Shard& shard, bool blocking);
+  void Apply(Shard& shard, ShardMsg& msg);
+  void AddCacheLoad(Shard& shard, CacheNodeId node, double delta);
+  void AddServerLoad(Shard& shard, uint32_t server, double delta);
+
+  SimBackendConfig config_;
+  ClusterModel model_;
+  ShardMap shard_map_;
+  AliasSampler sampler_;            // head keys + one tail bucket
+  std::vector<RouteEntry> routes_;  // index = head key rank
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_SIM_SHARDED_BACKEND_H_

@@ -1,0 +1,86 @@
+#include "sim/sim_backend.h"
+
+#include <algorithm>
+
+#include "cluster/fluid_backend.h"
+#include "sim/sequential_backend.h"
+#include "sim/sharded_backend.h"
+
+namespace distcache {
+namespace {
+
+double MaxOverMean(const std::vector<double>& a, const std::vector<double>& b) {
+  double max = 0.0;
+  double sum = 0.0;
+  size_t n = 0;
+  for (const auto* v : {&a, &b}) {
+    for (double x : *v) {
+      max = std::max(max, x);
+      sum += x;
+      ++n;
+    }
+  }
+  if (n == 0 || sum <= 0.0) {
+    return 1.0;
+  }
+  return max / (sum / static_cast<double>(n));
+}
+
+void AccumulateLoads(std::vector<double>& into, const std::vector<double>& from) {
+  if (into.size() < from.size()) {
+    into.resize(from.size(), 0.0);
+  }
+  for (size_t i = 0; i < from.size(); ++i) {
+    into[i] += from[i];
+  }
+}
+
+}  // namespace
+
+double BackendStats::CacheImbalance() const {
+  return MaxOverMean(spine_load, leaf_load);
+}
+
+double BackendStats::ServerImbalance() const {
+  return MaxOverMean(server_load, {});
+}
+
+void BackendStats::Merge(const BackendStats& other) {
+  requests += other.requests;
+  reads += other.reads;
+  writes += other.writes;
+  cache_hits += other.cache_hits;
+  spine_hits += other.spine_hits;
+  leaf_hits += other.leaf_hits;
+  server_reads += other.server_reads;
+  cross_shard_messages += other.cross_shard_messages;
+  AccumulateLoads(spine_load, other.spine_load);
+  AccumulateLoads(leaf_load, other.leaf_load);
+  AccumulateLoads(server_load, other.server_load);
+  wall_seconds = std::max(wall_seconds, other.wall_seconds);
+}
+
+BackendKind ParseBackendKind(const std::string& name) {
+  if (name == "sharded") {
+    return BackendKind::kSharded;
+  }
+  if (name == "fluid") {
+    return BackendKind::kFluid;
+  }
+  return BackendKind::kSequential;
+}
+
+std::unique_ptr<SimBackend> MakeSimBackend(BackendKind kind,
+                                           const SimBackendConfig& config) {
+  switch (kind) {
+    case BackendKind::kSharded:
+      return std::make_unique<ShardedBackend>(config);
+    case BackendKind::kFluid:
+      return std::make_unique<FluidBackend>(config);
+    case BackendKind::kSequential:
+      break;
+  }
+  return std::make_unique<SequentialBackend>(config);
+}
+
+}  // namespace distcache

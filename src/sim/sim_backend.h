@@ -1,0 +1,129 @@
+// SimBackend — the pluggable execution engine behind the cluster driver.
+//
+// The repo has three ways to answer "what does a DistCache cluster do under this
+// workload?", and they all sit behind this one interface so the same driver
+// (tools/distcache_sim.cc), benches, and tests can swap them with a flag:
+//
+//   * "fluid"      — ClusterSim, the analytic fluid model (rates, not requests).
+//                    Exact and fast for saturation searches; no per-request effects.
+//   * "sequential" — the single-threaded request-level reference: one request at a
+//                    time through the faithful path (inverse-CDF key sampling, hash
+//                    routing via CacheAllocation::CopiesOf, PotRouter::Choose over a
+//                    materialized candidate list, per-request LoadTracker update).
+//                    This is the semantic baseline every other backend must match.
+//   * "sharded"    — the scalable runtime: nodes partitioned across N worker shards
+//                    (net/shard_map.h), one EventQueue per shard driving batch and
+//                    telemetry events, cross-shard traffic as batched load-delta
+//                    messages over runtime/channel.h, and a batched hot path that
+//                    amortizes Zipf sampling (alias table), hash routing (precomputed
+//                    per-key route entries) and LoadTracker updates over batches of
+//                    ~64 requests.
+//
+// Contract for implementations:
+//
+//  1. Run(n) executes exactly n requests (reads+writes per the configured write
+//     ratio) and returns aggregate statistics. The fluid backend is the one licensed
+//     exception: it simulates offered *rates* and reports analytic equivalents.
+//  2. Same ClusterConfig + seed ⇒ the same workload distribution, placement, and
+//     cache allocation as ClusterSim (identical derived hash seeds), so hit ratios
+//     and load shapes are comparable across backends and against the fluid model.
+//  3. Backends must preserve the PoT routing invariants documented in
+//     core/pot_router.h and core/load_tracker.h: fixed candidate sets from the
+//     allocation hashes, less-loaded-wins among candidates, bounded-staleness load
+//     views. A backend may relax *telemetry freshness* (that is physical: real
+//     switches gossip loads once per epoch) but never the candidate structure.
+//  4. Aggregate stats (hit ratio, per-layer loads, imbalance) of any request-level
+//     backend must match the sequential reference within small statistical
+//     tolerance for the same config — this is what tests/sim/sim_backend_test.cc
+//     enforces for 1-vs-N shards.
+#ifndef DISTCACHE_SIM_SIM_BACKEND_H_
+#define DISTCACHE_SIM_SIM_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_sim.h"
+
+namespace distcache {
+
+// Engine configuration: the simulated cluster plus execution-engine knobs.
+struct SimBackendConfig {
+  ClusterConfig cluster;
+
+  // Number of worker shards (sharded backend only; others ignore it).
+  uint32_t shards = 1;
+  // Requests processed per batch on the amortized hot path (~64 keeps the batch in
+  // L1 while still amortizing sampling, routing and channel flushes).
+  uint32_t batch_size = 64;
+  // Telemetry epoch length in requests per shard: how often each shard broadcasts
+  // its cumulative per-node load partials and folds in its peers' — the view
+  // staleness bound of the sharded backend.
+  uint64_t epoch_requests = 4096;
+};
+
+// Aggregate result of a backend run. Loads are cumulative arrival units (a read = 1
+// unit; writes add the coherence costs from ClusterConfig), indexed by node.
+struct BackendStats {
+  uint64_t requests = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t cache_hits = 0;   // reads answered by a cache switch
+  uint64_t spine_hits = 0;
+  uint64_t leaf_hits = 0;
+  uint64_t server_reads = 0; // reads served by the primary storage server
+  uint64_t cross_shard_messages = 0;  // sharded backend only
+
+  std::vector<double> spine_load;
+  std::vector<double> leaf_load;
+  std::vector<double> server_load;
+
+  double wall_seconds = 0.0;
+
+  // Fraction of reads absorbed by the cache layers (the paper's cache hit ratio).
+  double hit_ratio() const {
+    return reads == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(reads);
+  }
+  // Engine speed in million simulated requests per wall-clock second.
+  double throughput_mrps() const {
+    return wall_seconds <= 0.0 ? 0.0
+                               : static_cast<double>(requests) / wall_seconds / 1e6;
+  }
+  // Max/mean cumulative load across all cache switches (spine+leaf): 1.0 is perfect
+  // balance; the PoT guarantee keeps this small even under Zipf-0.99.
+  double CacheImbalance() const;
+  // Max/mean cumulative load across storage servers.
+  double ServerImbalance() const;
+
+  // Element-wise accumulate (used to merge per-shard partial stats).
+  void Merge(const BackendStats& other);
+};
+
+class SimBackend {
+ public:
+  virtual ~SimBackend() = default;
+
+  // Human-readable engine name ("sequential", "sharded", "fluid").
+  virtual std::string name() const = 0;
+
+  // Executes `num_requests` requests and returns aggregate stats (contract above).
+  virtual BackendStats Run(uint64_t num_requests) = 0;
+};
+
+enum class BackendKind {
+  kSequential,
+  kSharded,
+  kFluid,
+};
+
+// Parses "sequential" / "sharded" / "fluid"; defaults to kSequential on anything else.
+BackendKind ParseBackendKind(const std::string& name);
+
+// Factory. The returned backend owns its cluster state; construction performs the
+// full allocation (same derived seeds as ClusterSim for cross-backend parity).
+std::unique_ptr<SimBackend> MakeSimBackend(BackendKind kind, const SimBackendConfig& config);
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_SIM_SIM_BACKEND_H_

@@ -1,0 +1,133 @@
+#include "runtime/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "sim/shard_message.h"
+
+namespace distcache {
+namespace {
+
+TEST(Channel, FifoWithinSingleProducer) {
+  Channel<int> ch;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(ch.Send(i));
+  }
+  for (int i = 0; i < 100; ++i) {
+    auto v = ch.Receive();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(Channel, TryReceiveReturnsNulloptWhenEmpty) {
+  Channel<int> ch;
+  EXPECT_FALSE(ch.TryReceive().has_value());
+  ch.Send(7);
+  auto v = ch.TryReceive();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+  EXPECT_FALSE(ch.TryReceive().has_value());
+}
+
+TEST(Channel, CloseDrainsThenReturnsNullopt) {
+  Channel<int> ch;
+  ch.Send(1);
+  ch.Send(2);
+  ch.Close();
+  EXPECT_FALSE(ch.Send(3));  // closed channels reject new items
+  EXPECT_EQ(ch.Receive().value_or(-1), 1);
+  EXPECT_EQ(ch.Receive().value_or(-1), 2);
+  EXPECT_FALSE(ch.Receive().has_value());
+  EXPECT_FALSE(ch.TryReceive().has_value());
+}
+
+TEST(Channel, ReceiveBlocksUntilSend) {
+  Channel<int> ch;
+  std::thread producer([&ch] { ch.Send(42); });
+  const auto v = ch.Receive();
+  producer.join();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+}
+
+// The sharded backend's cross-shard protocol in miniature: several producer shards
+// send batched load-delta messages followed by a Done marker to one owner's inbox.
+// Per-sender FIFO means once the owner has seen Done from every peer, every delta
+// has been applied — the invariant the end-of-run drain relies on.
+TEST(Channel, CrossShardDeltaStreamsDrainCompletely) {
+  constexpr uint32_t kPeers = 3;
+  constexpr int kMessagesPerPeer = 50;
+  Channel<ShardMsg> inbox;
+
+  std::vector<std::thread> peers;
+  for (uint32_t p = 0; p < kPeers; ++p) {
+    peers.emplace_back([&inbox, p] {
+      for (int i = 0; i < kMessagesPerPeer; ++i) {
+        ShardMsg msg;
+        msg.kind = ShardMsg::Kind::kLoadDeltas;
+        msg.from = p;
+        msg.cache_entries.emplace_back(CacheNodeId{0, p}, 1.0);
+        inbox.Send(std::move(msg));
+      }
+      ShardMsg done;
+      done.kind = ShardMsg::Kind::kDone;
+      done.from = p;
+      inbox.Send(std::move(done));
+    });
+  }
+
+  // Owner: drain (blocking) until Done has arrived from every peer.
+  std::vector<double> applied(kPeers, 0.0);
+  uint32_t done_seen = 0;
+  while (done_seen < kPeers) {
+    auto msg = inbox.Receive();
+    ASSERT_TRUE(msg.has_value());
+    if (msg->kind == ShardMsg::Kind::kDone) {
+      ++done_seen;
+      // FIFO per sender: every delta this peer sent must already be applied.
+      EXPECT_DOUBLE_EQ(applied[msg->from], kMessagesPerPeer);
+    } else {
+      for (const auto& [node, delta] : msg->cache_entries) {
+        applied[node.index] += delta;
+      }
+    }
+  }
+  for (auto& t : peers) {
+    t.join();
+  }
+  for (uint32_t p = 0; p < kPeers; ++p) {
+    EXPECT_DOUBLE_EQ(applied[p], kMessagesPerPeer);
+  }
+  EXPECT_FALSE(inbox.TryReceive().has_value());
+}
+
+TEST(Channel, ManyProducersOneConsumerLosesNothing) {
+  Channel<uint64_t> ch;
+  constexpr int kProducers = 4;
+  constexpr uint64_t kPerProducer = 5000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ch] {
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        ch.Send(1);
+      }
+    });
+  }
+  uint64_t sum = 0;
+  for (uint64_t i = 0; i < kProducers * kPerProducer; ++i) {
+    const auto v = ch.Receive();
+    ASSERT_TRUE(v.has_value());
+    sum += *v;
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  EXPECT_EQ(sum, kProducers * kPerProducer);
+}
+
+}  // namespace
+}  // namespace distcache

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# bench-smoke: run every bench binary for ~1-2s to catch bitrot (crashes, aborts,
+# link/startup failures) without reproducing full figures.
+#
+# Each bench runs with DISTCACHE_BENCH_SMOKE=1 (benches shrink their sweeps, see
+# bench/bench_common.h) under a hard timeout. A bench passes if it exits cleanly, or
+# if the timeout fires while it was still producing output (long-running benches
+# that don't honor smoke mode, e.g. google-benchmark ones).
+#
+# Usage: bench_smoke.sh <bench-binary>...
+set -u
+
+budget="${BENCH_SMOKE_BUDGET:-2}"
+fail=0
+for bin in "$@"; do
+  name=$(basename "$bin")
+  if [ ! -x "$bin" ]; then
+    echo "MISSING  $name"
+    fail=1
+    continue
+  fi
+  # stdbuf: line-buffer stdout so a timed-out bench still shows partial output.
+  out=$(DISTCACHE_BENCH_SMOKE=1 timeout -s KILL "$budget" stdbuf -oL "$bin" 2>&1)
+  rc=$?
+  if [ "$rc" -eq 0 ]; then
+    echo "ok       $name"
+  elif [ "$rc" -eq 124 ] || [ "$rc" -eq 137 ]; then
+    if [ -n "$out" ]; then
+      echo "ok (t/o) $name"
+    else
+      echo "HUNG     $name (no output before ${budget}s timeout)"
+      fail=1
+    fi
+  else
+    echo "FAIL     $name (exit $rc)"
+    echo "$out" | tail -5 | sed 's/^/         /'
+    fail=1
+  fi
+done
+exit "$fail"
