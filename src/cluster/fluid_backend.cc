@@ -1,39 +1,128 @@
 #include "cluster/fluid_backend.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 
 namespace distcache {
 
 FluidBackend::FluidBackend(const SimBackendConfig& config)
-    : config_(config), sim_(config.cluster) {}
+    : config_(config),
+      sim_(config.cluster),
+      events_(config.events),
+      spine_alive_(config.cluster.num_spine, 1) {
+  SortEventsByRequest(events_);
+}
+
+double FluidBackend::ReachableCachedMass() const {
+  const PopularityVector& pv = sim_.popularity();
+  double mass = 0.0;
+  for (uint64_t key = 0; key < pv.head.size(); ++key) {
+    const CacheCopies copies = sim_.allocation().CopiesOf(key);
+    bool reachable = copies.leaf.has_value();
+    if (!reachable && copies.replicated_all_spines) {
+      for (uint32_t s = 0; s < spine_alive_.size() && !reachable; ++s) {
+        reachable = spine_alive_[s] != 0;
+      }
+    }
+    if (!reachable && copies.spine) {
+      reachable = spine_alive_[*copies.spine] != 0;
+    }
+    if (reachable) {
+      mass += pv.head[key];
+    }
+  }
+  return mass;
+}
 
 BackendStats FluidBackend::Run(uint64_t num_requests) {
   const auto t0 = std::chrono::steady_clock::now();
   const double offered = 0.5 * sim_.TotalServerCapacity();
-  const LoadSnapshot snap =
-      sim_.RunTicks(offered, config_.cluster.ticks_per_measurement);
-  const auto t1 = std::chrono::steady_clock::now();
+  const double write_ratio = config_.cluster.write_ratio;
 
   BackendStats st;
+  LoadSnapshot snap;
+  if (events_.empty() && config_.sample_interval == 0) {
+    // Historical single-measurement path.
+    snap = sim_.RunTicks(offered, config_.cluster.ticks_per_measurement);
+    const double reads =
+        static_cast<double>(num_requests) * (1.0 - write_ratio);
+    st.reads = static_cast<uint64_t>(std::llround(reads));
+    st.cache_hits =
+        static_cast<uint64_t>(std::llround(reads * ReachableCachedMass()));
+  } else {
+    // Timeline mode: one fluid measurement per segment, where segments are
+    // delimited by the sampling grid *and* every event timestamp — so each event
+    // applies exactly "before the at_request-th request" like the request-level
+    // engines, even with no sampling or with events inside the final interval.
+    // Off-grid events simply contribute extra series points (IntervalPoint
+    // carries its own request count, so non-uniform widths are self-describing).
+    std::vector<uint64_t> boundaries{0};
+    if (config_.sample_interval > 0) {
+      for (uint64_t t = config_.sample_interval; t < num_requests;
+           t += config_.sample_interval) {
+        boundaries.push_back(t);
+      }
+    }
+    for (const ClusterEvent& event : events_) {
+      if (event.at_request > 0 && event.at_request < num_requests) {
+        boundaries.push_back(event.at_request);
+      }
+    }
+    std::sort(boundaries.begin(), boundaries.end());
+    boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                     boundaries.end());
+    boundaries.push_back(num_requests);
+    size_t next_event = 0;
+    for (size_t seg = 0; seg + 1 < boundaries.size(); ++seg) {
+      const uint64_t start = boundaries[seg];
+      const uint64_t end = boundaries[seg + 1];
+      while (next_event < events_.size() &&
+             events_[next_event].at_request <= start) {
+        const ClusterEvent& event = events_[next_event++];
+        switch (event.kind) {
+          case ClusterEvent::Kind::kFailSpine:
+            if (event.spine < spine_alive_.size()) {
+              spine_alive_[event.spine] = 0;
+              sim_.FailSpine(event.spine);
+            }
+            break;
+          case ClusterEvent::Kind::kRecoverSpine:
+            if (event.spine < spine_alive_.size()) {
+              spine_alive_[event.spine] = 1;
+              sim_.RecoverSpine(event.spine);
+            }
+            break;
+          case ClusterEvent::Kind::kRunRecovery:
+            sim_.RunFailureRecovery();
+            break;
+        }
+      }
+      snap = sim_.RunTicks(offered, 2);
+      const double fraction =
+          offered <= 0.0 ? 1.0 : std::clamp(snap.achieved / offered, 0.0, 1.0);
+      BackendStats::IntervalPoint pt;
+      pt.requests = end - start;
+      pt.delivered = static_cast<uint64_t>(
+          std::llround(fraction * static_cast<double>(pt.requests)));
+      pt.dropped = pt.requests - pt.delivered;
+      pt.reads = static_cast<uint64_t>(std::llround(
+          static_cast<double>(pt.requests) * (1.0 - write_ratio)));
+      pt.cache_hits = static_cast<uint64_t>(std::llround(
+          static_cast<double>(pt.reads) * fraction * ReachableCachedMass()));
+      st.series.push_back(pt);
+      st.reads += pt.reads;
+      st.cache_hits += pt.cache_hits;
+      st.dropped += pt.dropped;
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
   st.spine_load = snap.spine;
   st.leaf_load = snap.leaf;
   st.server_load = snap.server;
-
-  // Analytic hit probability: the pmf mass of every cached head key.
-  const PopularityVector& pv = sim_.popularity();
-  double cached_mass = 0.0;
-  for (uint64_t key = 0; key < pv.head.size(); ++key) {
-    if (sim_.allocation().CopiesOf(key).cached()) {
-      cached_mass += pv.head[key];
-    }
-  }
   st.requests = num_requests;
-  const double reads =
-      static_cast<double>(num_requests) * (1.0 - config_.cluster.write_ratio);
-  st.reads = static_cast<uint64_t>(std::llround(reads));
   st.writes = num_requests - st.reads;
-  st.cache_hits = static_cast<uint64_t>(std::llround(reads * cached_mass));
   st.server_reads = st.reads - st.cache_hits;
   // Per-layer split from the fluid arrival rates (exact for read-only workloads;
   // under writes the layer loads include coherence touches, so it is approximate).

@@ -10,10 +10,20 @@
 //
 // Use it to cross-validate the request-level backends: their measured hit ratios
 // converge to this backend's analytic value as the request count grows.
+//
+// The backend honours the ClusterEvent timeline by measuring one fluid segment per
+// stretch of requests between consecutive boundaries, where boundaries come from
+// the sampling grid *and* every event timestamp — each event thus applies to the
+// underlying ClusterSim (FailSpine / RecoverSpine / RunFailureRecovery) exactly
+// before its at_request-th request, even without sampling. Each segment records its
+// achieved-throughput fraction and reachable-copy hit mass into
+// BackendStats::series — the fluid column of the Fig. 11 engine-parity bench
+// (off-grid events add extra, self-describing series points).
 #ifndef DISTCACHE_CLUSTER_FLUID_BACKEND_H_
 #define DISTCACHE_CLUSTER_FLUID_BACKEND_H_
 
 #include <string>
+#include <vector>
 
 #include "cluster/cluster_sim.h"
 #include "sim/sim_backend.h"
@@ -28,8 +38,15 @@ class FluidBackend : public SimBackend {
   BackendStats Run(uint64_t num_requests) override;
 
  private:
+  // Pmf mass of head keys with at least one reachable cached copy (leaf, or a
+  // spine that is currently alive) — the analytic hit probability the
+  // request-level engines' degraded routing converges to.
+  double ReachableCachedMass() const;
+
   SimBackendConfig config_;
   ClusterSim sim_;
+  std::vector<ClusterEvent> events_;  // sorted by at_request
+  std::vector<uint8_t> spine_alive_;
 };
 
 }  // namespace distcache

@@ -10,6 +10,11 @@ namespace {
 // Number of leading terms summed exactly before switching to the integral tail.
 constexpr uint64_t kExactPrefix = 10000;
 
+// Distance from theta == 1 below which the closed forms switch to their
+// logarithmic limits: the integral tail and the Gray et al. constant alpha both
+// divide by (1 - theta), so theta = 1.0 exactly would produce inf/NaN ranks.
+constexpr double kThetaOneEps = 1e-6;
+
 }  // namespace
 
 double ZipfDistribution::Zeta(uint64_t n, double theta) {
@@ -21,10 +26,15 @@ double ZipfDistribution::Zeta(uint64_t n, double theta) {
   if (n > prefix) {
     // Midpoint-rule integral tail: sum_{i=prefix+1..n} i^-theta ≈
     // ∫_{prefix+0.5}^{n+0.5} x^-theta dx. The midpoint correction makes the relative
-    // error negligible for theta < 1 at these scales.
+    // error negligible for theta <= 1 at these scales. At theta ≈ 1 the antiderivative
+    // (x^{1-θ})/(1-θ) degenerates; its limit is ln(x).
     const double a = static_cast<double>(prefix) + 0.5;
     const double b = static_cast<double>(n) + 0.5;
-    sum += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) / (1.0 - theta);
+    if (std::abs(1.0 - theta) < kThetaOneEps) {
+      sum += std::log(b) - std::log(a);
+    } else {
+      sum += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) / (1.0 - theta);
+    }
   }
   return sum;
 }
@@ -33,8 +43,14 @@ ZipfDistribution::ZipfDistribution(uint64_t num_keys, double theta)
     : num_keys_(num_keys), theta_(theta) {
   zetan_ = Zeta(num_keys_, theta_);
   zeta2_ = Zeta(2, theta_);
-  alpha_ = 1.0 / (1.0 - theta_);
-  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(num_keys_), 1.0 - theta_)) /
+  // Gray et al.'s sampling constants divide by (1 - theta); evaluate them at a
+  // guarded skew just below 1 when theta == 1. The rank formula
+  // n·(1 - eta(1-u))^alpha then converges to its smooth n·exp(-c(1-u)) limit, so
+  // sampled ranks stay finite and in range.
+  const double guarded =
+      std::abs(1.0 - theta_) < kThetaOneEps ? 1.0 - kThetaOneEps : theta_;
+  alpha_ = 1.0 / (1.0 - guarded);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(num_keys_), 1.0 - guarded)) /
          (1.0 - zeta2_ / zetan_);
 }
 
@@ -84,6 +100,11 @@ DiscreteDistribution::DiscreteDistribution(std::vector<double> pmf, std::string 
     for (double& p : pmf_) {
       p /= sum;
     }
+  } else if (!pmf_.empty()) {
+    // Degenerate all-zero pmf: without this the rounding guard below would set
+    // cdf_.back() = 1.0 and silently dump 100% of the mass on the last key. Fall
+    // back to uniform, which at least keeps Sample()/Pmf()/TopMass() consistent.
+    pmf_.assign(pmf_.size(), 1.0 / static_cast<double>(pmf_.size()));
   }
   cdf_.resize(pmf_.size());
   double acc = 0.0;
@@ -113,6 +134,14 @@ double DiscreteDistribution::TopMass(uint64_t k) const {
 }
 
 std::vector<double> CappedZipfPmf(uint64_t num_keys, double theta, double cap) {
+  // Feasibility: a pmf over n keys cannot have every entry below 1/n, so a cap
+  // under that floor is unsatisfiable — the clip-and-renormalize loop below would
+  // run its 64 rounds and silently return a cap-violating pmf. The closest
+  // satisfiable answer is exactly uniform; return it directly.
+  const double floor_cap = 1.0 / static_cast<double>(num_keys);
+  if (cap <= floor_cap * (1.0 + 1e-12)) {
+    return std::vector<double>(num_keys, floor_cap);
+  }
   ZipfDistribution zipf(num_keys, theta);
   std::vector<double> pmf(num_keys);
   for (uint64_t i = 0; i < num_keys; ++i) {

@@ -39,8 +39,9 @@ class KeyDistribution {
   virtual std::string name() const = 0;
 };
 
-// Zipf distribution with skew parameter theta in (0, 1):  p_rank ∝ 1 / rank^theta.
-// theta = 0.9 / 0.95 / 0.99 are the paper's workloads.
+// Zipf distribution with skew parameter theta in (0, 1]:  p_rank ∝ 1 / rank^theta.
+// theta = 0.9 / 0.95 / 0.99 are the paper's workloads; theta = 1.0 (the classic
+// harmonic Zipf) is handled via the logarithmic limits of the closed forms.
 class ZipfDistribution : public KeyDistribution {
  public:
   ZipfDistribution(uint64_t num_keys, double theta);

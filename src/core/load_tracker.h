@@ -26,10 +26,23 @@
 //     frozen snapshot (else every query chases the same "less loaded" node — the
 //     stale-telemetry ablation in ClusterSim). Local Add() increments provide the
 //     within-epoch feedback that keeps the fixed-candidates PoT process stationary.
+//
+// Failure handling (§4.4) adds a fourth rule, *dead-node aging*: a failed switch
+// stops emitting telemetry, so its table entry freezes at a stale — and, because
+// loads only grow, eventually the *smallest* — value. Invariant 3 then breaks in
+// the worst possible way: the frozen ghost wins every PoT comparison and the whole
+// query stream herds onto a blackhole, with no within-epoch feedback to push it
+// away (dead switches serve nothing, so the entry never moves). MarkDead() is the
+// limit case of aging such an entry out: it pins the visible load to +infinity so
+// the ghost loses every comparison, while telemetry keeps accumulating into a
+// shadow value that MarkAlive() restores on recovery (a dead switch's true
+// cumulative load is unchanged while it is down, so the shadow — the pre-failure
+// estimate plus any late-arriving telemetry — is the correct post-recovery view).
 #ifndef DISTCACHE_CORE_LOAD_TRACKER_H_
 #define DISTCACHE_CORE_LOAD_TRACKER_H_
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "net/topology.h"
@@ -51,7 +64,11 @@ class LoadTracker {
         spine_loads_(config.num_spine, 0.0),
         leaf_loads_(config.num_leaf, 0.0),
         spine_fresh_(config.num_spine, false),
-        leaf_fresh_(config.num_leaf, false) {}
+        leaf_fresh_(config.num_leaf, false),
+        spine_dead_(config.num_spine, false),
+        leaf_dead_(config.num_leaf, false),
+        spine_shadow_(config.num_spine, 0.0),
+        leaf_shadow_(config.num_leaf, 0.0) {}
 
   // Telemetry arrival: reply traversed `node` which reported `load`.
   void Update(CacheNodeId node, uint64_t load) { Set(node, static_cast<double>(load)); }
@@ -62,12 +79,14 @@ class LoadTracker {
 
   // Authoritative refresh (epoch telemetry broadcast in the simulation backends):
   // replaces the view with the owner's true cumulative load and marks it fresh.
+  // While a node is marked dead the refresh lands on the shadow value instead, so
+  // the +infinity pin survives until MarkAlive().
   void Set(CacheNodeId node, double load) {
     if (node.layer == 0 && node.index < config_.num_spine) {
-      spine_loads_[node.index] = load;
+      (spine_dead_[node.index] ? spine_shadow_ : spine_loads_)[node.index] = load;
       spine_fresh_[node.index] = true;
     } else if (node.layer == 1 && node.index < config_.num_leaf) {
-      leaf_loads_[node.index] = load;
+      (leaf_dead_[node.index] ? leaf_shadow_ : leaf_loads_)[node.index] = load;
       leaf_fresh_[node.index] = true;
     }
   }
@@ -77,23 +96,70 @@ class LoadTracker {
   // (invariant 3 above). Does not mark the entry fresh — only real telemetry does.
   void Add(CacheNodeId node, double delta) {
     if (node.layer == 0 && node.index < config_.num_spine) {
-      spine_loads_[node.index] += delta;
+      (spine_dead_[node.index] ? spine_shadow_ : spine_loads_)[node.index] += delta;
     } else if (node.layer == 1 && node.index < config_.num_leaf) {
-      leaf_loads_[node.index] += delta;
+      (leaf_dead_[node.index] ? leaf_shadow_ : leaf_loads_)[node.index] += delta;
     }
   }
 
+  // Dead-node aging (§4.4, header comment): pin the visible load to +infinity so
+  // the failed node loses every PoT comparison; the current estimate moves to a
+  // shadow that continues to absorb Set()/Add() (late telemetry). Idempotent.
+  void MarkDead(CacheNodeId node) {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    if (node.layer == 0 && node.index < config_.num_spine) {
+      if (!spine_dead_[node.index]) {
+        spine_dead_[node.index] = true;
+        spine_shadow_[node.index] = spine_loads_[node.index];
+        spine_loads_[node.index] = kInf;
+      }
+    } else if (node.layer == 1 && node.index < config_.num_leaf) {
+      if (!leaf_dead_[node.index]) {
+        leaf_dead_[node.index] = true;
+        leaf_shadow_[node.index] = leaf_loads_[node.index];
+        leaf_loads_[node.index] = kInf;
+      }
+    }
+  }
+
+  // Recovery: restore the shadow estimate (the node served nothing while dead, so
+  // its true cumulative load is exactly where telemetry last left it). Idempotent.
+  void MarkAlive(CacheNodeId node) {
+    if (node.layer == 0 && node.index < config_.num_spine) {
+      if (spine_dead_[node.index]) {
+        spine_dead_[node.index] = false;
+        spine_loads_[node.index] = spine_shadow_[node.index];
+      }
+    } else if (node.layer == 1 && node.index < config_.num_leaf) {
+      if (leaf_dead_[node.index]) {
+        leaf_dead_[node.index] = false;
+        leaf_loads_[node.index] = leaf_shadow_[node.index];
+      }
+    }
+  }
+
+  bool IsDead(CacheNodeId node) const {
+    if (node.layer == 0 && node.index < config_.num_spine) {
+      return spine_dead_[node.index];
+    }
+    if (node.layer == 1 && node.index < config_.num_leaf) {
+      return leaf_dead_[node.index];
+    }
+    return false;  // unknown nodes are ignored, like Set/Add/MarkDead
+  }
+
   // Epoch boundary: decay entries that saw no telemetry this epoch (aging, §4.2), and
-  // clear freshness marks.
+  // clear freshness marks. Dead entries stay pinned at +infinity — decaying a dead
+  // node toward zero would make the ghost *attractive* (and 0 × inf is NaN).
   void Age() {
     for (uint32_t i = 0; i < config_.num_spine; ++i) {
-      if (!spine_fresh_[i]) {
+      if (!spine_fresh_[i] && !spine_dead_[i]) {
         spine_loads_[i] *= config_.aging_factor;
       }
       spine_fresh_[i] = false;
     }
     for (uint32_t i = 0; i < config_.num_leaf; ++i) {
-      if (!leaf_fresh_[i]) {
+      if (!leaf_fresh_[i] && !leaf_dead_[i]) {
         leaf_loads_[i] *= config_.aging_factor;
       }
       leaf_fresh_[i] = false;
@@ -107,6 +173,10 @@ class LoadTracker {
     leaf_loads_.assign(config_.num_leaf, 0.0);
     spine_fresh_.assign(config_.num_spine, false);
     leaf_fresh_.assign(config_.num_leaf, false);
+    spine_dead_.assign(config_.num_spine, false);
+    leaf_dead_.assign(config_.num_leaf, false);
+    spine_shadow_.assign(config_.num_spine, 0.0);
+    leaf_shadow_.assign(config_.num_leaf, 0.0);
   }
 
   const std::vector<double>& spine_loads() const { return spine_loads_; }
@@ -118,6 +188,12 @@ class LoadTracker {
   std::vector<double> leaf_loads_;
   std::vector<bool> spine_fresh_;
   std::vector<bool> leaf_fresh_;
+  // Dead-node aging state: while dead_[i], loads_[i] holds +infinity and
+  // shadow_[i] carries the live estimate (see MarkDead/MarkAlive).
+  std::vector<bool> spine_dead_;
+  std::vector<bool> leaf_dead_;
+  std::vector<double> spine_shadow_;
+  std::vector<double> leaf_shadow_;
 };
 
 }  // namespace distcache

@@ -82,8 +82,9 @@ class PotRouter {
   }
 
   // Hot-path binary choice used by the batched simulation backends: semantically
-  // identical to Choose({a, b}) but without materializing a candidate vector.
-  // Returns the chosen node id directly.
+  // identical to Choose({a, b}) — same pick from the same RNG stream, which the
+  // parity test in tests/core/pot_router_test.cc enforces — but without
+  // materializing a candidate vector. Returns the chosen node id directly.
   CacheNodeId ChoosePair(CacheNodeId a, CacheNodeId b) {
     switch (policy_) {
       case RoutingPolicy::kFirstChoice:
@@ -101,7 +102,9 @@ class PotRouter {
     if (load_b < load_a) {
       return b;
     }
-    return rng_.NextBounded(2) == 0 ? a : b;  // uniform tie-break (invariant 3)
+    // Uniform tie-break (invariant 3). Mirrors Choose()'s reservoir step, where
+    // drawing 0 *replaces* the incumbent: 0 picks b, anything else keeps a.
+    return rng_.NextBounded(2) == 0 ? b : a;
   }
 
   RoutingPolicy policy() const { return policy_; }

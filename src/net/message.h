@@ -42,6 +42,9 @@ struct Message {
   // For requests: the cache node chosen by the PoT router (if any).
   CacheNodeId target{};
   bool has_target = false;
+  // For replies: set when no node processed the request (shutdown race); the
+  // client maps it to Status::Unavailable instead of treating it as a miss.
+  bool unavailable = false;
   std::vector<LoadSample> piggyback;
 };
 

@@ -144,7 +144,23 @@ void DistCacheRuntime::SwitchLoop(bool spine_layer, uint32_t index) {
           if (sw->RecordMiss(msg.key)) {
             // A new heavy hitter was detected; the agent epoch would consider it.
           }
-          server_inboxes_[ServerOf(msg.key)]->Send(std::move(*env));
+          // Capture the reply route before the envelope is consumed: if the server
+          // inbox closed mid-flight (Stop() race), the forward is dropped and the
+          // client would otherwise block in Receive() forever — its reply channel
+          // is never closed. Fail loudly with an unavailable reply instead.
+          Channel<Message>* reply_to = env->reply_to;
+          const uint64_t key = msg.key;
+          const uint64_t request_id = msg.request_id;
+          const uint32_t client_id = msg.client_id;
+          if (!server_inboxes_[ServerOf(key)]->Send(std::move(*env))) {
+            Message failure;
+            failure.type = MsgType::kGetReply;
+            failure.key = key;
+            failure.request_id = request_id;
+            failure.client_id = client_id;
+            failure.unavailable = true;
+            reply_to->Send(std::move(failure));
+          }
         }
         break;
       }
@@ -283,6 +299,9 @@ StatusOr<std::string> DistCacheRuntime::Client::Get(uint64_t key) {
     return Status::Unavailable("runtime stopped");
   }
   AbsorbPiggyback(*reply);
+  if (reply->unavailable) {
+    return Status::Unavailable("runtime stopped");
+  }
   if (reply->value.empty()) {
     return Status::NotFound();
   }

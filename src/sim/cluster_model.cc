@@ -16,10 +16,21 @@ ClusterModel::ClusterModel(const ClusterConfig& config)
   alloc.per_switch_objects = cfg.per_switch_objects;
   alloc.hash_seed = HashCombine(cfg.seed, 0xd15ca4eULL);
   allocation = std::make_unique<CacheAllocation>(alloc, placement);
+  controller = std::make_unique<CacheController>(allocation.get(), cfg.num_spine);
   pool = allocation->candidate_pool();
   popularity = BuildPopularityVector(*dist, pool);
   head_with_tail = popularity.head;
   head_with_tail.push_back(popularity.tail_mass);
+}
+
+void ClusterModel::SyncControllerRemap(const std::vector<uint8_t>& spine_alive) {
+  for (uint32_t s = 0; s < cfg.num_spine; ++s) {
+    if (!spine_alive[s] && controller->IsAlive(s)) {
+      controller->OnSpineFailure(s);
+    } else if (spine_alive[s] && !controller->IsAlive(s)) {
+      controller->OnSpineRecovery(s);
+    }
+  }
 }
 
 }  // namespace distcache

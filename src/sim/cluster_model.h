@@ -15,6 +15,7 @@
 #include "common/workload.h"
 #include "common/zipf.h"
 #include "core/allocation.h"
+#include "core/controller.h"
 #include "core/load_tracker.h"
 #include "kv/placement.h"
 
@@ -34,10 +35,18 @@ inline LoadTracker::Config MakeTrackerConfig(const ClusterConfig& cfg) {
 struct ClusterModel {
   explicit ClusterModel(const ClusterConfig& config);
 
+  // Syncs the controller's alive set to `spine_alive` (same transition logic as
+  // ClusterSim::ApplyRemap): failed spines hand their partitions to alive ones via
+  // consistent hashing, recovered spines take theirs home. Mutates `allocation`,
+  // so CopiesOf() reflects the remap afterwards.
+  void SyncControllerRemap(const std::vector<uint8_t>& spine_alive);
+
   ClusterConfig cfg;
   Placement placement;
   std::unique_ptr<KeyDistribution> dist;
   std::unique_ptr<CacheAllocation> allocation;
+  // Off-path cache controller driving failure remaps (§4.4); shares `allocation`.
+  std::unique_ptr<CacheController> controller;
 
   // Keys [0, pool) are tracked individually ("head"); the rest is the uniform tail.
   uint64_t pool = 0;

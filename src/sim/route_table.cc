@@ -1,0 +1,29 @@
+#include "sim/route_table.h"
+
+namespace distcache {
+
+RouteTable BuildRouteTable(const ClusterModel& model) {
+  RouteTable routes(model.pool);
+  for (uint64_t key = 0; key < model.pool; ++key) {
+    RouteEntry& e = routes[key];
+    e.server = model.placement.ServerOf(key);
+    const CacheCopies copies = model.allocation->CopiesOf(key);
+    if (copies.replicated_all_spines) {
+      e.kind = RouteEntry::kReplicated;
+      e.leaf = copies.leaf.value_or(0);
+    } else if (copies.spine && copies.leaf) {
+      e.kind = RouteEntry::kPair;
+      e.spine = *copies.spine;
+      e.leaf = *copies.leaf;
+    } else if (copies.spine) {
+      e.kind = RouteEntry::kSpineOnly;
+      e.spine = *copies.spine;
+    } else if (copies.leaf) {
+      e.kind = RouteEntry::kLeafOnly;
+      e.leaf = *copies.leaf;
+    }
+  }
+  return routes;
+}
+
+}  // namespace distcache

@@ -1,0 +1,38 @@
+// Precomputed per-head-key routing decisions ("amortized hash routing") for the
+// sharded backend: the allocation and placement hashes are evaluated once per
+// table build, not once per request. Tables are immutable snapshots — failure
+// recovery builds a fresh table from the remapped allocation and multicasts it to
+// every shard (see sharded_backend.h), so the hot path never sees a table mutate.
+#ifndef DISTCACHE_SIM_ROUTE_TABLE_H_
+#define DISTCACHE_SIM_ROUTE_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cluster_model.h"
+
+namespace distcache {
+
+struct RouteEntry {
+  enum Kind : uint8_t {
+    kUncached = 0,   // read goes to the primary server
+    kPair = 1,       // PoT between the spine copy and the leaf copy
+    kSpineOnly = 2,
+    kLeafOnly = 3,
+    kReplicated = 4, // CacheReplication: all spines + leaf (slow path)
+  };
+  uint8_t kind = kUncached;
+  uint32_t spine = 0;
+  uint32_t leaf = 0;
+  uint32_t server = 0;
+};
+
+using RouteTable = std::vector<RouteEntry>;
+
+// One entry per head key rank [0, model.pool), reflecting the allocation's
+// current partition→spine mapping (i.e. post-remap if the controller ran).
+RouteTable BuildRouteTable(const ClusterModel& model);
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_SIM_ROUTE_TABLE_H_

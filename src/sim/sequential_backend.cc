@@ -1,5 +1,6 @@
 #include "sim/sequential_backend.h"
 
+#include <algorithm>
 #include <chrono>
 #include <vector>
 
@@ -15,7 +16,44 @@ SequentialBackend::SequentialBackend(const SimBackendConfig& config)
       tracker_(MakeTrackerConfig(config.cluster)),
       router_(&tracker_, config.cluster.routing,
               HashCombine(config.cluster.seed, 0x90076eULL)),
-      rng_(HashCombine(config.cluster.seed, 0xc1057e4ULL)) {}
+      rng_(HashCombine(config.cluster.seed, 0xc1057e4ULL)),
+      events_(config.events),
+      spine_alive_(config.cluster.num_spine, 1) {
+  SortEventsByRequest(events_);
+}
+
+void SequentialBackend::ApplyEvent(const ClusterEvent& event) {
+  const uint32_t num_spine = config_.cluster.num_spine;
+  switch (event.kind) {
+    case ClusterEvent::Kind::kFailSpine:
+      if (event.spine < num_spine && spine_alive_[event.spine]) {
+        spine_alive_[event.spine] = 0;
+        ++dead_spines_;
+        recovery_ran_ = false;  // hot objects of the dead switch lose their copy
+        tracker_.MarkDead({0, event.spine});
+      }
+      break;
+    case ClusterEvent::Kind::kRecoverSpine:
+      if (event.spine < num_spine && !spine_alive_[event.spine]) {
+        spine_alive_[event.spine] = 1;
+        --dead_spines_;
+        tracker_.MarkAlive({0, event.spine});
+        // Restoration returns remapped partitions to their home switch (and, like
+        // ClusterSim::RecoverSpine, syncs any other still-failed spines too).
+        model_.SyncControllerRemap(spine_alive_);
+      }
+      break;
+    case ClusterEvent::Kind::kRunRecovery:
+      model_.SyncControllerRemap(spine_alive_);
+      recovery_ran_ = true;
+      break;
+  }
+}
+
+bool SequentialBackend::TransitBlackholed() {
+  return !recovery_ran_ && dead_spines_ > 0 &&
+         rng_.NextBounded(config_.cluster.num_spine) < dead_spines_;
+}
 
 BackendStats SequentialBackend::Run(uint64_t num_requests) {
   const ClusterConfig& cc = config_.cluster;
@@ -28,10 +66,24 @@ BackendStats SequentialBackend::Run(uint64_t num_requests) {
   const uint64_t tail_keys = cc.num_keys - model_.pool;
   std::vector<CacheNodeId> candidates;
 
+  // Event/series bookkeeping. Event timestamps are relative to this Run.
+  size_t next_event = 0;
+  const uint64_t sample = config_.sample_interval;
+  BackendStats::IntervalPoint mark;  // running counters at the last sample boundary
+
   const auto t0 = std::chrono::steady_clock::now();
   for (uint64_t i = 0; i < num_requests; ++i) {
+    while (next_event < events_.size() && events_[next_event].at_request <= i) {
+      ApplyEvent(events_[next_event++]);
+    }
+    if (sample != 0 && i != 0 && i % sample == 0) {
+      st.CloseIntervalAt(i, mark);
+    }
+
     // Telemetry epoch boundary: refresh the client's view from true loads. Between
     // boundaries the per-request Set() below keeps the view exact for routed nodes.
+    // (Dead spines emit no telemetry; the tracker routes their refresh to the
+    // shadow value, keeping the +inf pin — see load_tracker.h.)
     if (config_.epoch_requests != 0 && i % config_.epoch_requests == 0) {
       for (uint32_t s = 0; s < cc.num_spine; ++s) {
         tracker_.Set({0, s}, st.spine_load[s]);
@@ -52,42 +104,66 @@ BackendStats SequentialBackend::Run(uint64_t num_requests) {
     if (is_write) {
       // Two-phase coherence (§4.3): each cached copy costs the switch
       // coherence_switch_cost units; the primary pays one write plus
-      // coherence_server_cost per copy.
+      // coherence_server_cost per copy. Writes reach the primary through an
+      // ECMP-chosen spine, so a pre-recovery dead spine blackholes its share.
       ++st.writes;
+      if (TransitBlackholed()) {
+        ++st.dropped;
+        continue;
+      }
+      size_t num_copies = copies.leaf ? 1 : 0;
       if (copies.leaf) {
         st.leaf_load[*copies.leaf] += cc.coherence_switch_cost;
       }
       if (copies.replicated_all_spines) {
+        num_copies += cc.num_spine - dead_spines_;
         for (uint32_t s = 0; s < cc.num_spine; ++s) {
-          st.spine_load[s] += cc.coherence_switch_cost;
+          if (spine_alive_[s]) {
+            st.spine_load[s] += cc.coherence_switch_cost;
+          }
         }
-      } else if (copies.spine) {
+      } else if (copies.spine && spine_alive_[*copies.spine]) {
+        num_copies += 1;
         st.spine_load[*copies.spine] += cc.coherence_switch_cost;
       }
       st.server_load[model_.placement.ServerOf(key)] +=
-          1.0 + cc.coherence_server_cost *
-                    static_cast<double>(copies.NumCopies(cc.num_spine));
+          1.0 + cc.coherence_server_cost * static_cast<double>(num_copies);
       continue;
     }
 
     ++st.reads;
-    if (!copies.cached()) {
-      st.server_load[model_.placement.ServerOf(key)] += 1.0;
-      ++st.server_reads;
-      continue;
-    }
+    // Blackholed candidates degrade the choice set: a dead spine copy is skipped
+    // (the PoT pair becomes a single leaf choice); if no copy survives, the read
+    // falls back to the primary server like an uncached key.
     candidates.clear();
     if (copies.replicated_all_spines) {
       for (uint32_t s = 0; s < cc.num_spine; ++s) {
-        candidates.push_back({0, s});
+        if (spine_alive_[s]) {
+          candidates.push_back({0, s});
+        }
       }
-    } else if (copies.spine) {
+    } else if (copies.spine && spine_alive_[*copies.spine]) {
       candidates.push_back({0, *copies.spine});
     }
     if (copies.leaf) {
       candidates.push_back({1, *copies.leaf});
     }
+    if (candidates.empty()) {
+      if (TransitBlackholed()) {
+        ++st.dropped;
+        continue;
+      }
+      st.server_load[model_.placement.ServerOf(key)] += 1.0;
+      ++st.server_reads;
+      continue;
+    }
     const CacheNodeId node = candidates[router_.Choose(candidates)];
+    // Leaf hits transit an ECMP-chosen spine on the way down (§3.4); spine hits
+    // are absorbed by their (alive) serving switch and cannot be blackholed.
+    if (node.layer != 0 && TransitBlackholed()) {
+      ++st.dropped;
+      continue;
+    }
     double& load =
         node.layer == 0 ? st.spine_load[node.index] : st.leaf_load[node.index];
     load += 1.0;
@@ -97,6 +173,9 @@ BackendStats SequentialBackend::Run(uint64_t num_requests) {
   }
   const auto t1 = std::chrono::steady_clock::now();
   st.requests = num_requests;
+  if (sample != 0 && num_requests > mark.requests) {
+    st.CloseIntervalAt(num_requests, mark);
+  }
   st.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   return st;
 }

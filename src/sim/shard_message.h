@@ -7,10 +7,13 @@
 #define DISTCACHE_SIM_SHARD_MESSAGE_H_
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "net/topology.h"
+#include "sim/route_table.h"
+#include "sim/sim_backend.h"
 
 namespace distcache {
 
@@ -26,6 +29,14 @@ struct ShardMsg {
     // shard scheduling skew (absolute-load broadcasts from differently-aged epochs
     // would mix inconsistently).
     kTelemetry,
+    // One failure/recovery timeline entry (§4.4), multicast by the controller
+    // shard before request processing starts so every shard applies it at the
+    // same shard-local timestamp (event.at_request scaled to the shard's quota).
+    // For remap-triggering events (kRecoverSpine/kRunRecovery) `route_table`
+    // carries the immutable post-remap routing snapshot the receiving shard must
+    // swap in when the event fires — this is how "controller recovery invalidates
+    // cached routes" reaches the shards.
+    kClusterEvent,
     // Sender has processed its whole request quota and flushed all deltas. Because
     // each inbox is FIFO per sender, a Done marks the end of that sender's stream.
     kDone,
@@ -36,6 +47,9 @@ struct ShardMsg {
   std::vector<std::pair<CacheNodeId, double>> cache_entries;
   std::vector<std::pair<uint32_t, double>> server_entries;
   std::vector<double> cache_partials;
+  // kClusterEvent payload.
+  ClusterEvent event;
+  std::shared_ptr<const RouteTable> route_table;
 };
 
 }  // namespace distcache

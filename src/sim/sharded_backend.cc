@@ -45,7 +45,26 @@ struct ShardedBackend::Shard {
   std::vector<uint32_t> batch_keys; // sampled buckets for the current batch
   uint64_t processed = 0;
   uint32_t done_seen = 0;
-  std::vector<CacheNodeId> scratch_candidates;  // kReplicated slow path
+  std::vector<CacheNodeId> scratch_candidates;  // kReplicated / failure slow path
+
+  // Failure-timeline state (see header). `pending_events` accumulates the
+  // kClusterEvent stream (FIFO per sender, so it arrives sorted); `at_local[i]`
+  // is pending_events[i].event.at_request scaled to this shard's quota.
+  const RouteEntry* route_data = nullptr;  // hot-path view of `routes`
+  std::shared_ptr<const RouteTable> routes;
+  std::vector<ShardMsg> pending_events;
+  std::vector<double> at_local;
+  size_t next_event = 0;
+  std::vector<uint8_t> spine_alive;
+  uint32_t dead_spines = 0;
+  bool recovery_ran = true;  // partitions start mapped to their home switches
+  double quota_scale = 1.0;  // quota / num_requests
+
+  // Interval-series bookkeeping (sample_interval scaled to the shard's quota).
+  double sample_step = 0.0;
+  double next_sample_at = 0.0;
+  BackendStats::IntervalPoint mark;  // counters at the last closed boundary
+
   std::thread thread;
 };
 
@@ -55,32 +74,99 @@ ShardedBackend::ShardedBackend(const SimBackendConfig& config)
       shard_map_(config.cluster.num_spine, config.cluster.num_racks,
                  model_.num_servers(), config.shards),
       sampler_(model_.head_with_tail),
-      routes_(model_.pool) {
+      base_routes_(std::make_shared<const RouteTable>(BuildRouteTable(model_))),
+      events_(config.events) {
   if (config_.batch_size == 0) {
     config_.batch_size = 1;  // a 0-request batch would respawn itself forever
   }
-  for (uint64_t key = 0; key < model_.pool; ++key) {
-    RouteEntry& e = routes_[key];
-    e.server = model_.placement.ServerOf(key);
-    const CacheCopies copies = model_.allocation->CopiesOf(key);
-    if (copies.replicated_all_spines) {
-      e.kind = RouteEntry::kReplicated;
-      e.leaf = copies.leaf.value_or(0);
-    } else if (copies.spine && copies.leaf) {
-      e.kind = RouteEntry::kPair;
-      e.spine = *copies.spine;
-      e.leaf = *copies.leaf;
-    } else if (copies.spine) {
-      e.kind = RouteEntry::kSpineOnly;
-      e.spine = *copies.spine;
-    } else if (copies.leaf) {
-      e.kind = RouteEntry::kLeafOnly;
-      e.leaf = *copies.leaf;
-    }
-  }
+  SortEventsByRequest(events_);
 }
 
 ShardedBackend::~ShardedBackend() = default;
+
+void ShardedBackend::BroadcastTimeline(Shard& shard) {
+  // Walk the timeline once, tracking the alive set the way the controller would
+  // observe it, and snapshot the route table after every remap-triggering event
+  // (the remap is a pure function of the timeline prefix, so precomputing it off
+  // the hot path is exact). Each event is multicast with its snapshot attached;
+  // shards — including this one — apply it at their local scaled timestamp.
+  std::vector<uint8_t> alive(config_.cluster.num_spine, 1);
+  for (const ClusterEvent& event : events_) {
+    ShardMsg msg;
+    msg.kind = ShardMsg::Kind::kClusterEvent;
+    msg.from = shard.id;
+    msg.event = event;
+    switch (event.kind) {
+      case ClusterEvent::Kind::kFailSpine:
+        if (event.spine < alive.size()) {
+          alive[event.spine] = 0;
+        }
+        break;  // no remap: clients keep their stale routes until recovery
+      case ClusterEvent::Kind::kRecoverSpine:
+        if (event.spine < alive.size()) {
+          alive[event.spine] = 1;
+        }
+        model_.SyncControllerRemap(alive);
+        msg.route_table = std::make_shared<const RouteTable>(BuildRouteTable(model_));
+        break;
+      case ClusterEvent::Kind::kRunRecovery:
+        model_.SyncControllerRemap(alive);
+        msg.route_table = std::make_shared<const RouteTable>(BuildRouteTable(model_));
+        break;
+    }
+    for (uint32_t peer = 0; peer < shard_map_.shards(); ++peer) {
+      if (peer == shard.id) {
+        continue;
+      }
+      shards_[peer]->inbox.Send(msg);  // copy: same snapshot to every peer
+      ++shard.local.cross_shard_messages;
+    }
+    shard.at_local.push_back(static_cast<double>(msg.event.at_request) *
+                             shard.quota_scale);
+    shard.pending_events.push_back(std::move(msg));
+  }
+}
+
+void ShardedBackend::ApplyClusterEvent(Shard& shard, const ShardMsg& msg) {
+  const ClusterEvent& event = msg.event;
+  switch (event.kind) {
+    case ClusterEvent::Kind::kFailSpine:
+      if (event.spine < shard.spine_alive.size() && shard.spine_alive[event.spine]) {
+        shard.spine_alive[event.spine] = 0;
+        ++shard.dead_spines;
+        shard.recovery_ran = false;
+        shard.view.MarkDead({0, event.spine});
+      }
+      break;
+    case ClusterEvent::Kind::kRecoverSpine:
+      if (event.spine < shard.spine_alive.size() && !shard.spine_alive[event.spine]) {
+        shard.spine_alive[event.spine] = 1;
+        --shard.dead_spines;
+        shard.view.MarkAlive({0, event.spine});
+      }
+      if (msg.route_table != nullptr) {
+        shard.routes = msg.route_table;
+        shard.route_data = shard.routes->data();
+      }
+      break;
+    case ClusterEvent::Kind::kRunRecovery:
+      shard.recovery_ran = true;
+      if (msg.route_table != nullptr) {
+        shard.routes = msg.route_table;  // invalidate cached routes
+        shard.route_data = shard.routes->data();
+      }
+      break;
+  }
+}
+
+bool ShardedBackend::TransitBlackholed(Shard& shard) {
+  return !shard.recovery_ran && shard.dead_spines > 0 &&
+         shard.rng.NextBounded(config_.cluster.num_spine) < shard.dead_spines;
+}
+
+void ShardedBackend::CloseInterval(Shard& shard) {
+  shard.local.CloseIntervalAt(shard.processed, shard.mark);
+}
 
 void ShardedBackend::AddCacheLoad(Shard& shard, CacheNodeId node, double delta) {
   const uint32_t flat = shard_map_.FlatIndex(node);
@@ -126,6 +212,13 @@ void ShardedBackend::Apply(Shard& shard, ShardMsg& msg) {
       }
       break;
     }
+    case ShardMsg::Kind::kClusterEvent:
+      // FIFO per sender: events arrive in timeline order. Queue for application
+      // at this shard's local scaled timestamp (batch-boundary check).
+      shard.at_local.push_back(static_cast<double>(msg.event.at_request) *
+                               shard.quota_scale);
+      shard.pending_events.push_back(std::move(msg));
+      break;
     case ShardMsg::Kind::kDone:
       ++shard.done_seen;
       break;
@@ -216,32 +309,45 @@ void ShardedBackend::ProcessRequest(Shard& shard, uint32_t bucket) {
         model_.pool + shard.rng.NextBounded(cc.num_keys - model_.pool);
     server = model_.placement.ServerOf(key);
   } else {
-    entry = &routes_[bucket];
+    entry = &shard.route_data[bucket];
     server = entry->server;
   }
 
   if (is_write) {
+    // Writes reach the primary through an ECMP-chosen spine; a pre-recovery dead
+    // spine blackholes its share (§4.4). Coherence touches only alive copies.
     ++st.writes;
+    if (TransitBlackholed(shard)) {
+      ++st.dropped;
+      return;
+    }
     size_t num_copies = 0;
     if (entry != nullptr) {
       switch (entry->kind) {
         case RouteEntry::kPair:
-          num_copies = 2;
-          AddCacheLoad(shard, {0, entry->spine}, cc.coherence_switch_cost);
+          if (shard.spine_alive[entry->spine]) {
+            ++num_copies;
+            AddCacheLoad(shard, {0, entry->spine}, cc.coherence_switch_cost);
+          }
+          ++num_copies;
           AddCacheLoad(shard, {1, entry->leaf}, cc.coherence_switch_cost);
           break;
         case RouteEntry::kSpineOnly:
-          num_copies = 1;
-          AddCacheLoad(shard, {0, entry->spine}, cc.coherence_switch_cost);
+          if (shard.spine_alive[entry->spine]) {
+            ++num_copies;
+            AddCacheLoad(shard, {0, entry->spine}, cc.coherence_switch_cost);
+          }
           break;
         case RouteEntry::kLeafOnly:
-          num_copies = 1;
+          ++num_copies;
           AddCacheLoad(shard, {1, entry->leaf}, cc.coherence_switch_cost);
           break;
         case RouteEntry::kReplicated:
-          num_copies = static_cast<size_t>(cc.num_spine) + 1;
+          num_copies = static_cast<size_t>(cc.num_spine - shard.dead_spines) + 1;
           for (uint32_t s = 0; s < cc.num_spine; ++s) {
-            AddCacheLoad(shard, {0, s}, cc.coherence_switch_cost);
+            if (shard.spine_alive[s]) {
+              AddCacheLoad(shard, {0, s}, cc.coherence_switch_cost);
+            }
           }
           AddCacheLoad(shard, {1, entry->leaf}, cc.coherence_switch_cost);
           break;
@@ -255,7 +361,19 @@ void ShardedBackend::ProcessRequest(Shard& shard, uint32_t bucket) {
   }
 
   ++st.reads;
-  if (entry == nullptr || entry->kind == RouteEntry::kUncached) {
+  // Blackholed candidates degrade the choice set exactly like the sequential
+  // reference: a dead spine copy is skipped (the pair becomes a single leaf
+  // choice), a spine-only key falls back to the primary server.
+  const bool spine_dead =
+      entry != nullptr && shard.dead_spines > 0 &&
+      (entry->kind == RouteEntry::kPair || entry->kind == RouteEntry::kSpineOnly) &&
+      !shard.spine_alive[entry->spine];
+  if (entry == nullptr || entry->kind == RouteEntry::kUncached ||
+      (spine_dead && entry->kind == RouteEntry::kSpineOnly)) {
+    if (TransitBlackholed(shard)) {
+      ++st.dropped;
+      return;
+    }
     AddServerLoad(shard, server, 1.0);
     ++st.server_reads;
     return;
@@ -264,7 +382,8 @@ void ShardedBackend::ProcessRequest(Shard& shard, uint32_t bucket) {
   CacheNodeId node;
   switch (entry->kind) {
     case RouteEntry::kPair:
-      node = shard.router.ChoosePair({0, entry->spine}, {1, entry->leaf});
+      node = spine_dead ? CacheNodeId{1, entry->leaf}
+                        : shard.router.ChoosePair({0, entry->spine}, {1, entry->leaf});
       break;
     case RouteEntry::kSpineOnly:
       node = {0, entry->spine};
@@ -276,12 +395,20 @@ void ShardedBackend::ProcessRequest(Shard& shard, uint32_t bucket) {
       auto& cands = shard.scratch_candidates;
       cands.clear();
       for (uint32_t s = 0; s < cc.num_spine; ++s) {
-        cands.push_back({0, s});
+        if (shard.spine_alive[s]) {
+          cands.push_back({0, s});
+        }
       }
       cands.push_back({1, entry->leaf});
       node = cands[shard.router.Choose(cands)];
       break;
     }
+  }
+  // Leaf hits transit an ECMP-chosen spine on the way down (§3.4); spine hits are
+  // absorbed by their (alive) serving switch and cannot be blackholed.
+  if (node.layer != 0 && TransitBlackholed(shard)) {
+    ++st.dropped;
+    return;
   }
   AddCacheLoad(shard, node, 1.0);
   ++st.cache_hits;
@@ -290,6 +417,19 @@ void ShardedBackend::ProcessRequest(Shard& shard, uint32_t bucket) {
 
 void ShardedBackend::ProcessBatch(Shard& shard, uint32_t count) {
   DrainInbox(shard, /*blocking=*/false);
+  // Apply timeline events whose scaled timestamp the local request clock has
+  // reached (accurate to one batch; deterministic under OS scheduling skew).
+  while (shard.next_event < shard.pending_events.size() &&
+         shard.at_local[shard.next_event] <=
+             static_cast<double>(shard.processed)) {
+    ApplyClusterEvent(shard, shard.pending_events[shard.next_event++]);
+  }
+  if (shard.sample_step > 0.0) {
+    while (static_cast<double>(shard.processed) >= shard.next_sample_at) {
+      CloseInterval(shard);
+      shard.next_sample_at += shard.sample_step;
+    }
+  }
   shard.batch_keys.resize(count);
   sampler_.SampleBatch(shard.rng, shard.batch_keys.data(), count);
   for (uint32_t i = 0; i < count; ++i) {
@@ -298,7 +438,7 @@ void ShardedBackend::ProcessBatch(Shard& shard, uint32_t count) {
   shard.processed += count;
 }
 
-void ShardedBackend::ShardMain(Shard& shard, uint64_t quota) {
+void ShardedBackend::ShardMain(Shard& shard, uint64_t quota, uint64_t num_requests) {
   const ClusterConfig& cc = config_.cluster;
   shard.local.spine_load.assign(cc.num_spine, 0.0);
   shard.local.leaf_load.assign(cc.num_racks, 0.0);
@@ -309,6 +449,38 @@ void ShardedBackend::ShardMain(Shard& shard, uint64_t quota) {
   shard.last_partial.assign(shard_map_.shards(),
                             std::vector<double>(cc.num_spine + cc.num_racks, 0.0));
   shard.out.resize(shard_map_.shards());
+  shard.spine_alive.assign(cc.num_spine, 1);
+  shard.routes = base_routes_;
+  shard.route_data = shard.routes->data();
+  shard.quota_scale = num_requests == 0
+                          ? 0.0
+                          : static_cast<double>(quota) / static_cast<double>(num_requests);
+  if (config_.sample_interval > 0) {
+    shard.sample_step =
+        static_cast<double>(config_.sample_interval) * shard.quota_scale;
+    shard.next_sample_at = shard.sample_step;
+    if (shard.sample_step <= 0.0) {
+      shard.sample_step = 0.0;  // degenerate quota: no series from this shard
+    }
+  }
+  if (!events_.empty()) {
+    if (shard.id == 0) {
+      BroadcastTimeline(shard);
+    } else {
+      // Deterministic rendezvous: the timeline length is config-known, so block
+      // until the controller's multicast has fully arrived before processing any
+      // request — otherwise an event timestamped near 0 could race the first
+      // batches. Only kClusterEvent traffic can be in flight at this point (every
+      // non-controller shard is parked here), but Apply() handles any kind.
+      while (shard.pending_events.size() < events_.size()) {
+        auto msg = shard.inbox.Receive();
+        if (!msg) {
+          break;  // channel closed
+        }
+        Apply(shard, *msg);
+      }
+    }
+  }
 
   // Event-driven shard loop: one simulated time unit per request. Batch events
   // self-reschedule until the quota is met; telemetry events fire every epoch.
@@ -353,6 +525,9 @@ void ShardedBackend::ShardMain(Shard& shard, uint64_t quota) {
     shards_[peer]->inbox.Send(std::move(done));
   }
   DrainInbox(shard, /*blocking=*/true);
+  if (shard.sample_step > 0.0 && shard.processed > shard.mark.requests) {
+    CloseInterval(shard);
+  }
   shard.local.requests = shard.processed;
 }
 
@@ -368,7 +543,8 @@ BackendStats ShardedBackend::Run(uint64_t num_requests) {
   for (uint32_t i = 0; i < n; ++i) {
     const uint64_t quota = num_requests / n + (i < num_requests % n ? 1 : 0);
     Shard* shard = shards_[i].get();
-    shard->thread = std::thread([this, shard, quota] { ShardMain(*shard, quota); });
+    shard->thread = std::thread(
+        [this, shard, quota, num_requests] { ShardMain(*shard, quota, num_requests); });
   }
   for (auto& shard : shards_) {
     shard->thread.join();

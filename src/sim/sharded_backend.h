@@ -7,9 +7,9 @@
 //
 //   * batch events   — process `batch_size` (~64) requests through the amortized hot
 //                      path: alias-table key sampling (common/alias_sampler.h),
-//                      precomputed per-key route entries instead of per-request
-//                      CopiesOf, and PotRouter::ChoosePair on the shard's local
-//                      LoadTracker view;
+//                      precomputed per-key route entries (sim/route_table.h) instead
+//                      of per-request CopiesOf, and PotRouter::ChoosePair on the
+//                      shard's local LoadTracker view;
 //   * telemetry events — every `epoch_requests` simulated requests the shard
 //                      broadcasts a dense snapshot of its *own cumulative per-node
 //                      contributions* to all peers (the §4.2 telemetry epoch).
@@ -30,6 +30,20 @@
 // per destination when the shard finishes its quota — routing never reads them, so
 // channel traffic stays O(epochs), not O(requests).
 //
+// Failure timeline (§4.4 / Fig. 11): shard 0 doubles as the cluster controller. It
+// walks the ClusterEvent timeline once before request processing, precomputing the
+// post-remap route table for each remap-triggering event (the remap is a pure
+// function of the timeline prefix), and multicasts each event — with its immutable
+// route-table snapshot attached — to every peer as a kClusterEvent ShardMsg. Each
+// shard applies an event when its *local* request clock reaches the event's
+// timestamp scaled to its quota (checked at batch boundaries, so application is
+// accurate to within one batch and immune to OS scheduling skew). Applying a
+// failure marks the dead switch in the shard's alive set and pins its LoadTracker
+// entry (MarkDead); applying a remap swaps the shard's route-table pointer — the
+// "invalidate cached routes" step. Between a spine's failure and the recovery
+// remap, requests that would transit the dead switch are blackholed and counted in
+// BackendStats::dropped, exactly like the sequential reference.
+//
 // Termination: a shard that finishes its quota sends kDone to every peer and then
 // blocks on its inbox until it has seen kDone from all peers, guaranteeing every
 // in-flight delta is applied before stats are merged.
@@ -49,6 +63,7 @@
 #include "runtime/channel.h"
 #include "sim/cluster_model.h"
 #include "sim/event_queue.h"
+#include "sim/route_table.h"
 #include "sim/shard_message.h"
 #include "sim/sim_backend.h"
 
@@ -63,28 +78,17 @@ class ShardedBackend : public SimBackend {
   BackendStats Run(uint64_t num_requests) override;
 
  private:
-  // Precomputed routing decision per head key ("amortized hash routing"): the
-  // allocation and placement hashes are evaluated once at construction, not once
-  // per request.
-  struct RouteEntry {
-    enum Kind : uint8_t {
-      kUncached = 0,   // read goes to the primary server
-      kPair = 1,       // PoT between the spine copy and the leaf copy
-      kSpineOnly = 2,
-      kLeafOnly = 3,
-      kReplicated = 4, // CacheReplication: all spines + leaf (slow path)
-    };
-    uint8_t kind = kUncached;
-    uint32_t spine = 0;
-    uint32_t leaf = 0;
-    uint32_t server = 0;
-  };
-
   struct Shard;
 
-  void ShardMain(Shard& shard, uint64_t quota);
+  void ShardMain(Shard& shard, uint64_t quota, uint64_t num_requests);
+  // Controller role (shard 0): precompute per-event route tables and multicast
+  // the timeline over the shard channels before processing starts.
+  void BroadcastTimeline(Shard& shard);
+  void ApplyClusterEvent(Shard& shard, const ShardMsg& msg);
   void ProcessBatch(Shard& shard, uint32_t count);
   void ProcessRequest(Shard& shard, uint32_t bucket);
+  bool TransitBlackholed(Shard& shard);
+  void CloseInterval(Shard& shard);
   void BroadcastTelemetry(Shard& shard);
   void FlushCacheDeltas(Shard& shard);
   void FlushServerDeltas(Shard& shard);
@@ -97,7 +101,8 @@ class ShardedBackend : public SimBackend {
   ClusterModel model_;
   ShardMap shard_map_;
   AliasSampler sampler_;            // head keys + one tail bucket
-  std::vector<RouteEntry> routes_;  // index = head key rank
+  std::shared_ptr<const RouteTable> base_routes_;  // pre-failure snapshot
+  std::vector<ClusterEvent> events_;               // sorted by at_request
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

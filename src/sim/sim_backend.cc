@@ -37,6 +37,27 @@ void AccumulateLoads(std::vector<double>& into, const std::vector<double>& from)
 
 }  // namespace
 
+void SortEventsByRequest(std::vector<ClusterEvent>& events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ClusterEvent& a, const ClusterEvent& b) {
+                     return a.at_request < b.at_request;
+                   });
+}
+
+void BackendStats::CloseIntervalAt(uint64_t processed, IntervalPoint& mark) {
+  IntervalPoint pt;
+  pt.requests = processed - mark.requests;
+  pt.dropped = dropped - mark.dropped;
+  pt.delivered = pt.requests - pt.dropped;
+  pt.reads = reads - mark.reads;
+  pt.cache_hits = cache_hits - mark.cache_hits;
+  series.push_back(pt);
+  mark.requests = processed;
+  mark.dropped = dropped;
+  mark.reads = reads;
+  mark.cache_hits = cache_hits;
+}
+
 double BackendStats::CacheImbalance() const {
   return MaxOverMean(spine_load, leaf_load);
 }
@@ -53,7 +74,18 @@ void BackendStats::Merge(const BackendStats& other) {
   spine_hits += other.spine_hits;
   leaf_hits += other.leaf_hits;
   server_reads += other.server_reads;
+  dropped += other.dropped;
   cross_shard_messages += other.cross_shard_messages;
+  if (series.size() < other.series.size()) {
+    series.resize(other.series.size());
+  }
+  for (size_t i = 0; i < other.series.size(); ++i) {
+    series[i].requests += other.series[i].requests;
+    series[i].delivered += other.series[i].delivered;
+    series[i].dropped += other.series[i].dropped;
+    series[i].reads += other.series[i].reads;
+    series[i].cache_hits += other.series[i].cache_hits;
+  }
   AccumulateLoads(spine_load, other.spine_load);
   AccumulateLoads(leaf_load, other.leaf_load);
   AccumulateLoads(server_load, other.server_load);

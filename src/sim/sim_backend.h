@@ -48,6 +48,37 @@
 
 namespace distcache {
 
+// One scheduled cluster reconfiguration (§4.4 / Fig. 11), timestamped in requests:
+// the event applies just before the `at_request`-th request of a Run() (timestamps
+// are relative to the start of each Run). This is the engine-agnostic equivalent of
+// calling ClusterSim::{FailSpine,RecoverSpine,RunFailureRecovery} mid-measurement,
+// and the extension point for future churn / hot-spot-shift scenarios.
+struct ClusterEvent {
+  enum class Kind : uint8_t {
+    kFailSpine,     // spine switch dies: its cached partition blackholes
+    kRecoverSpine,  // switch restored: partitions return to their home switch
+    kRunRecovery,   // controller remaps failed partitions onto alive spines
+  };
+
+  Kind kind = Kind::kFailSpine;
+  uint64_t at_request = 0;
+  uint32_t spine = 0;  // ignored for kRunRecovery
+
+  static ClusterEvent FailSpine(uint64_t at_request, uint32_t spine) {
+    return {Kind::kFailSpine, at_request, spine};
+  }
+  static ClusterEvent RecoverSpine(uint64_t at_request, uint32_t spine) {
+    return {Kind::kRecoverSpine, at_request, spine};
+  }
+  static ClusterEvent RunRecovery(uint64_t at_request) {
+    return {Kind::kRunRecovery, at_request, 0};
+  }
+};
+
+// Orders a timeline by at_request, preserving list order for ties (the order the
+// engines apply simultaneous events in).
+void SortEventsByRequest(std::vector<ClusterEvent>& events);
+
 // Engine configuration: the simulated cluster plus execution-engine knobs.
 struct SimBackendConfig {
   ClusterConfig cluster;
@@ -61,6 +92,21 @@ struct SimBackendConfig {
   // its cumulative per-node load partials and folds in its peers' — the view
   // staleness bound of the sharded backend.
   uint64_t epoch_requests = 4096;
+
+  // Failure/recovery timeline applied during Run() (need not be sorted; engines
+  // sort by at_request, ties applied in list order). Timestamps at or beyond the
+  // Run's request count never fire. Empty timeline == the engine's historical
+  // behaviour, bit for bit (no extra RNG draws are consumed).
+  std::vector<ClusterEvent> events;
+  // When > 0, BackendStats::series records one IntervalPoint per this many
+  // requests — the Fig. 11 time-series instrumentation. The sharded backend
+  // samples each shard every sample_interval/shards local requests and merges
+  // per-index, so interval boundaries are accurate to within one batch; keep
+  // sample_interval well above batch_size × shards — smaller intervals cannot be
+  // resolved at batch granularity and are padded with zero-width points (which
+  // keep the indices aligned but concentrate counts in the batch's first
+  // interval).
+  uint64_t sample_interval = 0;
 };
 
 // Aggregate result of a backend run. Loads are cumulative arrival units (a read = 1
@@ -73,7 +119,37 @@ struct BackendStats {
   uint64_t spine_hits = 0;
   uint64_t leaf_hits = 0;
   uint64_t server_reads = 0; // reads served by the primary storage server
+  // Requests blackholed by a dead spine switch before the controller reacted
+  // (ECMP transit through a failed switch, §4.4); they charge no load anywhere.
+  uint64_t dropped = 0;
   uint64_t cross_shard_messages = 0;  // sharded backend only
+
+  // One entry per sample_interval requests (when SimBackendConfig::sample_interval
+  // is set): the per-interval slice of the aggregate counters, for failure
+  // time-series plots. delivered == requests - dropped for the interval.
+  struct IntervalPoint {
+    uint64_t requests = 0;
+    uint64_t delivered = 0;
+    uint64_t dropped = 0;
+    uint64_t reads = 0;
+    uint64_t cache_hits = 0;
+
+    double delivered_fraction() const {
+      return requests == 0
+                 ? 1.0
+                 : static_cast<double>(delivered) / static_cast<double>(requests);
+    }
+    double hit_ratio() const {
+      return reads == 0 ? 0.0
+                        : static_cast<double>(cache_hits) / static_cast<double>(reads);
+    }
+  };
+  std::vector<IntervalPoint> series;
+
+  // Closes the current interval: appends the delta between this object's counters
+  // (with `processed` as the request count) and `mark`, then advances `mark`.
+  // Shared by the request-level engines' series bookkeeping.
+  void CloseIntervalAt(uint64_t processed, IntervalPoint& mark);
 
   std::vector<double> spine_load;
   std::vector<double> leaf_load;

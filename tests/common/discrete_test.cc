@@ -44,6 +44,26 @@ TEST(DiscreteDistribution, ZeroMassKeysNeverSampled) {
   }
 }
 
+TEST(DiscreteDistribution, AllZeroPmfFallsBackToUniform) {
+  // Regression: the all-zero pmf used to keep pmf_ at zero while the cdf rounding
+  // guard set cdf_.back() = 1.0 — dumping 100% of the sampled mass on the last key.
+  DiscreteDistribution d({0.0, 0.0, 0.0, 0.0});
+  for (uint64_t k = 0; k < 4; ++k) {
+    EXPECT_DOUBLE_EQ(d.Pmf(k), 0.25);
+  }
+  Rng rng(17);
+  int counts[4] = {};
+  constexpr int kSamples = 40000;
+  for (int i = 0; i < kSamples; ++i) {
+    const uint64_t key = d.Sample(rng);
+    ASSERT_LT(key, 4u);
+    ++counts[key];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(kSamples), 0.25, 0.02);
+  }
+}
+
 TEST(CappedZipfPmf, RespectsCap) {
   const auto pmf = CappedZipfPmf(100, 0.99, 0.02);
   double sum = 0.0;
@@ -75,6 +95,24 @@ TEST(CappedZipfPmf, HeadIsFlatAtCap) {
   EXPECT_NEAR(pmf[0], 0.01, 1e-9);
   EXPECT_NEAR(pmf[1], 0.01, 1e-9);
   EXPECT_LT(pmf[999], 0.01);
+}
+
+TEST(CappedZipfPmf, InfeasibleCapReturnsUniform) {
+  // cap < 1/num_keys is unsatisfiable (a pmf over n keys cannot be everywhere
+  // below 1/n); the clip-and-renormalize loop used to run its 64 rounds and
+  // silently return a cap-violating pmf. The closest satisfiable pmf is uniform.
+  const auto pmf = CappedZipfPmf(100, 0.99, 0.001);
+  double sum = 0.0;
+  for (double p : pmf) {
+    EXPECT_DOUBLE_EQ(p, 0.01);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // The boundary cap == 1/n is exactly feasible, and only by the uniform pmf.
+  const auto boundary = CappedZipfPmf(100, 0.99, 0.01);
+  for (double p : boundary) {
+    EXPECT_DOUBLE_EQ(p, 0.01);
+  }
 }
 
 }  // namespace

@@ -126,8 +126,33 @@ TEST_P(ZipfSamplingTest, SamplesWithinRange) {
   }
 }
 
+// theta = 1.0 exercises the logarithmic limits of the closed forms: the integral
+// tail and alpha = 1/(1-theta) would otherwise divide by zero (inf/NaN ranks).
 INSTANTIATE_TEST_SUITE_P(Skews, ZipfSamplingTest,
-                         ::testing::Values(0.5, 0.9, 0.95, 0.99));
+                         ::testing::Values(0.5, 0.9, 0.95, 0.99, 1.0));
+
+TEST(ZipfDistribution, ThetaOneIsFiniteAndNormalized) {
+  ZipfDistribution dist(100000, 1.0);
+  // Zeta via the log-tail form must match a brute-force harmonic sum.
+  double exact = 0.0;
+  for (uint64_t i = 1; i <= 100000; ++i) {
+    exact += 1.0 / static_cast<double>(i);
+  }
+  EXPECT_NEAR(ZipfDistribution::Zeta(100000, 1.0) / exact, 1.0, 1e-5);
+  double sum = 0.0;
+  for (uint64_t k = 0; k < 100000; ++k) {
+    const double p = dist.Pmf(k);
+    ASSERT_TRUE(std::isfinite(p));
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  // Sampling must stay finite and in range (the θ=1.0 class of bug produced
+  // inf/NaN ranks that cast to out-of-range keys).
+  Rng rng(7);
+  for (int i = 0; i < 50000; ++i) {
+    EXPECT_LT(dist.Sample(rng), 100000u);
+  }
+}
 
 }  // namespace
 }  // namespace distcache

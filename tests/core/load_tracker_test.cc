@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace distcache {
 namespace {
 
@@ -73,6 +75,52 @@ TEST(LoadTracker, VectorsExposeLayers) {
   t.Update({0, 3}, 5);
   EXPECT_EQ(t.spine_loads()[3], 5.0);
   EXPECT_EQ(t.leaf_loads()[3], 0.0);
+}
+
+// Dead-node aging (§4.4): a failed switch's entry must lose every PoT comparison
+// instead of freezing at a stale — eventually minimal — value (invariant 3).
+TEST(LoadTracker, MarkDeadPinsLoadToInfinity) {
+  LoadTracker t(SmallConfig());
+  t.Update({0, 1}, 40);
+  t.MarkDead({0, 1});
+  EXPECT_TRUE(t.IsDead({0, 1}));
+  EXPECT_TRUE(std::isinf(t.Load({0, 1})));
+  t.MarkDead({0, 1});  // idempotent: the shadow must not absorb the +inf
+  t.MarkAlive({0, 1});
+  EXPECT_FALSE(t.IsDead({0, 1}));
+  EXPECT_EQ(t.Load({0, 1}), 40.0);
+}
+
+TEST(LoadTracker, DeadNodeAbsorbsTelemetryIntoShadow) {
+  LoadTracker t(SmallConfig());
+  t.Update({1, 2}, 10);
+  t.MarkDead({1, 2});
+  // Late telemetry / gossip folds keep updating the hidden estimate...
+  t.Add({1, 2}, 5.0);
+  t.Set({1, 2}, 25.0);
+  EXPECT_TRUE(std::isinf(t.Load({1, 2})));  // ...without unpinning the entry.
+  t.MarkAlive({1, 2});
+  EXPECT_EQ(t.Load({1, 2}), 25.0);
+}
+
+TEST(LoadTracker, AgingSkipsDeadEntries) {
+  LoadTracker t(SmallConfig(0.0));  // full decay would turn inf into NaN via 0*inf
+  t.Update({0, 0}, 80);
+  t.MarkDead({0, 0});
+  t.Age();
+  t.Age();
+  EXPECT_TRUE(std::isinf(t.Load({0, 0})));
+  t.MarkAlive({0, 0});
+  EXPECT_EQ(t.Load({0, 0}), 80.0);
+}
+
+TEST(LoadTracker, ResetClearsDeadPins) {
+  LoadTracker t(SmallConfig());
+  t.Update({0, 1}, 10);
+  t.MarkDead({0, 1});
+  t.Reset();
+  EXPECT_FALSE(t.IsDead({0, 1}));
+  EXPECT_EQ(t.Load({0, 1}), 0.0);
 }
 
 }  // namespace

@@ -80,5 +80,48 @@ TEST(PotRouter, EmptyCandidatesReturnsZero) {
   EXPECT_EQ(router.Choose({}), 0u);
 }
 
+// ChoosePair(a, b) is documented as semantically identical to Choose({a, b}):
+// given the same RNG stream, the two must pick the same node for every load
+// configuration — including exact ties, where both must take the same branch of
+// the reservoir tie-break — under all three routing policies. (The batched
+// backends use ChoosePair while the sequential reference uses Choose; a
+// divergence here would silently skew their parity.)
+class PotRouterParityTest : public ::testing::TestWithParam<RoutingPolicy> {};
+
+TEST_P(PotRouterParityTest, ChoosePairMatchesChoose) {
+  LoadTracker tracker({4, 4, 1.0});
+  constexpr uint64_t kSeed = 99;
+  PotRouter via_choose(&tracker, GetParam(), kSeed);
+  PotRouter via_pair(&tracker, GetParam(), kSeed);
+  const CacheNodeId a{0, 1};
+  const CacheNodeId b{1, 2};
+  const std::vector<CacheNodeId> candidates{a, b};
+  // Cycle through less-loaded-a / tie / less-loaded-b so every branch (including
+  // the RNG-consuming tie) is exercised many times on the shared stream.
+  const double loads[][2] = {{1.0, 2.0}, {5.0, 5.0}, {9.0, 3.0}, {0.0, 0.0}};
+  for (int i = 0; i < 400; ++i) {
+    const auto& lc = loads[i % 4];
+    tracker.Set(a, lc[0]);
+    tracker.Set(b, lc[1]);
+    const CacheNodeId chosen = candidates[via_choose.Choose(candidates)];
+    const CacheNodeId paired = via_pair.ChoosePair(a, b);
+    ASSERT_EQ(chosen.layer, paired.layer) << "iteration " << i;
+    ASSERT_EQ(chosen.index, paired.index) << "iteration " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, PotRouterParityTest,
+                         ::testing::Values(RoutingPolicy::kPowerOfTwo,
+                                           RoutingPolicy::kRandom,
+                                           RoutingPolicy::kFirstChoice),
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
+                             case RoutingPolicy::kPowerOfTwo: return "PowerOfTwo";
+                             case RoutingPolicy::kRandom: return "Random";
+                             case RoutingPolicy::kFirstChoice: return "FirstChoice";
+                           }
+                           return "Unknown";
+                         });
+
 }  // namespace
 }  // namespace distcache

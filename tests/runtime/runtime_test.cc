@@ -199,6 +199,37 @@ TEST(Runtime, LoadCountersExposedPerSwitch) {
   EXPECT_GE(total, 64u);
 }
 
+// Shutdown must fail loudly, never hang: requests issued after Stop() get
+// Unavailable (the closed-inbox Send is detected), and a client caught mid-flight
+// by a concurrent Stop() must always be unblocked — the switch loop replies with
+// an unavailable message when its forward to a closed server inbox is dropped.
+TEST(Runtime, RequestsAfterStopReturnUnavailable) {
+  DistCacheRuntime rt(SmallRuntime());
+  rt.Start();
+  auto client = rt.NewClient(9);
+  ASSERT_TRUE(client->Get(0).ok());
+  rt.Stop();
+  const auto get = client->Get(0);
+  ASSERT_FALSE(get.ok());
+  EXPECT_EQ(get.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(client->Put(1, "x").code(), StatusCode::kUnavailable);
+}
+
+TEST(Runtime, ConcurrentStopNeverStrandsClients) {
+  DistCacheRuntime rt(SmallRuntime());
+  rt.Start();
+  std::thread driver([&rt] {
+    auto client = rt.NewClient(10);
+    // Uncached keys force the switch→server forward that races Stop()'s inbox
+    // close; every call must return (ok or Unavailable), never block forever.
+    for (uint64_t key = 300; key < 512; ++key) {
+      (void)client->Get(key);
+    }
+  });
+  rt.Stop();
+  driver.join();  // hangs here (test times out) if a reply was silently dropped
+}
+
 // Parameterized correctness across all four mechanisms: every key readable, and a
 // write is immediately visible regardless of where copies live.
 class RuntimeMechanismTest : public ::testing::TestWithParam<Mechanism> {};

@@ -42,7 +42,11 @@ int Run(int argc, char** argv) {
         "  [--routing=pot|random|first] [--stale-telemetry] [--uncapped]\n"
         "  [--latency --load=F] [--fail-spines=K --offered=R]\n"
         "  [--backend=sequential|sharded|fluid --shards=N --requests=N\n"
-        "   --batch=N --epoch=N]   (request-level engine run)\n");
+        "   --batch=N --epoch=N]   (request-level engine run)\n"
+        "  [--backend=... --fail-spines=K [--fail-at=R] [--remap-at=R]\n"
+        "   [--recover-at=R] [--sample=N]]   (failure timeline: fail spines 0..K-1\n"
+        "   at request fail-at, controller recovery at remap-at, switches restored\n"
+        "   at recover-at; --sample prints the per-interval time series)\n");
     return 0;
   }
   ClusterConfig cfg;
@@ -80,10 +84,9 @@ int Run(int argc, char** argv) {
                    backend_name.c_str());
       return 1;
     }
-    // The fluid-model-only modes and ablations are not implemented by the
-    // request-level engines; refuse rather than silently ignore them.
-    for (const char* incompatible :
-         {"latency", "fail-spines", "stale-telemetry", "uncapped"}) {
+    // The remaining fluid-model-only modes and ablations are not implemented by
+    // the request-level engines; refuse rather than silently ignore them.
+    for (const char* incompatible : {"latency", "stale-telemetry", "uncapped"}) {
       if (flags.Has(incompatible)) {
         std::fprintf(stderr, "--%s is a fluid-model mode; it cannot be combined "
                              "with --backend\n", incompatible);
@@ -99,13 +102,28 @@ int Run(int argc, char** argv) {
     bcfg.batch_size = static_cast<uint32_t>(flags.GetUint("batch", 64));
     bcfg.epoch_requests = flags.GetUint("epoch", 4096);
     const uint64_t requests = flags.GetUint("requests", 2'000'000);
+    bcfg.sample_interval = flags.GetUint("sample", 0);
+    if (flags.Has("fail-spines")) {
+      // Failure timeline (§4.4 / Fig. 11): spines 0..K-1 fail at --fail-at, the
+      // controller remaps their partitions at --remap-at, and the switches come
+      // back (partitions return home) at --recover-at.
+      const auto k = static_cast<uint32_t>(flags.GetUint("fail-spines", 1));
+      const uint64_t fail_at = flags.GetUint("fail-at", requests / 5);
+      const uint64_t remap_at = flags.GetUint("remap-at", requests / 2);
+      const uint64_t recover_at = flags.GetUint("recover-at", requests * 3 / 4);
+      for (uint32_t s = 0; s < k && s < cfg.num_spine; ++s) {
+        bcfg.events.push_back(ClusterEvent::FailSpine(fail_at, s));
+        bcfg.events.push_back(ClusterEvent::RecoverSpine(recover_at, s));
+      }
+      bcfg.events.push_back(ClusterEvent::RunRecovery(remap_at));
+    }
     auto backend = MakeSimBackend(ParseBackendKind(backend_name), bcfg);
     const BackendStats stats = backend->Run(requests);
     std::printf(
         "backend=%s shards=%u: %llu requests in %.3fs (%.2f Mreq/s)\n"
         "  hit ratio %.4f (spine %llu, leaf %llu, server reads %llu)\n"
         "  cache imbalance (max/mean) %.3f  server imbalance %.3f\n"
-        "  cross-shard messages %llu\n",
+        "  cross-shard messages %llu  dropped %llu\n",
         backend->name().c_str(), bcfg.shards,
         static_cast<unsigned long long>(stats.requests), stats.wall_seconds,
         stats.throughput_mrps(), stats.hit_ratio(),
@@ -113,7 +131,18 @@ int Run(int argc, char** argv) {
         static_cast<unsigned long long>(stats.leaf_hits),
         static_cast<unsigned long long>(stats.server_reads),
         stats.CacheImbalance(), stats.ServerImbalance(),
-        static_cast<unsigned long long>(stats.cross_shard_messages));
+        static_cast<unsigned long long>(stats.cross_shard_messages),
+        static_cast<unsigned long long>(stats.dropped));
+    if (!stats.series.empty()) {
+      std::printf("  %-10s %10s %10s %10s\n", "interval", "delivered", "dropped",
+                  "hit-ratio");
+      for (size_t i = 0; i < stats.series.size(); ++i) {
+        const auto& pt = stats.series[i];
+        std::printf("  %-10zu %9.1f%% %10llu %10.4f\n", i,
+                    100.0 * pt.delivered_fraction(),
+                    static_cast<unsigned long long>(pt.dropped), pt.hit_ratio());
+      }
+    }
     return 0;
   }
 
