@@ -1,70 +1,55 @@
-// Cache update under a dynamic workload (§4.3): the switch heavy-hitter detector and
-// local agent adapt the cached set when the popular keys change, without any
-// controller involvement. At epoch 12 the workload's hot set shifts entirely; the
-// hit ratio collapses and then recovers within a few epochs as the agent evicts the
-// cold incumbents and inserts the new heavy hitters via the unified
-// insert-invalid + populate path.
+// Hot-spot shift under a full cluster engine (§6.4): the workload's entire hot
+// set rotates onto previously-cold keys mid-run, the cache hit ratio collapses,
+// and the controller restores it by re-allocating the cache from observed
+// heavy-hitter counts and pushing the new routes — the engine-level version of
+// the paper's cache-update experiment, driven through the phased workload
+// timeline (SimBackendConfig::events, sim/engine_core.h).
 //
 //   $ ./examples/hotspot_shift
+//
+// For the switch-local view of the same loop (heavy-hitter reports → agent
+// eviction/insertion on one switch), see examples/switch_caching.cpp; for the
+// three-engine parity version of this experiment, bench/bench_hotspot_shift.cc.
 #include <cstdio>
 
-#include "cache/cache_switch.h"
-#include "cache/switch_agent.h"
-#include "common/random.h"
-#include "common/zipf.h"
-#include "kv/storage_server.h"
+#include "sim/sim_backend.h"
 
 using namespace distcache;
 
 int main() {
-  StorageServer server(StorageServer::Config{0, 1.0});
-  for (uint64_t key = 0; key < 100000; ++key) {
-    server.Seed(key, "v" + std::to_string(key)).ok();
-  }
+  SimBackendConfig cfg;
+  cfg.cluster.num_spine = 8;
+  cfg.cluster.num_racks = 8;
+  cfg.cluster.servers_per_rack = 4;
+  cfg.cluster.per_switch_objects = 50;
+  cfg.cluster.num_keys = 1'000'000;
+  cfg.cluster.zipf_theta = 0.99;
+  cfg.cluster.seed = 42;
 
-  CacheSwitch::Config sw_cfg;
-  sw_cfg.hh.report_threshold = 32;
-  CacheSwitch sw(sw_cfg);
-  SwitchAgent::Config agent_cfg;
-  agent_cfg.max_cached_objects = 64;
-  SwitchAgent agent(&sw, agent_cfg, [&](uint64_t key) {
-    // Insert-invalid happened; the server pushes the value via coherence phase 2.
-    auto value = server.Get(key);
-    if (value.ok()) {
-      sw.UpdateValue(key, std::move(value).value()).ok();
-    }
-  });
-  std::unordered_set<uint64_t> everything;
-  for (uint64_t k = 0; k < 100000; ++k) {
-    everything.insert(k);
-  }
-  agent.SetPartition(std::move(everything));
+  constexpr uint64_t kRequests = 600'000;
+  cfg.sample_interval = kRequests / 12;  // one row per "epoch"
+  // The hot set moves at one third of the run; the controller reacts at two
+  // thirds: every popularity rank r queries key (r + keys/2) % keys afterwards.
+  const uint64_t shift_at = kRequests / 3;
+  const uint64_t realloc_at = 2 * kRequests / 3;
+  cfg.events = {ClusterEvent::ShiftHotspot(shift_at, cfg.cluster.num_keys / 2),
+                ClusterEvent::ReallocateCache(realloc_at)};
 
-  ZipfDistribution dist(100000, 0.99);
-  Rng rng(42);
-  uint64_t shift = 0;  // popularity rank r maps to key (r + shift) % 100000
+  auto backend = MakeSimBackend(BackendKind::kSequential, cfg);
+  const BackendStats stats = backend->Run(kRequests);
 
   std::printf("%-7s %-10s %-12s\n", "epoch", "hit ratio", "event");
-  for (int epoch = 0; epoch < 24; ++epoch) {
+  for (size_t i = 0; i < stats.series.size(); ++i) {
+    const uint64_t start = i * cfg.sample_interval;
     const char* event = "";
-    if (epoch == 12) {
-      shift = 50000;  // the entire hot set moves
+    if (start <= shift_at && shift_at < start + cfg.sample_interval) {
       event = "hot set shifted";
+    } else if (start <= realloc_at && realloc_at < start + cfg.sample_interval) {
+      event = "cache re-allocated";
     }
-    uint64_t hits = 0;
-    constexpr int kQueries = 50000;
-    std::string value;
-    for (int q = 0; q < kQueries; ++q) {
-      const uint64_t key = (dist.Sample(rng) + shift) % 100000;
-      if (sw.Lookup(key, &value) == LookupResult::kHit) {
-        ++hits;
-      } else {
-        sw.RecordMiss(key);
-      }
-    }
-    std::printf("%-7d %-10.3f %s\n", epoch, static_cast<double>(hits) / kQueries,
-                event);
-    agent.RunEpoch();  // consume HH reports, evict cold, insert+populate new hot
+    std::printf("%-7zu %-10.3f %s\n", i, stats.series[i].hit_ratio(), event);
   }
+  std::printf("overall hit ratio %.3f, cache imbalance %.3f\n", stats.hit_ratio(),
+              stats.CacheImbalance());
   return 0;
 }

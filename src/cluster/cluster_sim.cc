@@ -48,6 +48,27 @@ void ClusterSim::RecoverSpine(uint32_t spine) {
   }
 }
 
+uint64_t ClusterSim::KeyOfRank(uint64_t rank) const {
+  return distcache::KeyOfRank(rank, hot_shift_, config_.num_keys);
+}
+
+void ClusterSim::SetWorkload(double zipf_theta, double write_ratio) {
+  if (zipf_theta != config_.zipf_theta) {
+    config_.zipf_theta = zipf_theta;
+    dist_ = MakeDistribution(config_.num_keys, zipf_theta);
+    popularity_ = BuildPopularityVector(*dist_, allocation_->candidate_pool());
+  }
+  config_.write_ratio = write_ratio;
+}
+
+void ClusterSim::ReallocateCacheToHotSet() {
+  std::vector<uint64_t> hottest(allocation_->candidate_pool());
+  for (uint64_t rank = 0; rank < hottest.size(); ++rank) {
+    hottest[rank] = KeyOfRank(rank);
+  }
+  controller_->ReallocateCache(hottest, placement_);
+}
+
 void ClusterSim::ApplyRemap() {
   for (uint32_t s = 0; s < config_.num_spine; ++s) {
     if (!spine_alive_[s] && controller_->IsAlive(s)) {
@@ -198,12 +219,15 @@ LoadSnapshot ClusterSim::RunTicks(double offered_rate, int ticks) {
     acc.server.assign(num_servers(), 0.0);
 
     const double write_ratio = config_.write_ratio;
-    // Head keys, hottest first (greedy order matters for water-filling quality).
-    for (uint64_t key = 0; key < popularity_.head.size(); ++key) {
-      const double rate = offered_rate * popularity_.head[key];
+    // Head ranks, hottest first (greedy order matters for water-filling quality).
+    // The queried key id follows the current rank→key rotation, so a hot-spot
+    // shift moves the head mass onto whatever is (un)cached at the new keys.
+    for (uint64_t rank = 0; rank < popularity_.head.size(); ++rank) {
+      const double rate = offered_rate * popularity_.head[rank];
       if (rate <= 0.0) {
         continue;
       }
+      const uint64_t key = KeyOfRank(rank);
       const CacheCopies copies = allocation_->CopiesOf(key);
       RouteKeyReads(key, rate * (1.0 - write_ratio), copies, acc);
       ChargeWrite(key, rate * write_ratio, copies, acc);

@@ -114,6 +114,24 @@ class ClusterSim {
   // objects whose spine copy died are served only by their leaf copy.
   void RunFailureRecovery() { recovery_ran_ = true; ApplyRemap(); }
 
+  // Dynamic-workload handling (§6.4) — the fluid counterparts of the request-level
+  // engines' phased timeline (see sim/engine_core.h):
+  //
+  // Rotates the rank→key mapping: popularity rank r now queries key
+  // (r + shift) % num_keys, so the hot mass moves onto (typically uncached) new
+  // keys while the cached set stays put.
+  void SetHotShift(uint64_t shift) { hot_shift_ = shift; }
+  // Switches the workload's skew/write ratio (a phase boundary): the popularity
+  // vector is re-derived when theta changes.
+  void SetWorkload(double zipf_theta, double write_ratio);
+  // Online cache re-allocation onto the current hot set. The fluid model is
+  // analytic, so "observed counts" are exact: the controller refills with the
+  // true hottest-first key list under the current rotation — the upper bound the
+  // request-level engines' sketch-observed re-allocation converges to.
+  void ReallocateCacheToHotSet();
+  // The key id at popularity rank `rank` under the current rotation.
+  uint64_t KeyOfRank(uint64_t rank) const;
+
   double TotalServerCapacity() const {
     return config_.server_capacity * static_cast<double>(num_servers());
   }
@@ -142,6 +160,7 @@ class ClusterSim {
   std::unique_ptr<CacheController> controller_;
   std::vector<bool> spine_alive_;
   bool recovery_ran_ = true;  // partitions start mapped to their home switches
+  uint64_t hot_shift_ = 0;    // current rank→key rotation (§6.4)
   double spine_capacity_;
   double leaf_capacity_;
   LoadSnapshot prev_;  // previous epoch's loads (telemetry snapshot)

@@ -10,15 +10,17 @@ FluidBackend::FluidBackend(const SimBackendConfig& config)
     : config_(config),
       sim_(config.cluster),
       events_(config.events),
+      phases_(config.phases),
       spine_alive_(config.cluster.num_spine, 1) {
   SortEventsByRequest(events_);
+  SortPhasesByStart(phases_);
 }
 
 double FluidBackend::ReachableCachedMass() const {
   const PopularityVector& pv = sim_.popularity();
   double mass = 0.0;
-  for (uint64_t key = 0; key < pv.head.size(); ++key) {
-    const CacheCopies copies = sim_.allocation().CopiesOf(key);
+  for (uint64_t rank = 0; rank < pv.head.size(); ++rank) {
+    const CacheCopies copies = sim_.allocation().CopiesOf(sim_.KeyOfRank(rank));
     bool reachable = copies.leaf.has_value();
     if (!reachable && copies.replicated_all_spines) {
       for (uint32_t s = 0; s < spine_alive_.size() && !reachable; ++s) {
@@ -29,7 +31,7 @@ double FluidBackend::ReachableCachedMass() const {
       reachable = spine_alive_[*copies.spine] != 0;
     }
     if (reachable) {
-      mass += pv.head[key];
+      mass += pv.head[rank];
     }
   }
   return mass;
@@ -38,13 +40,13 @@ double FluidBackend::ReachableCachedMass() const {
 BackendStats FluidBackend::Run(uint64_t num_requests) {
   const auto t0 = std::chrono::steady_clock::now();
   const double offered = 0.5 * sim_.TotalServerCapacity();
-  const double write_ratio = config_.cluster.write_ratio;
 
   BackendStats st;
   LoadSnapshot snap;
-  if (events_.empty() && config_.sample_interval == 0) {
+  if (events_.empty() && phases_.empty() && config_.sample_interval == 0) {
     // Historical single-measurement path.
     snap = sim_.RunTicks(offered, config_.cluster.ticks_per_measurement);
+    const double write_ratio = config_.cluster.write_ratio;
     const double reads =
         static_cast<double>(num_requests) * (1.0 - write_ratio);
     st.reads = static_cast<uint64_t>(std::llround(reads));
@@ -52,11 +54,12 @@ BackendStats FluidBackend::Run(uint64_t num_requests) {
         static_cast<uint64_t>(std::llround(reads * ReachableCachedMass()));
   } else {
     // Timeline mode: one fluid measurement per segment, where segments are
-    // delimited by the sampling grid *and* every event timestamp — so each event
-    // applies exactly "before the at_request-th request" like the request-level
-    // engines, even with no sampling or with events inside the final interval.
-    // Off-grid events simply contribute extra series points (IntervalPoint
-    // carries its own request count, so non-uniform widths are self-describing).
+    // delimited by the sampling grid *and* every event/phase timestamp — so each
+    // step applies exactly "before the at_request-th request" like the
+    // request-level engines, even with no sampling or with steps inside the final
+    // interval. Off-grid steps simply contribute extra series points
+    // (IntervalPoint carries its own request count, so non-uniform widths are
+    // self-describing).
     std::vector<uint64_t> boundaries{0};
     if (config_.sample_interval > 0) {
       for (uint64_t t = config_.sample_interval; t < num_requests;
@@ -69,14 +72,27 @@ BackendStats FluidBackend::Run(uint64_t num_requests) {
         boundaries.push_back(event.at_request);
       }
     }
+    for (const WorkloadPhase& phase : phases_) {
+      if (phase.start_request > 0 && phase.start_request < num_requests) {
+        boundaries.push_back(phase.start_request);
+      }
+    }
     std::sort(boundaries.begin(), boundaries.end());
     boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
                      boundaries.end());
     boundaries.push_back(num_requests);
     size_t next_event = 0;
+    size_t next_phase = 0;
     for (size_t seg = 0; seg + 1 < boundaries.size(); ++seg) {
       const uint64_t start = boundaries[seg];
       const uint64_t end = boundaries[seg + 1];
+      // Phases before events on timestamp ties, like the request-level engines.
+      while (next_phase < phases_.size() &&
+             phases_[next_phase].start_request <= start) {
+        const WorkloadPhase& phase = phases_[next_phase++];
+        sim_.SetWorkload(phase.zipf_theta, phase.write_ratio);
+        sim_.SetHotShift(phase.hot_shift);
+      }
       while (next_event < events_.size() &&
              events_[next_event].at_request <= start) {
         const ClusterEvent& event = events_[next_event++];
@@ -96,9 +112,16 @@ BackendStats FluidBackend::Run(uint64_t num_requests) {
           case ClusterEvent::Kind::kRunRecovery:
             sim_.RunFailureRecovery();
             break;
+          case ClusterEvent::Kind::kShiftHotspot:
+            sim_.SetHotShift(event.value);
+            break;
+          case ClusterEvent::Kind::kReallocateCache:
+            sim_.ReallocateCacheToHotSet();
+            break;
         }
       }
       snap = sim_.RunTicks(offered, 2);
+      const double write_ratio = sim_.config().write_ratio;
       const double fraction =
           offered <= 0.0 ? 1.0 : std::clamp(snap.achieved / offered, 0.0, 1.0);
       BackendStats::IntervalPoint pt;

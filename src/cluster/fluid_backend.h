@@ -11,14 +11,19 @@
 // Use it to cross-validate the request-level backends: their measured hit ratios
 // converge to this backend's analytic value as the request count grows.
 //
-// The backend honours the ClusterEvent timeline by measuring one fluid segment per
-// stretch of requests between consecutive boundaries, where boundaries come from
-// the sampling grid *and* every event timestamp — each event thus applies to the
-// underlying ClusterSim (FailSpine / RecoverSpine / RunFailureRecovery) exactly
-// before its at_request-th request, even without sampling. Each segment records its
-// achieved-throughput fraction and reachable-copy hit mass into
-// BackendStats::series — the fluid column of the Fig. 11 engine-parity bench
-// (off-grid events add extra, self-describing series points).
+// The backend honours the ClusterEvent timeline *and* the workload phase timeline
+// by measuring one fluid segment per stretch of requests between consecutive
+// boundaries, where boundaries come from the sampling grid, every event timestamp
+// and every phase start — each step thus applies to the underlying ClusterSim
+// (FailSpine / RecoverSpine / RunFailureRecovery / SetHotShift / SetWorkload /
+// ReallocateCacheToHotSet) exactly before its at_request-th request, even without
+// sampling. Phases apply before events on timestamp ties, matching the
+// request-level engines. Each segment records its achieved-throughput fraction and
+// reachable-copy hit mass into BackendStats::series — the fluid column of the
+// Fig. 11 engine-parity bench and of bench_hotspot_shift (off-grid steps add
+// extra, self-describing series points). Re-allocation is analytic: the fluid
+// controller refills with the exact hottest-first key list (the bound the
+// request-level engines' sketch-observed re-allocation approaches).
 #ifndef DISTCACHE_CLUSTER_FLUID_BACKEND_H_
 #define DISTCACHE_CLUSTER_FLUID_BACKEND_H_
 
@@ -45,7 +50,8 @@ class FluidBackend : public SimBackend {
 
   SimBackendConfig config_;
   ClusterSim sim_;
-  std::vector<ClusterEvent> events_;  // sorted by at_request
+  std::vector<ClusterEvent> events_;   // sorted by at_request
+  std::vector<WorkloadPhase> phases_;  // sorted by start_request
   std::vector<uint8_t> spine_alive_;
 };
 

@@ -1,0 +1,46 @@
+// Strict numeric parsing shared by the CLI flag validators (tools/flags.h) and
+// the workload phase-list parser (common/workload.cc). Stricter than bare
+// strtoull/strtod on purpose: the whole string must be the number — no trailing
+// garbage, no leading whitespace (strtoull would skip it and silently wrap
+// " -5" to a huge uint64), no NaN/inf for doubles. One implementation so the
+// two validation paths cannot drift apart.
+#ifndef DISTCACHE_COMMON_PARSE_H_
+#define DISTCACHE_COMMON_PARSE_H_
+
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace distcache {
+
+// Parses `text` as a non-negative integer. The first character must be a digit
+// (rejects "-5", " -5", "+3", ""); the whole string must be consumed; values
+// past uint64 range are rejected rather than saturated (strtoull would silently
+// return ULLONG_MAX with errno=ERANGE).
+inline bool ParseStrictUint(const std::string& text, uint64_t* out) {
+  if (text.empty() || text[0] < '0' || text[0] > '9') {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  *out = std::strtoull(text.c_str(), &end, 10);
+  return end != nullptr && *end == '\0' && errno != ERANGE;
+}
+
+// Parses `text` as a finite double. Leading whitespace and trailing garbage are
+// rejected; NaN and infinities are rejected (they pass strtod but poison every
+// downstream comparison). Range checks are the caller's job.
+inline bool ParseStrictDouble(const std::string& text, double* out) {
+  if (text.empty() || text[0] == ' ' || text[0] == '\t') {
+    return false;
+  }
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0' && std::isfinite(*out);
+}
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_COMMON_PARSE_H_

@@ -1,18 +1,105 @@
 #include "common/workload.h"
 
+#include <algorithm>
+
 #include "common/hash.h"
+#include "common/parse.h"
 
 namespace distcache {
+
+void SortPhasesByStart(std::vector<WorkloadPhase>& phases) {
+  std::stable_sort(phases.begin(), phases.end(),
+                   [](const WorkloadPhase& a, const WorkloadPhase& b) {
+                     return a.start_request < b.start_request;
+                   });
+}
+
+namespace {
+
+// Splits on `sep`, keeping empty fields (so "0::0.1" is detectably malformed).
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(text.substr(start));
+      return out;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+bool ParsePhaseList(const std::string& text, std::vector<WorkloadPhase>* phases,
+                    std::string* error) {
+  phases->clear();
+  for (const std::string& entry : Split(text, ',')) {
+    const std::vector<std::string> fields = Split(entry, ':');
+    if (fields.size() < 3 || fields.size() > 4) {
+      *error = "phase '" + entry + "': want start:theta:write_ratio[:hot_shift]";
+      return false;
+    }
+    WorkloadPhase phase;
+    if (!ParseStrictUint(fields[0], &phase.start_request)) {
+      *error = "phase '" + entry + "': bad start_request '" + fields[0] + "'";
+      return false;
+    }
+    if (!ParseStrictDouble(fields[1], &phase.zipf_theta) || phase.zipf_theta < 0.0 ||
+        phase.zipf_theta > 1.0) {
+      *error = "phase '" + entry + "': theta '" + fields[1] +
+               "' must be a finite value in [0, 1]";
+      return false;
+    }
+    if (!ParseStrictDouble(fields[2], &phase.write_ratio) ||
+        phase.write_ratio < 0.0 || phase.write_ratio > 1.0) {
+      *error = "phase '" + entry + "': write ratio '" + fields[2] +
+               "' must be a finite value in [0, 1]";
+      return false;
+    }
+    if (fields.size() == 4 && !ParseStrictUint(fields[3], &phase.hot_shift)) {
+      *error = "phase '" + entry + "': bad hot_shift '" + fields[3] + "'";
+      return false;
+    }
+    phases->push_back(phase);
+  }
+  if (phases->empty()) {
+    *error = "empty phase list";
+    return false;
+  }
+  SortPhasesByStart(*phases);
+  return true;
+}
 
 WorkloadGenerator::WorkloadGenerator(const WorkloadConfig& config)
     : config_(config),
       dist_(MakeDistribution(config.num_keys, config.zipf_theta)),
-      rng_(Mix64(config.seed ^ 0x3081c10adULL)) {}
+      rng_(Mix64(config.seed ^ 0x3081c10adULL)),
+      write_ratio_(config.write_ratio),
+      theta_(config.zipf_theta) {
+  SortPhasesByStart(config_.phases);
+}
+
+void WorkloadGenerator::ApplyPhase(const WorkloadPhase& phase) {
+  if (phase.zipf_theta != theta_) {
+    theta_ = phase.zipf_theta;
+    dist_ = MakeDistribution(config_.num_keys, theta_);
+  }
+  write_ratio_ = phase.write_ratio;
+  hot_shift_ = phase.hot_shift;
+}
 
 Op WorkloadGenerator::Next() {
+  while (next_phase_ < config_.phases.size() &&
+         config_.phases[next_phase_].start_request <= drawn_) {
+    ApplyPhase(config_.phases[next_phase_++]);
+  }
+  ++drawn_;
   Op op;
-  op.type = rng_.NextBernoulli(config_.write_ratio) ? OpType::kPut : OpType::kGet;
-  op.key = dist_->Sample(rng_);
+  op.type = rng_.NextBernoulli(write_ratio_) ? OpType::kPut : OpType::kGet;
+  op.key = KeyOfRank(dist_->Sample(rng_), hot_shift_, config_.num_keys);
   return op;
 }
 

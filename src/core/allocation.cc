@@ -1,5 +1,6 @@
 #include "core/allocation.h"
 
+#include <algorithm>
 #include <cassert>
 #include <numeric>
 
@@ -16,10 +17,15 @@ CacheAllocation::CacheAllocation(const AllocationConfig& config, const Placement
 }
 
 void CacheAllocation::Compute(const Placement& placement) {
+  // How many ranks the current hot ordering covers: the whole pool under the
+  // identity mapping, the list length after Refill (a short observed list leaves
+  // the remaining budget demand unfilled).
+  const uint64_t ranked =
+      explicit_hot_list_ ? std::min<uint64_t>(key_of_rank_.size(), pool_) : pool_;
   leaf_cached_.assign(pool_, 0);
   spine_cached_.assign(pool_, 0);
-  leaf_of_.resize(pool_);
-  spine_of_.resize(pool_);
+  leaf_of_.assign(pool_, 0);
+  spine_of_.assign(pool_, 0);
   leaf_contents_.assign(config_.num_racks, {});
   partition_contents_.assign(config_.num_spine, {});
   spine_of_partition_.resize(config_.num_spine);
@@ -29,27 +35,30 @@ void CacheAllocation::Compute(const Placement& placement) {
   const bool spine_partitioned = config_.mechanism == Mechanism::kDistCache;
   const bool spine_replicated = config_.mechanism == Mechanism::kCacheReplication;
 
-  // Keys are popularity ranks, so a single ascending pass fills every per-switch
-  // budget with the hottest members of its partition.
-  for (uint64_t key = 0; key < pool_; ++key) {
+  // Ranks are visited hottest-first, so a single ascending pass fills every
+  // per-switch budget with the hottest members of its partition. All hashes (h0,
+  // placement) are evaluated on the *key id* holding the rank, so an explicit hot
+  // list lands each key at its true rack/partition.
+  for (uint64_t rank = 0; rank < ranked; ++rank) {
+    const uint64_t key = KeyOfRank(rank);
     const uint32_t rack = placement.RackOf(key);
-    leaf_of_[key] = rack;
+    leaf_of_[rank] = rack;
     const uint32_t partition = SpinePartitionOf(key);
-    spine_of_[key] = partition;
+    spine_of_[rank] = partition;
 
     if (leaf_caching && leaf_contents_[rack].size() < config_.per_switch_objects) {
       leaf_contents_[rack].push_back(key);
-      leaf_cached_[key] = 1;
+      leaf_cached_[rank] = 1;
     }
     if (spine_partitioned &&
         partition_contents_[partition].size() < config_.per_switch_objects) {
       partition_contents_[partition].push_back(key);
-      spine_cached_[key] = 1;
+      spine_cached_[rank] = 1;
     }
-    if (spine_replicated && key < config_.per_switch_objects) {
+    if (spine_replicated && rank < config_.per_switch_objects) {
       // The globally hottest objects; identical content in every spine switch.
       partition_contents_[0].push_back(key);
-      spine_cached_[key] = 1;
+      spine_cached_[rank] = 1;
     }
   }
 
@@ -67,8 +76,8 @@ void CacheAllocation::Compute(const Placement& placement) {
   }
 
   num_cached_ = 0;
-  for (uint64_t key = 0; key < pool_; ++key) {
-    if (leaf_cached_[key] || spine_cached_[key]) {
+  for (uint64_t rank = 0; rank < ranked; ++rank) {
+    if (leaf_cached_[rank] || spine_cached_[rank]) {
       ++num_cached_;
     }
   }
@@ -76,20 +85,40 @@ void CacheAllocation::Compute(const Placement& placement) {
 
 CacheCopies CacheAllocation::CopiesOf(uint64_t key) const {
   CacheCopies copies;
-  if (key >= pool_) {
+  const uint64_t rank = RankOf(key);
+  if (rank >= pool_) {
     return copies;
   }
-  if (leaf_cached_[key]) {
-    copies.leaf = leaf_of_[key];
+  if (leaf_cached_[rank]) {
+    copies.leaf = leaf_of_[rank];
   }
-  if (spine_cached_[key]) {
+  if (spine_cached_[rank]) {
     if (config_.mechanism == Mechanism::kCacheReplication) {
       copies.replicated_all_spines = true;
     } else {
-      copies.spine = spine_of_partition_[spine_of_[key]];
+      copies.spine = spine_of_partition_[spine_of_[rank]];
     }
   }
   return copies;
+}
+
+void CacheAllocation::Refill(const std::vector<uint64_t>& hottest_first,
+                             const Placement& placement) {
+  explicit_hot_list_ = true;
+  key_of_rank_.assign(hottest_first.begin(),
+                      hottest_first.begin() +
+                          std::min<size_t>(hottest_first.size(), pool_));
+  rank_of_key_.clear();
+  rank_of_key_.reserve(key_of_rank_.size());
+  for (uint64_t rank = 0; rank < key_of_rank_.size(); ++rank) {
+    // First occurrence wins: a duplicate key keeps its hotter rank.
+    rank_of_key_.emplace(key_of_rank_[rank], rank);
+  }
+  const std::vector<uint32_t> remap = spine_of_partition_;
+  Compute(placement);
+  if (!remap.empty()) {
+    RemapSpine(remap);  // failure remaps in effect survive the re-allocation
+  }
 }
 
 void CacheAllocation::RemapSpine(const std::vector<uint32_t>& spine_of_partition) {

@@ -10,14 +10,18 @@
 //       - CachePartition / NoCache: no spine caching.
 //
 // Capacities are expressed in objects per switch (the paper populates 100 per switch).
-// Keys are popularity ranks (0 = hottest), so "hottest of a partition" is simply the
-// smallest-rank members of the partition within the candidate pool.
+// By default keys are popularity ranks (0 = hottest), so "hottest of a partition" is
+// simply the smallest-rank members of the partition within the candidate pool. When
+// the workload's hot set moves (§6.4 hot-spot shift), the controller re-allocates via
+// Refill() with an explicit hottest-first key list; rank order is then the list order
+// and lookups go through a key→rank index.
 #ifndef DISTCACHE_CORE_ALLOCATION_H_
 #define DISTCACHE_CORE_ALLOCATION_H_
 
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/hash.h"
@@ -87,18 +91,53 @@ class CacheAllocation {
   // Used by the controller's failure handling (§4.4); see CacheController.
   void RemapSpine(const std::vector<uint32_t>& spine_of_partition);
 
+  // Re-allocates the cache onto a new hot set: `hottest_first[i]` is the key the
+  // controller now believes has popularity rank i (e.g. observed heavy-hitter
+  // counts after a hot-spot shift). Budgets are refilled hottest-first exactly like
+  // the constructor; the partition→spine remap in effect (spine_of_partition) is
+  // preserved, so re-allocation composes with failure handling. Lists shorter than
+  // the candidate pool simply leave the remaining budget demand unfilled; entries
+  // beyond the pool are ignored. Afterwards CopiesOf() answers by key id through
+  // the key→rank index.
+  void Refill(const std::vector<uint64_t>& hottest_first, const Placement& placement);
+
+  // The key id holding popularity rank `rank` in the current allocation
+  // (identity unless Refill installed an explicit hot list; with a list, ranks
+  // beyond it have no key and map back to themselves).
+  uint64_t KeyOfRank(uint64_t rank) const {
+    return !explicit_hot_list_ || rank >= key_of_rank_.size() ? rank
+                                                              : key_of_rank_[rank];
+  }
+
  private:
   void Compute(const Placement& placement);
+
+  // Rank of `key` in the current hot-set ordering, or pool_ when unranked (tail).
+  uint64_t RankOf(uint64_t key) const {
+    if (!explicit_hot_list_) {
+      return key;  // identity: ranks are key ids
+    }
+    const auto it = rank_of_key_.find(key);
+    return it == rank_of_key_.end() ? pool_ : it->second;
+  }
 
   AllocationConfig config_;
   TabulationHash h0_;
   uint64_t pool_ = 0;
   size_t num_cached_ = 0;
-  // Dense per-key copy info for keys < pool_ (ranks are dense by construction).
-  std::vector<uint8_t> leaf_cached_;   // bool per key
-  std::vector<uint8_t> spine_cached_;  // bool per key
-  std::vector<uint32_t> leaf_of_;      // rack per key (from placement)
-  std::vector<uint32_t> spine_of_;     // spine switch per key (h0 partition, post-remap)
+  // Current hot-set ordering: key_of_rank_[r] is the key with popularity rank r.
+  // Until Refill() installs an explicit list (plus the inverse index below) the
+  // mapping is the identity (keys are ranks — the construction default). The
+  // flag, not emptiness, is the discriminator: an *empty observed list* is a
+  // legitimate refill that caches nothing, not a revert to identity.
+  bool explicit_hot_list_ = false;
+  std::vector<uint64_t> key_of_rank_;
+  std::unordered_map<uint64_t, uint64_t> rank_of_key_;
+  // Dense per-rank copy info for ranks < pool_.
+  std::vector<uint8_t> leaf_cached_;   // bool per rank
+  std::vector<uint8_t> spine_cached_;  // bool per rank
+  std::vector<uint32_t> leaf_of_;      // rack per rank (from placement of the key)
+  std::vector<uint32_t> spine_of_;     // spine switch per rank (h0 partition, post-remap)
   // Per-h0-partition cached keys; spine_contents_ derives from these through
   // spine_of_partition_ so that failure remaps are cheap and lossless.
   std::vector<std::vector<uint64_t>> partition_contents_;

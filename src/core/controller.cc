@@ -36,6 +36,19 @@ void CacheController::OnSpineRecovery(uint32_t spine) {
   Recompute();
 }
 
+void CacheController::ReallocateCache(const std::vector<uint64_t>& hottest_first,
+                                      const Placement& placement) {
+  if (allocation_ != nullptr) {
+    // Refill preserves the allocation's remap internally, but re-assert the
+    // controller's own view so both stay the single source of truth.
+    allocation_->Refill(hottest_first, placement);
+    allocation_->RemapSpine(spine_of_partition_);
+  }
+  if (listener_) {
+    listener_(spine_of_partition_);
+  }
+}
+
 void CacheController::Recompute() {
   for (uint32_t p = 0; p < num_spine_; ++p) {
     if (alive_[p]) {

@@ -33,6 +33,15 @@ class CacheController {
   // host other failed switches' partitions again.
   void OnSpineRecovery(uint32_t spine);
 
+  // Online cache re-allocation (§6.4 hot-spot shift): replaces the cached set with
+  // the hottest-first key list the controller observed (heavy-hitter reports
+  // aggregated from the switches), then re-applies the partition→spine remap
+  // currently in effect so re-allocation composes with failure handling. The new
+  // allocation must be pushed to clients afterwards (route-table rebuild +
+  // multicast, see sim/sharded_backend.h).
+  void ReallocateCache(const std::vector<uint64_t>& hottest_first,
+                       const Placement& placement);
+
   bool IsAlive(uint32_t spine) const { return alive_[spine]; }
   uint32_t num_alive() const { return num_alive_; }
   const std::vector<uint32_t>& spine_of_partition() const { return spine_of_partition_; }

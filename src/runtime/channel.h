@@ -1,4 +1,14 @@
 // Blocking MPMC channel — the message transport between node threads in the runtime.
+//
+// Shutdown discipline: a channel is closed by its consumer side (Close or
+// CloseAndDrain). Send() on a closed channel is *rejected*, never silently
+// enqueued — the bool return is the only delivery signal a producer gets, so it
+// is [[nodiscard]]: every caller must either handle a false result (reply
+// unavailable, count a drop, ...) or deliberately discard it with a cast. This is
+// the compile-time regression guard for the stranded-message class of shutdown
+// bug (a producer that assumes delivery while the consumer is gone). The channel
+// also counts post-close sends (rejected_sends(), maintained in every build
+// type) so tests and shutdown paths can assert the rejections were observed.
 #ifndef DISTCACHE_RUNTIME_CHANNEL_H_
 #define DISTCACHE_RUNTIME_CHANNEL_H_
 
@@ -8,17 +18,20 @@
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace distcache {
 
 template <typename T>
 class Channel {
  public:
-  // Returns false if the channel is closed.
-  bool Send(T item) {
+  // Enqueues `item` unless the channel is closed. Returns false — and drops the
+  // item — when closed; see the header comment for the caller contract.
+  [[nodiscard]] bool Send(T item) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_) {
+        ++rejected_sends_;
         return false;
       }
       items_.push_back(std::move(item));
@@ -53,12 +66,41 @@ class Channel {
     return item;
   }
 
+  // Closes the channel: subsequent Sends are rejected; queued items remain
+  // receivable until drained (Receive returns them, then nullopt).
   void Close() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       closed_ = true;
     }
     cv_.notify_all();
+  }
+
+  // Closes the channel and hands back everything still undelivered, atomically:
+  // no concurrent Send can interleave between the close and the drain, so after
+  // this call the returned vector is exactly the set of messages no consumer will
+  // ever see. Shutdown paths use it to account for in-flight work (re-reply,
+  // count, or assert-empty) instead of silently stranding it — the PR-2
+  // stranded-Receive() bug class. Blocked Receive() calls wake and return nullopt.
+  std::vector<T> CloseAndDrain() {
+    std::vector<T> undelivered;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+      undelivered.assign(std::make_move_iterator(items_.begin()),
+                         std::make_move_iterator(items_.end()));
+      items_.clear();
+    }
+    cv_.notify_all();
+    return undelivered;
+  }
+
+  // Number of Sends rejected because the channel was already closed. Debug/test
+  // instrumentation for shutdown-path assertions; always available but only
+  // meaningful where the shutdown order is deterministic.
+  size_t rejected_sends() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rejected_sends_;
   }
 
   size_t size() const {
@@ -71,6 +113,7 @@ class Channel {
   std::condition_variable cv_;
   std::deque<T> items_;
   bool closed_ = false;
+  size_t rejected_sends_ = 0;
 };
 
 }  // namespace distcache

@@ -137,7 +137,9 @@ void DistCacheRuntime::SwitchLoop(bool spine_layer, uint32_t index) {
           reply.value = std::move(value);
           reply.cache_hit = true;
           reply.piggyback.push_back(LoadSample{self, sw->TelemetryLoad()});
-          env->reply_to->Send(std::move(reply));
+          // Reply channels belong to the blocked requester and never close before
+          // the reply lands; a rejection means the requester is gone — drop it.
+          (void)env->reply_to->Send(std::move(reply));
         } else {
           // Invalid or miss: forward to the primary server, no routing detour (§4.2).
           counters_.cache_misses.fetch_add(1, std::memory_order_relaxed);
@@ -159,7 +161,7 @@ void DistCacheRuntime::SwitchLoop(bool spine_layer, uint32_t index) {
             failure.request_id = request_id;
             failure.client_id = client_id;
             failure.unavailable = true;
-            reply_to->Send(std::move(failure));
+            (void)reply_to->Send(std::move(failure));
           }
         }
         break;
@@ -170,7 +172,7 @@ void DistCacheRuntime::SwitchLoop(bool spine_layer, uint32_t index) {
         counters_.invalidations.fetch_add(1, std::memory_order_relaxed);
         Message ack = msg;
         ack.type = MsgType::kInvalidateAck;
-        env->reply_to->Send(std::move(ack));
+        (void)env->reply_to->Send(std::move(ack));
         break;
       }
       case MsgType::kCacheUpdate: {
@@ -179,7 +181,7 @@ void DistCacheRuntime::SwitchLoop(bool spine_layer, uint32_t index) {
         counters_.cache_updates.fetch_add(1, std::memory_order_relaxed);
         Message ack = msg;
         ack.type = MsgType::kCacheUpdateAck;
-        env->reply_to->Send(std::move(ack));
+        (void)env->reply_to->Send(std::move(ack));
         break;
       }
       default:
@@ -204,7 +206,9 @@ void DistCacheRuntime::ServerLoop(uint32_t server_id) {
         if (value.ok()) {
           reply.value = std::move(value).value();
         }
-        env->reply_to->Send(std::move(reply));
+        // Reply channels belong to the blocked requester and never close before
+        // the reply lands; a rejection means the requester is gone — drop it.
+        (void)env->reply_to->Send(std::move(reply));
         break;
       }
       case MsgType::kPutRequest: {
@@ -232,7 +236,7 @@ void DistCacheRuntime::ServerLoop(uint32_t server_id) {
         server->Put(msg.key, msg.value, copies.size()).ok();
         Message reply = msg;
         reply.type = MsgType::kPutReply;
-        env->reply_to->Send(std::move(reply));
+        (void)env->reply_to->Send(std::move(reply));
 
         // Phase 2: push the new value and re-validate.
         pending = 0;

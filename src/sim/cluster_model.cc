@@ -23,6 +23,21 @@ ClusterModel::ClusterModel(const ClusterConfig& config)
   head_with_tail.push_back(popularity.tail_mass);
 }
 
+void ClusterModel::ReallocateCache(const std::vector<uint64_t>& hottest_first) {
+  controller->ReallocateCache(hottest_first, placement);
+}
+
+std::vector<double> ClusterModel::HeadWithTailFor(double theta) const {
+  if (theta == cfg.zipf_theta) {
+    return head_with_tail;
+  }
+  const auto phase_dist = MakeDistribution(cfg.num_keys, theta);
+  PopularityVector pv = BuildPopularityVector(*phase_dist, pool);
+  std::vector<double> pmf = std::move(pv.head);
+  pmf.push_back(pv.tail_mass);
+  return pmf;
+}
+
 void ClusterModel::SyncControllerRemap(const std::vector<uint8_t>& spine_alive) {
   for (uint32_t s = 0; s < cfg.num_spine; ++s) {
     if (!spine_alive[s] && controller->IsAlive(s)) {

@@ -41,6 +41,17 @@ struct ClusterModel {
   // so CopiesOf() reflects the remap afterwards.
   void SyncControllerRemap(const std::vector<uint8_t>& spine_alive);
 
+  // Online cache re-allocation (§6.4): replaces the cached set with the
+  // hottest-first key list the controller aggregated from observed heavy-hitter
+  // counts, preserving any failure remap in effect. Mutates `allocation`; callers
+  // must rebuild route tables afterwards (see sim/route_table.h).
+  void ReallocateCache(const std::vector<uint64_t>& hottest_first);
+
+  // head-with-tail pmf for an arbitrary skew — what the request-level samplers draw
+  // from after a phase boundary changes theta. The bucket layout (pool head ranks +
+  // one aggregated tail bucket) is identical to `head_with_tail`.
+  std::vector<double> HeadWithTailFor(double theta) const;
+
   ClusterConfig cfg;
   Placement placement;
   std::unique_ptr<KeyDistribution> dist;

@@ -1,0 +1,208 @@
+#include "sim/engine_core.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace distcache {
+
+namespace {
+
+// Observer sizing: the simulated controller aggregates switch reports in
+// software, so the sketch is deliberately wider than the data-plane defaults
+// (§5: 4×64K×16bit). Width 2^18 keeps per-cell collision mass ≪ 1 for the
+// request windows the benches run, and threshold 2 admits every key seen twice
+// within an observation window — sampled-tail keys essentially never are, head
+// keys almost always are.
+HeavyHitterDetector::Config ObserverConfig(uint64_t pool) {
+  HeavyHitterDetector::Config cfg;
+  cfg.sketch.width = 1 << 18;
+  cfg.sketch.counter_max = std::numeric_limits<uint32_t>::max();
+  cfg.report_threshold = 2;
+  cfg.max_reports_per_epoch = static_cast<size_t>(2 * pool);
+  return cfg;
+}
+
+// Applies one plan step's routing-relevant transition to (alive, shift, model) —
+// the single source of truth for how a step changes the controller state — and
+// returns the post-step route snapshot (null for steps that change no routes:
+// kFailSpine keeps clients on their stale routes, kReallocateCache is computed
+// at runtime). Shared by the construction-time plan walk and the
+// post-reallocation suffix rebuild so the two can never diverge.
+std::shared_ptr<const RouteTable> AdvancePlanState(const TimelineStep& step,
+                                                   ClusterModel& model,
+                                                   std::vector<uint8_t>& alive,
+                                                   uint64_t& shift) {
+  const auto snapshot = [&] {
+    return std::make_shared<const RouteTable>(BuildRouteTable(model, shift));
+  };
+  if (step.is_phase) {
+    shift = step.phase.hot_shift;
+    return snapshot();
+  }
+  switch (step.event.kind) {
+    case ClusterEvent::Kind::kFailSpine:
+      if (step.event.spine < alive.size()) {
+        alive[step.event.spine] = 0;
+      }
+      return nullptr;  // no remap: stale routes until recovery
+    case ClusterEvent::Kind::kRecoverSpine:
+      if (step.event.spine < alive.size()) {
+        alive[step.event.spine] = 1;
+      }
+      model.SyncControllerRemap(alive);
+      return snapshot();
+    case ClusterEvent::Kind::kRunRecovery:
+      model.SyncControllerRemap(alive);
+      return snapshot();
+    case ClusterEvent::Kind::kShiftHotspot:
+      shift = step.event.value;
+      return snapshot();
+    case ClusterEvent::Kind::kReallocateCache:
+      break;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool TimelineNeedsObserver(const std::vector<ClusterEvent>& events) {
+  return std::any_of(events.begin(), events.end(), [](const ClusterEvent& e) {
+    return e.kind == ClusterEvent::Kind::kReallocateCache;
+  });
+}
+
+std::vector<TimelineStep> BuildTimelinePlan(const SimBackendConfig& config,
+                                            ClusterModel& model) {
+  std::vector<TimelineStep> plan;
+  plan.reserve(config.events.size() + config.phases.size());
+  for (const WorkloadPhase& phase : config.phases) {
+    TimelineStep step;
+    step.at_request = phase.start_request;
+    step.is_phase = true;
+    step.phase = phase;
+    plan.push_back(std::move(step));
+  }
+  for (const ClusterEvent& event : config.events) {
+    TimelineStep step;
+    step.at_request = event.at_request;
+    step.event = event;
+    plan.push_back(std::move(step));
+  }
+  // Phases before events on ties; otherwise list order (stable).
+  std::stable_sort(plan.begin(), plan.end(),
+                   [](const TimelineStep& a, const TimelineStep& b) {
+                     if (a.at_request != b.at_request) {
+                       return a.at_request < b.at_request;
+                     }
+                     return a.is_phase && !b.is_phase;
+                   });
+
+  // Walk the timeline once, tracking the alive set the way the controller would
+  // observe it, and snapshot the route table after every routing-relevant step
+  // (each snapshot is a pure function of the timeline prefix, so precomputing it
+  // off the hot path is exact). kReallocateCache snapshots cannot be precomputed:
+  // they depend on runtime-observed counts.
+  std::vector<uint8_t> alive(model.cfg.num_spine, 1);
+  uint64_t shift = 0;
+  for (TimelineStep& step : plan) {
+    if (step.is_phase) {
+      step.pmf = std::make_shared<const std::vector<double>>(
+          model.HeadWithTailFor(step.phase.zipf_theta));
+    }
+    step.routes = AdvancePlanState(step, model, alive, shift);
+  }
+  return plan;
+}
+
+std::vector<std::shared_ptr<const RouteTable>> RebuildPlanSuffixRoutes(
+    const std::vector<TimelineStep>& plan, size_t from, ClusterModel& model,
+    std::vector<uint8_t> alive_now, uint64_t shift_now) {
+  std::vector<std::shared_ptr<const RouteTable>> routes;
+  if (from >= plan.size()) {
+    return routes;
+  }
+  routes.reserve(plan.size() - from);
+  std::vector<uint8_t> alive = std::move(alive_now);
+  uint64_t shift = shift_now;
+  for (size_t i = from; i < plan.size(); ++i) {
+    routes.push_back(AdvancePlanState(plan[i], model, alive, shift));
+  }
+  return routes;
+}
+
+EngineCore::EngineCore(const ClusterModel* model, uint64_t rng_seed,
+                       uint64_t router_seed, bool enable_observer)
+    : model_(model),
+      rng_(rng_seed),
+      view_(MakeTrackerConfig(model->cfg)),
+      router_(&view_, model->cfg.routing, router_seed),
+      write_ratio_(model->cfg.write_ratio),
+      spine_alive_(model->cfg.num_spine, 1) {
+  if (enable_observer) {
+    observer_ = std::make_unique<HeavyHitterDetector>(ObserverConfig(model->pool));
+  }
+}
+
+void EngineCore::ApplyAction(const Action& action) {
+  if (action.is_phase) {
+    write_ratio_ = action.phase.write_ratio;
+    hot_shift_ = action.phase.hot_shift;
+    if (action.routes != nullptr) {
+      SetRoutes(action.routes);
+    }
+    // Phase boundaries reset the observation window: the controller must rank
+    // keys by their popularity under the *new* regime, not the accumulated past.
+    ResetObserver();
+    if (phase_hook_) {
+      phase_hook_(action.phase, action.pmf);
+    }
+    return;
+  }
+  const ClusterEvent& event = action.event;
+  const uint32_t num_spine = model_->cfg.num_spine;
+  switch (event.kind) {
+    case ClusterEvent::Kind::kFailSpine:
+      if (event.spine < num_spine && spine_alive_[event.spine]) {
+        spine_alive_[event.spine] = 0;
+        ++dead_spines_;
+        recovery_ran_ = false;  // hot objects of the dead switch lose their copy
+        view_.MarkDead({0, event.spine});
+      }
+      break;
+    case ClusterEvent::Kind::kRecoverSpine:
+      if (event.spine < num_spine && !spine_alive_[event.spine]) {
+        spine_alive_[event.spine] = 1;
+        --dead_spines_;
+        view_.MarkAlive({0, event.spine});
+      }
+      if (action.routes != nullptr) {
+        SetRoutes(action.routes);  // partitions return to their home switch
+      }
+      break;
+    case ClusterEvent::Kind::kRunRecovery:
+      recovery_ran_ = true;
+      if (action.routes != nullptr) {
+        SetRoutes(action.routes);  // invalidate cached routes
+      }
+      break;
+    case ClusterEvent::Kind::kShiftHotspot:
+      hot_shift_ = event.value;
+      if (action.routes != nullptr) {
+        SetRoutes(action.routes);
+      }
+      ResetObserver();
+      break;
+    case ClusterEvent::Kind::kReallocateCache:
+      if (realloc_hook_) {
+        if (std::shared_ptr<const RouteTable> routes = realloc_hook_()) {
+          SetRoutes(std::move(routes));
+        }
+      }
+      // A fresh window: subsequent re-allocations rank by post-reallocation
+      // popularity only.
+      ResetObserver();
+      break;
+  }
+}
+
+}  // namespace distcache

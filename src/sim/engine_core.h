@@ -1,0 +1,400 @@
+// EngineCore — the engine-agnostic request core shared by the request-level
+// simulation backends.
+//
+// The sequential reference engine and every sharded worker execute the same
+// per-request semantics: route-table key resolution, PoT candidate choice with
+// dead-node degradation, write/coherence accounting, timeline-event application
+// (failures, hot-spot shifts, online cache re-allocation, workload phases) and
+// per-interval series bookkeeping. This class owns that path once; the engines
+// differ only in how they drive it:
+//
+//   * the sequential backend runs one EngineCore, advancing it per request and
+//     applying timeline actions at exact request timestamps;
+//   * each sharded worker runs its own EngineCore, advancing it at batch
+//     boundaries with timeline timestamps scaled to the shard's quota, and with
+//     load charging / telemetry routed through the owner-partitioned gossip
+//     machinery (see sharded_backend.h);
+//   * the fluid backend keeps its analytic path but consumes the same timeline
+//     (see cluster/fluid_backend.h).
+//
+// Load charging is abstracted behind a Sink (AddCacheLoad/AddServerLoad): the
+// sequential sink writes the global cumulative counters and refreshes the
+// telemetry view in place, the sharded sink splits charges into owner-local
+// counters, unsent deltas and gossip partials. Everything else — who is a
+// candidate, who wins, what a write costs, what gets dropped — is shared code, so
+// a new scenario lands in one place instead of three.
+//
+// Timeline model: a run's reconfigurations (SimBackendConfig::events) and workload
+// phases (SimBackendConfig::phases) are merged into an ordered plan by
+// BuildTimelinePlan(). Steps whose effect is a pure function of the timeline
+// prefix (phase switches, hot-spot shifts, failure remaps) carry precomputed
+// immutable snapshots — a route table and, for phases, the head+tail pmf the
+// engine rebuilds its sampler from. kReallocateCache steps carry no snapshot: the
+// controller recomputes the allocation at runtime from *observed* per-key counts
+// (the core's heavy-hitter observer), which is the paper's §6.4 cache-update
+// loop. Re-allocation composes with failure events in both directions: the
+// realloc hooks re-sync the controller remap to the alive set at that timestamp
+// (failures before), and rebuild the remaining steps' snapshots against the
+// refilled allocation via RebuildPlanSuffixRoutes (failures/shifts after) — so a
+// post-reallocation switch restoration keeps the refilled cached set instead of
+// resurrecting the construction-time one.
+#ifndef DISTCACHE_SIM_ENGINE_CORE_H_
+#define DISTCACHE_SIM_ENGINE_CORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/workload.h"
+#include "core/load_tracker.h"
+#include "core/pot_router.h"
+#include "sim/cluster_model.h"
+#include "sim/route_table.h"
+#include "sim/sim_backend.h"
+#include "sketch/heavy_hitter.h"
+
+namespace distcache {
+
+// One entry of the merged (events + phases) timeline, in config request units.
+struct TimelineStep {
+  uint64_t at_request = 0;
+  bool is_phase = false;
+  WorkloadPhase phase;  // valid when is_phase
+  ClusterEvent event;   // valid when !is_phase
+  // Phase payload: the head+tail pmf under phase.zipf_theta (layout of
+  // ClusterModel::head_with_tail) the engines rebuild their samplers from.
+  std::shared_ptr<const std::vector<double>> pmf;
+  // Immutable post-step route table, when precomputable (null for kFailSpine,
+  // which changes no routes, and for kReallocateCache, which is runtime-computed).
+  std::shared_ptr<const RouteTable> routes;
+};
+
+// Merges config.events and config.phases into one plan ordered by at_request
+// (phases before events on timestamp ties; list order otherwise preserved),
+// precomputing each step's snapshot. Mutates `model`'s controller/allocation state
+// while walking the failure remaps — the same end state the runtime reads back.
+std::vector<TimelineStep> BuildTimelinePlan(const SimBackendConfig& config,
+                                            ClusterModel& model);
+
+// Recomputes the route-table snapshots of plan[from..] against the model's
+// *current* allocation (the re-allocation hooks call this right after a runtime
+// Refill, so failure/shift steps after a kReallocateCache route the refilled
+// cached set instead of the construction-time one). `alive_now`/`shift_now` seed
+// the replayed alive-set and rotation transitions. Returns one (possibly null)
+// table per suffix step, aligned with plan[from..]; mutates the model's
+// controller state to the end-of-suffix remap, exactly like BuildTimelinePlan.
+std::vector<std::shared_ptr<const RouteTable>> RebuildPlanSuffixRoutes(
+    const std::vector<TimelineStep>& plan, size_t from, ClusterModel& model,
+    std::vector<uint8_t> alive_now, uint64_t shift_now);
+
+// True when the timeline contains a kReallocateCache step — the engines then run
+// the core's heavy-hitter observer from the start of the run.
+bool TimelineNeedsObserver(const std::vector<ClusterEvent>& events);
+
+class EngineCore {
+ public:
+  // A TimelineStep localized to one engine stream's clock. `at_local` is the
+  // step's at_request scaled to the stream's share of the run (identity for the
+  // sequential engine, quota/num_requests for a shard).
+  struct Action {
+    double at_local = 0.0;
+    bool is_phase = false;
+    WorkloadPhase phase;
+    ClusterEvent event;
+    std::shared_ptr<const std::vector<double>> pmf;
+    std::shared_ptr<const RouteTable> routes;
+  };
+
+  // Rebuild-the-sampler callback, invoked after the core switched phase state.
+  // Must not consume engine RNG (streams stay deterministic across phase counts).
+  using PhaseHook =
+      std::function<void(const WorkloadPhase&,
+                         const std::shared_ptr<const std::vector<double>>& pmf)>;
+  // kReallocateCache callback: returns the post-reallocation route table (null
+  // keeps the current one). The sequential engine recomputes locally from
+  // ObservedCounts(); the sharded engine runs the controller rendezvous.
+  using ReallocateHook = std::function<std::shared_ptr<const RouteTable>()>;
+
+  // `model` outlives the core and is read-only on the hot path. `rng_seed` /
+  // `router_seed` preserve each engine's historical stream derivation.
+  EngineCore(const ClusterModel* model, uint64_t rng_seed, uint64_t router_seed,
+             bool enable_observer);
+
+  // ---- run wiring ----------------------------------------------------------
+  void BindStats(BackendStats* stats) { stats_ = stats; }
+  void SetPhaseHook(PhaseHook hook) { phase_hook_ = std::move(hook); }
+  void SetReallocateHook(ReallocateHook hook) { realloc_hook_ = std::move(hook); }
+  void SetRoutes(std::shared_ptr<const RouteTable> routes) {
+    routes_ = std::move(routes);
+    route_data_ = routes_ ? routes_->data() : nullptr;
+  }
+  // Interval-series step in local request units (0 disables series bookkeeping).
+  // Resets the interval mark, so call once per Run before processing.
+  void SetSampleStep(double step) {
+    sample_step_ = step > 0.0 ? step : 0.0;
+    next_sample_at_ = sample_step_;
+    interval_mark_ = BackendStats::IntervalPoint{};
+  }
+  // Actions must be queued in at_local order (the plan/multicast order).
+  void QueueAction(Action action) { actions_.push_back(std::move(action)); }
+  // Drops queued/applied actions so a Run can re-queue its plan. Note this does
+  // NOT rewind routing/phase/failure state to the pre-timeline snapshot — a
+  // backend that already replayed a timeline is not a fresh backend. Every
+  // driver in this repo constructs a new backend per Run; do the same rather
+  // than re-Running one whose timeline mutated state.
+  void ClearActions() {
+    actions_.clear();
+    next_action_ = 0;
+  }
+  // Index of the next unapplied action — inside the reallocate hook this is the
+  // first post-reallocation step, the start of the suffix whose snapshots the
+  // hook replaces.
+  size_t next_action_index() const { return next_action_; }
+  // Swaps the route snapshot of the pending action at `index` (used by the
+  // reallocate hooks to install suffix tables rebuilt against the refilled
+  // allocation). Applied actions are never patched.
+  void SetActionRoutes(size_t index, std::shared_ptr<const RouteTable> routes) {
+    if (index >= next_action_ && index < actions_.size()) {
+      actions_[index].routes = std::move(routes);
+    }
+  }
+
+  // Applies every queued action with at_local <= processed (events fire just
+  // before the request that reaches their timestamp), then closes any due sample
+  // intervals. Engines call this per request (sequential) or per batch (sharded).
+  void AdvanceTo(uint64_t processed) {
+    const double now = static_cast<double>(processed);
+    while (next_action_ < actions_.size() &&
+           actions_[next_action_].at_local <= now) {
+      ApplyAction(actions_[next_action_++]);
+    }
+    if (sample_step_ > 0.0) {
+      while (now >= next_sample_at_) {
+        stats_->CloseIntervalAt(processed, interval_mark_);
+        next_sample_at_ += sample_step_;
+      }
+    }
+  }
+
+  // Closes the trailing partial interval at end of run.
+  void FinishSeries(uint64_t processed) {
+    if (sample_step_ > 0.0 && processed > interval_mark_.requests) {
+      stats_->CloseIntervalAt(processed, interval_mark_);
+    }
+  }
+
+  // ---- hot path ------------------------------------------------------------
+  // Executes one request sampled as head rank `bucket` (== model->pool for the
+  // aggregated tail bucket). Charges loads through `sink`:
+  //   sink.AddCacheLoad(CacheNodeId, double)  — cache switch charge; the sink
+  //       owns the telemetry-view update policy (see class comment);
+  //   sink.AddServerLoad(uint32_t, double)    — storage server charge.
+  template <typename Sink>
+  void Process(Sink& sink, uint32_t bucket);
+
+  // True when the request must be dropped: pre-recovery ECMP transit through one
+  // of the dead spine switches. Consumes RNG only while failures are active.
+  bool TransitBlackholed() {
+    return !recovery_ran_ && dead_spines_ > 0 &&
+           rng_.NextBounded(model_->cfg.num_spine) < dead_spines_;
+  }
+
+  // ---- state shared with the engines ---------------------------------------
+  Rng& rng() { return rng_; }
+  LoadTracker& view() { return view_; }
+  double write_ratio() const { return write_ratio_; }
+  uint64_t hot_shift() const { return hot_shift_; }
+  uint32_t dead_spines() const { return dead_spines_; }
+  const std::vector<uint8_t>& spine_alive() const { return spine_alive_; }
+
+  // The observer's per-key heavy-hitter reports since the last phase boundary /
+  // re-allocation, hottest-first — what the controller re-allocates from. Empty
+  // when the observer is disabled.
+  std::vector<std::pair<uint64_t, uint32_t>> ObservedCounts() const {
+    return observer_ ? observer_->TopReports()
+                     : std::vector<std::pair<uint64_t, uint32_t>>{};
+  }
+
+ private:
+  void ApplyAction(const Action& action);
+  void ResetObserver() {
+    if (observer_) {
+      observer_->NewEpoch();
+    }
+  }
+
+  const ClusterModel* model_;
+  Rng rng_;
+  LoadTracker view_;
+  PotRouter router_;
+  BackendStats* stats_ = nullptr;
+
+  std::shared_ptr<const RouteTable> routes_;
+  const RouteEntry* route_data_ = nullptr;  // hot-path view of routes_
+
+  // Current workload-phase state.
+  double write_ratio_;
+  uint64_t hot_shift_ = 0;
+
+  // Failure-degradation state (see sequential_backend.h for the semantics).
+  std::vector<uint8_t> spine_alive_;
+  uint32_t dead_spines_ = 0;
+  bool recovery_ran_ = true;  // partitions start mapped to their home switches
+
+  // Controller-side popularity observer driving kReallocateCache (§6.4). The
+  // sketch is wider than the data-plane one (§5): the simulated controller
+  // aggregates reports in software, so we trade memory for clean separation of
+  // hot keys from sampled-tail noise, and let counters exceed 16 bits.
+  std::unique_ptr<HeavyHitterDetector> observer_;
+
+  std::vector<Action> actions_;
+  size_t next_action_ = 0;
+
+  double sample_step_ = 0.0;
+  double next_sample_at_ = 0.0;
+  BackendStats::IntervalPoint interval_mark_;
+
+  std::vector<CacheNodeId> scratch_candidates_;  // kReplicated slow path
+
+  PhaseHook phase_hook_;
+  ReallocateHook realloc_hook_;
+};
+
+template <typename Sink>
+void EngineCore::Process(Sink& sink, uint32_t bucket) {
+  const ClusterConfig& cc = model_->cfg;
+  BackendStats& st = *stats_;
+  const bool is_tail = bucket == model_->pool;
+  const bool is_write = write_ratio_ > 0.0 && rng_.NextBernoulli(write_ratio_);
+
+  uint32_t server;
+  uint64_t key;
+  const RouteEntry* entry = nullptr;
+  if (is_tail) {
+    const uint64_t rank =
+        model_->pool + rng_.NextBounded(cc.num_keys - model_->pool);
+    key = KeyOfRank(rank, hot_shift_, cc.num_keys);
+    server = model_->placement.ServerOf(key);
+    // Tail keys are treated as uncached even right after a hot-spot shift, when
+    // the formerly-hot (still cached, now tail) keys would briefly hit: their
+    // per-key mass is ~1/num_keys, a vanishing correction the fluid model ignores
+    // for the same reason.
+  } else {
+    key = KeyOfRank(bucket, hot_shift_, cc.num_keys);
+    entry = &route_data_[bucket];
+    server = entry->server;
+  }
+
+  if (is_write) {
+    // Writes reach the primary through an ECMP-chosen spine; a pre-recovery dead
+    // spine blackholes its share (§4.4). Coherence touches only alive copies.
+    ++st.writes;
+    if (TransitBlackholed()) {
+      ++st.dropped;
+      return;
+    }
+    size_t num_copies = 0;
+    if (entry != nullptr) {
+      switch (entry->kind) {
+        case RouteEntry::kPair:
+          if (spine_alive_[entry->spine]) {
+            ++num_copies;
+            sink.AddCacheLoad({0, entry->spine}, cc.coherence_switch_cost);
+          }
+          ++num_copies;
+          sink.AddCacheLoad({1, entry->leaf}, cc.coherence_switch_cost);
+          break;
+        case RouteEntry::kSpineOnly:
+          if (spine_alive_[entry->spine]) {
+            ++num_copies;
+            sink.AddCacheLoad({0, entry->spine}, cc.coherence_switch_cost);
+          }
+          break;
+        case RouteEntry::kLeafOnly:
+          ++num_copies;
+          sink.AddCacheLoad({1, entry->leaf}, cc.coherence_switch_cost);
+          break;
+        case RouteEntry::kReplicated:
+          num_copies = static_cast<size_t>(cc.num_spine - dead_spines_) + 1;
+          for (uint32_t s = 0; s < cc.num_spine; ++s) {
+            if (spine_alive_[s]) {
+              sink.AddCacheLoad({0, s}, cc.coherence_switch_cost);
+            }
+          }
+          sink.AddCacheLoad({1, entry->leaf}, cc.coherence_switch_cost);
+          break;
+        default:
+          break;
+      }
+    }
+    sink.AddServerLoad(server,
+                       1.0 + cc.coherence_server_cost * static_cast<double>(num_copies));
+    return;
+  }
+
+  ++st.reads;
+  if (observer_) {
+    // Controller-side popularity observation (per-object hit counters for cached
+    // keys, the heavy-hitter sketch for the rest — folded into one detector).
+    observer_->Record(key);
+  }
+  // Blackholed candidates degrade the choice set: a dead spine copy is skipped
+  // (the PoT pair becomes a single leaf choice), a spine-only key falls back to
+  // the primary server like an uncached key.
+  const bool spine_dead =
+      entry != nullptr && dead_spines_ > 0 &&
+      (entry->kind == RouteEntry::kPair || entry->kind == RouteEntry::kSpineOnly) &&
+      !spine_alive_[entry->spine];
+  if (entry == nullptr || entry->kind == RouteEntry::kUncached ||
+      (spine_dead && entry->kind == RouteEntry::kSpineOnly)) {
+    if (TransitBlackholed()) {
+      ++st.dropped;
+      return;
+    }
+    sink.AddServerLoad(server, 1.0);
+    ++st.server_reads;
+    return;
+  }
+
+  CacheNodeId node;
+  switch (entry->kind) {
+    case RouteEntry::kPair:
+      node = spine_dead ? CacheNodeId{1, entry->leaf}
+                        : router_.ChoosePair({0, entry->spine}, {1, entry->leaf});
+      break;
+    case RouteEntry::kSpineOnly:
+      node = {0, entry->spine};
+      break;
+    case RouteEntry::kLeafOnly:
+      node = {1, entry->leaf};
+      break;
+    default: {  // kReplicated
+      auto& cands = scratch_candidates_;
+      cands.clear();
+      for (uint32_t s = 0; s < cc.num_spine; ++s) {
+        if (spine_alive_[s]) {
+          cands.push_back({0, s});
+        }
+      }
+      cands.push_back({1, entry->leaf});
+      node = cands[router_.Choose(cands)];
+      break;
+    }
+  }
+  // Leaf hits transit an ECMP-chosen spine on the way down (§3.4); spine hits are
+  // absorbed by their (alive) serving switch and cannot be blackholed.
+  if (node.layer != 0 && TransitBlackholed()) {
+    ++st.dropped;
+    return;
+  }
+  sink.AddCacheLoad(node, 1.0);
+  ++st.cache_hits;
+  ++(node.layer == 0 ? st.spine_hits : st.leaf_hits);
+}
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_SIM_ENGINE_CORE_H_

@@ -2,10 +2,11 @@
 
 namespace distcache {
 
-RouteTable BuildRouteTable(const ClusterModel& model) {
+RouteTable BuildRouteTable(const ClusterModel& model, uint64_t hot_shift) {
   RouteTable routes(model.pool);
-  for (uint64_t key = 0; key < model.pool; ++key) {
-    RouteEntry& e = routes[key];
+  for (uint64_t rank = 0; rank < model.pool; ++rank) {
+    const uint64_t key = KeyOfRank(rank, hot_shift, model.cfg.num_keys);
+    RouteEntry& e = routes[rank];
     e.server = model.placement.ServerOf(key);
     const CacheCopies copies = model.allocation->CopiesOf(key);
     if (copies.replicated_all_spines) {

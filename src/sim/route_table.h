@@ -1,8 +1,12 @@
-// Precomputed per-head-key routing decisions ("amortized hash routing") for the
-// sharded backend: the allocation and placement hashes are evaluated once per
+// Precomputed per-head-rank routing decisions ("amortized hash routing") for the
+// request-level engines: the allocation and placement hashes are evaluated once per
 // table build, not once per request. Tables are immutable snapshots — failure
-// recovery builds a fresh table from the remapped allocation and multicasts it to
-// every shard (see sharded_backend.h), so the hot path never sees a table mutate.
+// recovery and cache re-allocation build a fresh table from the mutated allocation
+// and swap/multicast it (see engine_core.h, sharded_backend.h), so the hot path
+// never sees a table mutate. Tables are indexed by *popularity rank*; the
+// `hot_shift` build parameter is the rank→key rotation of the workload phase the
+// table serves (see common/workload.h), so entry r always routes the key the
+// clients actually query at rank r.
 #ifndef DISTCACHE_SIM_ROUTE_TABLE_H_
 #define DISTCACHE_SIM_ROUTE_TABLE_H_
 
@@ -29,9 +33,11 @@ struct RouteEntry {
 
 using RouteTable = std::vector<RouteEntry>;
 
-// One entry per head key rank [0, model.pool), reflecting the allocation's
-// current partition→spine mapping (i.e. post-remap if the controller ran).
-RouteTable BuildRouteTable(const ClusterModel& model);
+// One entry per head rank [0, model.pool), reflecting the allocation's current
+// partition→spine mapping (i.e. post-remap if the controller ran) and cached set
+// (post-refill if it re-allocated). `hot_shift` is the workload's current rank→key
+// rotation: entry r describes key (r + hot_shift) % num_keys.
+RouteTable BuildRouteTable(const ClusterModel& model, uint64_t hot_shift = 0);
 
 }  // namespace distcache
 

@@ -1,58 +1,82 @@
 #include "sim/sequential_backend.h"
 
-#include <algorithm>
 #include <chrono>
+#include <utility>
 #include <vector>
 
 #include "common/hash.h"
+#include "sim/route_table.h"
 
 namespace distcache {
+
+namespace {
+
+// Charges loads into the global cumulative counters and refreshes the telemetry
+// view in place — the per-request piggybacked-telemetry semantics of §4.2 (every
+// reply, data or coherence ack, carries the serving switch's current load).
+struct SequentialSink {
+  BackendStats* st;
+  LoadTracker* view;
+
+  void AddCacheLoad(CacheNodeId node, double delta) {
+    double& load =
+        node.layer == 0 ? st->spine_load[node.index] : st->leaf_load[node.index];
+    load += delta;
+    view->Set(node, load);
+  }
+  void AddServerLoad(uint32_t server, double delta) {
+    st->server_load[server] += delta;
+  }
+};
+
+}  // namespace
 
 SequentialBackend::SequentialBackend(const SimBackendConfig& config)
     : config_(config),
       model_(config.cluster),
       head_dist_(std::make_unique<DiscreteDistribution>(model_.head_with_tail,
                                                         "head+tail")),
-      tracker_(MakeTrackerConfig(config.cluster)),
-      router_(&tracker_, config.cluster.routing,
-              HashCombine(config.cluster.seed, 0x90076eULL)),
-      rng_(HashCombine(config.cluster.seed, 0xc1057e4ULL)),
-      events_(config.events),
-      spine_alive_(config.cluster.num_spine, 1) {
-  SortEventsByRequest(events_);
-}
-
-void SequentialBackend::ApplyEvent(const ClusterEvent& event) {
-  const uint32_t num_spine = config_.cluster.num_spine;
-  switch (event.kind) {
-    case ClusterEvent::Kind::kFailSpine:
-      if (event.spine < num_spine && spine_alive_[event.spine]) {
-        spine_alive_[event.spine] = 0;
-        ++dead_spines_;
-        recovery_ran_ = false;  // hot objects of the dead switch lose their copy
-        tracker_.MarkDead({0, event.spine});
+      core_(&model_, HashCombine(config.cluster.seed, 0xc1057e4ULL),
+            HashCombine(config.cluster.seed, 0x90076eULL),
+            TimelineNeedsObserver(config.events)) {
+  // The pre-event route table must snapshot the pristine allocation, so build it
+  // before the plan walk below mutates the controller state.
+  core_.SetRoutes(std::make_shared<const RouteTable>(BuildRouteTable(model_)));
+  plan_ = BuildTimelinePlan(config_, model_);
+  core_.SetPhaseHook([this](const WorkloadPhase&,
+                            const std::shared_ptr<const std::vector<double>>& pmf) {
+    if (pmf != nullptr) {
+      head_dist_ = std::make_unique<DiscreteDistribution>(*pmf, "head+tail");
+    }
+  });
+  core_.SetReallocateHook([this]() -> std::shared_ptr<const RouteTable> {
+    // Controller re-allocation (§6.4): rank the observed heavy-hitter counts,
+    // refill the allocation hottest-first, and swap in the rebuilt routes. The
+    // controller acts on its *current* failure knowledge, so first re-sync its
+    // remap to the alive set as of this timestamp (the construction-time plan
+    // walk left it at the end-of-timeline state).
+    model_.SyncControllerRemap(core_.spine_alive());
+    std::vector<uint64_t> hottest;
+    for (const auto& [key, count] : core_.ObservedCounts()) {
+      hottest.push_back(key);
+    }
+    model_.ReallocateCache(hottest);
+    auto routes = std::make_shared<const RouteTable>(
+        BuildRouteTable(model_, core_.hot_shift()));
+    // The remaining timeline's precomputed snapshots describe the pre-refill
+    // cached set; rebuild them against the refilled allocation so later
+    // failure/shift steps do not resurrect it. (Actions align with plan_ 1:1.)
+    const size_t from = core_.next_action_index();
+    const auto suffix = RebuildPlanSuffixRoutes(plan_, from, model_,
+                                                core_.spine_alive(),
+                                                core_.hot_shift());
+    for (size_t i = 0; i < suffix.size(); ++i) {
+      if (suffix[i] != nullptr) {
+        core_.SetActionRoutes(from + i, suffix[i]);
       }
-      break;
-    case ClusterEvent::Kind::kRecoverSpine:
-      if (event.spine < num_spine && !spine_alive_[event.spine]) {
-        spine_alive_[event.spine] = 1;
-        --dead_spines_;
-        tracker_.MarkAlive({0, event.spine});
-        // Restoration returns remapped partitions to their home switch (and, like
-        // ClusterSim::RecoverSpine, syncs any other still-failed spines too).
-        model_.SyncControllerRemap(spine_alive_);
-      }
-      break;
-    case ClusterEvent::Kind::kRunRecovery:
-      model_.SyncControllerRemap(spine_alive_);
-      recovery_ran_ = true;
-      break;
-  }
-}
-
-bool SequentialBackend::TransitBlackholed() {
-  return !recovery_ran_ && dead_spines_ > 0 &&
-         rng_.NextBounded(config_.cluster.num_spine) < dead_spines_;
+    }
+    return routes;
+  });
 }
 
 BackendStats SequentialBackend::Run(uint64_t num_requests) {
@@ -61,121 +85,40 @@ BackendStats SequentialBackend::Run(uint64_t num_requests) {
   st.spine_load.assign(cc.num_spine, 0.0);
   st.leaf_load.assign(cc.num_racks, 0.0);
   st.server_load.assign(model_.num_servers(), 0.0);
-
-  const double write_ratio = cc.write_ratio;
-  const uint64_t tail_keys = cc.num_keys - model_.pool;
-  std::vector<CacheNodeId> candidates;
-
-  // Event/series bookkeeping. Event timestamps are relative to this Run.
-  size_t next_event = 0;
-  const uint64_t sample = config_.sample_interval;
-  BackendStats::IntervalPoint mark;  // running counters at the last sample boundary
+  core_.BindStats(&st);
+  core_.SetSampleStep(static_cast<double>(config_.sample_interval));
+  core_.ClearActions();
+  for (const TimelineStep& step : plan_) {
+    // Timestamps at or beyond the Run never fire (AdvanceTo stops at the last
+    // request index); queue everything and let the clock decide.
+    core_.QueueAction({static_cast<double>(step.at_request), step.is_phase,
+                       step.phase, step.event, step.pmf, step.routes});
+  }
+  SequentialSink sink{&st, &core_.view()};
 
   const auto t0 = std::chrono::steady_clock::now();
   for (uint64_t i = 0; i < num_requests; ++i) {
-    while (next_event < events_.size() && events_[next_event].at_request <= i) {
-      ApplyEvent(events_[next_event++]);
-    }
-    if (sample != 0 && i != 0 && i % sample == 0) {
-      st.CloseIntervalAt(i, mark);
-    }
+    core_.AdvanceTo(i);
 
-    // Telemetry epoch boundary: refresh the client's view from true loads. Between
-    // boundaries the per-request Set() below keeps the view exact for routed nodes.
-    // (Dead spines emit no telemetry; the tracker routes their refresh to the
-    // shadow value, keeping the +inf pin — see load_tracker.h.)
+    // Telemetry epoch boundary: refresh the client's view from true loads.
+    // Between boundaries the per-request Set() in the sink keeps the view exact
+    // for routed nodes. (Dead spines emit no telemetry; the tracker routes their
+    // refresh to the shadow value, keeping the +inf pin — see load_tracker.h.)
     if (config_.epoch_requests != 0 && i % config_.epoch_requests == 0) {
       for (uint32_t s = 0; s < cc.num_spine; ++s) {
-        tracker_.Set({0, s}, st.spine_load[s]);
+        core_.view().Set({0, s}, st.spine_load[s]);
       }
       for (uint32_t l = 0; l < cc.num_racks; ++l) {
-        tracker_.Set({1, l}, st.leaf_load[l]);
+        core_.view().Set({1, l}, st.leaf_load[l]);
       }
     }
 
-    const uint64_t bucket = head_dist_->Sample(rng_);
-    const bool is_tail = bucket == model_.pool;
-    const uint64_t key =
-        is_tail ? model_.pool + rng_.NextBounded(tail_keys) : bucket;
-    const CacheCopies copies =
-        is_tail ? CacheCopies{} : model_.allocation->CopiesOf(key);
-    const bool is_write = write_ratio > 0.0 && rng_.NextBernoulli(write_ratio);
-
-    if (is_write) {
-      // Two-phase coherence (§4.3): each cached copy costs the switch
-      // coherence_switch_cost units; the primary pays one write plus
-      // coherence_server_cost per copy. Writes reach the primary through an
-      // ECMP-chosen spine, so a pre-recovery dead spine blackholes its share.
-      ++st.writes;
-      if (TransitBlackholed()) {
-        ++st.dropped;
-        continue;
-      }
-      size_t num_copies = copies.leaf ? 1 : 0;
-      if (copies.leaf) {
-        st.leaf_load[*copies.leaf] += cc.coherence_switch_cost;
-      }
-      if (copies.replicated_all_spines) {
-        num_copies += cc.num_spine - dead_spines_;
-        for (uint32_t s = 0; s < cc.num_spine; ++s) {
-          if (spine_alive_[s]) {
-            st.spine_load[s] += cc.coherence_switch_cost;
-          }
-        }
-      } else if (copies.spine && spine_alive_[*copies.spine]) {
-        num_copies += 1;
-        st.spine_load[*copies.spine] += cc.coherence_switch_cost;
-      }
-      st.server_load[model_.placement.ServerOf(key)] +=
-          1.0 + cc.coherence_server_cost * static_cast<double>(num_copies);
-      continue;
-    }
-
-    ++st.reads;
-    // Blackholed candidates degrade the choice set: a dead spine copy is skipped
-    // (the PoT pair becomes a single leaf choice); if no copy survives, the read
-    // falls back to the primary server like an uncached key.
-    candidates.clear();
-    if (copies.replicated_all_spines) {
-      for (uint32_t s = 0; s < cc.num_spine; ++s) {
-        if (spine_alive_[s]) {
-          candidates.push_back({0, s});
-        }
-      }
-    } else if (copies.spine && spine_alive_[*copies.spine]) {
-      candidates.push_back({0, *copies.spine});
-    }
-    if (copies.leaf) {
-      candidates.push_back({1, *copies.leaf});
-    }
-    if (candidates.empty()) {
-      if (TransitBlackholed()) {
-        ++st.dropped;
-        continue;
-      }
-      st.server_load[model_.placement.ServerOf(key)] += 1.0;
-      ++st.server_reads;
-      continue;
-    }
-    const CacheNodeId node = candidates[router_.Choose(candidates)];
-    // Leaf hits transit an ECMP-chosen spine on the way down (§3.4); spine hits
-    // are absorbed by their (alive) serving switch and cannot be blackholed.
-    if (node.layer != 0 && TransitBlackholed()) {
-      ++st.dropped;
-      continue;
-    }
-    double& load =
-        node.layer == 0 ? st.spine_load[node.index] : st.leaf_load[node.index];
-    load += 1.0;
-    tracker_.Set(node, load);  // telemetry piggybacked on the reply
-    ++st.cache_hits;
-    ++(node.layer == 0 ? st.spine_hits : st.leaf_hits);
+    const uint32_t bucket = static_cast<uint32_t>(head_dist_->Sample(core_.rng()));
+    core_.Process(sink, bucket);
   }
   const auto t1 = std::chrono::steady_clock::now();
   st.requests = num_requests;
-  if (sample != 0 && num_requests > mark.requests) {
-    st.CloseIntervalAt(num_requests, mark);
-  }
+  core_.FinishSeries(num_requests);
   st.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   return st;
 }

@@ -1,28 +1,26 @@
 // The single-threaded request-level reference backend.
 //
-// Deliberately the straightforward implementation: every request individually walks
-// the faithful path — inverse-CDF key sampling (O(log pool) binary search through a
-// virtual KeyDistribution), per-request CacheAllocation::CopiesOf, a materialized
-// candidate vector handed to PotRouter::Choose, and a per-request LoadTracker update
-// (the piggybacked-telemetry semantics of §4.2). It is the semantic baseline the
-// sharded backend's batched hot path is validated against, and the denominator of
-// the engine-throughput comparison in bench_fig9c_scalability.
+// Deliberately the straightforward driver around the shared EngineCore: one
+// request at a time through the faithful path — inverse-CDF key sampling
+// (O(log pool) binary search through the phase's head+tail pmf), the core's
+// route-table resolution, PoT choice with dead-node degradation, and a
+// per-request LoadTracker refresh (the piggybacked-telemetry semantics of §4.2).
+// It is the semantic baseline the sharded backend's batched hot path is validated
+// against, and the denominator of the engine-throughput comparison in
+// bench_fig9c_scalability.
 //
-// Failure semantics (ClusterEvent timeline, §4.4 / Fig. 11):
-//  * kFailSpine — the switch's candidates blackhole. The routing loop degrades: a
-//    PoT pair whose spine copy died becomes a single (leaf) choice, a spine-only
-//    key falls back to the primary server, a replicated key spreads over the alive
-//    spines. The client view pins the dead node via LoadTracker::MarkDead.
-//  * Until kRunRecovery, every request that is not absorbed by a spine cache
-//    switch still transits the spine layer via ECMP (§3.4); a dead switch
-//    blackholes its 1/num_spine share — those requests are counted in
-//    BackendStats::dropped and charge no load, reproducing the Fig. 11 dip.
-//  * kRunRecovery — the ClusterModel controller remaps failed partitions onto
-//    alive spines (consistent hashing); CopiesOf() is re-evaluated per request, so
-//    the remap takes effect immediately and the transit blackhole ends (routing
-//    has reconverged around the dead switches).
-//  * kRecoverSpine — the switch rejoins: partitions return home and MarkAlive
-//    restores the client's load view from its shadow estimate.
+// Timeline semantics (ClusterEvent + WorkloadPhase, applied at exact request
+// timestamps — see engine_core.h for the shared state machine):
+//  * kFailSpine / kRunRecovery / kRecoverSpine — the §4.4 / Fig. 11 failure loop:
+//    candidates blackhole, degrade, and recover via precomputed remap snapshots.
+//  * WorkloadPhase boundaries and kShiftHotspot — the workload changes under the
+//    cluster: the sampler is rebuilt from the phase's pmf and the route table
+//    swaps to the new rank→key rotation; hit ratio collapses when the hot set
+//    moves onto uncached keys (§6.4).
+//  * kReallocateCache — the controller ranks the core's observed heavy-hitter
+//    counts, refills the allocation hottest-first (core/allocation Refill), and
+//    the backend rebuilds + swaps the route table: the cache-update reaction that
+//    restores the hit ratio after a shift.
 #ifndef DISTCACHE_SIM_SEQUENTIAL_BACKEND_H_
 #define DISTCACHE_SIM_SEQUENTIAL_BACKEND_H_
 
@@ -31,10 +29,8 @@
 #include <string>
 #include <vector>
 
-#include "common/random.h"
-#include "core/load_tracker.h"
-#include "core/pot_router.h"
 #include "sim/cluster_model.h"
+#include "sim/engine_core.h"
 #include "sim/sim_backend.h"
 
 namespace distcache {
@@ -47,22 +43,11 @@ class SequentialBackend : public SimBackend {
   BackendStats Run(uint64_t num_requests) override;
 
  private:
-  void ApplyEvent(const ClusterEvent& event);
-  // True when the request must be dropped: pre-recovery ECMP transit through one
-  // of the dead spine switches. Consumes RNG only while failures are active.
-  bool TransitBlackholed();
-
   SimBackendConfig config_;
   ClusterModel model_;
-  std::unique_ptr<DiscreteDistribution> head_dist_;  // head keys + one tail bucket
-  LoadTracker tracker_;
-  PotRouter router_;
-  Rng rng_;
-
-  std::vector<ClusterEvent> events_;  // sorted by at_request
-  std::vector<uint8_t> spine_alive_;
-  uint32_t dead_spines_ = 0;
-  bool recovery_ran_ = true;  // partitions start mapped to their home switches
+  std::vector<TimelineStep> plan_;
+  std::unique_ptr<DiscreteDistribution> head_dist_;  // head ranks + one tail bucket
+  EngineCore core_;
 };
 
 }  // namespace distcache

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/workload.h"
 #include "net/topology.h"
 #include "sim/route_table.h"
 #include "sim/sim_backend.h"
@@ -29,14 +30,29 @@ struct ShardMsg {
     // shard scheduling skew (absolute-load broadcasts from differently-aged epochs
     // would mix inconsistently).
     kTelemetry,
-    // One failure/recovery timeline entry (§4.4), multicast by the controller
-    // shard before request processing starts so every shard applies it at the
-    // same shard-local timestamp (event.at_request scaled to the shard's quota).
-    // For remap-triggering events (kRecoverSpine/kRunRecovery) `route_table`
-    // carries the immutable post-remap routing snapshot the receiving shard must
-    // swap in when the event fires — this is how "controller recovery invalidates
-    // cached routes" reaches the shards.
+    // One timeline step — a failure/recovery event (§4.4), a hot-spot shift, a
+    // cache re-allocation trigger (§6.4), or a workload phase switch (`is_phase`)
+    // — multicast by the controller shard before request processing starts so
+    // every shard applies it at the same shard-local timestamp (event.at_request
+    // scaled to the shard's quota). For steps with a precomputable routing effect
+    // (kRecoverSpine/kRunRecovery/kShiftHotspot and phase switches) `route_table`
+    // carries the immutable post-step routing snapshot the receiving shard swaps
+    // in when the step fires — this is how "the controller invalidates cached
+    // routes" reaches the shards. Phase steps additionally carry `pmf`, the
+    // head+tail popularity vector each shard rebuilds its alias sampler from.
     kClusterEvent,
+    // Re-allocation rendezvous (§6.4), shard → controller: the sender reached a
+    // kReallocateCache step and reports its locally observed heavy-hitter counts
+    // (`hot_counts`), then blocks until the controller's kRouteUpdate.
+    kHotReport,
+    // Re-allocation rendezvous, controller → shards: the post-reallocation route
+    // table computed from the merged observed counts, plus rebuilt snapshots for
+    // every not-yet-applied timeline step (`suffix_routes`, aligned with the
+    // receiver's pending actions) so later failure/shift steps route the
+    // refilled cached set instead of the construction-time one. Unlike
+    // precomputed snapshots these are built at runtime — the whole point of the
+    // rendezvous.
+    kRouteUpdate,
     // Sender has processed its whole request quota and flushed all deltas. Because
     // each inbox is FIFO per sender, a Done marks the end of that sender's stream.
     kDone,
@@ -47,9 +63,19 @@ struct ShardMsg {
   std::vector<std::pair<CacheNodeId, double>> cache_entries;
   std::vector<std::pair<uint32_t, double>> server_entries;
   std::vector<double> cache_partials;
-  // kClusterEvent payload.
+  // kClusterEvent payload. event.at_request is the step's timestamp for phase
+  // steps too; when `is_phase` is set the receiver applies `phase` and ignores
+  // the event kind.
   ClusterEvent event;
-  std::shared_ptr<const RouteTable> route_table;
+  bool is_phase = false;
+  WorkloadPhase phase;
+  std::shared_ptr<const std::vector<double>> pmf;
+  std::shared_ptr<const RouteTable> route_table;  // also kRouteUpdate payload
+  // kRouteUpdate payload: one (possibly null) rebuilt snapshot per pending
+  // timeline step after the re-allocation.
+  std::vector<std::shared_ptr<const RouteTable>> suffix_routes;
+  // kHotReport payload: (key, observed count), hottest-first.
+  std::vector<std::pair<uint64_t, uint32_t>> hot_counts;
 };
 
 }  // namespace distcache

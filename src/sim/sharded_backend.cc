@@ -1,28 +1,26 @@
 #include "sim/sharded_backend.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <functional>
 #include <thread>
 #include <utility>
 
 #include "common/hash.h"
+#include "sketch/heavy_hitter.h"
 
 namespace distcache {
 
 struct ShardedBackend::Shard {
-  Shard(uint32_t id, const SimBackendConfig& cfg, uint64_t seed)
+  Shard(uint32_t id, const ClusterModel* model, uint64_t seed, bool observer)
       : id(id),
-        rng(HashCombine(HashCombine(seed, 0x5aa4dedULL), id)),
-        view(MakeTrackerConfig(cfg.cluster)),
-        router(&view, cfg.cluster.routing,
-               HashCombine(HashCombine(seed, 0x90076eULL), id)) {}
+        core(model, HashCombine(HashCombine(seed, 0x5aa4dedULL), id),
+             HashCombine(HashCombine(seed, 0x90076eULL), id), observer) {}
 
   uint32_t id;
-  Rng rng;
+  EngineCore core;  // routing/degradation/timeline/stats core for this stream
   EventQueue queue;
-  LoadTracker view;
-  PotRouter router;
   Channel<ShardMsg> inbox;
 
   // Authoritative cumulative loads for *owned* nodes live in local.{spine,leaf,
@@ -45,27 +43,47 @@ struct ShardedBackend::Shard {
   std::vector<uint32_t> batch_keys; // sampled buckets for the current batch
   uint64_t processed = 0;
   uint32_t done_seen = 0;
-  std::vector<CacheNodeId> scratch_candidates;  // kReplicated / failure slow path
 
-  // Failure-timeline state (see header). `pending_events` accumulates the
-  // kClusterEvent stream (FIFO per sender, so it arrives sorted); `at_local[i]`
-  // is pending_events[i].event.at_request scaled to this shard's quota.
-  const RouteEntry* route_data = nullptr;  // hot-path view of `routes`
-  std::shared_ptr<const RouteTable> routes;
-  std::vector<ShardMsg> pending_events;
-  std::vector<double> at_local;
-  size_t next_event = 0;
-  std::vector<uint8_t> spine_alive;
-  uint32_t dead_spines = 0;
-  bool recovery_ran = true;  // partitions start mapped to their home switches
+  // Current phase's sampler: the backend-shared phase-0 table, or this shard's
+  // rebuilt one after a phase boundary.
+  const AliasSampler* sampler = nullptr;
+  std::unique_ptr<AliasSampler> phase_sampler;
+
+  // Timeline bookkeeping: steps queued from the controller multicast (the core
+  // applies them at this shard's scaled local clock), plus re-allocation
+  // rendezvous state for out-of-order arrivals.
+  size_t timeline_received = 0;
+  std::vector<std::vector<std::pair<uint64_t, uint32_t>>> pending_reports;
+  std::unique_ptr<ShardMsg> pending_route_update;
   double quota_scale = 1.0;  // quota / num_requests
 
-  // Interval-series bookkeeping (sample_interval scaled to the shard's quota).
-  double sample_step = 0.0;
-  double next_sample_at = 0.0;
-  BackendStats::IntervalPoint mark;  // counters at the last closed boundary
-
   std::thread thread;
+};
+
+// Splits every charge into owner-local counters, unsent deltas and gossip
+// partials; the shard's optimistic local view (invariant 3) advances by Add.
+struct ShardedBackend::ShardSink {
+  ShardedBackend* backend;
+  Shard* shard;
+
+  void AddCacheLoad(CacheNodeId node, double delta) {
+    const uint32_t flat = backend->shard_map_.FlatIndex(node);
+    shard->own_cache[flat] += delta;      // telemetry partial
+    shard->core.view().Add(node, delta);  // optimistic local view
+    if (backend->shard_map_.OwnerOfCache(node) == shard->id) {
+      (node.layer == 0 ? shard->local.spine_load[node.index]
+                       : shard->local.leaf_load[node.index]) += delta;
+    } else {
+      shard->cache_unsent[flat] += delta;
+    }
+  }
+  void AddServerLoad(uint32_t server, double delta) {
+    if (backend->shard_map_.OwnerOfServer(server) == shard->id) {
+      shard->local.server_load[server] += delta;
+    } else {
+      shard->server_unsent[server] += delta;
+    }
+  }
 };
 
 ShardedBackend::ShardedBackend(const SimBackendConfig& config)
@@ -74,117 +92,157 @@ ShardedBackend::ShardedBackend(const SimBackendConfig& config)
       shard_map_(config.cluster.num_spine, config.cluster.num_racks,
                  model_.num_servers(), config.shards),
       sampler_(model_.head_with_tail),
-      base_routes_(std::make_shared<const RouteTable>(BuildRouteTable(model_))),
-      events_(config.events) {
+      base_routes_(std::make_shared<const RouteTable>(BuildRouteTable(model_))) {
   if (config_.batch_size == 0) {
     config_.batch_size = 1;  // a 0-request batch would respawn itself forever
   }
-  SortEventsByRequest(events_);
+  // Snapshot walk: every step's post-step route table / pmf is a pure function
+  // of the timeline prefix, precomputed here off the hot path (base_routes_
+  // first — the walk mutates the controller state).
+  plan_ = BuildTimelinePlan(config_, model_);
 }
 
 ShardedBackend::~ShardedBackend() = default;
 
-void ShardedBackend::BroadcastTimeline(Shard& shard) {
-  // Walk the timeline once, tracking the alive set the way the controller would
-  // observe it, and snapshot the route table after every remap-triggering event
-  // (the remap is a pure function of the timeline prefix, so precomputing it off
-  // the hot path is exact). Each event is multicast with its snapshot attached;
-  // shards — including this one — apply it at their local scaled timestamp.
-  std::vector<uint8_t> alive(config_.cluster.num_spine, 1);
-  for (const ClusterEvent& event : events_) {
+void ShardedBackend::SendMsg(Shard& shard, uint32_t peer, ShardMsg msg) {
+  const bool sent = shards_[peer]->inbox.Send(std::move(msg));
+  assert(sent);  // shard inboxes are never closed while workers run
+  (void)sent;
+  ++shard.local.cross_shard_messages;
+}
+
+void ShardedBackend::QueueTimelineMsg(Shard& shard, const ShardMsg& msg) {
+  shard.core.QueueAction({static_cast<double>(msg.event.at_request) *
+                              shard.quota_scale,
+                          msg.is_phase, msg.phase, msg.event, msg.pmf,
+                          msg.route_table});
+  ++shard.timeline_received;
+}
+
+void ShardedBackend::BroadcastTimeline(Shard& shard, uint64_t num_requests) {
+  (void)num_requests;  // the filter already happened when fired_plan_ was built
+  for (const TimelineStep& step : fired_plan_) {
     ShardMsg msg;
     msg.kind = ShardMsg::Kind::kClusterEvent;
     msg.from = shard.id;
-    msg.event = event;
-    switch (event.kind) {
-      case ClusterEvent::Kind::kFailSpine:
-        if (event.spine < alive.size()) {
-          alive[event.spine] = 0;
-        }
-        break;  // no remap: clients keep their stale routes until recovery
-      case ClusterEvent::Kind::kRecoverSpine:
-        if (event.spine < alive.size()) {
-          alive[event.spine] = 1;
-        }
-        model_.SyncControllerRemap(alive);
-        msg.route_table = std::make_shared<const RouteTable>(BuildRouteTable(model_));
-        break;
-      case ClusterEvent::Kind::kRunRecovery:
-        model_.SyncControllerRemap(alive);
-        msg.route_table = std::make_shared<const RouteTable>(BuildRouteTable(model_));
-        break;
+    msg.is_phase = step.is_phase;
+    msg.phase = step.phase;
+    msg.event = step.event;
+    msg.event.at_request = step.at_request;  // phase steps carry it here too
+    msg.pmf = step.pmf;
+    msg.route_table = step.routes;
+    for (uint32_t peer = 0; peer < shard_map_.shards(); ++peer) {
+      if (peer != shard.id) {
+        SendMsg(shard, peer, msg);  // copy: same snapshot to every peer
+      }
     }
+    QueueTimelineMsg(shard, msg);
+  }
+}
+
+std::shared_ptr<const RouteTable> ShardedBackend::ReallocateFromReports(
+    Shard& shard,
+    const std::vector<std::vector<std::pair<uint64_t, uint32_t>>>& reports,
+    std::vector<std::shared_ptr<const RouteTable>>* suffix_routes) {
+  // Controller re-allocation (§6.4): merged observed counts → hottest-first
+  // refill → fresh routes. The controller acts on its *current* failure
+  // knowledge: re-sync its remap to the alive set as of this step (every shard
+  // has applied the same event prefix when it reaches the rendezvous, so the
+  // controller shard's view is the cluster's) — the construction-time plan walk
+  // left the model at the end-of-timeline state.
+  model_.SyncControllerRemap(shard.core.spine_alive());
+  std::vector<uint64_t> hottest;
+  for (const auto& [key, count] : MergeHeavyHitterReports(reports)) {
+    hottest.push_back(key);
+  }
+  model_.ReallocateCache(hottest);
+  auto routes = std::make_shared<const RouteTable>(
+      BuildRouteTable(model_, shard.core.hot_shift()));
+  // The remaining timeline's precomputed snapshots describe the pre-refill
+  // cached set; rebuild them against the refilled allocation so later
+  // failure/shift steps do not resurrect it. Every shard's pending actions are
+  // the same fired_plan_ suffix, so one rebuild serves the whole cluster.
+  *suffix_routes = RebuildPlanSuffixRoutes(
+      fired_plan_, shard.core.next_action_index(), model_,
+      shard.core.spine_alive(), shard.core.hot_shift());
+  return routes;
+}
+
+void ShardedBackend::ApplySuffixRoutes(
+    Shard& shard, const std::vector<std::shared_ptr<const RouteTable>>& suffix) {
+  const size_t from = shard.core.next_action_index();
+  for (size_t i = 0; i < suffix.size(); ++i) {
+    if (suffix[i] != nullptr) {
+      shard.core.SetActionRoutes(from + i, suffix[i]);
+    }
+  }
+}
+
+std::shared_ptr<const RouteTable> ShardedBackend::Reallocate(Shard& shard) {
+  const uint32_t controller = shard_map_.controller_shard();
+  const uint32_t peers = shard_map_.shards() - 1;
+  if (shard.id == controller) {
+    // Collect every shard's observed counts. Peers are guaranteed to reach the
+    // same step (it precedes their quota), so this barrier cannot deadlock;
+    // unrelated traffic keeps being applied while we wait.
+    std::vector<std::vector<std::pair<uint64_t, uint32_t>>> reports;
+    reports.push_back(shard.core.ObservedCounts());
+    uint32_t received = 0;
+    while (!shard.pending_reports.empty() && received < peers) {
+      reports.push_back(std::move(shard.pending_reports.back()));
+      shard.pending_reports.pop_back();
+      ++received;
+    }
+    while (received < peers) {
+      auto msg = shard.inbox.Receive();
+      if (!msg) {
+        return nullptr;  // channel closed
+      }
+      if (msg->kind == ShardMsg::Kind::kHotReport) {
+        reports.push_back(std::move(msg->hot_counts));
+        ++received;
+      } else {
+        Apply(shard, *msg);
+      }
+    }
+    std::vector<std::shared_ptr<const RouteTable>> suffix;
+    std::shared_ptr<const RouteTable> routes =
+        ReallocateFromReports(shard, reports, &suffix);
+    ApplySuffixRoutes(shard, suffix);
     for (uint32_t peer = 0; peer < shard_map_.shards(); ++peer) {
       if (peer == shard.id) {
         continue;
       }
-      shards_[peer]->inbox.Send(msg);  // copy: same snapshot to every peer
-      ++shard.local.cross_shard_messages;
+      ShardMsg update;
+      update.kind = ShardMsg::Kind::kRouteUpdate;
+      update.from = shard.id;
+      update.route_table = routes;
+      update.suffix_routes = suffix;
+      SendMsg(shard, peer, std::move(update));
     }
-    shard.at_local.push_back(static_cast<double>(msg.event.at_request) *
-                             shard.quota_scale);
-    shard.pending_events.push_back(std::move(msg));
+    return routes;
   }
-}
-
-void ShardedBackend::ApplyClusterEvent(Shard& shard, const ShardMsg& msg) {
-  const ClusterEvent& event = msg.event;
-  switch (event.kind) {
-    case ClusterEvent::Kind::kFailSpine:
-      if (event.spine < shard.spine_alive.size() && shard.spine_alive[event.spine]) {
-        shard.spine_alive[event.spine] = 0;
-        ++shard.dead_spines;
-        shard.recovery_ran = false;
-        shard.view.MarkDead({0, event.spine});
-      }
-      break;
-    case ClusterEvent::Kind::kRecoverSpine:
-      if (event.spine < shard.spine_alive.size() && !shard.spine_alive[event.spine]) {
-        shard.spine_alive[event.spine] = 1;
-        --shard.dead_spines;
-        shard.view.MarkAlive({0, event.spine});
-      }
-      if (msg.route_table != nullptr) {
-        shard.routes = msg.route_table;
-        shard.route_data = shard.routes->data();
-      }
-      break;
-    case ClusterEvent::Kind::kRunRecovery:
-      shard.recovery_ran = true;
-      if (msg.route_table != nullptr) {
-        shard.routes = msg.route_table;  // invalidate cached routes
-        shard.route_data = shard.routes->data();
-      }
-      break;
+  // Non-controller: report local observations, then block for the new table.
+  ShardMsg report;
+  report.kind = ShardMsg::Kind::kHotReport;
+  report.from = shard.id;
+  report.hot_counts = shard.core.ObservedCounts();
+  SendMsg(shard, controller, std::move(report));
+  if (shard.pending_route_update != nullptr) {
+    const auto update = std::exchange(shard.pending_route_update, nullptr);
+    ApplySuffixRoutes(shard, update->suffix_routes);
+    return update->route_table;
   }
-}
-
-bool ShardedBackend::TransitBlackholed(Shard& shard) {
-  return !shard.recovery_ran && shard.dead_spines > 0 &&
-         shard.rng.NextBounded(config_.cluster.num_spine) < shard.dead_spines;
-}
-
-void ShardedBackend::CloseInterval(Shard& shard) {
-  shard.local.CloseIntervalAt(shard.processed, shard.mark);
-}
-
-void ShardedBackend::AddCacheLoad(Shard& shard, CacheNodeId node, double delta) {
-  const uint32_t flat = shard_map_.FlatIndex(node);
-  shard.own_cache[flat] += delta;     // telemetry partial
-  shard.view.Add(node, delta);        // optimistic local view (invariant 3)
-  if (shard_map_.OwnerOfCache(node) == shard.id) {
-    (node.layer == 0 ? shard.local.spine_load[node.index]
-                     : shard.local.leaf_load[node.index]) += delta;
-  } else {
-    shard.cache_unsent[flat] += delta;
-  }
-}
-
-void ShardedBackend::AddServerLoad(Shard& shard, uint32_t server, double delta) {
-  if (shard_map_.OwnerOfServer(server) == shard.id) {
-    shard.local.server_load[server] += delta;
-  } else {
-    shard.server_unsent[server] += delta;
+  while (true) {
+    auto msg = shard.inbox.Receive();
+    if (!msg) {
+      return nullptr;  // channel closed
+    }
+    if (msg->kind == ShardMsg::Kind::kRouteUpdate) {
+      ApplySuffixRoutes(shard, msg->suffix_routes);
+      return msg->route_table;
+    }
+    Apply(shard, *msg);
   }
 }
 
@@ -206,18 +264,24 @@ void ShardedBackend::Apply(Shard& shard, ShardMsg& msg) {
       for (uint32_t flat = 0; flat < msg.cache_partials.size(); ++flat) {
         const double delta = msg.cache_partials[flat] - last[flat];
         if (delta != 0.0) {
-          shard.view.Add(shard_map_.NodeOfFlat(flat), delta);
+          shard.core.view().Add(shard_map_.NodeOfFlat(flat), delta);
           last[flat] = msg.cache_partials[flat];
         }
       }
       break;
     }
     case ShardMsg::Kind::kClusterEvent:
-      // FIFO per sender: events arrive in timeline order. Queue for application
+      // FIFO per sender: steps arrive in timeline order. Queue for application
       // at this shard's local scaled timestamp (batch-boundary check).
-      shard.at_local.push_back(static_cast<double>(msg.event.at_request) *
-                               shard.quota_scale);
-      shard.pending_events.push_back(std::move(msg));
+      QueueTimelineMsg(shard, msg);
+      break;
+    case ShardMsg::Kind::kHotReport:
+      // A peer is already at its next kReallocateCache step; stash until this
+      // shard's rendezvous consumes it.
+      shard.pending_reports.push_back(std::move(msg.hot_counts));
+      break;
+    case ShardMsg::Kind::kRouteUpdate:
+      shard.pending_route_update = std::make_unique<ShardMsg>(std::move(msg));
       break;
     case ShardMsg::Kind::kDone:
       ++shard.done_seen;
@@ -264,8 +328,7 @@ void ShardedBackend::FlushCacheDeltas(Shard& shard) {
     msg.server_entries = std::move(pending.server_entries);
     pending.cache_entries.clear();
     pending.server_entries.clear();
-    shards_[peer]->inbox.Send(std::move(msg));
-    ++shard.local.cross_shard_messages;
+    SendMsg(shard, peer, std::move(msg));
   }
 }
 
@@ -287,153 +350,23 @@ void ShardedBackend::BroadcastTelemetry(Shard& shard) {
   msg.from = shard.id;
   msg.cache_partials = shard.own_cache;  // dense snapshot of own contributions
   for (uint32_t peer = 0; peer < shard_map_.shards(); ++peer) {
-    if (peer == shard.id) {
-      continue;
-    }
-    shards_[peer]->inbox.Send(msg);  // copy: same snapshot to every peer
-    ++shard.local.cross_shard_messages;
-  }
-}
-
-void ShardedBackend::ProcessRequest(Shard& shard, uint32_t bucket) {
-  const ClusterConfig& cc = config_.cluster;
-  BackendStats& st = shard.local;
-  const bool is_tail = bucket == model_.pool;
-  const bool is_write =
-      cc.write_ratio > 0.0 && shard.rng.NextBernoulli(cc.write_ratio);
-
-  uint32_t server;
-  const RouteEntry* entry = nullptr;
-  if (is_tail) {
-    const uint64_t key =
-        model_.pool + shard.rng.NextBounded(cc.num_keys - model_.pool);
-    server = model_.placement.ServerOf(key);
-  } else {
-    entry = &shard.route_data[bucket];
-    server = entry->server;
-  }
-
-  if (is_write) {
-    // Writes reach the primary through an ECMP-chosen spine; a pre-recovery dead
-    // spine blackholes its share (§4.4). Coherence touches only alive copies.
-    ++st.writes;
-    if (TransitBlackholed(shard)) {
-      ++st.dropped;
-      return;
-    }
-    size_t num_copies = 0;
-    if (entry != nullptr) {
-      switch (entry->kind) {
-        case RouteEntry::kPair:
-          if (shard.spine_alive[entry->spine]) {
-            ++num_copies;
-            AddCacheLoad(shard, {0, entry->spine}, cc.coherence_switch_cost);
-          }
-          ++num_copies;
-          AddCacheLoad(shard, {1, entry->leaf}, cc.coherence_switch_cost);
-          break;
-        case RouteEntry::kSpineOnly:
-          if (shard.spine_alive[entry->spine]) {
-            ++num_copies;
-            AddCacheLoad(shard, {0, entry->spine}, cc.coherence_switch_cost);
-          }
-          break;
-        case RouteEntry::kLeafOnly:
-          ++num_copies;
-          AddCacheLoad(shard, {1, entry->leaf}, cc.coherence_switch_cost);
-          break;
-        case RouteEntry::kReplicated:
-          num_copies = static_cast<size_t>(cc.num_spine - shard.dead_spines) + 1;
-          for (uint32_t s = 0; s < cc.num_spine; ++s) {
-            if (shard.spine_alive[s]) {
-              AddCacheLoad(shard, {0, s}, cc.coherence_switch_cost);
-            }
-          }
-          AddCacheLoad(shard, {1, entry->leaf}, cc.coherence_switch_cost);
-          break;
-        default:
-          break;
-      }
-    }
-    AddServerLoad(shard, server,
-                  1.0 + cc.coherence_server_cost * static_cast<double>(num_copies));
-    return;
-  }
-
-  ++st.reads;
-  // Blackholed candidates degrade the choice set exactly like the sequential
-  // reference: a dead spine copy is skipped (the pair becomes a single leaf
-  // choice), a spine-only key falls back to the primary server.
-  const bool spine_dead =
-      entry != nullptr && shard.dead_spines > 0 &&
-      (entry->kind == RouteEntry::kPair || entry->kind == RouteEntry::kSpineOnly) &&
-      !shard.spine_alive[entry->spine];
-  if (entry == nullptr || entry->kind == RouteEntry::kUncached ||
-      (spine_dead && entry->kind == RouteEntry::kSpineOnly)) {
-    if (TransitBlackholed(shard)) {
-      ++st.dropped;
-      return;
-    }
-    AddServerLoad(shard, server, 1.0);
-    ++st.server_reads;
-    return;
-  }
-
-  CacheNodeId node;
-  switch (entry->kind) {
-    case RouteEntry::kPair:
-      node = spine_dead ? CacheNodeId{1, entry->leaf}
-                        : shard.router.ChoosePair({0, entry->spine}, {1, entry->leaf});
-      break;
-    case RouteEntry::kSpineOnly:
-      node = {0, entry->spine};
-      break;
-    case RouteEntry::kLeafOnly:
-      node = {1, entry->leaf};
-      break;
-    default: {  // kReplicated
-      auto& cands = shard.scratch_candidates;
-      cands.clear();
-      for (uint32_t s = 0; s < cc.num_spine; ++s) {
-        if (shard.spine_alive[s]) {
-          cands.push_back({0, s});
-        }
-      }
-      cands.push_back({1, entry->leaf});
-      node = cands[shard.router.Choose(cands)];
-      break;
+    if (peer != shard.id) {
+      SendMsg(shard, peer, msg);  // copy: same snapshot to every peer
     }
   }
-  // Leaf hits transit an ECMP-chosen spine on the way down (§3.4); spine hits are
-  // absorbed by their (alive) serving switch and cannot be blackholed.
-  if (node.layer != 0 && TransitBlackholed(shard)) {
-    ++st.dropped;
-    return;
-  }
-  AddCacheLoad(shard, node, 1.0);
-  ++st.cache_hits;
-  ++(node.layer == 0 ? st.spine_hits : st.leaf_hits);
 }
 
 void ShardedBackend::ProcessBatch(Shard& shard, uint32_t count) {
   DrainInbox(shard, /*blocking=*/false);
-  // Apply timeline events whose scaled timestamp the local request clock has
-  // reached (accurate to one batch; deterministic under OS scheduling skew).
-  while (shard.next_event < shard.pending_events.size() &&
-         shard.at_local[shard.next_event] <=
-             static_cast<double>(shard.processed)) {
-    ApplyClusterEvent(shard, shard.pending_events[shard.next_event++]);
-  }
-  if (shard.sample_step > 0.0) {
-    while (static_cast<double>(shard.processed) >= shard.next_sample_at) {
-      CloseInterval(shard);
-      shard.next_sample_at += shard.sample_step;
-    }
-  }
+  // Apply timeline steps whose scaled timestamp the local request clock has
+  // reached (accurate to one batch; deterministic under OS scheduling skew),
+  // then close any due sample intervals.
+  shard.core.AdvanceTo(shard.processed);
   shard.batch_keys.resize(count);
-  sampler_.SampleBatch(shard.rng, shard.batch_keys.data(), count);
+  shard.sampler->SampleBatch(shard.core.rng(), shard.batch_keys.data(), count);
+  ShardSink sink{this, &shard};
   for (uint32_t i = 0; i < count; ++i) {
-    ProcessRequest(shard, shard.batch_keys[i]);
+    shard.core.Process(sink, shard.batch_keys[i]);
   }
   shard.processed += count;
 }
@@ -449,30 +382,37 @@ void ShardedBackend::ShardMain(Shard& shard, uint64_t quota, uint64_t num_reques
   shard.last_partial.assign(shard_map_.shards(),
                             std::vector<double>(cc.num_spine + cc.num_racks, 0.0));
   shard.out.resize(shard_map_.shards());
-  shard.spine_alive.assign(cc.num_spine, 1);
-  shard.routes = base_routes_;
-  shard.route_data = shard.routes->data();
+  shard.sampler = &sampler_;
   shard.quota_scale = num_requests == 0
                           ? 0.0
                           : static_cast<double>(quota) / static_cast<double>(num_requests);
-  if (config_.sample_interval > 0) {
-    shard.sample_step =
-        static_cast<double>(config_.sample_interval) * shard.quota_scale;
-    shard.next_sample_at = shard.sample_step;
-    if (shard.sample_step <= 0.0) {
-      shard.sample_step = 0.0;  // degenerate quota: no series from this shard
-    }
-  }
-  if (!events_.empty()) {
-    if (shard.id == 0) {
-      BroadcastTimeline(shard);
+  shard.core.BindStats(&shard.local);
+  shard.core.SetRoutes(base_routes_);
+  shard.core.SetSampleStep(static_cast<double>(config_.sample_interval) *
+                           shard.quota_scale);
+  shard.core.SetPhaseHook(
+      [&shard](const WorkloadPhase&,
+               const std::shared_ptr<const std::vector<double>>& pmf) {
+        if (pmf != nullptr) {
+          // O(pool) rebuild, amortized over the phase; consumes no RNG, so the
+          // shard's key stream stays deterministic.
+          shard.phase_sampler = std::make_unique<AliasSampler>(*pmf);
+          shard.sampler = shard.phase_sampler.get();
+        }
+      });
+  shard.core.SetReallocateHook([this, &shard] { return Reallocate(shard); });
+
+  const size_t expected_steps = fired_plan_.size();
+  if (expected_steps > 0) {
+    if (shard.id == shard_map_.controller_shard()) {
+      BroadcastTimeline(shard, num_requests);
     } else {
-      // Deterministic rendezvous: the timeline length is config-known, so block
+      // Deterministic rendezvous: the plan length is config-known, so block
       // until the controller's multicast has fully arrived before processing any
-      // request — otherwise an event timestamped near 0 could race the first
+      // request — otherwise a step timestamped near 0 could race the first
       // batches. Only kClusterEvent traffic can be in flight at this point (every
       // non-controller shard is parked here), but Apply() handles any kind.
-      while (shard.pending_events.size() < events_.size()) {
+      while (shard.timeline_received < expected_steps) {
         auto msg = shard.inbox.Receive();
         if (!msg) {
           break;  // channel closed
@@ -510,6 +450,11 @@ void ShardedBackend::ShardMain(Shard& shard, uint64_t quota, uint64_t num_reques
   }
   shard.queue.RunUntil(static_cast<double>(quota) + 1.0);
 
+  // Catch-up: steps whose scaled timestamp landed inside the final batch (or a
+  // zero quota) were not seen by a batch boundary; apply them now so every shard
+  // participates in every rendezvous and series indices stay aligned.
+  shard.core.AdvanceTo(quota);
+
   // Quota done: flush every remaining delta (server deltas are end-of-run only),
   // tell every peer, then absorb in-flight deltas until all peers are done too
   // (per-sender FIFO makes Done a reliable end-of-stream marker).
@@ -522,21 +467,29 @@ void ShardedBackend::ShardMain(Shard& shard, uint64_t quota, uint64_t num_reques
     ShardMsg done;
     done.kind = ShardMsg::Kind::kDone;
     done.from = shard.id;
-    shards_[peer]->inbox.Send(std::move(done));
+    const bool sent = shards_[peer]->inbox.Send(std::move(done));
+    assert(sent);  // inboxes outlive the workers
+    (void)sent;
   }
   DrainInbox(shard, /*blocking=*/true);
-  if (shard.sample_step > 0.0 && shard.processed > shard.mark.requests) {
-    CloseInterval(shard);
-  }
+  shard.core.FinishSeries(shard.processed);
   shard.local.requests = shard.processed;
 }
 
 BackendStats ShardedBackend::Run(uint64_t num_requests) {
   const uint32_t n = shard_map_.shards();
+  const bool observer = TimelineNeedsObserver(config_.events);
+  fired_plan_.clear();
+  for (const TimelineStep& step : plan_) {
+    if (step.at_request < num_requests) {
+      fired_plan_.push_back(step);  // at/beyond the Run's count: never fires
+    }
+  }
   shards_.clear();
   shards_.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
-    shards_.push_back(std::make_unique<Shard>(i, config_, config_.cluster.seed));
+    shards_.push_back(
+        std::make_unique<Shard>(i, &model_, config_.cluster.seed, observer));
   }
 
   const auto t0 = std::chrono::steady_clock::now();

@@ -6,10 +6,10 @@
 // sim/event_queue.h EventQueue) with two event types:
 //
 //   * batch events   — process `batch_size` (~64) requests through the amortized hot
-//                      path: alias-table key sampling (common/alias_sampler.h),
-//                      precomputed per-key route entries (sim/route_table.h) instead
-//                      of per-request CopiesOf, and PotRouter::ChoosePair on the
-//                      shard's local LoadTracker view;
+//                      path: alias-table key sampling (common/alias_sampler.h) and
+//                      the shared request core (sim/engine_core.h) over precomputed
+//                      per-rank route entries (sim/route_table.h) and the shard's
+//                      local LoadTracker view;
 //   * telemetry events — every `epoch_requests` simulated requests the shard
 //                      broadcasts a dense snapshot of its *own cumulative per-node
 //                      contributions* to all peers (the §4.2 telemetry epoch).
@@ -30,19 +30,25 @@
 // per destination when the shard finishes its quota — routing never reads them, so
 // channel traffic stays O(epochs), not O(requests).
 //
-// Failure timeline (§4.4 / Fig. 11): shard 0 doubles as the cluster controller. It
-// walks the ClusterEvent timeline once before request processing, precomputing the
-// post-remap route table for each remap-triggering event (the remap is a pure
-// function of the timeline prefix), and multicasts each event — with its immutable
-// route-table snapshot attached — to every peer as a kClusterEvent ShardMsg. Each
-// shard applies an event when its *local* request clock reaches the event's
-// timestamp scaled to its quota (checked at batch boundaries, so application is
-// accurate to within one batch and immune to OS scheduling skew). Applying a
-// failure marks the dead switch in the shard's alive set and pins its LoadTracker
-// entry (MarkDead); applying a remap swaps the shard's route-table pointer — the
-// "invalidate cached routes" step. Between a spine's failure and the recovery
-// remap, requests that would transit the dead switch are blackholed and counted in
-// BackendStats::dropped, exactly like the sequential reference.
+// Timeline (failures §4.4, workload phases / hot-spot shift / re-allocation §6.4):
+// the controller shard (net/shard_map.h controller_shard()) multicasts the merged
+// TimelineStep plan (sim/engine_core.h BuildTimelinePlan) once before request
+// processing, each step carrying its immutable precomputed snapshot — a route
+// table, and for phase switches the pmf each shard rebuilds its alias sampler
+// from. Each shard applies a step when its *local* request clock reaches the
+// step's timestamp scaled to its quota (checked at batch boundaries, so
+// application is accurate to within one batch and immune to OS scheduling skew;
+// a final catch-up at the quota applies steps landing inside the last batch).
+//
+// kReallocateCache is the one step whose effect cannot be precomputed: the new
+// allocation depends on runtime-observed popularity. It runs as a rendezvous —
+// every shard, on reaching the step, sends its heavy-hitter counts (kHotReport)
+// to the controller shard and blocks; the controller merges the reports
+// (sketch/heavy_hitter.h), refills the allocation hottest-first
+// (core/allocation.h), builds the new route table and multicasts it
+// (kRouteUpdate) — the same push-new-routes plumbing failure recovery uses. The
+// merged counts are sums of deterministic per-shard streams, so the rebuilt
+// allocation is deterministic despite the runtime rendezvous.
 //
 // Termination: a shard that finishes its quota sends kDone to every peer and then
 // blocks on its inbox until it has seen kDone from all peers, guaranteeing every
@@ -53,15 +59,14 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/alias_sampler.h"
-#include "common/random.h"
-#include "core/load_tracker.h"
-#include "core/pot_router.h"
 #include "net/shard_map.h"
 #include "runtime/channel.h"
 #include "sim/cluster_model.h"
+#include "sim/engine_core.h"
 #include "sim/event_queue.h"
 #include "sim/route_table.h"
 #include "sim/shard_message.h"
@@ -79,30 +84,44 @@ class ShardedBackend : public SimBackend {
 
  private:
   struct Shard;
+  struct ShardSink;
 
   void ShardMain(Shard& shard, uint64_t quota, uint64_t num_requests);
-  // Controller role (shard 0): precompute per-event route tables and multicast
-  // the timeline over the shard channels before processing starts.
-  void BroadcastTimeline(Shard& shard);
-  void ApplyClusterEvent(Shard& shard, const ShardMsg& msg);
+  // Controller role: multicast the precomputed timeline plan over the shard
+  // channels before processing starts (steps at/after num_requests never fire
+  // and are not sent).
+  void BroadcastTimeline(Shard& shard, uint64_t num_requests);
+  void QueueTimelineMsg(Shard& shard, const ShardMsg& msg);
   void ProcessBatch(Shard& shard, uint32_t count);
-  void ProcessRequest(Shard& shard, uint32_t bucket);
-  bool TransitBlackholed(Shard& shard);
-  void CloseInterval(Shard& shard);
+  // kReallocateCache rendezvous (header comment): returns the post-reallocation
+  // route table, or null if the channels were shut down mid-rendezvous.
+  std::shared_ptr<const RouteTable> Reallocate(Shard& shard);
+  // Controller side of the rendezvous: merged refill + current table, plus
+  // rebuilt snapshots for the remaining timeline steps in *suffix_routes.
+  std::shared_ptr<const RouteTable> ReallocateFromReports(
+      Shard& shard,
+      const std::vector<std::vector<std::pair<uint64_t, uint32_t>>>& reports,
+      std::vector<std::shared_ptr<const RouteTable>>* suffix_routes);
+  // Installs rebuilt suffix snapshots over the shard's pending actions.
+  void ApplySuffixRoutes(
+      Shard& shard, const std::vector<std::shared_ptr<const RouteTable>>& suffix);
+  void SendMsg(Shard& shard, uint32_t peer, ShardMsg msg);
   void BroadcastTelemetry(Shard& shard);
   void FlushCacheDeltas(Shard& shard);
   void FlushServerDeltas(Shard& shard);
   void DrainInbox(Shard& shard, bool blocking);
   void Apply(Shard& shard, ShardMsg& msg);
-  void AddCacheLoad(Shard& shard, CacheNodeId node, double delta);
-  void AddServerLoad(Shard& shard, uint32_t server, double delta);
 
   SimBackendConfig config_;
   ClusterModel model_;
   ShardMap shard_map_;
-  AliasSampler sampler_;            // head keys + one tail bucket
-  std::shared_ptr<const RouteTable> base_routes_;  // pre-failure snapshot
-  std::vector<ClusterEvent> events_;               // sorted by at_request
+  AliasSampler sampler_;            // head ranks + one tail bucket (phase 0)
+  std::shared_ptr<const RouteTable> base_routes_;  // pre-timeline snapshot
+  std::vector<TimelineStep> plan_;  // merged events+phases, with snapshots
+  // plan_ restricted to steps that fire within the current Run (at_request <
+  // num_requests) — exactly what every shard queues, so action indices align
+  // across shards and with the controller's suffix rebuilds.
+  std::vector<TimelineStep> fired_plan_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

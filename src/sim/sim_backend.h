@@ -45,33 +45,45 @@
 #include <vector>
 
 #include "cluster/cluster_sim.h"
+#include "common/workload.h"
 
 namespace distcache {
 
-// One scheduled cluster reconfiguration (§4.4 / Fig. 11), timestamped in requests:
-// the event applies just before the `at_request`-th request of a Run() (timestamps
-// are relative to the start of each Run). This is the engine-agnostic equivalent of
-// calling ClusterSim::{FailSpine,RecoverSpine,RunFailureRecovery} mid-measurement,
-// and the extension point for future churn / hot-spot-shift scenarios.
+// One scheduled cluster reconfiguration, timestamped in requests: the event applies
+// just before the `at_request`-th request of a Run() (timestamps are relative to the
+// start of each Run). Failure events (§4.4 / Fig. 11) are the engine-agnostic
+// equivalent of calling ClusterSim::{FailSpine,RecoverSpine,RunFailureRecovery}
+// mid-measurement; the workload events (§6.4 hot-spot shift) rotate the hot set and
+// trigger online cache re-allocation from observed heavy-hitter counts.
 struct ClusterEvent {
   enum class Kind : uint8_t {
-    kFailSpine,     // spine switch dies: its cached partition blackholes
-    kRecoverSpine,  // switch restored: partitions return to their home switch
-    kRunRecovery,   // controller remaps failed partitions onto alive spines
+    kFailSpine,        // spine switch dies: its cached partition blackholes
+    kRecoverSpine,     // switch restored: partitions return to their home switch
+    kRunRecovery,      // controller remaps failed partitions onto alive spines
+    kShiftHotspot,     // hot set rotates: rank r now maps to key (r + value) % keys
+    kReallocateCache,  // controller re-allocates the cache from observed counts and
+                       // pushes the new routes (the §6.4 cache-update reaction)
   };
 
   Kind kind = Kind::kFailSpine;
   uint64_t at_request = 0;
-  uint32_t spine = 0;  // ignored for kRunRecovery
+  uint32_t spine = 0;   // kFailSpine / kRecoverSpine only
+  uint64_t value = 0;   // kShiftHotspot: the hot-set rotation amount
 
   static ClusterEvent FailSpine(uint64_t at_request, uint32_t spine) {
-    return {Kind::kFailSpine, at_request, spine};
+    return {Kind::kFailSpine, at_request, spine, 0};
   }
   static ClusterEvent RecoverSpine(uint64_t at_request, uint32_t spine) {
-    return {Kind::kRecoverSpine, at_request, spine};
+    return {Kind::kRecoverSpine, at_request, spine, 0};
   }
   static ClusterEvent RunRecovery(uint64_t at_request) {
-    return {Kind::kRunRecovery, at_request, 0};
+    return {Kind::kRunRecovery, at_request, 0, 0};
+  }
+  static ClusterEvent ShiftHotspot(uint64_t at_request, uint64_t shift) {
+    return {Kind::kShiftHotspot, at_request, 0, shift};
+  }
+  static ClusterEvent ReallocateCache(uint64_t at_request) {
+    return {Kind::kReallocateCache, at_request, 0, 0};
   }
 };
 
@@ -93,11 +105,22 @@ struct SimBackendConfig {
   // staleness bound of the sharded backend.
   uint64_t epoch_requests = 4096;
 
-  // Failure/recovery timeline applied during Run() (need not be sorted; engines
+  // Reconfiguration timeline applied during Run() (need not be sorted; engines
   // sort by at_request, ties applied in list order). Timestamps at or beyond the
-  // Run's request count never fire. Empty timeline == the engine's historical
-  // behaviour, bit for bit (no extra RNG draws are consumed).
+  // Run's request count never fire. An empty timeline is bit-identical to a
+  // timeline-free run of the same build: timeline machinery consumes no RNG
+  // draws. (Absolute streams are stable per build, not across releases — the
+  // engine-core unification fixed one per-request draw order for all engines,
+  // so write-workload streams differ from pre-unification sequential runs.)
   std::vector<ClusterEvent> events;
+  // Workload phase timeline (need not be sorted): each phase switches the request
+  // stream's skew/write ratio/hot rotation at its start_request, alongside (and
+  // independent of) the cluster events above. When phases and events share a
+  // timestamp the phases apply first. Empty = one implicit phase from `cluster`
+  // (zipf_theta/write_ratio, no rotation), bit-identical to a phase-free run.
+  // Request-level engines rebuild their samplers and route tables at each phase
+  // boundary; the fluid engine re-derives its popularity vector per segment.
+  std::vector<WorkloadPhase> phases;
   // When > 0, BackendStats::series records one IntervalPoint per this many
   // requests — the Fig. 11 time-series instrumentation. The sharded backend
   // samples each shard every sample_interval/shards local requests and merges

@@ -1,8 +1,27 @@
 #include "sketch/heavy_hitter.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 namespace distcache {
+
+std::vector<std::pair<uint64_t, uint64_t>> MergeHeavyHitterReports(
+    const std::vector<std::vector<std::pair<uint64_t, uint32_t>>>& reports) {
+  std::unordered_map<uint64_t, uint64_t> merged;
+  for (const auto& list : reports) {
+    for (const auto& [key, count] : list) {
+      merged[key] += count;
+    }
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> out(merged.begin(), merged.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) {
+      return a.second > b.second;
+    }
+    return a.first < b.first;
+  });
+  return out;
+}
 
 HeavyHitterDetector::HeavyHitterDetector(const Config& config)
     : config_(config), sketch_(config.sketch), bloom_(config.bloom) {}

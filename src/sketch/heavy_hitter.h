@@ -10,12 +10,22 @@
 #include <cstddef>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sketch/bloom_filter.h"
 #include "sketch/count_min.h"
 
 namespace distcache {
+
+// Merges per-detector heavy-hitter report lists (key, estimated count) into one
+// hottest-first list: counts for the same key sum (each detector saw a disjoint
+// slice of the traffic), ties break on the smaller key for determinism. This is the
+// controller-side aggregation step of online cache re-allocation — every switch
+// (or simulation shard) reports its local top keys and the controller re-allocates
+// from the merged ranking (§4.1, §6.4).
+std::vector<std::pair<uint64_t, uint64_t>> MergeHeavyHitterReports(
+    const std::vector<std::vector<std::pair<uint64_t, uint32_t>>>& reports);
 
 class HeavyHitterDetector {
  public:

@@ -62,6 +62,79 @@ TEST(WorkloadGenerator, DeterministicFromSeed) {
   }
 }
 
+TEST(PhasedWorkload, PhasesSwitchThetaWriteRatioAndShift) {
+  WorkloadConfig cfg;
+  cfg.num_keys = 1000;
+  cfg.zipf_theta = 0.99;
+  cfg.write_ratio = 0.0;
+  WorkloadPhase phase;
+  phase.start_request = 500;
+  phase.zipf_theta = 0.0;  // uniform
+  phase.write_ratio = 1.0;
+  phase.hot_shift = 100;
+  cfg.phases = {phase};
+  WorkloadGenerator gen(cfg);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(gen.Next().type, OpType::kGet);
+  }
+  EXPECT_EQ(gen.hot_shift(), 0u);
+  for (int i = 0; i < 500; ++i) {
+    const Op op = gen.Next();
+    EXPECT_EQ(op.type, OpType::kPut);
+    EXPECT_LT(op.key, 1000u);  // rotation wraps inside the keyspace
+  }
+  EXPECT_EQ(gen.hot_shift(), 100u);
+  EXPECT_DOUBLE_EQ(gen.write_ratio(), 1.0);
+}
+
+TEST(PhasedWorkload, HotShiftRotatesRanks) {
+  WorkloadConfig cfg;
+  cfg.num_keys = 1000;
+  cfg.zipf_theta = 0.99;
+  WorkloadConfig shifted = cfg;
+  WorkloadPhase phase;
+  phase.start_request = 0;
+  phase.zipf_theta = cfg.zipf_theta;
+  phase.hot_shift = 250;
+  shifted.phases = {phase};
+  WorkloadGenerator a(cfg);
+  WorkloadGenerator b(shifted);
+  for (int i = 0; i < 2000; ++i) {
+    // Identical RNG streams: the shifted generator's key is the rotation of the
+    // unshifted one, rank for rank.
+    EXPECT_EQ((a.Next().key + 250) % 1000, b.Next().key);
+  }
+}
+
+TEST(ParsePhaseList, ParsesAndSortsValidLists) {
+  std::vector<WorkloadPhase> phases;
+  std::string error;
+  ASSERT_TRUE(ParsePhaseList("500000:0.9:0.1:777,0:0.99:0.0", &phases, &error))
+      << error;
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].start_request, 0u);  // sorted by start
+  EXPECT_DOUBLE_EQ(phases[0].zipf_theta, 0.99);
+  EXPECT_EQ(phases[1].start_request, 500000u);
+  EXPECT_DOUBLE_EQ(phases[1].write_ratio, 0.1);
+  EXPECT_EQ(phases[1].hot_shift, 777u);
+}
+
+TEST(ParsePhaseList, RejectsMalformedInput) {
+  std::vector<WorkloadPhase> phases;
+  std::string error;
+  // Wrong arity, non-numeric fields, NaN, out-of-range ratios, negatives —
+  // including whitespace-prefixed negatives, which bare strtoull would
+  // silently wrap to huge uint64 values.
+  for (const char* bad :
+       {"", "0:0.99", "0:0.99:0.0:1:2", "x:0.99:0.0", "0:nan:0.0", "0:0.99:1.5",
+        "0:1.2:0.0", "0:0.99:-0.1", "-5:0.99:0.0", "0:0.99:0.0:abc",
+        "0:0.99:0.0, -5:0.9:0.1", " 1:0.99:0.0", "0:0.99:0.0: -3"}) {
+    error.clear();
+    EXPECT_FALSE(ParsePhaseList(bad, &phases, &error)) << "accepted: " << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
 TEST(BuildPopularityVector, HeadPlusTailIsOne) {
   auto dist = MakeDistribution(100000, 0.99);
   const PopularityVector pv = BuildPopularityVector(*dist, 1000);

@@ -156,5 +156,37 @@ TEST(CacheAllocation, AutoPoolScalesWithBudget) {
   EXPECT_EQ(alloc.candidate_pool(), 8u * 10u * 16u);
 }
 
+// Refill re-allocates onto an explicit hottest-first key list: the listed keys
+// are cached at their true rack/partition, the old hot set is evicted, and any
+// spine remap in effect survives.
+TEST(CacheAllocation, RefillMovesCacheToObservedHotSet) {
+  CacheAllocation alloc(BaseConfig(Mechanism::kDistCache), BasePlacement());
+  ASSERT_TRUE(alloc.CopiesOf(0).cached());  // identity hot set: rank 0 cached
+  std::vector<uint64_t> hottest;
+  for (uint64_t rank = 0; rank < alloc.candidate_pool(); ++rank) {
+    hottest.push_back(rank + 1'000'000);  // an entirely new hot set
+  }
+  alloc.Refill(hottest, BasePlacement());
+  EXPECT_FALSE(alloc.CopiesOf(0).cached());  // old hot keys evicted
+  EXPECT_TRUE(alloc.CopiesOf(1'000'000).cached());  // new rank-0 key cached
+  EXPECT_EQ(alloc.KeyOfRank(0), 1'000'000u);
+  EXPECT_GT(alloc.num_cached_keys(), 0u);
+}
+
+// An *empty* observed list is a refill that caches nothing — not a silent
+// revert to the identity mapping (regression guard: a kReallocateCache firing
+// before any key was observed twice must empty the cache, not repopulate the
+// pre-shift one).
+TEST(CacheAllocation, RefillWithEmptyObservationsCachesNothing) {
+  CacheAllocation alloc(BaseConfig(Mechanism::kDistCache), BasePlacement());
+  ASSERT_GT(alloc.num_cached_keys(), 0u);
+  alloc.Refill({}, BasePlacement());
+  EXPECT_EQ(alloc.num_cached_keys(), 0u);
+  EXPECT_FALSE(alloc.CopiesOf(0).cached());
+  for (const auto& contents : alloc.spine_contents()) {
+    EXPECT_TRUE(contents.empty());
+  }
+}
+
 }  // namespace
 }  // namespace distcache

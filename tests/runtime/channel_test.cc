@@ -26,7 +26,7 @@ TEST(Channel, FifoWithinSingleProducer) {
 TEST(Channel, TryReceiveReturnsNulloptWhenEmpty) {
   Channel<int> ch;
   EXPECT_FALSE(ch.TryReceive().has_value());
-  ch.Send(7);
+  ASSERT_TRUE(ch.Send(7));
   auto v = ch.TryReceive();
   ASSERT_TRUE(v.has_value());
   EXPECT_EQ(*v, 7);
@@ -35,8 +35,8 @@ TEST(Channel, TryReceiveReturnsNulloptWhenEmpty) {
 
 TEST(Channel, CloseDrainsThenReturnsNullopt) {
   Channel<int> ch;
-  ch.Send(1);
-  ch.Send(2);
+  ASSERT_TRUE(ch.Send(1));
+  ASSERT_TRUE(ch.Send(2));
   ch.Close();
   EXPECT_FALSE(ch.Send(3));  // closed channels reject new items
   EXPECT_EQ(ch.Receive().value_or(-1), 1);
@@ -47,7 +47,7 @@ TEST(Channel, CloseDrainsThenReturnsNullopt) {
 
 TEST(Channel, ReceiveBlocksUntilSend) {
   Channel<int> ch;
-  std::thread producer([&ch] { ch.Send(42); });
+  std::thread producer([&ch] { ASSERT_TRUE(ch.Send(42)); });
   const auto v = ch.Receive();
   producer.join();
   ASSERT_TRUE(v.has_value());
@@ -71,12 +71,12 @@ TEST(Channel, CrossShardDeltaStreamsDrainCompletely) {
         msg.kind = ShardMsg::Kind::kLoadDeltas;
         msg.from = p;
         msg.cache_entries.emplace_back(CacheNodeId{0, p}, 1.0);
-        inbox.Send(std::move(msg));
+        ASSERT_TRUE(inbox.Send(std::move(msg)));
       }
       ShardMsg done;
       done.kind = ShardMsg::Kind::kDone;
       done.from = p;
-      inbox.Send(std::move(done));
+      ASSERT_TRUE(inbox.Send(std::move(done)));
     });
   }
 
@@ -113,7 +113,7 @@ TEST(Channel, ManyProducersOneConsumerLosesNothing) {
   for (int p = 0; p < kProducers; ++p) {
     producers.emplace_back([&ch] {
       for (uint64_t i = 0; i < kPerProducer; ++i) {
-        ch.Send(1);
+        ASSERT_TRUE(ch.Send(1));
       }
     });
   }
@@ -127,6 +127,47 @@ TEST(Channel, ManyProducersOneConsumerLosesNothing) {
     t.join();
   }
   EXPECT_EQ(sum, kProducers * kPerProducer);
+}
+
+// CloseAndDrain atomically closes and returns the undelivered backlog: nothing a
+// consumer will ever see again, nothing lost. The shutdown-accounting primitive
+// for the stranded-message class of bug.
+TEST(Channel, CloseAndDrainReturnsUndeliveredItems) {
+  Channel<int> ch;
+  ASSERT_TRUE(ch.Send(1));
+  ASSERT_TRUE(ch.Send(2));
+  ASSERT_TRUE(ch.Send(3));
+  EXPECT_EQ(ch.Receive().value_or(-1), 1);  // consumed before shutdown
+  const std::vector<int> undelivered = ch.CloseAndDrain();
+  EXPECT_EQ(undelivered, (std::vector<int>{2, 3}));
+  // Closed and empty: receivers observe clean end-of-stream, senders rejection.
+  EXPECT_FALSE(ch.Receive().has_value());
+  EXPECT_FALSE(ch.TryReceive().has_value());
+  EXPECT_FALSE(ch.Send(4));
+  EXPECT_EQ(ch.size(), 0u);
+}
+
+// Send after close must be reported to the caller — the bool result is the only
+// delivery signal, and the rejected-send counter lets shutdown paths assert the
+// rejection was observed rather than silently dropped.
+TEST(Channel, SendAfterCloseIsReportedAndCounted) {
+  Channel<int> ch;
+  EXPECT_EQ(ch.rejected_sends(), 0u);
+  ch.Close();
+  EXPECT_FALSE(ch.Send(1));
+  EXPECT_FALSE(ch.Send(2));
+  EXPECT_EQ(ch.rejected_sends(), 2u);
+}
+
+// CloseAndDrain wakes blocked receivers with end-of-stream, like Close.
+TEST(Channel, CloseAndDrainWakesBlockedReceiver) {
+  Channel<int> ch;
+  std::optional<int> got = 0;
+  std::thread consumer([&] { got = ch.Receive(); });
+  const std::vector<int> undelivered = ch.CloseAndDrain();
+  consumer.join();
+  EXPECT_TRUE(undelivered.empty());
+  EXPECT_FALSE(got.has_value());
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 //   distcache_sim --mechanism=distcache --latency --load=0.5
 //   distcache_sim --mechanism=distcache --fail-spines=4 --offered=512
 //   distcache_sim --backend=sharded --shards=4 --requests=2000000
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -46,20 +47,47 @@ int Run(int argc, char** argv) {
         "  [--backend=... --fail-spines=K [--fail-at=R] [--remap-at=R]\n"
         "   [--recover-at=R] [--sample=N]]   (failure timeline: fail spines 0..K-1\n"
         "   at request fail-at, controller recovery at remap-at, switches restored\n"
-        "   at recover-at; --sample prints the per-interval time series)\n");
+        "   at recover-at; --sample prints the per-interval time series)\n"
+        "  [--backend=... --shift-at=R [--shift-by=K] [--realloc-at=R]]\n"
+        "   (hot-spot shift: rotate the hot set by K keys (default keys/2) at\n"
+        "   request shift-at; the controller re-allocates the cache from observed\n"
+        "   heavy-hitter counts at realloc-at)\n"
+        "  [--backend=... --phases=start:theta:write[:shift],...]\n"
+        "   (workload phase timeline: switch skew / write ratio / hot rotation at\n"
+        "   the given request timestamps)\n");
     return 0;
   }
+  std::string error;
   ClusterConfig cfg;
   cfg.mechanism = ParseMechanism(flags.GetString("mechanism", "distcache"));
-  cfg.num_spine = static_cast<uint32_t>(flags.GetUint("spines", 32));
-  cfg.num_racks = static_cast<uint32_t>(flags.GetUint("racks", 32));
-  cfg.servers_per_rack = static_cast<uint32_t>(flags.GetUint("servers-per-rack", 32));
-  cfg.per_switch_objects =
-      static_cast<uint32_t>(flags.GetUint("cache-per-switch", 100));
-  cfg.num_keys = flags.GetUint("keys", 100'000'000);
-  cfg.zipf_theta = flags.GetDouble("zipf", 0.99);
-  cfg.write_ratio = flags.GetDouble("write-ratio", 0.0);
-  cfg.seed = flags.GetUint("seed", 42);
+  // Validated knobs: a NaN/negative/garbled value would silently skew every
+  // derived number (or wrap through strtoull), so refuse instead.
+  const auto uint32_flag = [&](const char* name, uint32_t def,
+                               uint32_t* out) -> bool {
+    uint64_t value = 0;
+    if (!flags.GetUintChecked(name, def, &value, &error)) {
+      return false;
+    }
+    if (value == 0 || value > 0xffffffffULL) {
+      error = "--" + std::string(name) + "=" + std::to_string(value) +
+              ": want an integer in [1, 2^32)";
+      return false;
+    }
+    *out = static_cast<uint32_t>(value);
+    return true;
+  };
+  if (!uint32_flag("spines", 32, &cfg.num_spine) ||
+      !uint32_flag("racks", 32, &cfg.num_racks) ||
+      !uint32_flag("servers-per-rack", 32, &cfg.servers_per_rack) ||
+      !uint32_flag("cache-per-switch", 100, &cfg.per_switch_objects) ||
+      !flags.GetUintChecked("keys", 100'000'000, &cfg.num_keys, &error) ||
+      !flags.GetUintChecked("seed", 42, &cfg.seed, &error) ||
+      !flags.GetDoubleInRange("zipf", 0.99, 0.0, 1.0, &cfg.zipf_theta, &error) ||
+      !flags.GetDoubleInRange("write-ratio", 0.0, 0.0, 1.0, &cfg.write_ratio,
+                              &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
   cfg.stale_telemetry = flags.GetBool("stale-telemetry", false);
   cfg.cap_at_server_aggregate = !flags.GetBool("uncapped", false);
   const std::string routing = flags.GetString("routing", "pot");
@@ -95,27 +123,102 @@ int Run(int argc, char** argv) {
     }
     SimBackendConfig bcfg;
     bcfg.cluster = cfg;
-    bcfg.shards = static_cast<uint32_t>(flags.GetUint("shards", 1));
-    if (bcfg.shards == 0) {
-      bcfg.shards = 1;  // ShardMap clamps too; clamp here so the report matches
+    uint64_t requests = 0;
+    if (!uint32_flag("shards", 1, &bcfg.shards) ||
+        !uint32_flag("batch", 64, &bcfg.batch_size) ||
+        !flags.GetUintChecked("epoch", 4096, &bcfg.epoch_requests, &error) ||
+        !flags.GetUintChecked("requests", 2'000'000, &requests, &error) ||
+        !flags.GetUintChecked("sample", 0, &bcfg.sample_interval, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
     }
-    bcfg.batch_size = static_cast<uint32_t>(flags.GetUint("batch", 64));
-    bcfg.epoch_requests = flags.GetUint("epoch", 4096);
-    const uint64_t requests = flags.GetUint("requests", 2'000'000);
-    bcfg.sample_interval = flags.GetUint("sample", 0);
+    // Timeline timestamps: anything at or beyond --requests would silently never
+    // fire; reject it so a typo'd timeline fails loudly.
+    const auto timeline_at = [&](const char* name, uint64_t def,
+                                 uint64_t* out) -> bool {
+      if (!flags.GetUintChecked(name, def, out, &error)) {
+        return false;
+      }
+      if (*out >= requests) {
+        error = "--" + std::string(name) + "=" + std::to_string(*out) +
+                ": timeline timestamps must be below --requests (" +
+                std::to_string(requests) + ")";
+        return false;
+      }
+      return true;
+    };
     if (flags.Has("fail-spines")) {
       // Failure timeline (§4.4 / Fig. 11): spines 0..K-1 fail at --fail-at, the
       // controller remaps their partitions at --remap-at, and the switches come
       // back (partitions return home) at --recover-at.
-      const auto k = static_cast<uint32_t>(flags.GetUint("fail-spines", 1));
-      const uint64_t fail_at = flags.GetUint("fail-at", requests / 5);
-      const uint64_t remap_at = flags.GetUint("remap-at", requests / 2);
-      const uint64_t recover_at = flags.GetUint("recover-at", requests * 3 / 4);
+      uint64_t fail_spines = 0;
+      if (!flags.GetUintChecked("fail-spines", 1, &fail_spines, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+      }
+      // More than num_spine is meaningless; clamping keeps the count in uint32
+      // without silently truncating huge values to small ones.
+      const auto k = static_cast<uint32_t>(
+          std::min<uint64_t>(fail_spines, cfg.num_spine));
+      uint64_t fail_at = 0;
+      uint64_t remap_at = 0;
+      uint64_t recover_at = 0;
+      if (!timeline_at("fail-at", requests / 5, &fail_at) ||
+          !timeline_at("remap-at", requests / 2, &remap_at) ||
+          !timeline_at("recover-at", requests * 3 / 4, &recover_at)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+      }
       for (uint32_t s = 0; s < k && s < cfg.num_spine; ++s) {
         bcfg.events.push_back(ClusterEvent::FailSpine(fail_at, s));
         bcfg.events.push_back(ClusterEvent::RecoverSpine(recover_at, s));
       }
       bcfg.events.push_back(ClusterEvent::RunRecovery(remap_at));
+    }
+    // Hot-spot shift timeline (§6.4): the hot set rotates by --shift-by keys at
+    // --shift-at, and the controller re-allocates the cache from observed
+    // heavy-hitter counts at --realloc-at. Each event appears only when its flag
+    // does (a realloc-only run is a legitimate control experiment).
+    uint64_t shift_at = 0;
+    bool have_shift = false;
+    if (flags.Has("shift-at") || flags.Has("shift-by")) {
+      uint64_t shift_by = 0;
+      if (!timeline_at("shift-at", requests / 4, &shift_at) ||
+          !flags.GetUintChecked("shift-by", cfg.num_keys / 2, &shift_by, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+      }
+      bcfg.events.push_back(ClusterEvent::ShiftHotspot(shift_at, shift_by));
+      have_shift = true;
+    }
+    if (flags.Has("realloc-at")) {
+      uint64_t realloc_at = 0;
+      if (!timeline_at("realloc-at", requests / 2, &realloc_at)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+      }
+      if (have_shift && realloc_at <= shift_at) {
+        std::fprintf(stderr, "--realloc-at=%llu must come after --shift-at=%llu\n",
+                     static_cast<unsigned long long>(realloc_at),
+                     static_cast<unsigned long long>(shift_at));
+        return 1;
+      }
+      bcfg.events.push_back(ClusterEvent::ReallocateCache(realloc_at));
+    }
+    if (flags.Has("phases")) {
+      if (!ParsePhaseList(flags.GetString("phases", ""), &bcfg.phases, &error)) {
+        std::fprintf(stderr, "--phases: %s\n", error.c_str());
+        return 1;
+      }
+      for (const WorkloadPhase& phase : bcfg.phases) {
+        if (phase.start_request >= requests) {
+          std::fprintf(stderr,
+                       "--phases: phase start %llu must be below --requests (%llu)\n",
+                       static_cast<unsigned long long>(phase.start_request),
+                       static_cast<unsigned long long>(requests));
+          return 1;
+        }
+      }
     }
     auto backend = MakeSimBackend(ParseBackendKind(backend_name), bcfg);
     const BackendStats stats = backend->Run(requests);
@@ -148,8 +251,16 @@ int Run(int argc, char** argv) {
 
   ClusterSim sim(cfg);
   if (flags.Has("fail-spines")) {
-    const auto k = static_cast<uint32_t>(flags.GetUint("fail-spines", 1));
-    const double offered = flags.GetDouble("offered", 0.5 * sim.TotalServerCapacity());
+    uint64_t fail_spines = 0;
+    double offered = 0.0;
+    if (!flags.GetUintChecked("fail-spines", 1, &fail_spines, &error) ||
+        !flags.GetDoubleInRange("offered", 0.5 * sim.TotalServerCapacity(), 0.0,
+                                1e15, &offered, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    const auto k = static_cast<uint32_t>(
+        std::min<uint64_t>(fail_spines, cfg.num_spine));
     std::printf("offered rate %.0f\n", offered);
     std::printf("healthy            : %8.0f\n", sim.AchievedThroughput(offered));
     for (uint32_t s = 0; s < k && s < cfg.num_spine; ++s) {
@@ -162,7 +273,11 @@ int Run(int argc, char** argv) {
   }
 
   if (flags.Has("latency")) {
-    const double load = flags.GetDouble("load", 0.5);
+    double load = 0.0;
+    if (!flags.GetDoubleInRange("load", 0.5, 0.0, 1.0, &load, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
     const LatencyReport report =
         ComputeLatencyReport(sim, load * sim.TotalServerCapacity());
     std::printf("latency @ %.0f%% load: mean=%.2f p50=%.2f p95=%.2f p99=%.2f "

@@ -1,4 +1,13 @@
 // Minimal command-line flag parsing for the CLI tools: --name=value or --name value.
+//
+// Two getter families:
+//  * GetString/GetDouble/GetUint/GetBool — permissive, never fail (malformed
+//    numbers parse as far as strtod/strtoull get). Fine for tools that validate
+//    elsewhere or for free-form values.
+//  * GetDoubleInRange/GetUintChecked — validating: reject text that is not
+//    entirely a number, NaN/inf, negatives, and out-of-range values with a
+//    human-readable error instead of silently misbehaving. CLI entry points
+//    should use these for every numeric knob (see tools/distcache_sim.cc).
 #ifndef DISTCACHE_TOOLS_FLAGS_H_
 #define DISTCACHE_TOOLS_FLAGS_H_
 
@@ -6,6 +15,8 @@
 #include <cstdlib>
 #include <map>
 #include <string>
+
+#include "common/parse.h"
 
 namespace distcache {
 
@@ -50,6 +61,44 @@ class Flags {
       return def;
     }
     return it->second == "true" || it->second == "1";
+  }
+
+  // Parses --name as a finite double in [lo, hi] (common/parse.h strictness).
+  // Returns false and fills *error (mentioning the flag, the offending value and
+  // the accepted range) on malformed input or a value outside the range. An
+  // absent flag yields `def` (which is trusted, not range-checked).
+  bool GetDoubleInRange(const std::string& name, double def, double lo, double hi,
+                        double* out, std::string* error) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) {
+      *out = def;
+      return true;
+    }
+    double value = 0.0;
+    if (!ParseStrictDouble(it->second, &value) || value < lo || value > hi) {
+      *error = "--" + name + "=" + it->second + ": want a finite value in [" +
+               std::to_string(lo) + ", " + std::to_string(hi) + "]";
+      return false;
+    }
+    *out = value;
+    return true;
+  }
+
+  // Parses --name as a non-negative integer (common/parse.h strictness: a
+  // negative — even whitespace-prefixed — would otherwise wrap to a huge
+  // uint64). Returns false and fills *error on malformed input.
+  bool GetUintChecked(const std::string& name, uint64_t def, uint64_t* out,
+                      std::string* error) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) {
+      *out = def;
+      return true;
+    }
+    if (!ParseStrictUint(it->second, out)) {
+      *error = "--" + name + "=" + it->second + ": want a non-negative integer";
+      return false;
+    }
+    return true;
   }
 
   bool Has(const std::string& name) const { return values_.contains(name); }
