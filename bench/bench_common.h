@@ -2,9 +2,12 @@
 #ifndef DISTCACHE_BENCH_BENCH_COMMON_H_
 #define DISTCACHE_BENCH_BENCH_COMMON_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster_sim.h"
@@ -62,6 +65,113 @@ inline void PrintRow(const std::string& label, const std::vector<double>& values
   }
   std::printf("\n");
 }
+
+// Machine-readable bench output: pass --json (or set DISTCACHE_BENCH_JSON=1) and
+// the bench writes BENCH_<name>.json next to the binary, carrying its config,
+// scalar metrics and metric series — the artifact the perf-trajectory tooling
+// ingests. With the flag absent every recording call is a no-op, so benches can
+// record unconditionally.
+class BenchJson {
+ public:
+  BenchJson(int argc, char** argv, std::string bench_name)
+      : name_(std::move(bench_name)) {
+    for (int i = 1; i < argc; ++i) {
+      enabled_ = enabled_ || std::strcmp(argv[i], "--json") == 0;
+    }
+    const char* env = std::getenv("DISTCACHE_BENCH_JSON");
+    enabled_ = enabled_ || (env != nullptr && env[0] != '\0' && env[0] != '0');
+  }
+  ~BenchJson() { Write(); }
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  void Config(const std::string& key, const std::string& value) {
+    config_.emplace_back(key, Quote(value));
+  }
+  void Config(const std::string& key, double value) {
+    config_.emplace_back(key, Number(value));
+  }
+  void Metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, Number(value));
+  }
+  void Series(const std::string& key, const std::vector<double>& values) {
+    std::string json = "[";
+    for (size_t i = 0; i < values.size(); ++i) {
+      json += (i == 0 ? "" : ", ") + Number(values[i]);
+    }
+    json += "]";
+    series_.emplace_back(key, std::move(json));
+  }
+
+ private:
+  using Entries = std::vector<std::pair<std::string, std::string>>;
+
+  static std::string Quote(const std::string& text) {
+    std::string out = "\"";
+    for (char c : text) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    return out + "\"";
+  }
+
+  static std::string Number(double value) {
+    if (!std::isfinite(value)) {
+      return "null";  // JSON has no NaN/inf
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+  }
+
+  static void WriteSection(std::FILE* f, const char* name, const Entries& entries,
+                           bool trailing_comma) {
+    std::fprintf(f, "  \"%s\": {", name);
+    for (size_t i = 0; i < entries.size(); ++i) {
+      std::fprintf(f, "%s\n    %s: %s", i == 0 ? "" : ",",
+                   Quote(entries[i].first).c_str(), entries[i].second.c_str());
+    }
+    std::fprintf(f, "%s}%s\n", entries.empty() ? "" : "\n  ",
+                 trailing_comma ? "," : "");
+  }
+
+  void Write() {
+    if (!enabled_) {
+      return;
+    }
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": %s,\n  \"smoke\": %s,\n", Quote(name_).c_str(),
+                 BenchSmoke() ? "true" : "false");
+    WriteSection(f, "config", config_, /*trailing_comma=*/true);
+    WriteSection(f, "metrics", metrics_, /*trailing_comma=*/true);
+    WriteSection(f, "series", series_, /*trailing_comma=*/false);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+  bool enabled_ = false;
+  std::string name_;
+  Entries config_;
+  Entries metrics_;
+  Entries series_;
+};
 
 }  // namespace distcache
 

@@ -30,7 +30,7 @@ double Measure(Mechanism m, uint32_t racks, double theta, double spine_capacity)
   return sim.SaturationThroughput(/*tolerance=*/0.01);
 }
 
-void Run() {
+void Run(BenchJson& json) {
   PrintHeader("Figure 9(c): scalability (read-only, zipf-0.99)",
               "racks = spines, 32 servers/rack; 'DistCache*' = fast-spine variant "
               "(spine capacity 8x rack aggregate, §3.3 non-uniform remark)");
@@ -38,14 +38,20 @@ void Run() {
               "CacheReplication", "CachePartition", "NoCache");
   const std::vector<uint32_t> rack_sweep =
       SmokeSweep<uint32_t>({4u, 8u}, {4u, 8u, 16u, 32u, 64u, 128u});
+  std::vector<double> servers_series, distcache_series;
   for (uint32_t racks : rack_sweep) {
+    const double distcache = Measure(Mechanism::kDistCache, racks, 0.99, 0.0);
+    servers_series.push_back(racks * 32.0);
+    distcache_series.push_back(distcache);
     std::printf("%-8u", racks * 32);
-    std::printf(" %12.0f", Measure(Mechanism::kDistCache, racks, 0.99, 0.0));
+    std::printf(" %12.0f", distcache);
     std::printf(" %12.0f", Measure(Mechanism::kDistCache, racks, 0.99, 8.0 * 32.0));
     std::printf(" %18.0f", Measure(Mechanism::kCacheReplication, racks, 0.99, 0.0));
     std::printf(" %16.0f", Measure(Mechanism::kCachePartition, racks, 0.99, 0.0));
     std::printf(" %10.0f\n", Measure(Mechanism::kNoCache, racks, 0.99, 0.0));
   }
+  json.Series("servers", servers_series);
+  json.Series("distcache_saturation", distcache_series);
   PrintHeader("Figure 9(c) auxiliary: zipf-0.9 (theorem precondition binds later)", "");
   std::printf("%-8s %12s %18s\n", "servers", "DistCache", "CacheReplication");
   const std::vector<uint32_t> aux_sweep =
@@ -63,6 +69,7 @@ void Run() {
   PrintHeader("Engine throughput on the fig-9(c) workload (requests/s of the simulator itself)",
               "paper-default cluster, zipf-0.99, read-only; 8M requests per engine");
   const uint64_t kRequests = BenchSmoke() ? 200'000 : 8'000'000;
+  json.Config("engine_requests", static_cast<double>(kRequests));
   SimBackendConfig bcfg;
   bcfg.cluster = PaperDefaultConfig(Mechanism::kDistCache);
   double sequential_mrps = 0.0;
@@ -77,22 +84,29 @@ void Run() {
       sequential_mrps = stats.throughput_mrps();
     }
     char label[32];
+    char key[32];
     if (shards == 0) {
       std::snprintf(label, sizeof(label), "%s", backend->name().c_str());
+      std::snprintf(key, sizeof(key), "%s", backend->name().c_str());
     } else {
       std::snprintf(label, sizeof(label), "%s x%u", backend->name().c_str(), shards);
+      std::snprintf(key, sizeof(key), "%s_x%u", backend->name().c_str(), shards);
     }
     std::printf("%-16s %10.2f %9.2fx %12.4f %12.3f %12.3f\n", label,
                 stats.throughput_mrps(),
                 sequential_mrps > 0 ? stats.throughput_mrps() / sequential_mrps : 0.0,
                 stats.hit_ratio(), stats.CacheImbalance(), stats.ServerImbalance());
+    json.Metric(std::string(key) + "_mrps", stats.throughput_mrps());
+    json.Metric(std::string(key) + "_hit_ratio", stats.hit_ratio());
+    json.Metric(std::string(key) + "_cache_imbalance", stats.CacheImbalance());
   }
 }
 
 }  // namespace
 }  // namespace distcache
 
-int main() {
-  distcache::Run();
+int main(int argc, char** argv) {
+  distcache::BenchJson json(argc, argv, "fig9c");
+  distcache::Run(json);
   return 0;
 }

@@ -30,7 +30,7 @@
 namespace distcache {
 namespace {
 
-void Run() {
+void Run(BenchJson& json) {
   PrintHeader("Hot-spot shift & online cache re-allocation (engine parity)",
               "hot set rotates by keys/2 at t=40%, controller re-allocates from "
               "observed counts at t=60%; columns: hit ratio per engine");
@@ -111,12 +111,28 @@ void Run() {
   std::printf("post-reallocation recovery: sequential %.4f, sharded %.4f "
               "(must be > 0.98)\n",
               recovery[1], recovery[2]);
+
+  json.Config("requests", static_cast<double>(requests));
+  json.Config("shift_at", static_cast<double>(shift_at));
+  json.Config("realloc_at", static_cast<double>(realloc_at));
+  for (int e = 0; e < 3; ++e) {
+    std::vector<double> hits;
+    for (const auto& pt : per_engine[e].series) {
+      hits.push_back(pt.hit_ratio());
+    }
+    json.Series(std::string("hit_ratio_") + names[e], hits);
+    json.Metric(std::string(names[e]) + "_recovery", recovery[e]);
+    json.Metric(std::string(names[e]) + "_mrps", per_engine[e].throughput_mrps());
+  }
+  json.Metric("sharded_vs_sequential_hit",
+              seq_hit > 0.0 ? shd_hit / seq_hit : 0.0);
 }
 
 }  // namespace
 }  // namespace distcache
 
-int main() {
-  distcache::Run();
+int main(int argc, char** argv) {
+  distcache::BenchJson json(argc, argv, "hotspot_shift");
+  distcache::Run(json);
   return 0;
 }

@@ -110,7 +110,7 @@ void BM_CacheSwitchLookupHit(benchmark::State& state) {
 BENCHMARK(BM_CacheSwitchLookupHit);
 
 void BM_PotRouterChoose(benchmark::State& state) {
-  LoadTracker tracker({32, 32, 1.0});
+  LoadTracker tracker({{32, 32}, 1.0});
   for (uint32_t i = 0; i < 32; ++i) {
     tracker.Update({0, i}, i * 10);
     tracker.Update({1, i}, i * 7);

@@ -31,8 +31,8 @@ int main() {
     // Load shape at 90% of that rate.
     const LoadSnapshot snap = sim.RunTicks(0.9 * throughput, 4);
     const double server_imbalance = ImbalanceFactor(snap.server);
-    std::vector<double> caches = snap.spine;
-    caches.insert(caches.end(), snap.leaf.begin(), snap.leaf.end());
+    std::vector<double> caches = snap.spine();
+    caches.insert(caches.end(), snap.leaf().begin(), snap.leaf().end());
     const double cache_imbalance = ImbalanceFactor(caches);
 
     std::printf("%-18s throughput %7.0f (x server)   server imbalance %5.2f   "

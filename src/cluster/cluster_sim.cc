@@ -3,20 +3,79 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 namespace distcache {
 
+std::vector<LayerSpec> ResolvedCacheLayers(const ClusterConfig& config) {
+  if (!config.cache_layers.empty()) {
+    return config.cache_layers;
+  }
+  return {{config.num_spine, config.per_switch_objects},
+          {config.num_racks, config.per_switch_objects}};
+}
+
+void CheckCacheLayersOrDie(const ClusterConfig& config) {
+  const std::string error = ValidateCacheLayers(config);
+  if (!error.empty()) {
+    // An inconsistent hierarchy would index per-rack arrays out of bounds deep
+    // in the allocation; fail loudly in every build mode instead.
+    std::fprintf(stderr, "invalid cache hierarchy: %s\n", error.c_str());
+    std::abort();
+  }
+}
+
+std::string ValidateCacheLayers(const ClusterConfig& config) {
+  // Validate the *resolved* hierarchy so the legacy two-layer shape is held to
+  // the same structural limits (notably the packed-candidate index range) as an
+  // explicit layer vector.
+  const std::vector<LayerSpec> layers = ResolvedCacheLayers(config);
+  if (layers.size() < 2 || layers.size() > kMaxCacheLayers) {
+    return "cache hierarchy must have between 2 and " +
+           std::to_string(kMaxCacheLayers) + " layers, got " +
+           std::to_string(layers.size());
+  }
+  for (size_t l = 0; l < layers.size(); ++l) {
+    if (layers[l].nodes == 0) {
+      return "cache layer " + std::to_string(l) + " has zero nodes";
+    }
+    if (layers[l].nodes > kCandIndexMask) {
+      // A larger index would bleed into the packed candidate's layer bits
+      // (sim/route_table.h) and route to garbage nodes.
+      return "cache layer " + std::to_string(l) + " has " +
+             std::to_string(layers[l].nodes) + " nodes; the route-table " +
+             "candidate packing supports at most " +
+             std::to_string(kCandIndexMask) + " per layer";
+    }
+  }
+  if (config.cache_layers.empty()) {
+    return "";
+  }
+  if (layers.back().nodes != config.num_racks) {
+    return "the last (leaf) cache layer is rack-bound: its node count " +
+           std::to_string(layers.back().nodes) + " must equal the rack count " +
+           std::to_string(config.num_racks);
+  }
+  if (layers.front().nodes != config.num_spine) {
+    return "the first (spine) cache layer's node count " +
+           std::to_string(layers.front().nodes) +
+           " must equal num_spine (" + std::to_string(config.num_spine) + ")";
+  }
+  return "";
+}
+
 ClusterSim::ClusterSim(const ClusterConfig& config)
     : config_(config),
+      layers_(ResolvedCacheLayers(config)),
       placement_(config.num_racks, config.servers_per_rack,
                  HashCombine(config.seed, 0x91ace3e22ULL)),
       dist_(MakeDistribution(config.num_keys, config.zipf_theta)),
       rng_(HashCombine(config.seed, 0xc1057e4ULL)) {
+  CheckCacheLayersOrDie(config_);
   AllocationConfig alloc;
   alloc.mechanism = config_.mechanism;
-  alloc.num_spine = config_.num_spine;
-  alloc.num_racks = config_.num_racks;
-  alloc.per_switch_objects = config_.per_switch_objects;
+  alloc.layers = layers_;
   alloc.hash_seed = HashCombine(config_.seed, 0xd15ca4eULL);
   allocation_ = std::make_unique<CacheAllocation>(alloc, placement_);
   controller_ = std::make_unique<CacheController>(allocation_.get(), config_.num_spine);
@@ -24,13 +83,22 @@ ClusterSim::ClusterSim(const ClusterConfig& config)
 
   popularity_ = BuildPopularityVector(*dist_, allocation_->candidate_pool());
 
+  // Every layer is rate-limited to one rack's aggregate by default (the paper's
+  // testbed discipline); the spine/leaf overrides apply to the first/last layer.
   const double rack_aggregate =
       config_.server_capacity * static_cast<double>(config_.servers_per_rack);
-  spine_capacity_ = config_.spine_capacity > 0 ? config_.spine_capacity : rack_aggregate;
-  leaf_capacity_ = config_.leaf_capacity > 0 ? config_.leaf_capacity : rack_aggregate;
+  layer_capacity_.assign(layers_.size(), rack_aggregate);
+  if (config_.spine_capacity > 0) {
+    layer_capacity_.front() = config_.spine_capacity;
+  }
+  if (config_.leaf_capacity > 0) {
+    layer_capacity_.back() = config_.leaf_capacity;
+  }
 
-  prev_.spine.assign(config_.num_spine, 0.0);
-  prev_.leaf.assign(config_.num_racks, 0.0);
+  prev_.cache.resize(layers_.size());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    prev_.cache[l].assign(layers_[l].nodes, 0.0);
+  }
   prev_.server.assign(num_servers(), 0.0);
 }
 
@@ -79,12 +147,10 @@ void ClusterSim::ApplyRemap() {
   }
 }
 
-double ClusterSim::RoutingLoad(bool spine_layer, uint32_t index,
-                               const LoadSnapshot& acc) const {
-  const double load = config_.stale_telemetry
-                          ? (spine_layer ? prev_.spine[index] : prev_.leaf[index])
-                          : (spine_layer ? acc.spine[index] : acc.leaf[index]);
-  return load / (spine_layer ? spine_capacity_ : leaf_capacity_);
+double ClusterSim::RoutingLoad(CacheNodeId node, const LoadSnapshot& acc) const {
+  const double load = config_.stale_telemetry ? prev_.cache[node.layer][node.index]
+                                              : acc.cache[node.layer][node.index];
+  return load / layer_capacity_[node.layer];
 }
 
 void ClusterSim::RouteKeyReads(uint64_t key, double read_rate, const CacheCopies& copies,
@@ -108,75 +174,135 @@ void ClusterSim::RouteKeyReads(uint64_t key, double read_rate, const CacheCopies
         spines.push_back(s);
       }
     }
-    const double n = static_cast<double>(spines.size() + (copies.leaf ? 1 : 0));
+    const auto leaf = copies.leaf();
+    const double n = static_cast<double>(spines.size() + (leaf ? 1 : 0));
     if (n == 0) {
       acc.server[placement_.ServerOf(key)] += read_rate;
       return;
     }
     for (uint32_t s : spines) {
-      acc.spine[s] += read_rate / n;
+      acc.cache[0][s] += read_rate / n;
     }
-    if (copies.leaf) {
-      acc.leaf[*copies.leaf] += read_rate / n;
+    if (leaf) {
+      acc.cache.back()[*leaf] += read_rate / n;
     }
     return;
   }
 
-  // A dead spine switch keeps receiving its routed share until the controller remaps
-  // the partition: the client ToRs have no failure signal beyond telemetry going
-  // stale, so queries sent to the dead switch are simply lost (§4.4 / Fig. 11 shows
-  // the resulting throughput dip). After RunFailureRecovery() the allocation maps the
-  // partition to an alive switch and CopiesOf() no longer points here.
-  const bool has_spine =
-      copies.spine && (spine_alive_[*copies.spine] || !recovery_ran_);
-  const bool has_leaf = copies.leaf.has_value();
-  if (!has_spine && !has_leaf) {
+  // A dead top-layer switch keeps receiving its routed share until the controller
+  // remaps the partition: the client ToRs have no failure signal beyond telemetry
+  // going stale, so queries sent to the dead switch are simply lost (§4.4 / Fig. 11
+  // shows the resulting throughput dip). After RunFailureRecovery() the allocation
+  // maps the partition to an alive switch and CopiesOf() no longer points here.
+  CacheNodeId cand[kMaxCacheLayers];
+  size_t k = 0;
+  for (uint8_t i = 0; i < copies.num; ++i) {
+    const CacheNodeId node = copies.nodes[i];
+    if (node.layer == 0 && !spine_alive_[node.index] && recovery_ran_) {
+      continue;  // known-dead copy, no longer routed to
+    }
+    cand[k++] = node;
+  }
+  if (k == 0) {
     acc.server[placement_.ServerOf(key)] += read_rate;
     return;
   }
-  if (!has_spine || !has_leaf) {
-    if (has_spine) {
-      acc.spine[*copies.spine] += read_rate;
-    } else {
-      acc.leaf[*copies.leaf] += read_rate;
-    }
+  if (k == 1) {
+    acc.cache[cand[0].layer][cand[0].index] += read_rate;
     return;
   }
 
-  const uint32_t s = *copies.spine;
-  const uint32_t l = *copies.leaf;
   switch (config_.routing) {
     case RoutingPolicy::kFirstChoice:
-      acc.spine[s] += read_rate;
+      acc.cache[cand[0].layer][cand[0].index] += read_rate;
       return;
     case RoutingPolicy::kRandom:
       // Per-query coin flip: in the fluid limit, an even split.
-      acc.spine[s] += read_rate / 2.0;
-      acc.leaf[l] += read_rate / 2.0;
+      for (size_t i = 0; i < k; ++i) {
+        acc.cache[cand[i].layer][cand[i].index] += read_rate / static_cast<double>(k);
+      }
       return;
     case RoutingPolicy::kPowerOfTwo:
       break;
   }
   if (config_.stale_telemetry) {
     // Herding ablation: every query of the epoch chases the previous epoch's
-    // less-loaded switch.
-    if (RoutingLoad(true, s, acc) <= RoutingLoad(false, l, acc)) {
-      acc.spine[s] += read_rate;
-    } else {
-      acc.leaf[l] += read_rate;
+    // least-loaded candidate (earlier layer wins ties).
+    size_t best = 0;
+    for (size_t i = 1; i < k; ++i) {
+      if (RoutingLoad(cand[i], acc) < RoutingLoad(cand[best], acc)) {
+        best = i;
+      }
     }
+    acc.cache[cand[best].layer][cand[best].index] += read_rate;
     return;
   }
-  // Continuous telemetry: per-query choices equalize the two candidates' utilization
-  // — the fluid limit of the PoT process is a water-filling split.
-  const double load_s = acc.spine[s];
-  const double load_l = acc.leaf[l];
-  const double util =
-      (load_s + load_l + read_rate) / (spine_capacity_ + leaf_capacity_);
-  double to_spine = util * spine_capacity_ - load_s;
-  to_spine = std::clamp(to_spine, 0.0, read_rate);
-  acc.spine[s] += to_spine;
-  acc.leaf[l] += read_rate - to_spine;
+  // Continuous telemetry: per-query choices equalize the candidates' utilization —
+  // the fluid limit of the power-of-k process is a water-filling split.
+  if (k == 2) {
+    // Closed form for the two-candidate case (the historical spine/leaf path).
+    const double cap0 = layer_capacity_[cand[0].layer];
+    const double cap1 = layer_capacity_[cand[1].layer];
+    double& load0 = acc.cache[cand[0].layer][cand[0].index];
+    double& load1 = acc.cache[cand[1].layer][cand[1].index];
+    const double util = (load0 + load1 + read_rate) / (cap0 + cap1);
+    double to_first = util * cap0 - load0;
+    to_first = std::clamp(to_first, 0.0, read_rate);
+    load0 += to_first;
+    load1 += read_rate - to_first;
+    return;
+  }
+  // k > 2: iterative water filling. Find the common utilization level over the
+  // candidates that receive traffic; candidates already above the level get none
+  // and are dropped from the active set until the level is consistent.
+  bool active[kMaxCacheLayers];
+  std::fill(active, active + k, true);
+  for (size_t round = 0; round < k; ++round) {
+    double caps = 0.0;
+    double loads = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      if (active[i]) {
+        caps += layer_capacity_[cand[i].layer];
+        loads += acc.cache[cand[i].layer][cand[i].index];
+      }
+    }
+    const double level = (loads + read_rate) / caps;
+    bool removed = false;
+    for (size_t i = 0; i < k; ++i) {
+      if (active[i] &&
+          acc.cache[cand[i].layer][cand[i].index] >
+              level * layer_capacity_[cand[i].layer]) {
+        active[i] = false;
+        removed = true;
+      }
+    }
+    if (!removed) {
+      size_t last = 0;
+      for (size_t i = 0; i < k; ++i) {
+        if (active[i]) {
+          last = i;
+        }
+      }
+      // The active shares sum to read_rate by construction of `level`; hand the
+      // last active candidate the exact remainder so no mass is lost to rounding.
+      double assigned = 0.0;
+      for (size_t i = 0; i < k; ++i) {
+        if (!active[i]) {
+          continue;
+        }
+        double& load = acc.cache[cand[i].layer][cand[i].index];
+        if (i == last) {
+          load += read_rate - assigned;
+        } else {
+          const double share =
+              std::max(0.0, level * layer_capacity_[cand[i].layer] - load);
+          load += share;
+          assigned += share;
+        }
+      }
+      return;
+    }
+  }
 }
 
 void ClusterSim::ChargeWrite(uint64_t key, double write_rate, const CacheCopies& copies,
@@ -184,25 +310,22 @@ void ClusterSim::ChargeWrite(uint64_t key, double write_rate, const CacheCopies&
   if (write_rate <= 0.0) {
     return;
   }
-  uint32_t alive_spines = 0;
-  for (uint32_t s = 0; s < config_.num_spine; ++s) {
-    alive_spines += spine_alive_[s] ? 1 : 0;
-  }
   size_t num_copies = 0;
-  if (copies.leaf) {
+  for (uint8_t i = 0; i < copies.num; ++i) {
+    const CacheNodeId node = copies.nodes[i];
+    if (node.layer == 0 && !spine_alive_[node.index]) {
+      continue;  // coherence touches only alive copies
+    }
     num_copies += 1;
-    acc.leaf[*copies.leaf] += config_.coherence_switch_cost * write_rate;
+    acc.cache[node.layer][node.index] += config_.coherence_switch_cost * write_rate;
   }
   if (copies.replicated_all_spines) {
-    num_copies += alive_spines;
     for (uint32_t s = 0; s < config_.num_spine; ++s) {
       if (spine_alive_[s]) {
-        acc.spine[s] += config_.coherence_switch_cost * write_rate;
+        num_copies += 1;
+        acc.cache[0][s] += config_.coherence_switch_cost * write_rate;
       }
     }
-  } else if (copies.spine && spine_alive_[*copies.spine]) {
-    num_copies += 1;
-    acc.spine[*copies.spine] += config_.coherence_switch_cost * write_rate;
   }
   // The primary server performs the write plus one invalidation+update round per copy
   // (§4.3); uncached objects cost exactly one unit.
@@ -214,8 +337,10 @@ LoadSnapshot ClusterSim::RunTicks(double offered_rate, int ticks) {
   LoadSnapshot acc;
   for (int t = 0; t < ticks; ++t) {
     acc = LoadSnapshot{};
-    acc.spine.assign(config_.num_spine, 0.0);
-    acc.leaf.assign(config_.num_racks, 0.0);
+    acc.cache.resize(layers_.size());
+    for (size_t l = 0; l < layers_.size(); ++l) {
+      acc.cache[l].assign(layers_[l].nodes, 0.0);
+    }
     acc.server.assign(num_servers(), 0.0);
 
     const double write_ratio = config_.write_ratio;
@@ -247,36 +372,39 @@ LoadSnapshot ClusterSim::RunTicks(double offered_rate, int ticks) {
     double dropped = 0.0;
     for (uint32_t s = 0; s < config_.num_spine; ++s) {
       if (!spine_alive_[s]) {
-        dropped += acc.spine[s];
+        dropped += acc.cache[0][s];
         continue;
       }
-      const double util = acc.spine[s] / spine_capacity_;
+      const double util = acc.cache[0][s] / layer_capacity_[0];
       max_util = std::max(max_util, util);
-      dropped += std::max(0.0, acc.spine[s] - spine_capacity_);
+      dropped += std::max(0.0, acc.cache[0][s] - layer_capacity_[0]);
     }
-    for (uint32_t l = 0; l < config_.num_racks; ++l) {
-      const double util = acc.leaf[l] / leaf_capacity_;
-      max_util = std::max(max_util, util);
-      dropped += std::max(0.0, acc.leaf[l] - leaf_capacity_);
+    for (size_t l = 1; l < layers_.size(); ++l) {
+      for (uint32_t i = 0; i < layers_[l].nodes; ++i) {
+        const double util = acc.cache[l][i] / layer_capacity_[l];
+        max_util = std::max(max_util, util);
+        dropped += std::max(0.0, acc.cache[l][i] - layer_capacity_[l]);
+      }
     }
     for (double load : acc.server) {
       const double util = load / config_.server_capacity;
       max_util = std::max(max_util, util);
       dropped += std::max(0.0, load - config_.server_capacity);
     }
-    // Queries that are not spine cache hits still transit the spine layer (leaf hits
-    // and server misses go through an ECMP-chosen spine, §3.4). Until recovery, a
-    // dead spine blackholes its 1/num_spine share of that transit traffic as well —
-    // this is why the paper sees the throughput drop by the failed switches' share of
-    // the *total* throughput ("each spine switch provides 1/32 of the total
-    // throughput", §6.4). Transit consumes no cache capacity (forwarding runs at line
-    // rate; only the caching path is rate-limited).
+    // Queries that are not top-layer cache hits still transit the top layer (lower
+    // hits and server misses go through an ECMP-chosen spine, §3.4). Until
+    // recovery, a dead spine blackholes its 1/num_spine share of that transit
+    // traffic as well — this is why the paper sees the throughput drop by the
+    // failed switches' share of the *total* throughput ("each spine switch
+    // provides 1/32 of the total throughput", §6.4). Transit consumes no cache
+    // capacity (forwarding runs at line rate; only the caching path is
+    // rate-limited).
     if (!recovery_ran_) {
       uint32_t dead = 0;
       double spine_arrivals = 0.0;
       for (uint32_t s = 0; s < config_.num_spine; ++s) {
         dead += spine_alive_[s] ? 0 : 1;
-        spine_arrivals += acc.spine[s];
+        spine_arrivals += acc.cache[0][s];
       }
       const double transit = std::max(0.0, offered_rate - spine_arrivals);
       dropped += transit * static_cast<double>(dead) / static_cast<double>(config_.num_spine);
@@ -289,10 +417,11 @@ LoadSnapshot ClusterSim::RunTicks(double offered_rate, int ticks) {
 }
 
 double ClusterSim::SaturationThroughput(double tolerance) {
-  const double total_capacity =
-      TotalServerCapacity() +
-      spine_capacity_ * static_cast<double>(config_.num_spine) +
-      leaf_capacity_ * static_cast<double>(config_.num_racks);
+  double cache_capacity = 0.0;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    cache_capacity += layer_capacity_[l] * static_cast<double>(layers_[l].nodes);
+  }
+  const double total_capacity = TotalServerCapacity() + cache_capacity;
   const auto stable = [&](double rate) {
     return RunTicks(rate, config_.ticks_per_measurement).max_utilization <= 1.0 + 1e-9;
   };

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
@@ -46,6 +47,14 @@ struct ClusterConfig {
   uint32_t num_spine = 32;
   uint32_t num_racks = 32;
   uint32_t servers_per_rack = 32;
+
+  // Cache hierarchy, top first (§3.1 multi-layer extension). Empty = the
+  // historical two-layer shape {num_spine, num_racks} with per_switch_objects
+  // per node. When set: size in [2, kMaxCacheLayers], the last entry is the
+  // rack-bound leaf layer and must have nodes == num_racks, and the first
+  // entry's node count must equal num_spine (the top layer keeps the "spine"
+  // role: ECMP transit, failure injection). Use ResolvedCacheLayers() to read.
+  std::vector<LayerSpec> cache_layers;
 
   uint64_t num_keys = 100'000'000;
   double zipf_theta = 0.99;  // 0 = uniform
@@ -83,14 +92,33 @@ struct ClusterConfig {
   uint64_t seed = 42;
 };
 
+// The cluster's cache hierarchy: cache_layers when set, else the historical
+// two-layer {num_spine, num_racks} shape with per_switch_objects per node.
+std::vector<LayerSpec> ResolvedCacheLayers(const ClusterConfig& config);
+
+// Validates cache_layers against the rest of the config; returns an empty string
+// when consistent, else a human-readable error (used by the CLI and the engines).
+std::string ValidateCacheLayers(const ClusterConfig& config);
+
+// Engine-boundary enforcement: prints the ValidateCacheLayers error and aborts
+// on an inconsistent hierarchy (in every build mode — release builds must not
+// proceed into out-of-bounds allocation writes).
+void CheckCacheLayersOrDie(const ClusterConfig& config);
+
 // Per-tick load snapshot (arrival units, not utilization).
 struct LoadSnapshot {
-  std::vector<double> spine;
-  std::vector<double> leaf;
+  // One vector per cache layer, top first; cache.front() is the spine layer and
+  // cache.back() the rack-bound leaves.
+  std::vector<std::vector<double>> cache;
   std::vector<double> server;
   double max_utilization = 0.0;
   // Offered minus dropped (each node completes at most its capacity).
   double achieved = 0.0;
+
+  std::vector<double>& spine() { return cache.front(); }
+  const std::vector<double>& spine() const { return cache.front(); }
+  std::vector<double>& leaf() { return cache.back(); }
+  const std::vector<double>& leaf() const { return cache.back(); }
 };
 
 class ClusterSim {
@@ -140,29 +168,32 @@ class ClusterSim {
   const CacheAllocation& allocation() const { return *allocation_; }
   const Placement& placement() const { return placement_; }
   const PopularityVector& popularity() const { return popularity_; }
-  double spine_capacity() const { return spine_capacity_; }
-  double leaf_capacity() const { return leaf_capacity_; }
+  const std::vector<LayerSpec>& layers() const { return layers_; }
+  double layer_capacity(size_t layer) const { return layer_capacity_[layer]; }
+  double spine_capacity() const { return layer_capacity_.front(); }
+  double leaf_capacity() const { return layer_capacity_.back(); }
 
  private:
   void ApplyRemap();
-  // Candidate loads for routing: accumulated-this-tick or previous snapshot.
-  double RoutingLoad(bool spine_layer, uint32_t index, const LoadSnapshot& acc) const;
+  // Candidate loads for routing: accumulated-this-tick or previous snapshot,
+  // normalized by the candidate's layer capacity.
+  double RoutingLoad(CacheNodeId node, const LoadSnapshot& acc) const;
   void RouteKeyReads(uint64_t key, double read_rate, const CacheCopies& copies,
                      LoadSnapshot& acc);
   void ChargeWrite(uint64_t key, double write_rate, const CacheCopies& copies,
                    LoadSnapshot& acc);
 
   ClusterConfig config_;
+  std::vector<LayerSpec> layers_;  // resolved cache hierarchy, top first
   Placement placement_;
   std::unique_ptr<KeyDistribution> dist_;
   PopularityVector popularity_;
   std::unique_ptr<CacheAllocation> allocation_;
   std::unique_ptr<CacheController> controller_;
-  std::vector<bool> spine_alive_;
+  std::vector<bool> spine_alive_;  // top-layer nodes (failure injection target)
   bool recovery_ran_ = true;  // partitions start mapped to their home switches
   uint64_t hot_shift_ = 0;    // current rank→key rotation (§6.4)
-  double spine_capacity_;
-  double leaf_capacity_;
+  std::vector<double> layer_capacity_;  // per layer, top first
   LoadSnapshot prev_;  // previous epoch's loads (telemetry snapshot)
   Rng rng_;
 };

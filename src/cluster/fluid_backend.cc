@@ -21,14 +21,15 @@ double FluidBackend::ReachableCachedMass() const {
   double mass = 0.0;
   for (uint64_t rank = 0; rank < pv.head.size(); ++rank) {
     const CacheCopies copies = sim_.allocation().CopiesOf(sim_.KeyOfRank(rank));
-    bool reachable = copies.leaf.has_value();
+    // Reachable iff some copy is on an alive node; only top-layer nodes die.
+    bool reachable = false;
+    for (uint8_t i = 0; i < copies.num && !reachable; ++i) {
+      reachable = copies.nodes[i].layer != 0 || spine_alive_[copies.nodes[i].index] != 0;
+    }
     if (!reachable && copies.replicated_all_spines) {
       for (uint32_t s = 0; s < spine_alive_.size() && !reachable; ++s) {
         reachable = spine_alive_[s] != 0;
       }
-    }
-    if (!reachable && copies.spine) {
-      reachable = spine_alive_[*copies.spine] != 0;
     }
     if (reachable) {
       mass += pv.head[rank];
@@ -141,18 +142,21 @@ BackendStats FluidBackend::Run(uint64_t num_requests) {
   }
   const auto t1 = std::chrono::steady_clock::now();
 
-  st.spine_load = snap.spine;
-  st.leaf_load = snap.leaf;
+  st.cache_load = snap.cache;
   st.server_load = snap.server;
   st.requests = num_requests;
   st.writes = num_requests - st.reads;
   st.server_reads = st.reads - st.cache_hits;
   // Per-layer split from the fluid arrival rates (exact for read-only workloads;
   // under writes the layer loads include coherence touches, so it is approximate).
+  // spine_hits is the top layer's share; leaf_hits covers every lower layer.
   double spine_arrivals = 0.0;
   double leaf_arrivals = 0.0;
-  for (double x : snap.spine) spine_arrivals += x;
-  for (double x : snap.leaf) leaf_arrivals += x;
+  for (size_t l = 0; l < snap.cache.size(); ++l) {
+    for (double x : snap.cache[l]) {
+      (l == 0 ? spine_arrivals : leaf_arrivals) += x;
+    }
+  }
   const double cache_arrivals = spine_arrivals + leaf_arrivals;
   if (cache_arrivals > 0.0) {
     st.spine_hits = static_cast<uint64_t>(

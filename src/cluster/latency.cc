@@ -61,18 +61,21 @@ LatencyReport ComputeLatencyReport(ClusterSim& sim, double offered_rate,
       add(3 * options.network_rtt + w, weight, /*hit=*/false);
       continue;
     }
-    // Cached: the PoT router serves from the less-loaded candidate; a spine hit is
-    // one hop closer than a leaf hit (which transits a spine).
+    // Cached: the power-of-k router serves from the least-loaded candidate; a
+    // top-layer (spine) hit is one hop closer than any lower-layer hit (which
+    // transits a spine on the way down).
     double best = options.saturated_latency + 3 * options.network_rtt;
-    if (copies.spine || copies.replicated_all_spines) {
-      const uint32_t s = copies.replicated_all_spines ? 0 : *copies.spine;
-      best = std::min(best, options.network_rtt +
-                                Sojourn(snap.spine[s], sim.spine_capacity(), options));
+    if (copies.replicated_all_spines) {
+      best = std::min(best,
+                      options.network_rtt +
+                          Sojourn(snap.spine()[0], sim.spine_capacity(), options));
     }
-    if (copies.leaf) {
-      best = std::min(best, 2 * options.network_rtt +
-                                Sojourn(snap.leaf[*copies.leaf], sim.leaf_capacity(),
-                                        options));
+    for (uint8_t i = 0; i < copies.num; ++i) {
+      const CacheNodeId node = copies.nodes[i];
+      const double hops = node.layer == 0 ? 1.0 : 2.0;
+      best = std::min(best, hops * options.network_rtt +
+                                Sojourn(snap.cache[node.layer][node.index],
+                                        sim.layer_capacity(node.layer), options));
     }
     add(best, weight, /*hit=*/true);
   }

@@ -2,102 +2,158 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <numeric>
 
 namespace distcache {
 
 CacheAllocation::CacheAllocation(const AllocationConfig& config, const Placement& placement)
-    : config_(config), h0_(HashCombine(config.hash_seed, 0xa110cULL)) {
-  assert(placement.num_racks() == config_.num_racks);
-  pool_ = config_.candidate_pool != 0
-              ? config_.candidate_pool
-              : uint64_t{8} * config_.per_switch_objects *
-                    (config_.num_spine + config_.num_racks);
+    : config_(config) {
+  // Hard checks in every build mode: a malformed hierarchy would index the
+  // per-rack and per-partition arrays out of bounds below.
+  if (config_.layers.size() < 2 || config_.layers.size() > kMaxCacheLayers ||
+      placement.num_racks() != config_.layers.back().nodes) {
+    std::fprintf(stderr,
+                 "CacheAllocation: invalid hierarchy (%zu layers, leaf %u nodes, "
+                 "%u racks)\n",
+                 config_.layers.size(),
+                 config_.layers.empty() ? 0 : config_.layers.back().nodes,
+                 placement.num_racks());
+    std::abort();
+  }
+  // One independent hash per upper layer. Layer 0 keeps the historical h0 seed
+  // derivation exactly; deeper layers perturb the tweak so every layer's hash is
+  // an independent tabulation function.
+  hash_.reserve(config_.layers.size() - 1);
+  for (size_t l = 0; l + 1 < config_.layers.size(); ++l) {
+    hash_.emplace_back(HashCombine(config_.hash_seed, 0xa110cULL + l));
+  }
+  if (config_.candidate_pool != 0) {
+    pool_ = config_.candidate_pool;
+  } else {
+    uint64_t budget = 0;
+    for (const LayerSpec& layer : config_.layers) {
+      budget += uint64_t{layer.nodes} * layer.cache_objects;
+    }
+    pool_ = 8 * budget;
+  }
   Compute(placement);
 }
 
 void CacheAllocation::Compute(const Placement& placement) {
+  const size_t num_layers = config_.layers.size();
+  const size_t leaf = num_layers - 1;
   // How many ranks the current hot ordering covers: the whole pool under the
   // identity mapping, the list length after Refill (a short observed list leaves
   // the remaining budget demand unfilled).
   const uint64_t ranked =
       explicit_hot_list_ ? std::min<uint64_t>(key_of_rank_.size(), pool_) : pool_;
-  leaf_cached_.assign(pool_, 0);
-  spine_cached_.assign(pool_, 0);
-  leaf_of_.assign(pool_, 0);
-  spine_of_.assign(pool_, 0);
-  leaf_contents_.assign(config_.num_racks, {});
-  partition_contents_.assign(config_.num_spine, {});
-  spine_of_partition_.resize(config_.num_spine);
-  std::iota(spine_of_partition_.begin(), spine_of_partition_.end(), 0);
+  cached_.assign(num_layers, {});
+  node_of_.assign(num_layers, {});
+  for (size_t l = 0; l < num_layers; ++l) {
+    cached_[l].assign(pool_, 0);
+    node_of_[l].assign(pool_, 0);
+  }
+  layer_contents_.assign(num_layers, {});
+  layer_contents_[leaf].assign(config_.layers[leaf].nodes, {});
+  partition_contents_.assign(leaf, {});
+  node_of_partition_.assign(leaf, {});
+  for (size_t l = 0; l < leaf; ++l) {
+    partition_contents_[l].assign(config_.layers[l].nodes, {});
+    node_of_partition_[l].resize(config_.layers[l].nodes);
+    std::iota(node_of_partition_[l].begin(), node_of_partition_[l].end(), 0);
+  }
 
   const bool leaf_caching = config_.mechanism != Mechanism::kNoCache;
-  const bool spine_partitioned = config_.mechanism == Mechanism::kDistCache;
-  const bool spine_replicated = config_.mechanism == Mechanism::kCacheReplication;
+  const bool upper_partitioned = config_.mechanism == Mechanism::kDistCache;
+  const bool top_replicated = config_.mechanism == Mechanism::kCacheReplication;
 
   // Ranks are visited hottest-first, so a single ascending pass fills every
-  // per-switch budget with the hottest members of its partition. All hashes (h0,
+  // per-node budget with the hottest members of its partition. All hashes (h_l,
   // placement) are evaluated on the *key id* holding the rank, so an explicit hot
-  // list lands each key at its true rack/partition.
+  // list lands each key at its true rack/partitions.
+  auto& leaf_contents = layer_contents_[leaf];
   for (uint64_t rank = 0; rank < ranked; ++rank) {
     const uint64_t key = KeyOfRank(rank);
     const uint32_t rack = placement.RackOf(key);
-    leaf_of_[rank] = rack;
-    const uint32_t partition = SpinePartitionOf(key);
-    spine_of_[rank] = partition;
-
-    if (leaf_caching && leaf_contents_[rack].size() < config_.per_switch_objects) {
-      leaf_contents_[rack].push_back(key);
-      leaf_cached_[rank] = 1;
+    node_of_[leaf][rank] = rack;
+    if (leaf_caching &&
+        leaf_contents[rack].size() < config_.layers[leaf].cache_objects) {
+      leaf_contents[rack].push_back(key);
+      cached_[leaf][rank] = 1;
     }
-    if (spine_partitioned &&
-        partition_contents_[partition].size() < config_.per_switch_objects) {
-      partition_contents_[partition].push_back(key);
-      spine_cached_[rank] = 1;
-    }
-    if (spine_replicated && rank < config_.per_switch_objects) {
-      // The globally hottest objects; identical content in every spine switch.
-      partition_contents_[0].push_back(key);
-      spine_cached_[rank] = 1;
+    if (upper_partitioned) {
+      for (size_t l = 0; l < leaf; ++l) {
+        const uint32_t partition = PartitionOf(l, key);
+        node_of_[l][rank] = partition;
+        if (partition_contents_[l][partition].size() <
+            config_.layers[l].cache_objects) {
+          partition_contents_[l][partition].push_back(key);
+          cached_[l][rank] = 1;
+        }
+      }
+    } else if (top_replicated && rank < config_.layers[0].cache_objects) {
+      // The globally hottest objects; identical content in every layer-0 node.
+      partition_contents_[0][0].push_back(key);
+      cached_[0][rank] = 1;
     }
   }
 
-  // Derive spine switch contents from partition contents.
-  spine_contents_.assign(config_.num_spine, {});
-  if (spine_replicated) {
-    for (uint32_t s = 0; s < config_.num_spine; ++s) {
-      spine_contents_[s] = partition_contents_[0];
-    }
-  } else if (spine_partitioned) {
-    for (uint32_t p = 0; p < config_.num_spine; ++p) {
-      auto& dst = spine_contents_[spine_of_partition_[p]];
-      dst.insert(dst.end(), partition_contents_[p].begin(), partition_contents_[p].end());
-    }
+  for (size_t l = 0; l < leaf; ++l) {
+    DeriveLayerContents(l);
   }
 
   num_cached_ = 0;
   for (uint64_t rank = 0; rank < ranked; ++rank) {
-    if (leaf_cached_[rank] || spine_cached_[rank]) {
-      ++num_cached_;
+    bool any = false;
+    for (size_t l = 0; l < num_layers; ++l) {
+      any = any || cached_[l][rank] != 0;
     }
+    num_cached_ += any ? 1 : 0;
+  }
+}
+
+// Rebuilds one upper layer's per-node contents from its partition contents
+// through the layer's partition→node map.
+void CacheAllocation::DeriveLayerContents(size_t layer) {
+  layer_contents_[layer].assign(config_.layers[layer].nodes, {});
+  if (config_.mechanism == Mechanism::kCacheReplication) {
+    if (layer == 0) {
+      for (auto& contents : layer_contents_[0]) {
+        contents = partition_contents_[0][0];
+      }
+    }
+    return;
+  }
+  for (uint32_t p = 0; p < config_.layers[layer].nodes; ++p) {
+    auto& dst = layer_contents_[layer][node_of_partition_[layer][p]];
+    dst.insert(dst.end(), partition_contents_[layer][p].begin(),
+               partition_contents_[layer][p].end());
   }
 }
 
 CacheCopies CacheAllocation::CopiesOf(uint64_t key) const {
   CacheCopies copies;
+  const size_t num_layers = config_.layers.size();
+  copies.leaf_layer = static_cast<uint8_t>(num_layers - 1);
   const uint64_t rank = RankOf(key);
   if (rank >= pool_) {
     return copies;
   }
-  if (leaf_cached_[rank]) {
-    copies.leaf = leaf_of_[rank];
-  }
-  if (spine_cached_[rank]) {
-    if (config_.mechanism == Mechanism::kCacheReplication) {
-      copies.replicated_all_spines = true;
-    } else {
-      copies.spine = spine_of_partition_[spine_of_[rank]];
+  const bool replicated = config_.mechanism == Mechanism::kCacheReplication;
+  for (size_t l = 0; l < num_layers; ++l) {
+    if (!cached_[l][rank]) {
+      continue;
     }
+    if (l == 0 && replicated) {
+      copies.replicated_all_spines = true;
+      continue;
+    }
+    const uint32_t node = l + 1 == num_layers
+                              ? node_of_[l][rank]
+                              : node_of_partition_[l][node_of_[l][rank]];
+    copies.nodes[copies.num++] = {static_cast<uint32_t>(l), node};
   }
   return copies;
 }
@@ -114,27 +170,22 @@ void CacheAllocation::Refill(const std::vector<uint64_t>& hottest_first,
     // First occurrence wins: a duplicate key keeps its hotter rank.
     rank_of_key_.emplace(key_of_rank_[rank], rank);
   }
-  const std::vector<uint32_t> remap = spine_of_partition_;
+  const std::vector<std::vector<uint32_t>> remaps = node_of_partition_;
   Compute(placement);
-  if (!remap.empty()) {
-    RemapSpine(remap);  // failure remaps in effect survive the re-allocation
+  // Failure remaps in effect survive the re-allocation, layer by layer.
+  for (size_t l = 0; l < remaps.size(); ++l) {
+    if (!remaps[l].empty()) {
+      RemapLayer(l, remaps[l]);
+    }
   }
 }
 
-void CacheAllocation::RemapSpine(const std::vector<uint32_t>& spine_of_partition) {
-  assert(spine_of_partition.size() == config_.num_spine);
-  spine_of_partition_ = spine_of_partition;
-  spine_contents_.assign(config_.num_spine, {});
-  if (config_.mechanism == Mechanism::kCacheReplication) {
-    for (uint32_t s = 0; s < config_.num_spine; ++s) {
-      spine_contents_[s] = partition_contents_[0];
-    }
-    return;
-  }
-  for (uint32_t p = 0; p < config_.num_spine; ++p) {
-    auto& dst = spine_contents_[spine_of_partition_[p]];
-    dst.insert(dst.end(), partition_contents_[p].begin(), partition_contents_[p].end());
-  }
+void CacheAllocation::RemapLayer(size_t layer,
+                                 const std::vector<uint32_t>& node_of_partition) {
+  assert(layer + 1 < config_.layers.size());
+  assert(node_of_partition.size() == config_.layers[layer].nodes);
+  node_of_partition_[layer] = node_of_partition;
+  DeriveLayerContents(layer);
 }
 
 }  // namespace distcache

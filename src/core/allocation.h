@@ -1,23 +1,32 @@
 // Cache allocation (§3.1): which hot objects are cached at which cache nodes.
 //
-// The controller computes, per mechanism:
-//   * leaf layer (group B): each storage rack's ToR caches the hottest objects whose
-//     primary copies live in that rack (hash h1 ≡ the storage placement hash);
-//   * spine layer (group A):
-//       - DistCache:        partition of the object space by the independent hash h0;
-//                           spine s caches the hottest objects with h0(key) % m == s;
-//       - CacheReplication: every spine caches the same globally hottest objects;
-//       - CachePartition / NoCache: no spine caching.
+// The hierarchy is a vector of cache layers, top first:
+//   * layers 0..L-2 ("upper" layers, group A): each partitions the object space by
+//     its own independent hash h_l; node p of layer l caches the hottest objects
+//     with h_l(key) % nodes == p. The paper's spine layer is layer 0; §3.1's
+//     recursive multi-layer extension simply adds more such layers, each with an
+//     independent hash.
+//   * layer L-1 (the "leaf" layer, group B): bound to the storage racks — each
+//     rack's ToR caches the hottest objects whose primary copies live in that rack
+//     (hash h1 ≡ the storage placement hash). Its node count must equal the
+//     placement's rack count.
 //
-// Capacities are expressed in objects per switch (the paper populates 100 per switch).
-// By default keys are popularity ranks (0 = hottest), so "hottest of a partition" is
-// simply the smallest-rank members of the partition within the candidate pool. When
-// the workload's hot set moves (§6.4 hot-spot shift), the controller re-allocates via
-// Refill() with an explicit hottest-first key list; rank order is then the list order
-// and lookups go through a key→rank index.
+// Mechanisms other than DistCache keep their two-layer semantics at any depth:
+//   - CacheReplication: every layer-0 node caches the same globally hottest
+//     objects (intermediate upper layers stay empty);
+//   - CachePartition: leaf caching only;
+//   - NoCache: nothing cached.
+//
+// Capacities are per-node objects per layer (the paper populates 100 per switch).
+// By default keys are popularity ranks (0 = hottest), so "hottest of a partition"
+// is simply the smallest-rank members of the partition within the candidate pool.
+// When the workload's hot set moves (§6.4 hot-spot shift), the controller
+// re-allocates via Refill() with an explicit hottest-first key list; rank order is
+// then the list order and lookups go through a key→rank index.
 #ifndef DISTCACHE_CORE_ALLOCATION_H_
 #define DISTCACHE_CORE_ALLOCATION_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -27,76 +36,123 @@
 #include "common/hash.h"
 #include "core/mechanism.h"
 #include "kv/placement.h"
+#include "net/topology.h"
 
 namespace distcache {
 
-struct AllocationConfig {
-  Mechanism mechanism = Mechanism::kDistCache;
-  uint32_t num_spine = 32;
-  uint32_t num_racks = 32;
-  // Objects cached per switch. Total cache size = per_switch_objects × (#spine+#leaf)
-  // for DistCache (paper: 100 × 64 = 6400).
-  uint32_t per_switch_objects = 100;
-  // How many of the hottest keys are considered for caching. Must comfortably exceed
-  // the per-partition demand; 8× the total budget is ample because partitions are
-  // hash-balanced.
-  uint32_t candidate_pool = 0;  // 0 = auto
-  uint64_t hash_seed = 0xd15ca4e;
+// One cache layer of the hierarchy (depth capped at kMaxCacheLayers, see
+// net/topology.h).
+struct LayerSpec {
+  uint32_t nodes = 32;          // cache nodes (switches) in this layer
+  uint32_t cache_objects = 100; // objects cached per node
 };
 
-// Where one key is cached.
-struct CacheCopies {
-  std::optional<uint32_t> spine;    // spine switch index, if spine-cached
-  std::optional<uint32_t> leaf;     // storage rack index, if leaf-cached
-  bool replicated_all_spines = false;  // CacheReplication: cached in every spine
+struct AllocationConfig {
+  Mechanism mechanism = Mechanism::kDistCache;
+  // Cache layers, top first; layers.back() is the rack-bound leaf layer and must
+  // have nodes == placement.num_racks(). Size in [2, kMaxCacheLayers].
+  std::vector<LayerSpec> layers{{32, 100}, {32, 100}};
+  // How many of the hottest keys are considered for caching. Must comfortably
+  // exceed the per-partition demand; 8× the total budget is ample because
+  // partitions are hash-balanced.
+  uint32_t candidate_pool = 0;  // 0 = auto
+  uint64_t hash_seed = 0xd15ca4e;
 
-  bool cached() const { return spine.has_value() || leaf.has_value() || replicated_all_spines; }
+  // The historical two-layer shape (spine + leaf, uniform per-switch budget).
+  static AllocationConfig TwoLayer(Mechanism mechanism, uint32_t num_spine,
+                                   uint32_t num_racks, uint32_t per_switch_objects,
+                                   uint64_t hash_seed = 0xd15ca4e) {
+    AllocationConfig config;
+    config.mechanism = mechanism;
+    config.layers = {{num_spine, per_switch_objects}, {num_racks, per_switch_objects}};
+    config.hash_seed = hash_seed;
+    return config;
+  }
+};
+
+// Where one key is cached: at most one node per layer, in ascending layer order.
+struct CacheCopies {
+  uint8_t num = 0;
+  uint8_t leaf_layer = 1;              // index of the rack-bound layer
+  bool replicated_all_spines = false;  // CacheReplication: cached in every layer-0 node
+  std::array<CacheNodeId, kMaxCacheLayers> nodes{};
+
+  bool cached() const { return num > 0 || replicated_all_spines; }
+
+  // Convenience views for the two-layer call sites.
+  std::optional<uint32_t> spine() const {
+    return num > 0 && nodes[0].layer == 0 ? std::optional<uint32_t>(nodes[0].index)
+                                          : std::nullopt;
+  }
+  std::optional<uint32_t> leaf() const {
+    for (uint8_t i = num; i-- > 0;) {
+      if (nodes[i].layer == leaf_layer) {
+        return nodes[i].index;
+      }
+    }
+    return std::nullopt;
+  }
+
   // Number of cached copies that the coherence protocol must update on a write.
   size_t NumCopies(uint32_t num_spine) const {
-    size_t n = leaf.has_value() ? 1 : 0;
-    if (replicated_all_spines) {
-      n += num_spine;
-    } else if (spine.has_value()) {
-      n += 1;
-    }
-    return n;
+    return static_cast<size_t>(num) + (replicated_all_spines ? num_spine : 0);
   }
 };
 
 class CacheAllocation {
  public:
-  // Computes the allocation for keys [0, candidate_pool) given the storage placement.
-  // `placement` determines each key's rack (h1); h0 is drawn from `hash_seed`.
+  // Computes the allocation for keys [0, candidate_pool) given the storage
+  // placement. `placement` determines each key's rack (the leaf layer); upper-layer
+  // hashes h_0..h_{L-2} are drawn independently from `hash_seed`.
   CacheAllocation(const AllocationConfig& config, const Placement& placement);
 
   // Copies of `key` (empty copies if the key is not cached).
   CacheCopies CopiesOf(uint64_t key) const;
 
-  // Spine partition of a key under h0 (defined for every key, cached or not).
-  uint32_t SpinePartitionOf(uint64_t key) const {
-    return static_cast<uint32_t>(h0_(key) % config_.num_spine);
+  // Partition of a key in upper layer `layer` under h_layer (defined for every
+  // key, cached or not).
+  uint32_t PartitionOf(size_t layer, uint64_t key) const {
+    return static_cast<uint32_t>(hash_[layer](key) % config_.layers[layer].nodes);
+  }
+  // Historical name for the top layer's partition.
+  uint32_t SpinePartitionOf(uint64_t key) const { return PartitionOf(0, key); }
+
+  // Contents per node of one layer (post-remap for upper layers).
+  const std::vector<std::vector<uint64_t>>& layer_contents(size_t layer) const {
+    return layer_contents_[layer];
+  }
+  const std::vector<std::vector<uint64_t>>& spine_contents() const {
+    return layer_contents_.front();
+  }
+  const std::vector<std::vector<uint64_t>>& leaf_contents() const {
+    return layer_contents_.back();
   }
 
-  // Contents per switch.
-  const std::vector<std::vector<uint64_t>>& spine_contents() const { return spine_contents_; }
-  const std::vector<std::vector<uint64_t>>& leaf_contents() const { return leaf_contents_; }
+  size_t num_layers() const { return config_.layers.size(); }
+  size_t leaf_layer() const { return config_.layers.size() - 1; }
 
   // Total number of distinct cached keys.
   size_t num_cached_keys() const { return num_cached_; }
   uint64_t candidate_pool() const { return pool_; }
   const AllocationConfig& config() const { return config_; }
 
-  // Re-runs allocation with some spine switches marked failed: their partitions are
-  // remapped onto alive spines via the provided remap (switch index → alive index).
-  // Used by the controller's failure handling (§4.4); see CacheController.
-  void RemapSpine(const std::vector<uint32_t>& spine_of_partition);
+  // Re-runs allocation for upper layer `layer` with some nodes marked failed:
+  // their partitions are remapped onto alive nodes via the provided map
+  // (partition index → alive node index). Used by the controller's failure
+  // handling (§4.4); see CacheController. The leaf layer cannot be remapped (a
+  // rack's cache is bound to the rack).
+  void RemapLayer(size_t layer, const std::vector<uint32_t>& node_of_partition);
+  // Historical name: remap of the top layer.
+  void RemapSpine(const std::vector<uint32_t>& spine_of_partition) {
+    RemapLayer(0, spine_of_partition);
+  }
 
   // Re-allocates the cache onto a new hot set: `hottest_first[i]` is the key the
   // controller now believes has popularity rank i (e.g. observed heavy-hitter
   // counts after a hot-spot shift). Budgets are refilled hottest-first exactly like
-  // the constructor; the partition→spine remap in effect (spine_of_partition) is
-  // preserved, so re-allocation composes with failure handling. Lists shorter than
-  // the candidate pool simply leave the remaining budget demand unfilled; entries
+  // the constructor; the partition→node remaps in effect are preserved per layer,
+  // so re-allocation composes with failure handling. Lists shorter than the
+  // candidate pool simply leave the remaining budget demand unfilled; entries
   // beyond the pool are ignored. Afterwards CopiesOf() answers by key id through
   // the key→rank index.
   void Refill(const std::vector<uint64_t>& hottest_first, const Placement& placement);
@@ -111,6 +167,7 @@ class CacheAllocation {
 
  private:
   void Compute(const Placement& placement);
+  void DeriveLayerContents(size_t layer);
 
   // Rank of `key` in the current hot-set ordering, or pool_ when unranked (tail).
   uint64_t RankOf(uint64_t key) const {
@@ -122,7 +179,10 @@ class CacheAllocation {
   }
 
   AllocationConfig config_;
-  TabulationHash h0_;
+  // Independent per-upper-layer hashes; hash_[0] keeps the historical h0 seed
+  // derivation so two-layer allocations are bit-identical to the pre-hierarchy
+  // code. The leaf layer has no hash (it follows the placement).
+  std::vector<TabulationHash> hash_;
   uint64_t pool_ = 0;
   size_t num_cached_ = 0;
   // Current hot-set ordering: key_of_rank_[r] is the key with popularity rank r.
@@ -133,17 +193,17 @@ class CacheAllocation {
   bool explicit_hot_list_ = false;
   std::vector<uint64_t> key_of_rank_;
   std::unordered_map<uint64_t, uint64_t> rank_of_key_;
-  // Dense per-rank copy info for ranks < pool_.
-  std::vector<uint8_t> leaf_cached_;   // bool per rank
-  std::vector<uint8_t> spine_cached_;  // bool per rank
-  std::vector<uint32_t> leaf_of_;      // rack per rank (from placement of the key)
-  std::vector<uint32_t> spine_of_;     // spine switch per rank (h0 partition, post-remap)
-  // Per-h0-partition cached keys; spine_contents_ derives from these through
-  // spine_of_partition_ so that failure remaps are cheap and lossless.
-  std::vector<std::vector<uint64_t>> partition_contents_;
-  std::vector<uint32_t> spine_of_partition_;
-  std::vector<std::vector<uint64_t>> spine_contents_;
-  std::vector<std::vector<uint64_t>> leaf_contents_;
+  // Dense per-layer, per-rank copy info for ranks < pool_: cached_[l][rank] and
+  // node_of_[l][rank] (for upper layers the *partition*, pre-remap; for the leaf
+  // layer the rack from the placement of the key).
+  std::vector<std::vector<uint8_t>> cached_;
+  std::vector<std::vector<uint32_t>> node_of_;
+  // Per-upper-layer, per-partition cached keys; layer_contents_ derives from these
+  // through node_of_partition_ so that failure remaps are cheap and lossless.
+  // (Under CacheReplication, partition_contents_[0][0] holds the replicated set.)
+  std::vector<std::vector<std::vector<uint64_t>>> partition_contents_;
+  std::vector<std::vector<uint32_t>> node_of_partition_;
+  std::vector<std::vector<std::vector<uint64_t>>> layer_contents_;
 };
 
 }  // namespace distcache

@@ -6,13 +6,19 @@
 // proposes an aging mechanism that gradually decays un-refreshed loads toward zero
 // (not implementable in P4 at the time — we implement it and ablate it).
 //
-// Invariants this table must maintain for the power-of-two-choices guarantee
+// The table covers an arbitrary cache hierarchy: one load slot per node of every
+// layer (layer 0 = the top/"spine" layer, the last layer = the rack-bound leaves),
+// flattened into a single dense array so the hot-path Load() is one add and one
+// read regardless of depth. Power-of-k routing over L layers compares the L
+// candidates through this one table.
+//
+// Invariants this table must maintain for the power-of-k-choices guarantee
 // (Theorem 1) to apply:
 //
 //  1. *Per-node monotone freshness*: the stored load for a node is always some past
 //     true load of that node (possibly decayed by aging) plus optimistic local
 //     increments the client itself caused — never an arbitrary value. PoT tolerates
-//     bounded staleness (it only compares two candidates), but it does not tolerate
+//     bounded staleness (it only compares candidates), but it does not tolerate
 //     systematically inverted loads.
 //  2. *Bounded staleness*: every node's entry is refreshed at least once per
 //     telemetry epoch while the node serves traffic. The sharded simulation backend
@@ -41,10 +47,14 @@
 #ifndef DISTCACHE_CORE_LOAD_TRACKER_H_
 #define DISTCACHE_CORE_LOAD_TRACKER_H_
 
+#include <array>
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <vector>
 
+#include "core/allocation.h"
 #include "net/topology.h"
 
 namespace distcache {
@@ -52,148 +62,129 @@ namespace distcache {
 class LoadTracker {
  public:
   struct Config {
-    uint32_t num_spine = 32;
-    uint32_t num_leaf = 32;
+    // Nodes per cache layer, top first (the historical shape is {num_spine,
+    // num_racks}).
+    std::vector<uint32_t> layer_sizes{32, 32};
     // Multiplier applied per Age() call to entries not refreshed since the last
     // Age(); 1.0 disables aging (the prototype's behaviour).
     double aging_factor = 0.5;
   };
 
   explicit LoadTracker(const Config& config)
-      : config_(config),
-        spine_loads_(config.num_spine, 0.0),
-        leaf_loads_(config.num_leaf, 0.0),
-        spine_fresh_(config.num_spine, false),
-        leaf_fresh_(config.num_leaf, false),
-        spine_dead_(config.num_spine, false),
-        leaf_dead_(config.num_leaf, false),
-        spine_shadow_(config.num_spine, 0.0),
-        leaf_shadow_(config.num_leaf, 0.0) {}
+      : config_(config), offset_(config.layer_sizes) {
+    loads_.assign(offset_.total(), 0.0);
+    fresh_.assign(offset_.total(), false);
+    dead_.assign(offset_.total(), false);
+    shadow_.assign(offset_.total(), 0.0);
+  }
 
   // Telemetry arrival: reply traversed `node` which reported `load`.
   void Update(CacheNodeId node, uint64_t load) { Set(node, static_cast<double>(load)); }
 
-  double Load(CacheNodeId node) const {
-    return node.layer == 0 ? spine_loads_[node.index] : leaf_loads_[node.index];
-  }
+  double Load(CacheNodeId node) const { return loads_[offset_.Flat(node)]; }
 
   // Authoritative refresh (epoch telemetry broadcast in the simulation backends):
   // replaces the view with the owner's true cumulative load and marks it fresh.
   // While a node is marked dead the refresh lands on the shadow value instead, so
   // the +infinity pin survives until MarkAlive().
   void Set(CacheNodeId node, double load) {
-    if (node.layer == 0 && node.index < config_.num_spine) {
-      (spine_dead_[node.index] ? spine_shadow_ : spine_loads_)[node.index] = load;
-      spine_fresh_[node.index] = true;
-    } else if (node.layer == 1 && node.index < config_.num_leaf) {
-      (leaf_dead_[node.index] ? leaf_shadow_ : leaf_loads_)[node.index] = load;
-      leaf_fresh_[node.index] = true;
+    if (!Valid(node)) {
+      return;
     }
+    const size_t i = offset_.Flat(node);
+    (dead_[i] ? shadow_ : loads_)[i] = load;
+    fresh_[i] = true;
   }
 
   // Optimistic local increment: the client just routed `delta` work to `node` and
   // accounts for it immediately, without waiting for the next telemetry epoch
   // (invariant 3 above). Does not mark the entry fresh — only real telemetry does.
   void Add(CacheNodeId node, double delta) {
-    if (node.layer == 0 && node.index < config_.num_spine) {
-      (spine_dead_[node.index] ? spine_shadow_ : spine_loads_)[node.index] += delta;
-    } else if (node.layer == 1 && node.index < config_.num_leaf) {
-      (leaf_dead_[node.index] ? leaf_shadow_ : leaf_loads_)[node.index] += delta;
+    if (!Valid(node)) {
+      return;
     }
+    const size_t i = offset_.Flat(node);
+    (dead_[i] ? shadow_ : loads_)[i] += delta;
   }
 
   // Dead-node aging (§4.4, header comment): pin the visible load to +infinity so
   // the failed node loses every PoT comparison; the current estimate moves to a
   // shadow that continues to absorb Set()/Add() (late telemetry). Idempotent.
   void MarkDead(CacheNodeId node) {
-    constexpr double kInf = std::numeric_limits<double>::infinity();
-    if (node.layer == 0 && node.index < config_.num_spine) {
-      if (!spine_dead_[node.index]) {
-        spine_dead_[node.index] = true;
-        spine_shadow_[node.index] = spine_loads_[node.index];
-        spine_loads_[node.index] = kInf;
-      }
-    } else if (node.layer == 1 && node.index < config_.num_leaf) {
-      if (!leaf_dead_[node.index]) {
-        leaf_dead_[node.index] = true;
-        leaf_shadow_[node.index] = leaf_loads_[node.index];
-        leaf_loads_[node.index] = kInf;
-      }
+    if (!Valid(node)) {
+      return;
+    }
+    const size_t i = offset_.Flat(node);
+    if (!dead_[i]) {
+      dead_[i] = true;
+      shadow_[i] = loads_[i];
+      loads_[i] = std::numeric_limits<double>::infinity();
     }
   }
 
   // Recovery: restore the shadow estimate (the node served nothing while dead, so
   // its true cumulative load is exactly where telemetry last left it). Idempotent.
   void MarkAlive(CacheNodeId node) {
-    if (node.layer == 0 && node.index < config_.num_spine) {
-      if (spine_dead_[node.index]) {
-        spine_dead_[node.index] = false;
-        spine_loads_[node.index] = spine_shadow_[node.index];
-      }
-    } else if (node.layer == 1 && node.index < config_.num_leaf) {
-      if (leaf_dead_[node.index]) {
-        leaf_dead_[node.index] = false;
-        leaf_loads_[node.index] = leaf_shadow_[node.index];
-      }
+    if (!Valid(node)) {
+      return;
+    }
+    const size_t i = offset_.Flat(node);
+    if (dead_[i]) {
+      dead_[i] = false;
+      loads_[i] = shadow_[i];
     }
   }
 
   bool IsDead(CacheNodeId node) const {
-    if (node.layer == 0 && node.index < config_.num_spine) {
-      return spine_dead_[node.index];
-    }
-    if (node.layer == 1 && node.index < config_.num_leaf) {
-      return leaf_dead_[node.index];
-    }
-    return false;  // unknown nodes are ignored, like Set/Add/MarkDead
+    // Unknown nodes are ignored, like Set/Add/MarkDead.
+    return Valid(node) && dead_[offset_.Flat(node)];
   }
 
   // Epoch boundary: decay entries that saw no telemetry this epoch (aging, §4.2), and
   // clear freshness marks. Dead entries stay pinned at +infinity — decaying a dead
   // node toward zero would make the ghost *attractive* (and 0 × inf is NaN).
   void Age() {
-    for (uint32_t i = 0; i < config_.num_spine; ++i) {
-      if (!spine_fresh_[i] && !spine_dead_[i]) {
-        spine_loads_[i] *= config_.aging_factor;
+    for (size_t i = 0; i < loads_.size(); ++i) {
+      if (!fresh_[i] && !dead_[i]) {
+        loads_[i] *= config_.aging_factor;
       }
-      spine_fresh_[i] = false;
-    }
-    for (uint32_t i = 0; i < config_.num_leaf; ++i) {
-      if (!leaf_fresh_[i] && !leaf_dead_[i]) {
-        leaf_loads_[i] *= config_.aging_factor;
-      }
-      leaf_fresh_[i] = false;
+      fresh_[i] = false;
     }
   }
 
   // ToR switch replacement (§4.4): a new client ToR "initializes the loads of all
   // cache switches to be zero" and relearns from telemetry.
   void Reset() {
-    spine_loads_.assign(config_.num_spine, 0.0);
-    leaf_loads_.assign(config_.num_leaf, 0.0);
-    spine_fresh_.assign(config_.num_spine, false);
-    leaf_fresh_.assign(config_.num_leaf, false);
-    spine_dead_.assign(config_.num_spine, false);
-    leaf_dead_.assign(config_.num_leaf, false);
-    spine_shadow_.assign(config_.num_spine, 0.0);
-    leaf_shadow_.assign(config_.num_leaf, 0.0);
+    loads_.assign(loads_.size(), 0.0);
+    fresh_.assign(fresh_.size(), false);
+    dead_.assign(dead_.size(), false);
+    shadow_.assign(shadow_.size(), 0.0);
   }
 
-  const std::vector<double>& spine_loads() const { return spine_loads_; }
-  const std::vector<double>& leaf_loads() const { return leaf_loads_; }
+  size_t num_layers() const { return config_.layer_sizes.size(); }
+
+  // One layer's current view (a copy; test/diagnostic use).
+  std::vector<double> LayerLoads(size_t layer) const {
+    return {loads_.begin() + offset_.LayerBegin(layer),
+            loads_.begin() + offset_.LayerEnd(layer)};
+  }
+  std::vector<double> spine_loads() const { return LayerLoads(0); }
+  std::vector<double> leaf_loads() const { return LayerLoads(num_layers() - 1); }
 
  private:
+  bool Valid(CacheNodeId node) const {
+    return node.layer < config_.layer_sizes.size() &&
+           node.index < config_.layer_sizes[node.layer];
+  }
+
   Config config_;
-  std::vector<double> spine_loads_;
-  std::vector<double> leaf_loads_;
-  std::vector<bool> spine_fresh_;
-  std::vector<bool> leaf_fresh_;
+  LayerOffsets offset_;
+  std::vector<double> loads_;
+  std::vector<bool> fresh_;
   // Dead-node aging state: while dead_[i], loads_[i] holds +infinity and
   // shadow_[i] carries the live estimate (see MarkDead/MarkAlive).
-  std::vector<bool> spine_dead_;
-  std::vector<bool> leaf_dead_;
-  std::vector<double> spine_shadow_;
-  std::vector<double> leaf_shadow_;
+  std::vector<bool> dead_;
+  std::vector<double> shadow_;
 };
 
 }  // namespace distcache

@@ -9,12 +9,13 @@ DistCacheRuntime::DistCacheRuntime(const RuntimeConfig& config)
     : config_(config),
       placement_(config.num_racks, config.servers_per_rack,
                  HashCombine(config.seed, 0x91aceULL)) {
-  AllocationConfig alloc;
-  alloc.mechanism = config_.mechanism;
-  alloc.num_spine = config_.num_spine;
-  alloc.num_racks = config_.num_racks;
-  alloc.per_switch_objects = config_.per_switch_objects;
-  alloc.hash_seed = HashCombine(config_.seed, 0xd15ca4eULL);
+  // The runtime deployment is the paper's two-layer prototype, expressed through
+  // the layer-generic allocation API: LayerSpec{0} is the spine layer, {1} the
+  // rack-bound leaves. Deeper hierarchies stay a simulation-engine feature until
+  // the thread-per-node runtime grows mid-layer switch loops.
+  AllocationConfig alloc = AllocationConfig::TwoLayer(
+      config_.mechanism, config_.num_spine, config_.num_racks,
+      config_.per_switch_objects, HashCombine(config_.seed, 0xd15ca4eULL));
   // The runtime seeds a dense keyspace; cap the candidate pool accordingly.
   alloc.candidate_pool = static_cast<uint32_t>(
       std::min<uint64_t>(config_.num_keys,
@@ -52,11 +53,11 @@ std::vector<CacheNodeId> DistCacheRuntime::CopyNodes(uint64_t key) const {
     for (uint32_t s = 0; s < config_.num_spine; ++s) {
       nodes.push_back(CacheNodeId{0, s});
     }
-  } else if (copies.spine) {
-    nodes.push_back(CacheNodeId{0, *copies.spine});
   }
-  if (copies.leaf) {
-    nodes.push_back(CacheNodeId{1, *copies.leaf});
+  // The per-layer copies, ascending (spine copy then leaf copy in this
+  // two-layer runtime).
+  for (uint8_t i = 0; i < copies.num; ++i) {
+    nodes.push_back(copies.nodes[i]);
   }
   return nodes;
 }
@@ -80,10 +81,10 @@ void DistCacheRuntime::Start() {
     }
   };
   for (uint32_t s = 0; s < config_.num_spine; ++s) {
-    seed_switch(spine_switches_[s].get(), allocation_->spine_contents()[s]);
+    seed_switch(spine_switches_[s].get(), allocation_->layer_contents(0)[s]);
   }
   for (uint32_t l = 0; l < config_.num_racks; ++l) {
-    seed_switch(leaf_switches_[l].get(), allocation_->leaf_contents()[l]);
+    seed_switch(leaf_switches_[l].get(), allocation_->layer_contents(1)[l]);
   }
 
   for (uint32_t s = 0; s < config_.num_spine; ++s) {
@@ -264,8 +265,9 @@ void DistCacheRuntime::ServerLoop(uint32_t server_id) {
 
 DistCacheRuntime::Client::Client(DistCacheRuntime* runtime, uint64_t seed)
     : runtime_(runtime),
-      tracker_(LoadTracker::Config{runtime->config_.num_spine, runtime->config_.num_racks,
-                                   /*aging_factor=*/1.0}),
+      tracker_(LoadTracker::Config{
+          {runtime->config_.num_spine, runtime->config_.num_racks},
+          /*aging_factor=*/1.0}),
       router_(&tracker_, runtime->config_.routing, HashCombine(seed, 0xc11e7ULL)) {}
 
 std::unique_ptr<DistCacheRuntime::Client> DistCacheRuntime::NewClient(uint64_t seed) {

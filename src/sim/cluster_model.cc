@@ -1,19 +1,21 @@
 #include "sim/cluster_model.h"
 
+#include <cassert>
+
 #include "common/hash.h"
 
 namespace distcache {
 
 ClusterModel::ClusterModel(const ClusterConfig& config)
     : cfg(config),
+      layers(ResolvedCacheLayers(config)),
       placement(config.num_racks, config.servers_per_rack,
                 HashCombine(config.seed, 0x91ace3e22ULL)),
       dist(MakeDistribution(config.num_keys, config.zipf_theta)) {
+  CheckCacheLayersOrDie(cfg);
   AllocationConfig alloc;
   alloc.mechanism = cfg.mechanism;
-  alloc.num_spine = cfg.num_spine;
-  alloc.num_racks = cfg.num_racks;
-  alloc.per_switch_objects = cfg.per_switch_objects;
+  alloc.layers = layers;
   alloc.hash_seed = HashCombine(cfg.seed, 0xd15ca4eULL);
   allocation = std::make_unique<CacheAllocation>(alloc, placement);
   controller = std::make_unique<CacheController>(allocation.get(), cfg.num_spine);

@@ -23,11 +23,14 @@ namespace distcache {
 
 // Client-view tracker dimensions for a cluster; both request-level backends use
 // this so their telemetry policy (no aging — the prototype's behaviour) cannot
-// diverge, which their parity tests assume.
+// diverge, which their parity tests assume. One slot per node of every cache
+// layer, top first.
 inline LoadTracker::Config MakeTrackerConfig(const ClusterConfig& cfg) {
   LoadTracker::Config tc;
-  tc.num_spine = cfg.num_spine;
-  tc.num_leaf = cfg.num_racks;
+  tc.layer_sizes.clear();
+  for (const LayerSpec& layer : ResolvedCacheLayers(cfg)) {
+    tc.layer_sizes.push_back(layer.nodes);
+  }
   tc.aging_factor = 1.0;
   return tc;
 }
@@ -53,6 +56,7 @@ struct ClusterModel {
   std::vector<double> HeadWithTailFor(double theta) const;
 
   ClusterConfig cfg;
+  std::vector<LayerSpec> layers;  // resolved cache hierarchy, top first
   Placement placement;
   std::unique_ptr<KeyDistribution> dist;
   std::unique_ptr<CacheAllocation> allocation;
@@ -67,6 +71,16 @@ struct ClusterModel {
   std::vector<double> head_with_tail;
 
   uint32_t num_servers() const { return cfg.num_racks * cfg.servers_per_rack; }
+  size_t num_layers() const { return layers.size(); }
+
+  // Sizes a per-layer stats structure (one vector per cache layer, top first).
+  std::vector<std::vector<double>> ZeroCacheLoads() const {
+    std::vector<std::vector<double>> loads(layers.size());
+    for (size_t l = 0; l < layers.size(); ++l) {
+      loads[l].assign(layers[l].nodes, 0.0);
+    }
+    return loads;
+  }
 };
 
 }  // namespace distcache

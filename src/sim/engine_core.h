@@ -129,7 +129,8 @@ class EngineCore {
   void SetReallocateHook(ReallocateHook hook) { realloc_hook_ = std::move(hook); }
   void SetRoutes(std::shared_ptr<const RouteTable> routes) {
     routes_ = std::move(routes);
-    route_data_ = routes_ ? routes_->data() : nullptr;
+    route_data_ = routes_ ? routes_->entries.data() : nullptr;
+    route_overflow_ = routes_ ? routes_->overflow.data() : nullptr;
   }
   // Interval-series step in local request units (0 disables series bookkeeping).
   // Resets the interval mark, so call once per Run before processing.
@@ -210,6 +211,13 @@ class EngineCore {
   uint32_t dead_spines() const { return dead_spines_; }
   const std::vector<uint8_t>& spine_alive() const { return spine_alive_; }
 
+  // Failure degradation targets the top ("spine") layer: a candidate is
+  // blackholed iff it is a dead top-layer node. Lower layers never die (the leaf
+  // layer is rack-bound; mid layers inherit the same assumption for now).
+  bool NodeDead(CacheNodeId node) const {
+    return node.layer == 0 && dead_spines_ > 0 && !spine_alive_[node.index];
+  }
+
   // The observer's per-key heavy-hitter reports since the last phase boundary /
   // re-allocation, hottest-first — what the controller re-allocates from. Empty
   // when the observer is disabled.
@@ -233,7 +241,8 @@ class EngineCore {
   BackendStats* stats_ = nullptr;
 
   std::shared_ptr<const RouteTable> routes_;
-  const RouteEntry* route_data_ = nullptr;  // hot-path view of routes_
+  const RouteEntry* route_data_ = nullptr;      // hot-path view of routes_
+  const uint32_t* route_overflow_ = nullptr;    // candidate runs of k>2 entries
 
   // Current workload-phase state.
   double write_ratio_;
@@ -298,36 +307,29 @@ void EngineCore::Process(Sink& sink, uint32_t bucket) {
     }
     size_t num_copies = 0;
     if (entry != nullptr) {
-      switch (entry->kind) {
-        case RouteEntry::kPair:
-          if (spine_alive_[entry->spine]) {
+      if (entry->kind == RouteEntry::kCached) {
+        // One cached copy per layer, ascending; coherence touches the alive ones.
+        const uint32_t inline_cands[2] = {entry->c0, entry->c1};
+        const uint32_t* cands =
+            entry->num <= 2 ? inline_cands : route_overflow_ + entry->c1;
+        for (uint8_t i = 0; i < entry->num; ++i) {
+          const CacheNodeId node = UnpackCandidate(cands[i]);
+          if (!NodeDead(node)) {
             ++num_copies;
-            sink.AddCacheLoad({0, entry->spine}, cc.coherence_switch_cost);
+            sink.AddCacheLoad(node, cc.coherence_switch_cost);
           }
-          ++num_copies;
-          sink.AddCacheLoad({1, entry->leaf}, cc.coherence_switch_cost);
-          break;
-        case RouteEntry::kSpineOnly:
-          if (spine_alive_[entry->spine]) {
-            ++num_copies;
-            sink.AddCacheLoad({0, entry->spine}, cc.coherence_switch_cost);
+        }
+      } else if (entry->kind == RouteEntry::kReplicated) {
+        num_copies = static_cast<size_t>(cc.num_spine - dead_spines_) +
+                     static_cast<size_t>(entry->num);
+        for (uint32_t s = 0; s < cc.num_spine; ++s) {
+          if (spine_alive_[s]) {
+            sink.AddCacheLoad({0, s}, cc.coherence_switch_cost);
           }
-          break;
-        case RouteEntry::kLeafOnly:
-          ++num_copies;
-          sink.AddCacheLoad({1, entry->leaf}, cc.coherence_switch_cost);
-          break;
-        case RouteEntry::kReplicated:
-          num_copies = static_cast<size_t>(cc.num_spine - dead_spines_) + 1;
-          for (uint32_t s = 0; s < cc.num_spine; ++s) {
-            if (spine_alive_[s]) {
-              sink.AddCacheLoad({0, s}, cc.coherence_switch_cost);
-            }
-          }
-          sink.AddCacheLoad({1, entry->leaf}, cc.coherence_switch_cost);
-          break;
-        default:
-          break;
+        }
+        if (entry->num > 0) {
+          sink.AddCacheLoad(UnpackCandidate(entry->c0), cc.coherence_switch_cost);
+        }
       }
     }
     sink.AddServerLoad(server,
@@ -341,15 +343,11 @@ void EngineCore::Process(Sink& sink, uint32_t bucket) {
     // keys, the heavy-hitter sketch for the rest — folded into one detector).
     observer_->Record(key);
   }
-  // Blackholed candidates degrade the choice set: a dead spine copy is skipped
-  // (the PoT pair becomes a single leaf choice), a spine-only key falls back to
-  // the primary server like an uncached key.
-  const bool spine_dead =
-      entry != nullptr && dead_spines_ > 0 &&
-      (entry->kind == RouteEntry::kPair || entry->kind == RouteEntry::kSpineOnly) &&
-      !spine_alive_[entry->spine];
-  if (entry == nullptr || entry->kind == RouteEntry::kUncached ||
-      (spine_dead && entry->kind == RouteEntry::kSpineOnly)) {
+  // Blackholed candidates degrade the power-of-k choice set: a dead top-layer
+  // copy is skipped (k shrinks by one), and a key whose every copy is dead falls
+  // back to the primary server like an uncached key.
+  CacheNodeId node;
+  if (entry == nullptr || entry->kind == RouteEntry::kUncached) {
     if (TransitBlackholed()) {
       ++st.dropped;
       return;
@@ -358,34 +356,73 @@ void EngineCore::Process(Sink& sink, uint32_t bucket) {
     ++st.server_reads;
     return;
   }
-
-  CacheNodeId node;
-  switch (entry->kind) {
-    case RouteEntry::kPair:
-      node = spine_dead ? CacheNodeId{1, entry->leaf}
-                        : router_.ChoosePair({0, entry->spine}, {1, entry->leaf});
-      break;
-    case RouteEntry::kSpineOnly:
-      node = {0, entry->spine};
-      break;
-    case RouteEntry::kLeafOnly:
-      node = {1, entry->leaf};
-      break;
-    default: {  // kReplicated
+  if (entry->kind == RouteEntry::kCached) {
+    if (entry->num == 1) {
+      node = UnpackCandidate(entry->c0);
+      if (NodeDead(node)) {
+        if (TransitBlackholed()) {
+          ++st.dropped;
+          return;
+        }
+        sink.AddServerLoad(server, 1.0);
+        ++st.server_reads;
+        return;
+      }
+    } else if (entry->num == 2) {
+      // The two-layer fast path: PoT between the (at most one dead) candidates.
+      const CacheNodeId c0 = UnpackCandidate(entry->c0);
+      const CacheNodeId c1 = UnpackCandidate(entry->c1);
+      const bool dead0 = NodeDead(c0);
+      node = dead0 ? c1 : NodeDead(c1) ? c0 : router_.ChoosePair(c0, c1);
+    } else {
+      // Power-of-k (k > 2): the alive candidate subset, least-loaded wins.
+      const uint32_t* run = route_overflow_ + entry->c1;
       auto& cands = scratch_candidates_;
       cands.clear();
-      for (uint32_t s = 0; s < cc.num_spine; ++s) {
-        if (spine_alive_[s]) {
-          cands.push_back({0, s});
+      for (uint8_t i = 0; i < entry->num; ++i) {
+        const CacheNodeId c = UnpackCandidate(run[i]);
+        if (!NodeDead(c)) {
+          cands.push_back(c);
         }
       }
-      cands.push_back({1, entry->leaf});
-      node = cands[router_.Choose(cands)];
-      break;
+      if (cands.empty()) {
+        if (TransitBlackholed()) {
+          ++st.dropped;
+          return;
+        }
+        sink.AddServerLoad(server, 1.0);
+        ++st.server_reads;
+        return;
+      }
+      node = cands.size() == 1 ? cands[0] : cands[router_.Choose(cands)];
     }
+  } else {  // kReplicated
+    auto& cands = scratch_candidates_;
+    cands.clear();
+    for (uint32_t s = 0; s < cc.num_spine; ++s) {
+      if (spine_alive_[s]) {
+        cands.push_back({0, s});
+      }
+    }
+    if (entry->num > 0) {
+      cands.push_back(UnpackCandidate(entry->c0));
+    }
+    if (cands.empty()) {
+      // Every replica dead (all spines down, no leaf copy): fall back to the
+      // primary server like an uncached key, same as the kCached degradation.
+      if (TransitBlackholed()) {
+        ++st.dropped;
+        return;
+      }
+      sink.AddServerLoad(server, 1.0);
+      ++st.server_reads;
+      return;
+    }
+    node = cands[router_.Choose(cands)];
   }
-  // Leaf hits transit an ECMP-chosen spine on the way down (§3.4); spine hits are
-  // absorbed by their (alive) serving switch and cannot be blackholed.
+  // Hits below the top layer transit an ECMP-chosen spine on the way down (§3.4);
+  // top-layer hits are absorbed by their (alive) serving switch and cannot be
+  // blackholed.
   if (node.layer != 0 && TransitBlackholed()) {
     ++st.dropped;
     return;

@@ -3,25 +3,35 @@
 namespace distcache {
 
 RouteTable BuildRouteTable(const ClusterModel& model, uint64_t hot_shift) {
-  RouteTable routes(model.pool);
+  RouteTable routes;
+  routes.entries.resize(model.pool);
   for (uint64_t rank = 0; rank < model.pool; ++rank) {
     const uint64_t key = KeyOfRank(rank, hot_shift, model.cfg.num_keys);
-    RouteEntry& e = routes[rank];
+    RouteEntry& e = routes.entries[rank];
     e.server = model.placement.ServerOf(key);
     const CacheCopies copies = model.allocation->CopiesOf(key);
     if (copies.replicated_all_spines) {
       e.kind = RouteEntry::kReplicated;
-      e.leaf = copies.leaf.value_or(0);
-    } else if (copies.spine && copies.leaf) {
-      e.kind = RouteEntry::kPair;
-      e.spine = *copies.spine;
-      e.leaf = *copies.leaf;
-    } else if (copies.spine) {
-      e.kind = RouteEntry::kSpineOnly;
-      e.spine = *copies.spine;
-    } else if (copies.leaf) {
-      e.kind = RouteEntry::kLeafOnly;
-      e.leaf = *copies.leaf;
+      // The leaf copy (if any) rides in c0; the layer-0 replicas are implicit.
+      if (const auto leaf = copies.leaf()) {
+        e.num = 1;
+        e.c0 = PackCandidate({copies.leaf_layer, *leaf});
+      }
+    } else if (copies.num > 0) {
+      e.kind = RouteEntry::kCached;
+      e.num = copies.num;
+      if (copies.num <= 2) {
+        e.c0 = PackCandidate(copies.nodes[0]);
+        if (copies.num == 2) {
+          e.c1 = PackCandidate(copies.nodes[1]);
+        }
+      } else {
+        e.c0 = PackCandidate(copies.nodes[0]);
+        e.c1 = static_cast<uint32_t>(routes.overflow.size());
+        for (uint8_t i = 0; i < copies.num; ++i) {
+          routes.overflow.push_back(PackCandidate(copies.nodes[i]));
+        }
+      }
     }
   }
   return routes;

@@ -7,34 +7,63 @@
 // `hot_shift` build parameter is the rank→key rotation of the workload phase the
 // table serves (see common/workload.h), so entry r always routes the key the
 // clients actually query at rank r.
+//
+// An entry carries the key's full candidate list — one cached copy per layer of
+// the hierarchy, packed (layer, index) in ascending layer order — so the engines
+// run the power-of-k choice over however many layers the cluster has. The entry
+// stays 16 bytes (the two-layer hot path is cache-footprint-critical): the first
+// two candidates are inline, and entries with more than two candidates spill the
+// whole list into the table's shared overflow array.
 #ifndef DISTCACHE_SIM_ROUTE_TABLE_H_
 #define DISTCACHE_SIM_ROUTE_TABLE_H_
 
 #include <cstdint>
 #include <vector>
 
+#include "net/topology.h"
 #include "sim/cluster_model.h"
 
 namespace distcache {
 
+// Candidates pack the layer into the top 3 bits (kMaxCacheLayers = 6 < 8, see
+// kCandLayerShift in net/topology.h) so a candidate is one 32-bit word at any
+// supported depth.
+inline uint32_t PackCandidate(CacheNodeId node) {
+  return (node.layer << kCandLayerShift) | node.index;
+}
+inline CacheNodeId UnpackCandidate(uint32_t packed) {
+  return {packed >> kCandLayerShift, packed & kCandIndexMask};
+}
+
 struct RouteEntry {
   enum Kind : uint8_t {
     kUncached = 0,   // read goes to the primary server
-    kPair = 1,       // PoT between the spine copy and the leaf copy
-    kSpineOnly = 2,
-    kLeafOnly = 3,
-    kReplicated = 4, // CacheReplication: all spines + leaf (slow path)
+    kCached = 1,     // power-of-k among the cached copies (one per layer, ≤ num)
+    kReplicated = 2, // CacheReplication: all layer-0 nodes + leaf (slow path)
   };
   uint8_t kind = kUncached;
-  uint32_t spine = 0;
-  uint32_t leaf = 0;
+  // Cached-copy count. For kReplicated: 1 when the key also has a leaf copy
+  // (in c0), 0 otherwise — the layer-0 replicas are implicit.
+  uint8_t num = 0;
   uint32_t server = 0;
+  // num <= 2: the packed candidates, ascending layer. num > 2: c0 is the first
+  // candidate and c1 the offset of the full num-candidate run in
+  // RouteTable::overflow.
+  uint32_t c0 = 0;
+  uint32_t c1 = 0;
+};
+static_assert(sizeof(RouteEntry) == 16, "RouteEntry must stay 16 bytes");
+
+struct RouteTable {
+  std::vector<RouteEntry> entries;
+  // Packed candidate runs of entries with num > 2 (see RouteEntry::c1).
+  std::vector<uint32_t> overflow;
+
+  size_t size() const { return entries.size(); }
 };
 
-using RouteTable = std::vector<RouteEntry>;
-
 // One entry per head rank [0, model.pool), reflecting the allocation's current
-// partition→spine mapping (i.e. post-remap if the controller ran) and cached set
+// partition→node mappings (i.e. post-remap if the controller ran) and cached set
 // (post-refill if it re-allocated). `hot_shift` is the workload's current rank→key
 // rotation: entry r describes key (r + hot_shift) % num_keys.
 RouteTable BuildRouteTable(const ClusterModel& model, uint64_t hot_shift = 0);

@@ -19,8 +19,7 @@ struct SequentialSink {
   LoadTracker* view;
 
   void AddCacheLoad(CacheNodeId node, double delta) {
-    double& load =
-        node.layer == 0 ? st->spine_load[node.index] : st->leaf_load[node.index];
+    double& load = st->cache_load[node.layer][node.index];
     load += delta;
     view->Set(node, load);
   }
@@ -80,10 +79,8 @@ SequentialBackend::SequentialBackend(const SimBackendConfig& config)
 }
 
 BackendStats SequentialBackend::Run(uint64_t num_requests) {
-  const ClusterConfig& cc = config_.cluster;
   BackendStats st;
-  st.spine_load.assign(cc.num_spine, 0.0);
-  st.leaf_load.assign(cc.num_racks, 0.0);
+  st.cache_load = model_.ZeroCacheLoads();
   st.server_load.assign(model_.num_servers(), 0.0);
   core_.BindStats(&st);
   core_.SetSampleStep(static_cast<double>(config_.sample_interval));
@@ -105,11 +102,10 @@ BackendStats SequentialBackend::Run(uint64_t num_requests) {
     // for routed nodes. (Dead spines emit no telemetry; the tracker routes their
     // refresh to the shadow value, keeping the +inf pin — see load_tracker.h.)
     if (config_.epoch_requests != 0 && i % config_.epoch_requests == 0) {
-      for (uint32_t s = 0; s < cc.num_spine; ++s) {
-        core_.view().Set({0, s}, st.spine_load[s]);
-      }
-      for (uint32_t l = 0; l < cc.num_racks; ++l) {
-        core_.view().Set({1, l}, st.leaf_load[l]);
+      for (uint32_t layer = 0; layer < st.cache_load.size(); ++layer) {
+        for (uint32_t n = 0; n < st.cache_load[layer].size(); ++n) {
+          core_.view().Set({layer, n}, st.cache_load[layer][n]);
+        }
       }
     }
 

@@ -70,9 +70,8 @@ struct ShardedBackend::ShardSink {
     const uint32_t flat = backend->shard_map_.FlatIndex(node);
     shard->own_cache[flat] += delta;      // telemetry partial
     shard->core.view().Add(node, delta);  // optimistic local view
-    if (backend->shard_map_.OwnerOfCache(node) == shard->id) {
-      (node.layer == 0 ? shard->local.spine_load[node.index]
-                       : shard->local.leaf_load[node.index]) += delta;
+    if (backend->shard_map_.OwnerOfFlat(flat) == shard->id) {
+      shard->local.cache_load[node.layer][node.index] += delta;
     } else {
       shard->cache_unsent[flat] += delta;
     }
@@ -89,8 +88,15 @@ struct ShardedBackend::ShardSink {
 ShardedBackend::ShardedBackend(const SimBackendConfig& config)
     : config_(config),
       model_(config.cluster),
-      shard_map_(config.cluster.num_spine, config.cluster.num_racks,
-                 model_.num_servers(), config.shards),
+      shard_map_(
+          [this] {
+            std::vector<uint32_t> sizes;
+            for (const LayerSpec& layer : model_.layers) {
+              sizes.push_back(layer.nodes);
+            }
+            return sizes;
+          }(),
+          model_.num_servers(), config.shards),
       sampler_(model_.head_with_tail),
       base_routes_(std::make_shared<const RouteTable>(BuildRouteTable(model_))) {
   if (config_.batch_size == 0) {
@@ -250,8 +256,7 @@ void ShardedBackend::Apply(Shard& shard, ShardMsg& msg) {
   switch (msg.kind) {
     case ShardMsg::Kind::kLoadDeltas:
       for (const auto& [node, delta] : msg.cache_entries) {
-        (node.layer == 0 ? shard.local.spine_load[node.index]
-                         : shard.local.leaf_load[node.index]) += delta;
+        shard.local.cache_load[node.layer][node.index] += delta;
       }
       for (const auto& [server, delta] : msg.server_entries) {
         shard.local.server_load[server] += delta;
@@ -372,15 +377,14 @@ void ShardedBackend::ProcessBatch(Shard& shard, uint32_t count) {
 }
 
 void ShardedBackend::ShardMain(Shard& shard, uint64_t quota, uint64_t num_requests) {
-  const ClusterConfig& cc = config_.cluster;
-  shard.local.spine_load.assign(cc.num_spine, 0.0);
-  shard.local.leaf_load.assign(cc.num_racks, 0.0);
+  const uint32_t num_cache_nodes = shard_map_.num_cache_nodes();
+  shard.local.cache_load = model_.ZeroCacheLoads();
   shard.local.server_load.assign(model_.num_servers(), 0.0);
-  shard.cache_unsent.assign(cc.num_spine + cc.num_racks, 0.0);
+  shard.cache_unsent.assign(num_cache_nodes, 0.0);
   shard.server_unsent.assign(model_.num_servers(), 0.0);
-  shard.own_cache.assign(cc.num_spine + cc.num_racks, 0.0);
+  shard.own_cache.assign(num_cache_nodes, 0.0);
   shard.last_partial.assign(shard_map_.shards(),
-                            std::vector<double>(cc.num_spine + cc.num_racks, 0.0));
+                            std::vector<double>(num_cache_nodes, 0.0));
   shard.out.resize(shard_map_.shards());
   shard.sampler = &sampler_;
   shard.quota_scale = num_requests == 0

@@ -9,11 +9,11 @@
 namespace distcache {
 namespace {
 
-double MaxOverMean(const std::vector<double>& a, const std::vector<double>& b) {
+double MaxOverMean(const std::vector<const std::vector<double>*>& vectors) {
   double max = 0.0;
   double sum = 0.0;
   size_t n = 0;
-  for (const auto* v : {&a, &b}) {
+  for (const auto* v : vectors) {
     for (double x : *v) {
       max = std::max(max, x);
       sum += x;
@@ -59,11 +59,16 @@ void BackendStats::CloseIntervalAt(uint64_t processed, IntervalPoint& mark) {
 }
 
 double BackendStats::CacheImbalance() const {
-  return MaxOverMean(spine_load, leaf_load);
+  std::vector<const std::vector<double>*> layers;
+  layers.reserve(cache_load.size());
+  for (const std::vector<double>& layer : cache_load) {
+    layers.push_back(&layer);
+  }
+  return MaxOverMean(layers);
 }
 
 double BackendStats::ServerImbalance() const {
-  return MaxOverMean(server_load, {});
+  return MaxOverMean({&server_load});
 }
 
 void BackendStats::Merge(const BackendStats& other) {
@@ -86,8 +91,12 @@ void BackendStats::Merge(const BackendStats& other) {
     series[i].reads += other.series[i].reads;
     series[i].cache_hits += other.series[i].cache_hits;
   }
-  AccumulateLoads(spine_load, other.spine_load);
-  AccumulateLoads(leaf_load, other.leaf_load);
+  if (cache_load.size() < other.cache_load.size()) {
+    cache_load.resize(other.cache_load.size());
+  }
+  for (size_t l = 0; l < other.cache_load.size(); ++l) {
+    AccumulateLoads(cache_load[l], other.cache_load[l]);
+  }
   AccumulateLoads(server_load, other.server_load);
   wall_seconds = std::max(wall_seconds, other.wall_seconds);
 }

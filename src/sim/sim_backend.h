@@ -139,8 +139,8 @@ struct BackendStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
   uint64_t cache_hits = 0;   // reads answered by a cache switch
-  uint64_t spine_hits = 0;
-  uint64_t leaf_hits = 0;
+  uint64_t spine_hits = 0;   // hits absorbed by the top (spine) layer
+  uint64_t leaf_hits = 0;    // hits absorbed by any lower layer (mid or leaf)
   uint64_t server_reads = 0; // reads served by the primary storage server
   // Requests blackholed by a dead spine switch before the controller reacted
   // (ECMP transit through a failed switch, §4.4); they charge no load anywhere.
@@ -174,9 +174,14 @@ struct BackendStats {
   // Shared by the request-level engines' series bookkeeping.
   void CloseIntervalAt(uint64_t processed, IntervalPoint& mark);
 
-  std::vector<double> spine_load;
-  std::vector<double> leaf_load;
+  // Cumulative load per cache node, one vector per layer of the hierarchy (top
+  // first: cache_load.front() is the spine layer, cache_load.back() the
+  // rack-bound leaves; two entries in the historical two-layer deployment).
+  std::vector<std::vector<double>> cache_load;
   std::vector<double> server_load;
+
+  const std::vector<double>& spine_load() const { return cache_load.front(); }
+  const std::vector<double>& leaf_load() const { return cache_load.back(); }
 
   double wall_seconds = 0.0;
 

@@ -198,8 +198,8 @@ TEST(ClusterSim, UncappedModeExceedsServerAggregate) {
 TEST(ClusterSim, SnapshotShapesMatchTopology) {
   ClusterSim sim(SmallCluster(Mechanism::kDistCache));
   const LoadSnapshot snap = sim.RunTicks(10.0, 2);
-  EXPECT_EQ(snap.spine.size(), 32u);
-  EXPECT_EQ(snap.leaf.size(), 32u);
+  EXPECT_EQ(snap.spine().size(), 32u);
+  EXPECT_EQ(snap.leaf().size(), 32u);
   EXPECT_EQ(snap.server.size(), 256u);
   EXPECT_GT(snap.max_utilization, 0.0);
 }

@@ -33,8 +33,8 @@ TEST_P(ConservationTest, ReadLoadIsConserved) {
   ClusterSim sim(Config());
   const double rate = 10.0;
   const LoadSnapshot snap = sim.RunTicks(rate, 2);
-  const double spine = std::accumulate(snap.spine.begin(), snap.spine.end(), 0.0);
-  const double leaf = std::accumulate(snap.leaf.begin(), snap.leaf.end(), 0.0);
+  const double spine = std::accumulate(snap.spine().begin(), snap.spine().end(), 0.0);
+  const double leaf = std::accumulate(snap.leaf().begin(), snap.leaf().end(), 0.0);
   const double server = std::accumulate(snap.server.begin(), snap.server.end(), 0.0);
   const auto [mechanism, theta, write_ratio] = GetParam();
   // Reads are conserved exactly; writes add coherence work, so total load is at
@@ -54,8 +54,8 @@ TEST_P(ConservationTest, ReadOnlyLoadExactlyOffered) {
   ClusterSim sim(cfg);
   const double rate = 25.0;
   const LoadSnapshot snap = sim.RunTicks(rate, 1);
-  const double total = std::accumulate(snap.spine.begin(), snap.spine.end(), 0.0) +
-                       std::accumulate(snap.leaf.begin(), snap.leaf.end(), 0.0) +
+  const double total = std::accumulate(snap.spine().begin(), snap.spine().end(), 0.0) +
+                       std::accumulate(snap.leaf().begin(), snap.leaf().end(), 0.0) +
                        std::accumulate(snap.server.begin(), snap.server.end(), 0.0);
   EXPECT_NEAR(total, rate, 1e-6 * rate);
 }

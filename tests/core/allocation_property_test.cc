@@ -17,11 +17,8 @@ class AllocationPropertyTest : public ::testing::TestWithParam<Param> {};
 
 TEST_P(AllocationPropertyTest, StructuralInvariants) {
   const auto [mechanism, num_spine, num_racks, per_switch] = GetParam();
-  AllocationConfig cfg;
-  cfg.mechanism = mechanism;
-  cfg.num_spine = num_spine;
-  cfg.num_racks = num_racks;
-  cfg.per_switch_objects = per_switch;
+  const AllocationConfig cfg =
+      AllocationConfig::TwoLayer(mechanism, num_spine, num_racks, per_switch);
   Placement placement(num_racks, 4);
   CacheAllocation alloc(cfg, placement);
 

@@ -8,12 +8,8 @@ namespace distcache {
 namespace {
 
 AllocationConfig BaseConfig(Mechanism m) {
-  AllocationConfig cfg;
-  cfg.mechanism = m;
-  cfg.num_spine = 8;
-  cfg.num_racks = 8;
-  cfg.per_switch_objects = 10;
-  return cfg;
+  return AllocationConfig::TwoLayer(m, /*num_spine=*/8, /*num_racks=*/8,
+                                    /*per_switch_objects=*/10);
 }
 
 Placement BasePlacement() { return Placement(8, 4); }
@@ -39,8 +35,8 @@ TEST(CacheAllocation, CachePartitionIsLeafOnly) {
   }
   EXPECT_EQ(leaf_total, 80u);
   const CacheCopies c = alloc.CopiesOf(alloc.leaf_contents()[0][0]);
-  EXPECT_TRUE(c.leaf.has_value());
-  EXPECT_FALSE(c.spine.has_value());
+  EXPECT_TRUE(c.leaf().has_value());
+  EXPECT_FALSE(c.spine().has_value());
   EXPECT_FALSE(c.replicated_all_spines);
   EXPECT_EQ(c.NumCopies(8), 1u);
 }
@@ -56,7 +52,7 @@ TEST(CacheAllocation, ReplicationPutsSameContentInEverySpine) {
   for (uint64_t k = 0; k < 10; ++k) {
     const CacheCopies c = alloc.CopiesOf(k);
     EXPECT_TRUE(c.replicated_all_spines) << k;
-    EXPECT_EQ(c.NumCopies(8), c.leaf ? 9u : 8u);
+    EXPECT_EQ(c.NumCopies(8), c.leaf() ? 9u : 8u);
   }
 }
 
@@ -80,7 +76,7 @@ TEST(CacheAllocation, DistCacheHotKeysHaveTwoCopies) {
   int both = 0;
   for (uint64_t k = 0; k < 10; ++k) {
     const CacheCopies c = alloc.CopiesOf(k);
-    if (c.spine && c.leaf) {
+    if (c.spine() && c.leaf()) {
       ++both;
       EXPECT_EQ(c.NumCopies(8), 2u);
     }
@@ -93,15 +89,15 @@ TEST(CacheAllocation, ContentsConsistentWithCopiesOf) {
   for (uint32_t s = 0; s < 8; ++s) {
     for (uint64_t key : alloc.spine_contents()[s]) {
       const CacheCopies c = alloc.CopiesOf(key);
-      ASSERT_TRUE(c.spine.has_value());
-      EXPECT_EQ(*c.spine, s);
+      ASSERT_TRUE(c.spine().has_value());
+      EXPECT_EQ(*c.spine(), s);
     }
   }
   for (uint32_t l = 0; l < 8; ++l) {
     for (uint64_t key : alloc.leaf_contents()[l]) {
       const CacheCopies c = alloc.CopiesOf(key);
-      ASSERT_TRUE(c.leaf.has_value());
-      EXPECT_EQ(*c.leaf, l);
+      ASSERT_TRUE(c.leaf().has_value());
+      EXPECT_EQ(*c.leaf(), l);
     }
   }
 }
@@ -132,8 +128,8 @@ TEST(CacheAllocation, RemapMovesPartitionToTargetSwitch) {
   EXPECT_EQ(remapped[3].size(), original[3].size() + original[0].size());
   for (uint64_t key : original[0]) {
     const CacheCopies c = alloc.CopiesOf(key);
-    ASSERT_TRUE(c.spine.has_value());
-    EXPECT_EQ(*c.spine, 3u);
+    ASSERT_TRUE(c.spine().has_value());
+    EXPECT_EQ(*c.spine(), 3u);
   }
 }
 

@@ -10,11 +10,9 @@ namespace {
 class ControllerTest : public ::testing::Test {
  protected:
   ControllerTest() : placement_(8, 4) {
-    AllocationConfig cfg;
-    cfg.mechanism = Mechanism::kDistCache;
-    cfg.num_spine = 8;
-    cfg.num_racks = 8;
-    cfg.per_switch_objects = 10;
+    const AllocationConfig cfg = AllocationConfig::TwoLayer(
+        Mechanism::kDistCache, /*num_spine=*/8, /*num_racks=*/8,
+        /*per_switch_objects=*/10);
     allocation_ = std::make_unique<CacheAllocation>(cfg, placement_);
     controller_ = std::make_unique<CacheController>(allocation_.get(), 8);
   }

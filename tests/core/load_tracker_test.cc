@@ -8,7 +8,7 @@ namespace distcache {
 namespace {
 
 LoadTracker::Config SmallConfig(double aging = 0.5) {
-  return LoadTracker::Config{4, 4, aging};
+  return LoadTracker::Config{{4, 4}, aging};
 }
 
 TEST(LoadTracker, StartsAtZero) {

@@ -6,13 +6,13 @@ namespace distcache {
 namespace {
 
 TEST(PotRouter, SingleCandidateAlwaysChosen) {
-  LoadTracker t({4, 4, 1.0});
+  LoadTracker t({{4, 4}, 1.0});
   PotRouter router(&t, RoutingPolicy::kPowerOfTwo, 1);
   EXPECT_EQ(router.Choose({{0, 1}}), 0u);
 }
 
 TEST(PotRouter, PicksLessLoaded) {
-  LoadTracker t({4, 4, 1.0});
+  LoadTracker t({{4, 4}, 1.0});
   t.Update({0, 0}, 100);
   t.Update({1, 0}, 10);
   PotRouter router(&t, RoutingPolicy::kPowerOfTwo, 2);
@@ -27,7 +27,7 @@ TEST(PotRouter, PicksLessLoaded) {
 }
 
 TEST(PotRouter, TiesBrokenRoughlyEvenly) {
-  LoadTracker t({4, 4, 1.0});
+  LoadTracker t({{4, 4}, 1.0});
   t.Update({0, 0}, 50);
   t.Update({1, 0}, 50);
   PotRouter router(&t, RoutingPolicy::kPowerOfTwo, 3);
@@ -42,7 +42,7 @@ TEST(PotRouter, TiesBrokenRoughlyEvenly) {
 
 TEST(PotRouter, PowerOfKChoosesGlobalMinimum) {
   // §3.1: multi-layer hierarchies use power-of-k-choices.
-  LoadTracker t({8, 8, 1.0});
+  LoadTracker t({{8, 8}, 1.0});
   t.Update({0, 0}, 30);
   t.Update({0, 1}, 20);
   t.Update({1, 2}, 10);
@@ -52,8 +52,44 @@ TEST(PotRouter, PowerOfKChoosesGlobalMinimum) {
   EXPECT_EQ(router.Choose(candidates), 2u);
 }
 
+// k-ary tie break (invariant 3 at k > 2): equally loaded candidates of a
+// multi-layer hierarchy must share the choice uniformly, not herd onto the
+// lowest index.
+TEST(PotRouter, KaryTiesBrokenUniformly) {
+  LoadTracker t({{4, 4, 4, 4}, 1.0});
+  PotRouter router(&t, RoutingPolicy::kPowerOfTwo, 17);
+  const std::vector<CacheNodeId> candidates{{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  constexpr int kTrials = 40000;
+  int counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < kTrials; ++i) {
+    ++counts[router.Choose(candidates)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 0.25, 0.02);
+  }
+}
+
+// Dead-node degradation at k > 2: a MarkDead-pinned candidate (+inf view,
+// core/load_tracker.h) must lose every power-of-k comparison.
+TEST(PotRouter, KaryDeadCandidateNeverChosen) {
+  LoadTracker t({{4, 4, 4}, 1.0});
+  t.Update({0, 0}, 1000);
+  t.Update({1, 1}, 999);
+  t.Update({2, 2}, 998);
+  t.MarkDead({2, 2});  // the least-loaded candidate dies
+  PotRouter router(&t, RoutingPolicy::kPowerOfTwo, 23);
+  const std::vector<CacheNodeId> candidates{{0, 0}, {1, 1}, {2, 2}};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(router.Choose(candidates), 1u);  // the alive minimum
+  }
+  t.MarkAlive({2, 2});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(router.Choose(candidates), 2u);  // shadow estimate restored
+  }
+}
+
 TEST(PotRouter, RandomPolicyUsesBothCandidates) {
-  LoadTracker t({4, 4, 1.0});
+  LoadTracker t({{4, 4}, 1.0});
   t.Update({0, 0}, 1000);  // load-aware routing would avoid this one entirely
   PotRouter router(&t, RoutingPolicy::kRandom, 5);
   const std::vector<CacheNodeId> candidates{{0, 0}, {1, 0}};
@@ -65,7 +101,7 @@ TEST(PotRouter, RandomPolicyUsesBothCandidates) {
 }
 
 TEST(PotRouter, FirstChoicePolicyIsDeterministic) {
-  LoadTracker t({4, 4, 1.0});
+  LoadTracker t({{4, 4}, 1.0});
   t.Update({0, 0}, 1000);
   PotRouter router(&t, RoutingPolicy::kFirstChoice, 6);
   const std::vector<CacheNodeId> candidates{{0, 0}, {1, 0}};
@@ -75,7 +111,7 @@ TEST(PotRouter, FirstChoicePolicyIsDeterministic) {
 }
 
 TEST(PotRouter, EmptyCandidatesReturnsZero) {
-  LoadTracker t({4, 4, 1.0});
+  LoadTracker t({{4, 4}, 1.0});
   PotRouter router(&t, RoutingPolicy::kPowerOfTwo, 7);
   EXPECT_EQ(router.Choose({}), 0u);
 }
@@ -89,7 +125,7 @@ TEST(PotRouter, EmptyCandidatesReturnsZero) {
 class PotRouterParityTest : public ::testing::TestWithParam<RoutingPolicy> {};
 
 TEST_P(PotRouterParityTest, ChoosePairMatchesChoose) {
-  LoadTracker tracker({4, 4, 1.0});
+  LoadTracker tracker({{4, 4}, 1.0});
   constexpr uint64_t kSeed = 99;
   PotRouter via_choose(&tracker, GetParam(), kSeed);
   PotRouter via_pair(&tracker, GetParam(), kSeed);

@@ -80,10 +80,10 @@ TEST(EndToEnd, FluidSimAndRuntimeAgreeOnCacheEffectiveness) {
   ClusterSim sim(cs);
   const LoadSnapshot snap = sim.RunTicks(1.0, 2);
   double cache_load = 0.0;
-  for (double l : snap.spine) {
+  for (double l : snap.spine()) {
     cache_load += l;
   }
-  for (double l : snap.leaf) {
+  for (double l : snap.leaf()) {
     cache_load += l;
   }
   // Both fidelity levels should report a substantial and similar hit fraction.

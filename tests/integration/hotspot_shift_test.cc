@@ -143,9 +143,10 @@ TEST(HotspotShift, LoadConservationAcrossShiftAndRealloc) {
     run_cfg.shards = kind == BackendKind::kSharded ? 4 : 1;
     const BackendStats st = MakeSimBackend(kind, run_cfg)->Run(kRequests);
     double total = 0.0;
-    for (const auto* v : {&st.spine_load, &st.leaf_load, &st.server_load}) {
-      for (double x : *v) total += x;
+    for (const auto& layer : st.cache_load) {
+      for (double x : layer) total += x;
     }
+    for (double x : st.server_load) total += x;
     EXPECT_NEAR(total, static_cast<double>(kRequests), 1e-6);
   }
 }

@@ -48,12 +48,12 @@ TEST(SequentialFailure, RouteToFailedCopyDegradesToSingleChoice) {
   SimBackendConfig cfg = SmallConfig();
   const BackendStats healthy =
       MakeSimBackend(BackendKind::kSequential, cfg)->Run(kRequests);
-  ASSERT_GT(healthy.spine_load[0], 0.0);
+  ASSERT_GT(healthy.spine_load()[0], 0.0);
 
   cfg.events = {ClusterEvent::FailSpine(0, 0)};
   const BackendStats failed =
       MakeSimBackend(BackendKind::kSequential, cfg)->Run(kRequests);
-  EXPECT_EQ(failed.spine_load[0], 0.0);  // dead switch never serves a request
+  EXPECT_EQ(failed.spine_load()[0], 0.0);  // dead switch never serves a request
   EXPECT_GT(failed.leaf_hits, healthy.leaf_hits);  // pairs degraded to the leaf
   EXPECT_GT(failed.dropped, 0u);  // pre-recovery ECMP transit share blackholes
 }
@@ -167,7 +167,7 @@ TEST(ShardedFailure, ReplicatedReadsAvoidDeadSpines) {
   cfg.events = {ClusterEvent::FailSpine(0, 2)};
   cfg.shards = 2;
   const BackendStats st = MakeSimBackend(BackendKind::kSharded, cfg)->Run(200'000);
-  EXPECT_EQ(st.spine_load[2], 0.0);
+  EXPECT_EQ(st.spine_load()[2], 0.0);
   EXPECT_GT(st.cache_hits, 0u);
 }
 

@@ -83,10 +83,10 @@ TEST(ShardedBackend, MatchesSequentialReference) {
   // somewhere (read-only workload).
   double seq_total = 0.0;
   double shard_total = 0.0;
-  for (const auto* v : {&seq.spine_load, &seq.leaf_load, &seq.server_load}) {
+  for (const auto* v : {&seq.spine_load(), &seq.leaf_load(), &seq.server_load}) {
     for (double x : *v) seq_total += x;
   }
-  for (const auto* v : {&shard.spine_load, &shard.leaf_load, &shard.server_load}) {
+  for (const auto* v : {&shard.spine_load(), &shard.leaf_load(), &shard.server_load}) {
     for (double x : *v) shard_total += x;
   }
   EXPECT_NEAR(seq_total, static_cast<double>(kRequests), 1e-6);
@@ -119,10 +119,10 @@ TEST(Backends, WriteCoherenceCostsMatchBetweenEngines) {
             0.05);
   double seq_total = 0.0;
   double shard_total = 0.0;
-  for (const auto* v : {&seq.spine_load, &seq.leaf_load, &seq.server_load}) {
+  for (const auto* v : {&seq.spine_load(), &seq.leaf_load(), &seq.server_load}) {
     for (double x : *v) seq_total += x;
   }
-  for (const auto* v : {&shard.spine_load, &shard.leaf_load, &shard.server_load}) {
+  for (const auto* v : {&shard.spine_load(), &shard.leaf_load(), &shard.server_load}) {
     for (double x : *v) shard_total += x;
   }
   EXPECT_LT(RelDiff(shard_total, seq_total), 0.05);

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cluster/cluster_sim.h"
 #include "cluster/latency.h"
@@ -54,7 +55,14 @@ int Run(int argc, char** argv) {
         "   heavy-hitter counts at realloc-at)\n"
         "  [--backend=... --phases=start:theta:write[:shift],...]\n"
         "   (workload phase timeline: switch skew / write ratio / hot rotation at\n"
-        "   the given request timestamps)\n");
+        "   the given request timestamps)\n"
+        "  [--layers=L] [--layer-sizes=a,b,c] [--layer-cache=x,y,z]\n"
+        "   (multi-layer hierarchical caching, §3.1: L cache layers, top first;\n"
+        "   the last layer is the rack-bound leaf layer, so its size must equal\n"
+        "   --racks (or sets it when --racks is not given). --layer-sizes\n"
+        "   defaults every layer to --racks nodes; --layer-cache defaults every\n"
+        "   layer to --cache-per-switch objects per node; a single value\n"
+        "   broadcasts to all L layers)\n");
     return 0;
   }
   std::string error;
@@ -88,6 +96,77 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
   }
+  // Multi-layer hierarchy (§3.1): --layers/--layer-sizes/--layer-cache build
+  // cfg.cache_layers; absent, the cluster keeps the two-layer spine/leaf shape.
+  if (flags.Has("layers") || flags.Has("layer-sizes") || flags.Has("layer-cache")) {
+    uint64_t num_layers = 2;
+    std::vector<uint64_t> sizes;
+    std::vector<uint64_t> budgets;
+    if (!flags.GetUintChecked("layers", 2, &num_layers, &error) ||
+        !flags.GetUintList("layer-sizes", &sizes, &error) ||
+        !flags.GetUintList("layer-cache", &budgets, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    if (!flags.Has("layers")) {
+      num_layers = sizes.empty() ? 2 : sizes.size();
+    }
+    if (num_layers < 2 || num_layers > kMaxCacheLayers) {
+      std::fprintf(stderr, "--layers=%llu: want between 2 and %zu cache layers\n",
+                   static_cast<unsigned long long>(num_layers), kMaxCacheLayers);
+      return 1;
+    }
+    if (sizes.empty()) {
+      // Default shape: the top layer keeps --spines, everything below mirrors
+      // the racks (the leaf layer is rack-bound; mid layers default to match).
+      sizes.assign(num_layers, cfg.num_racks);
+      sizes.front() = cfg.num_spine;
+    }
+    if (budgets.empty()) {
+      budgets.assign(num_layers, cfg.per_switch_objects);
+    } else if (budgets.size() == 1) {
+      budgets.assign(num_layers, budgets[0]);  // single value broadcasts
+    }
+    if (sizes.size() != num_layers || budgets.size() != num_layers) {
+      std::fprintf(stderr,
+                   "--layer-sizes/--layer-cache must list one value per layer "
+                   "(--layers=%llu, got %zu sizes, %zu budgets)\n",
+                   static_cast<unsigned long long>(num_layers), sizes.size(),
+                   budgets.size());
+      return 1;
+    }
+    // The leaf layer is rack-bound: its size either matches --racks or defines
+    // it; likewise the top layer vs --spines. Explicit conflicting flags are
+    // rejected, never silently overridden.
+    if (flags.Has("racks") && sizes.back() != cfg.num_racks) {
+      std::fprintf(stderr,
+                   "--layer-sizes: the last (leaf) layer has %llu nodes but "
+                   "--racks=%u; the leaf layer is rack-bound\n",
+                   static_cast<unsigned long long>(sizes.back()), cfg.num_racks);
+      return 1;
+    }
+    if (flags.Has("spines") && sizes.front() != cfg.num_spine) {
+      std::fprintf(stderr,
+                   "--layer-sizes: the first (spine) layer has %llu nodes but "
+                   "--spines=%u; drop one of the two flags\n",
+                   static_cast<unsigned long long>(sizes.front()), cfg.num_spine);
+      return 1;
+    }
+    cfg.num_racks = static_cast<uint32_t>(sizes.back());
+    cfg.num_spine = static_cast<uint32_t>(sizes.front());
+    for (size_t l = 0; l < num_layers; ++l) {
+      if (sizes[l] > 0xffffffffULL || budgets[l] > 0xffffffffULL) {
+        std::fprintf(stderr, "--layer-sizes/--layer-cache values must fit uint32\n");
+        return 1;
+      }
+      cfg.cache_layers.push_back({static_cast<uint32_t>(sizes[l]),
+                                  static_cast<uint32_t>(budgets[l])});
+    }
+    if (const std::string layer_error = ValidateCacheLayers(cfg); !layer_error.empty()) {
+      std::fprintf(stderr, "%s\n", layer_error.c_str());
+      return 1;
+    }
+  }
   cfg.stale_telemetry = flags.GetBool("stale-telemetry", false);
   cfg.cap_at_server_aggregate = !flags.GetBool("uncapped", false);
   const std::string routing = flags.GetString("routing", "pot");
@@ -102,6 +181,14 @@ int Run(int argc, char** argv) {
               cfg.zipf_theta > 0 ? ("zipf-" + std::to_string(cfg.zipf_theta)).c_str()
                                  : "uniform",
               cfg.write_ratio);
+  if (!cfg.cache_layers.empty()) {
+    std::printf("hierarchy:");
+    for (size_t l = 0; l < cfg.cache_layers.size(); ++l) {
+      std::printf(" L%zu=%ux%u", l, cfg.cache_layers[l].nodes,
+                  cfg.cache_layers[l].cache_objects);
+    }
+    std::printf("  (nodes x objects/node, top->leaf)\n");
+  }
 
   if (flags.Has("backend")) {
     // Request-level engine run through the pluggable SimBackend interface.

@@ -15,6 +15,8 @@
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/parse.h"
 
@@ -98,6 +100,39 @@ class Flags {
       *error = "--" + name + "=" + it->second + ": want a non-negative integer";
       return false;
     }
+    return true;
+  }
+
+  // Parses --name as a comma-separated list of positive integers (strict per
+  // element, e.g. "32,16,32"). An absent flag leaves *out untouched and returns
+  // true; malformed input fills *error and returns false.
+  bool GetUintList(const std::string& name, std::vector<uint64_t>* out,
+                   std::string* error) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) {
+      return true;
+    }
+    std::vector<uint64_t> parsed;
+    const std::string& text = it->second;
+    size_t start = 0;
+    while (start <= text.size()) {
+      const size_t comma = text.find(',', start);
+      const std::string field =
+          text.substr(start, comma == std::string::npos ? std::string::npos
+                                                        : comma - start);
+      uint64_t value = 0;
+      if (!ParseStrictUint(field, &value) || value == 0) {
+        *error = "--" + name + "=" + text +
+                 ": want a comma-separated list of positive integers";
+        return false;
+      }
+      parsed.push_back(value);
+      if (comma == std::string::npos) {
+        break;
+      }
+      start = comma + 1;
+    }
+    *out = std::move(parsed);
     return true;
   }
 
