@@ -5,18 +5,22 @@
 // writes every caching mechanism falls below NoCache — the guideline to disable
 // in-network caching for write-intensive workloads.
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_common.h"
 
 namespace distcache {
 namespace {
 
-void RunPanel(const char* title, double theta, uint32_t per_switch) {
+void RunPanel(BenchJson& json, const char* panel, const char* title, double theta,
+              uint32_t per_switch) {
   PrintHeader(title, "");
   std::printf("%-12s %14s %18s %16s %10s\n", "write ratio", "DistCache",
               "CacheReplication", "CachePartition", "NoCache");
   const std::vector<double> ratios = SmokeSweep<double>(
       {0.0, 0.2}, {0.0, 0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0});
+  json.Series(std::string(panel) + "_write_ratio", ratios);
+  std::vector<double> distcache_series;
   for (double w : ratios) {
     std::printf("%-12.2f", w);
     for (Mechanism m : AllMechanisms()) {
@@ -29,19 +33,27 @@ void RunPanel(const char* title, double theta, uint32_t per_switch) {
                         : m == Mechanism::kCacheReplication ? 18
                         : m == Mechanism::kCachePartition   ? 16
                                                             : 10;
-      std::printf(" %*.0f", width, sim.SaturationThroughput());
+      const double saturation = sim.SaturationThroughput();
+      if (m == Mechanism::kDistCache) {
+        distcache_series.push_back(saturation);
+      }
+      std::printf(" %*.0f", width, saturation);
     }
     std::printf("\n");
   }
+  json.Series(std::string(panel) + "_distcache", distcache_series);
 }
 
 }  // namespace
 }  // namespace distcache
 
-int main() {
-  distcache::RunPanel("Figure 10(a): throughput vs write ratio (zipf-0.9, cache 640)",
+int main(int argc, char** argv) {
+  distcache::BenchJson json(argc, argv, "fig10");
+  distcache::RunPanel(json, "a",
+                      "Figure 10(a): throughput vs write ratio (zipf-0.9, cache 640)",
                       0.9, 10);
-  distcache::RunPanel("Figure 10(b): throughput vs write ratio (zipf-0.99, cache 6400)",
+  distcache::RunPanel(json, "b",
+                      "Figure 10(b): throughput vs write ratio (zipf-0.99, cache 6400)",
                       0.99, 100);
   return 0;
 }

@@ -49,7 +49,7 @@ const char* EventAt(int t) {
   return "";
 }
 
-void Run() {
+void Run(BenchJson& json) {
   PrintHeader("Figure 11: failure handling time series (engine parity)",
               "32 spines; fail 4 one-by-one at t=40,50,60,70; controller recovery at "
               "t=110; switches restored at t=160; sending rate = half of max; "
@@ -84,35 +84,47 @@ void Run() {
     per_engine[e] = MakeSimBackend(kinds[e], bcfg)->Run(requests);
   }
 
+  json.Config("offered_rate", offered);
+  json.Config("requests", static_cast<double>(requests));
   std::printf("%-8s %12s %12s %12s   %s\n", "time(s)", "fluid", "sequential",
               "sharded", "event");
+  std::vector<double> time_series;
+  std::vector<double> engine_series[3];
   // Row t covers the interval [t, t+kStep): an event timestamped t lands at the
   // start of its row, like the annotations in the paper's figure.
   const size_t intervals = per_engine[0].series.size();
   for (size_t i = 0; i < intervals; ++i) {
     const int t = static_cast<int>(i * kStep);
+    time_series.push_back(t);
     std::printf("%-8d", t);
     for (int e = 0; e < 3; ++e) {
       const auto& series = per_engine[e].series;
       const double fraction =
           i < series.size() ? series[i].delivered_fraction() : 1.0;
+      engine_series[e].push_back(fraction * offered);
       std::printf(" %12.0f", fraction * offered);
     }
     std::printf("   %s\n", EventAt(t));
   }
+  json.Series("time_s", time_series);
+  json.Series("fluid_throughput", engine_series[0]);
+  json.Series("sequential_throughput", engine_series[1]);
+  json.Series("sharded_throughput", engine_series[2]);
 
   // Engine-parity acceptance: post-recovery (last interval) throughput of the
   // sharded runtime within 5% of the fluid model.
   const double fluid_final = per_engine[0].series.back().delivered_fraction();
   const double sharded_final = per_engine[2].series.back().delivered_fraction();
-  std::printf("post-recovery sharded/fluid = %.4f (|1-x| must be < 0.05)\n",
-              fluid_final > 0.0 ? sharded_final / fluid_final : 0.0);
+  const double parity = fluid_final > 0.0 ? sharded_final / fluid_final : 0.0;
+  json.Metric("post_recovery_sharded_over_fluid", parity);
+  std::printf("post-recovery sharded/fluid = %.4f (|1-x| must be < 0.05)\n", parity);
 }
 
 }  // namespace
 }  // namespace distcache
 
-int main() {
-  distcache::Run();
+int main(int argc, char** argv) {
+  distcache::BenchJson json(argc, argv, "fig11");
+  distcache::Run(json);
   return 0;
 }

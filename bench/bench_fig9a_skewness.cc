@@ -9,7 +9,7 @@
 namespace distcache {
 namespace {
 
-void Run() {
+void Run(BenchJson& json) {
   PrintHeader("Figure 9(a): throughput vs. skewness (read-only)",
               "32 spine x 32 racks x 32 servers, 100 objects/switch (6400 total), "
               "throughput normalized to one storage server");
@@ -19,9 +19,12 @@ void Run() {
   // 1/(1-theta) closed forms degenerate there); the paper sweeps up to 0.99.
   const std::vector<double> thetas =
       SmokeSweep<double>({0.99}, {0.0, 0.9, 0.95, 0.99, 1.0});
+  json.Series("zipf_theta", thetas);
+  std::vector<std::vector<double>> columns(AllMechanisms().size());
   for (double theta : thetas) {
     std::printf("%-12s", theta == 0.0 ? "uniform" : ("zipf-" + std::to_string(theta)).substr(0, 9).c_str());
-    for (Mechanism m : AllMechanisms()) {
+    for (size_t mi = 0; mi < AllMechanisms().size(); ++mi) {
+      const Mechanism m = AllMechanisms()[mi];
       ClusterConfig cfg = PaperDefaultConfig(m);
       cfg.zipf_theta = theta;
       ClusterSim sim(cfg);
@@ -29,16 +32,23 @@ void Run() {
                                   : m == Mechanism::kCacheReplication ? 18
                                   : m == Mechanism::kCachePartition   ? 16
                                                                       : 10;
-      std::printf(" %*.0f", static_cast<int>(column_width), sim.SaturationThroughput());
+      const double saturation = sim.SaturationThroughput();
+      columns[mi].push_back(saturation);
+      std::printf(" %*.0f", static_cast<int>(column_width), saturation);
     }
     std::printf("\n");
   }
+  json.Series("distcache", columns[0]);
+  json.Series("cache_replication", columns[1]);
+  json.Series("cache_partition", columns[2]);
+  json.Series("no_cache", columns[3]);
 }
 
 }  // namespace
 }  // namespace distcache
 
-int main() {
-  distcache::Run();
+int main(int argc, char** argv) {
+  distcache::BenchJson json(argc, argv, "fig9a");
+  distcache::Run(json);
   return 0;
 }

@@ -9,14 +9,17 @@
 namespace distcache {
 namespace {
 
-void Run() {
+void Run(BenchJson& json) {
   PrintHeader("Figure 9(b): impact of cache size (read-only, zipf-0.99)",
               "cache size = objects across all 64 switches; log-scale x in the paper");
   std::printf("%-12s %14s %18s %16s\n", "cache size", "DistCache", "CacheReplication",
               "CachePartition");
   const std::vector<uint32_t> sizes =
       SmokeSweep<uint32_t>({64u, 6400u}, {64u, 96u, 160u, 320u, 640u, 6400u});
+  std::vector<double> size_series, distcache_series, replication_series,
+      partition_series;
   for (uint32_t total : sizes) {
+    size_series.push_back(total);
     // 64 cache switches; 96 total => alternate 1/2 per switch, approximated by the
     // ceiling (the paper's own 96/64 is fractional too).
     const uint32_t per_switch = (total + 63) / 64;
@@ -29,16 +32,26 @@ void Run() {
       const int width = m == Mechanism::kDistCache          ? 14
                         : m == Mechanism::kCacheReplication ? 18
                                                             : 16;
-      std::printf(" %*.0f", width, sim.SaturationThroughput());
+      const double saturation = sim.SaturationThroughput();
+      (m == Mechanism::kDistCache          ? distcache_series
+       : m == Mechanism::kCacheReplication ? replication_series
+                                           : partition_series)
+          .push_back(saturation);
+      std::printf(" %*.0f", width, saturation);
     }
     std::printf("\n");
   }
+  json.Series("cache_size", size_series);
+  json.Series("distcache", distcache_series);
+  json.Series("cache_replication", replication_series);
+  json.Series("cache_partition", partition_series);
 }
 
 }  // namespace
 }  // namespace distcache
 
-int main() {
-  distcache::Run();
+int main(int argc, char** argv) {
+  distcache::BenchJson json(argc, argv, "fig9b");
+  distcache::Run(json);
   return 0;
 }

@@ -12,7 +12,7 @@
 namespace distcache {
 namespace {
 
-void Run() {
+void Run(BenchJson& json) {
   PrintHeader("Latency vs offered load (zipf-0.99, paper defaults)",
               "latency in storage-server service-time units; 100 = saturated node");
   std::printf("%-10s", "load");
@@ -20,17 +20,27 @@ void Run() {
     std::printf("  %-16s p50/p99", MechanismName(m).c_str());
   }
   std::printf("\n");
-  for (double fraction : {0.05, 0.1, 0.25, 0.5, 0.75, 0.9}) {
+  const std::vector<double> load_sweep{0.05, 0.1, 0.25, 0.5, 0.75, 0.9};
+  json.Series("load_fraction", load_sweep);
+  std::vector<double> distcache_p99, nocache_p99;
+  for (double fraction : load_sweep) {
     std::printf("%-10.2f", fraction);
     for (Mechanism m : AllMechanisms()) {
       ClusterConfig cfg = PaperDefaultConfig(m);
       ClusterSim sim(cfg);
       const double rate = fraction * sim.TotalServerCapacity();
       const LatencyReport report = ComputeLatencyReport(sim, rate);
+      if (m == Mechanism::kDistCache) {
+        distcache_p99.push_back(report.p99);
+      } else if (m == Mechanism::kNoCache) {
+        nocache_p99.push_back(report.p99);
+      }
       std::printf("  %10.2f /%8.2f", report.p50, report.p99);
     }
     std::printf("\n");
   }
+  json.Series("distcache_p99", distcache_p99);
+  json.Series("no_cache_p99", nocache_p99);
   std::printf("\nhit fractions at 50%% load:\n");
   for (Mechanism m : AllMechanisms()) {
     ClusterConfig cfg = PaperDefaultConfig(m);
@@ -45,7 +55,8 @@ void Run() {
 }  // namespace
 }  // namespace distcache
 
-int main() {
-  distcache::Run();
+int main(int argc, char** argv) {
+  distcache::BenchJson json(argc, argv, "latency");
+  distcache::Run(json);
   return 0;
 }

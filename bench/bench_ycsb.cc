@@ -5,6 +5,7 @@
 // hash placement decorrelates rank from location. Also drives the threaded runtime
 // for a sanity row of real executed operations.
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "common/ycsb.h"
@@ -13,7 +14,7 @@
 namespace distcache {
 namespace {
 
-void Run() {
+void Run(BenchJson& json) {
   PrintHeader("YCSB core workloads (zipf-0.99, paper-default cluster)",
               "normalized saturation throughput per mechanism");
   std::printf("%-24s %12s %18s %16s %10s\n", "workload", "DistCache",
@@ -31,7 +32,11 @@ void Run() {
                         : m == Mechanism::kCacheReplication ? 18
                         : m == Mechanism::kCachePartition   ? 16
                                                             : 10;
-      std::printf(" %*.0f", width, sim.SaturationThroughput());
+      const double saturation = sim.SaturationThroughput();
+      if (m == Mechanism::kDistCache) {
+        json.Metric(std::string(YcsbWorkloadName(w)) + "_distcache", saturation);
+      }
+      std::printf(" %*.0f", width, saturation);
     }
     std::printf("\n");
   }
@@ -69,8 +74,10 @@ void Run() {
     const double hits = static_cast<double>(counters.cache_hits.load());
     const double gets =
         hits + static_cast<double>(counters.server_gets.load());
+    const double hit_ratio = gets > 0 ? hits / gets : 0.0;
+    json.Metric(std::string(YcsbWorkloadName(w)) + "_runtime_hit_ratio", hit_ratio);
     std::printf("  %-24s ops=%d  hit ratio=%.2f  coherence invalidations=%llu\n",
-                YcsbWorkloadName(w), kOps, gets > 0 ? hits / gets : 0.0,
+                YcsbWorkloadName(w), kOps, hit_ratio,
                 static_cast<unsigned long long>(counters.invalidations.load()));
   }
 }
@@ -78,7 +85,8 @@ void Run() {
 }  // namespace
 }  // namespace distcache
 
-int main() {
-  distcache::Run();
+int main(int argc, char** argv) {
+  distcache::BenchJson json(argc, argv, "ycsb");
+  distcache::Run(json);
   return 0;
 }

@@ -1,0 +1,53 @@
+// Cache-line layout helpers for the multi-core hot path.
+//
+// The sharded engine's scaling rule (docs/ARCHITECTURE.md "hot-path rules") is
+// that no two worker threads may write the same cache line. Per-shard state is
+// heap-allocated per shard, but the allocator is free to pack two shards'
+// arrays into one line unless told otherwise — these helpers make the padding
+// explicit:
+//
+//   * kCacheLineSize       — the alignment unit (64B on every target we build).
+//   * CacheAlignedAllocator — a std::vector allocator that starts every
+//     allocation on a line boundary and rounds its size up to whole lines, so a
+//     hot per-thread array can never share a line with a neighbouring
+//     allocation (the classic malloc false-sharing trap).
+//   * CacheAlignedVector    — shorthand for the padded vector.
+#ifndef DISTCACHE_COMMON_CACHELINE_H_
+#define DISTCACHE_COMMON_CACHELINE_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace distcache {
+
+inline constexpr std::size_t kCacheLineSize = 64;
+
+template <typename T>
+struct CacheAlignedAllocator {
+  using value_type = T;
+
+  CacheAlignedAllocator() = default;
+  template <typename U>
+  CacheAlignedAllocator(const CacheAlignedAllocator<U>&) {}  // NOLINT
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes =
+        (n * sizeof(T) + kCacheLineSize - 1) / kCacheLineSize * kCacheLineSize;
+    return static_cast<T*>(
+        ::operator new(bytes, std::align_val_t(kCacheLineSize)));
+  }
+  void deallocate(T* p, std::size_t) {
+    ::operator delete(p, std::align_val_t(kCacheLineSize));
+  }
+
+  bool operator==(const CacheAlignedAllocator&) const { return true; }
+  bool operator!=(const CacheAlignedAllocator&) const { return false; }
+};
+
+template <typename T>
+using CacheAlignedVector = std::vector<T, CacheAlignedAllocator<T>>;
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_COMMON_CACHELINE_H_

@@ -54,6 +54,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/cacheline.h"
 #include "core/allocation.h"
 #include "net/topology.h"
 
@@ -179,12 +180,16 @@ class LoadTracker {
 
   Config config_;
   LayerOffsets offset_;
-  std::vector<double> loads_;
+  // The load lanes are the hottest per-thread data in the sharded engine (one
+  // tracker per worker, read+written every request); cache-line padding
+  // guarantees two workers' lanes never share a line even when the allocator
+  // packs the trackers' heap blocks back to back.
+  CacheAlignedVector<double> loads_;
   std::vector<bool> fresh_;
   // Dead-node aging state: while dead_[i], loads_[i] holds +infinity and
   // shadow_[i] carries the live estimate (see MarkDead/MarkAlive).
   std::vector<bool> dead_;
-  std::vector<double> shadow_;
+  CacheAlignedVector<double> shadow_;
 };
 
 }  // namespace distcache

@@ -12,7 +12,9 @@
 #ifndef DISTCACHE_RUNTIME_CHANNEL_H_
 #define DISTCACHE_RUNTIME_CHANNEL_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -35,6 +37,7 @@ class Channel {
         return false;
       }
       items_.push_back(std::move(item));
+      approx_size_.store(items_.size(), std::memory_order_release);
     }
     cv_.notify_one();
     return true;
@@ -42,15 +45,21 @@ class Channel {
 
   // Non-blocking receive: returns nullopt when the queue is momentarily empty, even
   // if the channel is still open. Shard workers poll their inbox with this at batch
-  // boundaries so cross-shard load deltas are absorbed without ever blocking the
-  // request hot path.
+  // boundaries, so the empty case must cost no mutex acquisition: one acquire load
+  // of the size the producers maintain answers it. A Send racing the load is seen
+  // one poll later — the same staleness a TryReceive that lost the lock race always
+  // had.
   std::optional<T> TryReceive() {
+    if (approx_size_.load(std::memory_order_acquire) == 0) {
+      return std::nullopt;
+    }
     std::lock_guard<std::mutex> lock(mu_);
     if (items_.empty()) {
       return std::nullopt;
     }
     T item = std::move(items_.front());
     items_.pop_front();
+    approx_size_.store(items_.size(), std::memory_order_release);
     return item;
   }
 
@@ -63,6 +72,7 @@ class Channel {
     }
     T item = std::move(items_.front());
     items_.pop_front();
+    approx_size_.store(items_.size(), std::memory_order_release);
     return item;
   }
 
@@ -90,6 +100,7 @@ class Channel {
       undelivered.assign(std::make_move_iterator(items_.begin()),
                          std::make_move_iterator(items_.end()));
       items_.clear();
+      approx_size_.store(0, std::memory_order_release);
     }
     cv_.notify_all();
     return undelivered;
@@ -108,12 +119,31 @@ class Channel {
     return items_.size();
   }
 
+  // True once Close()/CloseAndDrain() ran. Poll-style consumers (the sharded
+  // engine's control waits) use this as their shutdown signal, since TryReceive
+  // cannot distinguish "empty" from "closed and drained".
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  // Lock-free emptiness probe — the same acquire load TryReceive's fast path
+  // uses, exposed so callers can classify a poll (and count it) without paying
+  // for the classification inside every TryReceive (wait loops spin on
+  // TryReceive and must not pollute hot-path poll statistics).
+  bool empty_approx() const {
+    return approx_size_.load(std::memory_order_acquire) == 0;
+  }
+
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<T> items_;
   bool closed_ = false;
   size_t rejected_sends_ = 0;
+  // Queue length mirror maintained under mu_, read lock-free by the TryReceive
+  // fast path (the batch-boundary poll of the sharded engine).
+  std::atomic<size_t> approx_size_{0};
 };
 
 }  // namespace distcache

@@ -1,8 +1,12 @@
 // Cross-shard message for the sharded simulation backend.
 //
-// One Channel<ShardMsg> inbox per shard. Senders batch everything: a single message
-// carries all the load deltas one source-shard batch produced for one owner shard,
-// so channel traffic is O(messages per batch), not O(requests).
+// One message type, two transports (see sharded_backend.h): the data-plane
+// kinds (kLoadDeltas, kTelemetry) travel over the per-pair lock-free SPSC rings
+// (runtime/spsc_ring.h); the control kinds (kClusterEvent, kHotReport,
+// kRouteUpdate, kDone) travel over the per-shard mutex Channel. Senders batch
+// everything: a single message carries all the load deltas one source shard
+// produced for one owner shard, so transport traffic is O(epochs), not
+// O(requests).
 #ifndef DISTCACHE_SIM_SHARD_MESSAGE_H_
 #define DISTCACHE_SIM_SHARD_MESSAGE_H_
 

@@ -7,12 +7,37 @@
 #include <thread>
 #include <utility>
 
+#include "common/cacheline.h"
 #include "common/hash.h"
 #include "sketch/heavy_hitter.h"
 
 namespace distcache {
 
-struct ShardedBackend::Shard {
+namespace {
+
+// Wait-loop pacing for the off-hot-path control waits (timeline rendezvous,
+// re-allocation barrier, final drain): yield first so a runnable peer gets the
+// core (the single-core case), then drop to micro-sleeps so a long wait does
+// not burn the timeslice a working shard needs.
+struct Backoff {
+  int spins = 0;
+  void Pause() {
+    if (++spins < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+};
+
+// Data-plane ring depth per directed shard pair. Traffic is O(epochs + 1) per
+// pair (telemetry broadcasts plus one end-of-run delta flush), so 256 slots is
+// deep backpressure headroom, not a tuning knob.
+constexpr size_t kRingCapacity = 256;
+
+}  // namespace
+
+struct alignas(kCacheLineSize) ShardedBackend::Shard {
   Shard(uint32_t id, const ClusterModel* model, uint64_t seed, bool observer)
       : id(id),
         core(model, HashCombine(HashCombine(seed, 0x5aa4dedULL), id),
@@ -21,26 +46,30 @@ struct ShardedBackend::Shard {
   uint32_t id;
   EngineCore core;  // routing/degradation/timeline/stats core for this stream
   EventQueue queue;
+  // Control plane (timeline, rendezvous, done). Data plane: data_in[p] is the
+  // SPSC ring carrying peer p's telemetry/deltas to this shard (consumer side
+  // lives with the receiver; slot [id] is unused).
   Channel<ShardMsg> inbox;
+  std::vector<std::unique_ptr<SpscRing<ShardMsg>>> data_in;
 
-  // Authoritative cumulative loads for *owned* nodes live in local.{spine,leaf,
-  // server}_load (non-owned entries stay zero); counters are shard-local partials.
-  // Merging all shards' stats yields the global picture.
+  // Authoritative cumulative loads for *owned* nodes live in local.{cache,
+  // server}_load; counters are shard-local partials. Merging all shards' stats
+  // yields the global picture. Owned-node loads are materialized by the
+  // end-of-run flush (FlushLoads), never written on the hot path.
   BackendStats local;
 
-  // Dense unsent-delta scratch for non-owned nodes, drained by the end-of-run
-  // flush. Cache nodes are flat-indexed spine-first (spine i → i, leaf l →
-  // num_spine + l).
-  std::vector<double> cache_unsent;
-  std::vector<double> server_unsent;
-  // This shard's own cumulative contribution per cache node (reads routed there
-  // plus write coherence touches) — the payload of telemetry broadcasts.
-  std::vector<double> own_cache;
+  // Dense per-node accumulation of this shard's own contributions — the only
+  // hot-path load stores. own_cache doubles as the telemetry payload (cumulative
+  // partials) and as the end-of-run delta source; own_server is flushed once at
+  // quota end. Cache nodes are flat-indexed top-layer-first (LayerOffsets).
+  // Cache-line-padded so no two shards' accumulators can share a line.
+  CacheAlignedVector<double> own_cache;
+  CacheAlignedVector<double> own_server;
   // last_partial[peer][flat]: the most recent partial received from `peer`, so
   // telemetry application can fold in only the monotone increment.
   std::vector<std::vector<double>> last_partial;
   std::vector<ShardMsg> out;        // flush assembly, one slot per destination shard
-  std::vector<uint32_t> batch_keys; // sampled buckets for the current batch
+  CacheAlignedVector<uint32_t> batch_keys;  // sampled buckets for the current batch
   uint64_t processed = 0;
   uint32_t done_seen = 0;
 
@@ -60,28 +89,19 @@ struct ShardedBackend::Shard {
   std::thread thread;
 };
 
-// Splits every charge into owner-local counters, unsent deltas and gossip
-// partials; the shard's optimistic local view (invariant 3) advances by Add.
+// The branch-free hot-path sink: every charge is two dense array adds (own
+// contribution + optimistic local view). No owner test, no shared write — the
+// owner split is deferred to FlushLoads at quota end.
 struct ShardedBackend::ShardSink {
   ShardedBackend* backend;
   Shard* shard;
 
   void AddCacheLoad(CacheNodeId node, double delta) {
-    const uint32_t flat = backend->shard_map_.FlatIndex(node);
-    shard->own_cache[flat] += delta;      // telemetry partial
+    shard->own_cache[backend->shard_map_.FlatIndex(node)] += delta;
     shard->core.view().Add(node, delta);  // optimistic local view
-    if (backend->shard_map_.OwnerOfFlat(flat) == shard->id) {
-      shard->local.cache_load[node.layer][node.index] += delta;
-    } else {
-      shard->cache_unsent[flat] += delta;
-    }
   }
   void AddServerLoad(uint32_t server, double delta) {
-    if (backend->shard_map_.OwnerOfServer(server) == shard->id) {
-      shard->local.server_load[server] += delta;
-    } else {
-      shard->server_unsent[server] += delta;
-    }
+    shard->own_server[server] += delta;
   }
 };
 
@@ -110,9 +130,23 @@ ShardedBackend::ShardedBackend(const SimBackendConfig& config)
 
 ShardedBackend::~ShardedBackend() = default;
 
-void ShardedBackend::SendMsg(Shard& shard, uint32_t peer, ShardMsg msg) {
+void ShardedBackend::SendData(Shard& shard, uint32_t peer, ShardMsg msg) {
+  SpscRing<ShardMsg>& ring = *shards_[peer]->data_in[shard.id];
+  Backoff backoff;
+  while (!ring.TryPush(std::move(msg))) {
+    // Full ring: the receiver is behind on its drains. Consuming our own rings
+    // while retrying guarantees global progress (no send cycle can wedge: some
+    // shard in it always empties a ring).
+    DrainDataRings(shard);
+    backoff.Pause();
+  }
+  ++shard.local.cross_shard_messages;
+  ++shard.local.ring_messages;
+}
+
+void ShardedBackend::SendControl(Shard& shard, uint32_t peer, ShardMsg msg) {
   const bool sent = shards_[peer]->inbox.Send(std::move(msg));
-  assert(sent);  // shard inboxes are never closed while workers run
+  assert(sent);  // shard control channels are never closed while workers run
   (void)sent;
   ++shard.local.cross_shard_messages;
 }
@@ -139,7 +173,7 @@ void ShardedBackend::BroadcastTimeline(Shard& shard, uint64_t num_requests) {
     msg.route_table = step.routes;
     for (uint32_t peer = 0; peer < shard_map_.shards(); ++peer) {
       if (peer != shard.id) {
-        SendMsg(shard, peer, msg);  // copy: same snapshot to every peer
+        SendControl(shard, peer, msg);  // copy: same snapshot to every peer
       }
     }
     QueueTimelineMsg(shard, msg);
@@ -184,6 +218,22 @@ void ShardedBackend::ApplySuffixRoutes(
   }
 }
 
+std::optional<ShardMsg> ShardedBackend::WaitControl(Shard& shard) {
+  Backoff backoff;
+  while (true) {
+    if (auto msg = shard.inbox.TryReceive()) {
+      return msg;
+    }
+    if (shard.inbox.closed()) {
+      return std::nullopt;  // shutdown under the waiter
+    }
+    // Keep the data plane moving while parked: a waiting shard must never
+    // wedge a producer on a full ring.
+    DrainDataRings(shard);
+    backoff.Pause();
+  }
+}
+
 std::shared_ptr<const RouteTable> ShardedBackend::Reallocate(Shard& shard) {
   const uint32_t controller = shard_map_.controller_shard();
   const uint32_t peers = shard_map_.shards() - 1;
@@ -200,7 +250,7 @@ std::shared_ptr<const RouteTable> ShardedBackend::Reallocate(Shard& shard) {
       ++received;
     }
     while (received < peers) {
-      auto msg = shard.inbox.Receive();
+      auto msg = WaitControl(shard);
       if (!msg) {
         return nullptr;  // channel closed
       }
@@ -224,23 +274,23 @@ std::shared_ptr<const RouteTable> ShardedBackend::Reallocate(Shard& shard) {
       update.from = shard.id;
       update.route_table = routes;
       update.suffix_routes = suffix;
-      SendMsg(shard, peer, std::move(update));
+      SendControl(shard, peer, std::move(update));
     }
     return routes;
   }
-  // Non-controller: report local observations, then block for the new table.
+  // Non-controller: report local observations, then wait for the new table.
   ShardMsg report;
   report.kind = ShardMsg::Kind::kHotReport;
   report.from = shard.id;
   report.hot_counts = shard.core.ObservedCounts();
-  SendMsg(shard, controller, std::move(report));
+  SendControl(shard, controller, std::move(report));
   if (shard.pending_route_update != nullptr) {
     const auto update = std::exchange(shard.pending_route_update, nullptr);
     ApplySuffixRoutes(shard, update->suffix_routes);
     return update->route_table;
   }
   while (true) {
-    auto msg = shard.inbox.Receive();
+    auto msg = WaitControl(shard);
     if (!msg) {
       return nullptr;  // channel closed
     }
@@ -294,32 +344,66 @@ void ShardedBackend::Apply(Shard& shard, ShardMsg& msg) {
   }
 }
 
-void ShardedBackend::DrainInbox(Shard& shard, bool blocking) {
-  if (blocking) {
-    const uint32_t peers = shard_map_.shards() - 1;
-    while (shard.done_seen < peers) {
-      auto msg = shard.inbox.Receive();
-      if (!msg) {
-        return;  // channel closed
-      }
+void ShardedBackend::DrainDataRings(Shard& shard) {
+  for (uint32_t peer = 0; peer < shard_map_.shards(); ++peer) {
+    SpscRing<ShardMsg>& ring = *shard.data_in[peer];
+    // EmptyApprox first: the idle-peer case (the common one at batch
+    // boundaries) is a single acquire load, no slot traffic.
+    if (ring.EmptyApprox()) {
+      continue;
+    }
+    while (auto msg = ring.TryPop()) {
       Apply(shard, *msg);
     }
+  }
+}
+
+void ShardedBackend::PollInbox(Shard& shard) {
+  DrainDataRings(shard);
+  // Control channel: the lock-free emptiness probe makes the (overwhelmingly
+  // common) no-control-traffic poll mutex-free. The uncontended/contended
+  // split is counted here — at the batch boundary only — so wait-loop spins
+  // (WaitControl) cannot inflate the hot-path poll statistics.
+  if (shard.inbox.empty_approx()) {
+    ++shard.local.uncontended_receives;
     return;
   }
+  ++shard.local.contended_receives;
   while (auto msg = shard.inbox.TryReceive()) {
     Apply(shard, *msg);
   }
 }
 
-void ShardedBackend::FlushCacheDeltas(Shard& shard) {
-  for (uint32_t flat = 0; flat < shard.cache_unsent.size(); ++flat) {
-    const double delta = shard.cache_unsent[flat];
+void ShardedBackend::FlushLoads(Shard& shard) {
+  // End-of-run owner split (the hot path never tests ownership): own cumulative
+  // contributions land either in this shard's authoritative counters or in one
+  // delta message per owning shard. Loads are sums of exactly-representable
+  // costs, so materializing the total here instead of accumulating per request
+  // is bit-identical.
+  for (uint32_t flat = 0; flat < shard.own_cache.size(); ++flat) {
+    const double delta = shard.own_cache[flat];
     if (delta == 0.0) {
       continue;
     }
     const CacheNodeId node = shard_map_.NodeOfFlat(flat);
-    shard.out[shard_map_.OwnerOfCache(node)].cache_entries.emplace_back(node, delta);
-    shard.cache_unsent[flat] = 0.0;
+    if (shard_map_.OwnerOfFlat(flat) == shard.id) {
+      shard.local.cache_load[node.layer][node.index] += delta;
+    } else {
+      shard.out[shard_map_.OwnerOfFlat(flat)].cache_entries.emplace_back(node,
+                                                                         delta);
+    }
+  }
+  for (uint32_t server = 0; server < shard.own_server.size(); ++server) {
+    const double delta = shard.own_server[server];
+    if (delta == 0.0) {
+      continue;
+    }
+    if (shard_map_.OwnerOfServer(server) == shard.id) {
+      shard.local.server_load[server] += delta;
+    } else {
+      shard.out[shard_map_.OwnerOfServer(server)].server_entries.emplace_back(
+          server, delta);
+    }
   }
   for (uint32_t peer = 0; peer < shard_map_.shards(); ++peer) {
     ShardMsg& pending = shard.out[peer];
@@ -333,19 +417,7 @@ void ShardedBackend::FlushCacheDeltas(Shard& shard) {
     msg.server_entries = std::move(pending.server_entries);
     pending.cache_entries.clear();
     pending.server_entries.clear();
-    SendMsg(shard, peer, std::move(msg));
-  }
-}
-
-void ShardedBackend::FlushServerDeltas(Shard& shard) {
-  for (uint32_t server = 0; server < shard.server_unsent.size(); ++server) {
-    const double delta = shard.server_unsent[server];
-    if (delta == 0.0) {
-      continue;
-    }
-    shard.out[shard_map_.OwnerOfServer(server)].server_entries.emplace_back(server,
-                                                                            delta);
-    shard.server_unsent[server] = 0.0;
+    SendData(shard, peer, std::move(msg));
   }
 }
 
@@ -353,16 +425,16 @@ void ShardedBackend::BroadcastTelemetry(Shard& shard) {
   ShardMsg msg;
   msg.kind = ShardMsg::Kind::kTelemetry;
   msg.from = shard.id;
-  msg.cache_partials = shard.own_cache;  // dense snapshot of own contributions
+  msg.cache_partials.assign(shard.own_cache.begin(), shard.own_cache.end());
   for (uint32_t peer = 0; peer < shard_map_.shards(); ++peer) {
     if (peer != shard.id) {
-      SendMsg(shard, peer, msg);  // copy: same snapshot to every peer
+      SendData(shard, peer, msg);  // copy: same snapshot to every peer
     }
   }
 }
 
 void ShardedBackend::ProcessBatch(Shard& shard, uint32_t count) {
-  DrainInbox(shard, /*blocking=*/false);
+  PollInbox(shard);
   // Apply timeline steps whose scaled timestamp the local request clock has
   // reached (accurate to one batch; deterministic under OS scheduling skew),
   // then close any due sample intervals.
@@ -370,9 +442,7 @@ void ShardedBackend::ProcessBatch(Shard& shard, uint32_t count) {
   shard.batch_keys.resize(count);
   shard.sampler->SampleBatch(shard.core.rng(), shard.batch_keys.data(), count);
   ShardSink sink{this, &shard};
-  for (uint32_t i = 0; i < count; ++i) {
-    shard.core.Process(sink, shard.batch_keys[i]);
-  }
+  shard.core.ProcessBatch(sink, shard.batch_keys.data(), count);
   shard.processed += count;
 }
 
@@ -380,9 +450,8 @@ void ShardedBackend::ShardMain(Shard& shard, uint64_t quota, uint64_t num_reques
   const uint32_t num_cache_nodes = shard_map_.num_cache_nodes();
   shard.local.cache_load = model_.ZeroCacheLoads();
   shard.local.server_load.assign(model_.num_servers(), 0.0);
-  shard.cache_unsent.assign(num_cache_nodes, 0.0);
-  shard.server_unsent.assign(model_.num_servers(), 0.0);
   shard.own_cache.assign(num_cache_nodes, 0.0);
+  shard.own_server.assign(model_.num_servers(), 0.0);
   shard.last_partial.assign(shard_map_.shards(),
                             std::vector<double>(num_cache_nodes, 0.0));
   shard.out.resize(shard_map_.shards());
@@ -411,13 +480,14 @@ void ShardedBackend::ShardMain(Shard& shard, uint64_t quota, uint64_t num_reques
     if (shard.id == shard_map_.controller_shard()) {
       BroadcastTimeline(shard, num_requests);
     } else {
-      // Deterministic rendezvous: the plan length is config-known, so block
+      // Deterministic rendezvous: the plan length is config-known, so wait
       // until the controller's multicast has fully arrived before processing any
       // request — otherwise a step timestamped near 0 could race the first
-      // batches. Only kClusterEvent traffic can be in flight at this point (every
-      // non-controller shard is parked here), but Apply() handles any kind.
+      // batches. Only kClusterEvent control traffic can be in flight at this
+      // point (every non-controller shard is parked here), but Apply() handles
+      // any kind.
       while (shard.timeline_received < expected_steps) {
-        auto msg = shard.inbox.Receive();
+        auto msg = WaitControl(shard);
         if (!msg) {
           break;  // channel closed
         }
@@ -459,11 +529,12 @@ void ShardedBackend::ShardMain(Shard& shard, uint64_t quota, uint64_t num_reques
   // participates in every rendezvous and series indices stay aligned.
   shard.core.AdvanceTo(quota);
 
-  // Quota done: flush every remaining delta (server deltas are end-of-run only),
-  // tell every peer, then absorb in-flight deltas until all peers are done too
-  // (per-sender FIFO makes Done a reliable end-of-stream marker).
-  FlushServerDeltas(shard);
-  FlushCacheDeltas(shard);
+  // Quota done: split the accumulated own contributions into owner-local
+  // counters and one delta message per destination (the deferred owner split),
+  // tell every peer over the control channel, then absorb in-flight traffic
+  // until all peers are done too. Ring pushes happen-before the sender's kDone,
+  // so the final drain below cannot miss a delta.
+  FlushLoads(shard);
   for (uint32_t peer = 0; peer < shard_map_.shards(); ++peer) {
     if (peer == shard.id) {
       continue;
@@ -471,11 +542,19 @@ void ShardedBackend::ShardMain(Shard& shard, uint64_t quota, uint64_t num_reques
     ShardMsg done;
     done.kind = ShardMsg::Kind::kDone;
     done.from = shard.id;
-    const bool sent = shards_[peer]->inbox.Send(std::move(done));
-    assert(sent);  // inboxes outlive the workers
-    (void)sent;
+    SendControl(shard, peer, std::move(done));
   }
-  DrainInbox(shard, /*blocking=*/true);
+  {
+    const uint32_t peers = shard_map_.shards() - 1;
+    while (shard.done_seen < peers) {
+      auto msg = WaitControl(shard);
+      if (!msg) {
+        break;  // channel closed
+      }
+      Apply(shard, *msg);
+    }
+    DrainDataRings(shard);  // every peer's final deltas are visible now
+  }
   shard.core.FinishSeries(shard.processed);
   shard.local.requests = shard.processed;
 }
@@ -494,6 +573,13 @@ BackendStats ShardedBackend::Run(uint64_t num_requests) {
   for (uint32_t i = 0; i < n; ++i) {
     shards_.push_back(
         std::make_unique<Shard>(i, &model_, config_.cluster.seed, observer));
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    shards_[i]->data_in.reserve(n);
+    for (uint32_t from = 0; from < n; ++from) {
+      shards_[i]->data_in.push_back(
+          std::make_unique<SpscRing<ShardMsg>>(kRingCapacity));
+    }
   }
 
   const auto t0 = std::chrono::steady_clock::now();

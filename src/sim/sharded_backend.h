@@ -5,14 +5,30 @@
 // counters of its nodes. Every shard runs its own discrete-event loop (one
 // sim/event_queue.h EventQueue) with two event types:
 //
-//   * batch events   — process `batch_size` (~64) requests through the amortized hot
+//   * batch events   — process `batch_size` (256 by default) requests through the amortized hot
 //                      path: alias-table key sampling (common/alias_sampler.h) and
-//                      the shared request core (sim/engine_core.h) over precomputed
-//                      per-rank route entries (sim/route_table.h) and the shard's
-//                      local LoadTracker view;
+//                      the shared request core's staged batch loop
+//                      (sim/engine_core.h ProcessBatch) over precomputed per-rank
+//                      route entries (sim/route_table.h) and the shard's local
+//                      LoadTracker view;
 //   * telemetry events — every `epoch_requests` simulated requests the shard
 //                      broadcasts a dense snapshot of its *own cumulative per-node
 //                      contributions* to all peers (the §4.2 telemetry epoch).
+//
+// Two transports (the multi-core scaling substrate — see ARCHITECTURE "hot-path
+// rules"):
+//
+//   * data plane — one lock-free SPSC ring (runtime/spsc_ring.h) per directed
+//     shard pair carries everything rate-proportional to requests: telemetry
+//     partials and end-of-run load deltas. The batch-boundary poll of an idle
+//     ring is one acquire load; a send never takes a lock or wakes a futex. A
+//     full ring rejects the push and the sender drains its own rings before
+//     retrying, which cannot deadlock (every shard's send loop also consumes).
+//   * control plane — the mutex Channel (runtime/channel.h) carries the
+//     O(reconfigurations) traffic: the timeline multicast, the re-allocation
+//     rendezvous (kHotReport/kRouteUpdate) and the kDone end-of-stream markers.
+//     Its batch-boundary poll is resolved by the channel's lock-free emptiness
+//     fast path; the uncontended/contended split is reported in BackendStats.
 //
 // Load views are *partial-sum gossip*: a shard's LoadTracker view of a switch is
 // its own exact contribution (updated per request via LoadTracker::Add) plus the
@@ -25,10 +41,12 @@
 // core/load_tracker.h).
 //
 // Owner-authoritative statistics (per-node cumulative loads for the final report)
-// are partitioned by net/shard_map.h. Remote contributions accumulate in a dense
-// unsent-delta scratch and are flushed to owners as one runtime/channel.h message
-// per destination when the shard finishes its quota — routing never reads them, so
-// channel traffic stays O(epochs), not O(requests).
+// are partitioned by net/shard_map.h — but the split happens *off* the hot path:
+// every charge lands branch-free in the shard's dense own-contribution arrays
+// (which double as the telemetry payload), and only the end-of-run flush divides
+// them into owner-local counters vs one delta message per destination shard. The
+// request loop therefore contains no owner test, no lock, and no write to any
+// line another thread reads.
 //
 // Timeline (failures §4.4, workload phases / hot-spot shift / re-allocation §6.4):
 // the controller shard (net/shard_map.h controller_shard()) multicasts the merged
@@ -43,16 +61,20 @@
 // kReallocateCache is the one step whose effect cannot be precomputed: the new
 // allocation depends on runtime-observed popularity. It runs as a rendezvous —
 // every shard, on reaching the step, sends its heavy-hitter counts (kHotReport)
-// to the controller shard and blocks; the controller merges the reports
+// to the controller shard and waits; the controller merges the reports
 // (sketch/heavy_hitter.h), refills the allocation hottest-first
 // (core/allocation.h), builds the new route table and multicasts it
 // (kRouteUpdate) — the same push-new-routes plumbing failure recovery uses. The
 // merged counts are sums of deterministic per-shard streams, so the rebuilt
-// allocation is deterministic despite the runtime rendezvous.
+// allocation is deterministic despite the runtime rendezvous. Every wait in the
+// rendezvous (and the final drain below) keeps consuming the waiter's data
+// rings, so a blocked peer can never wedge a producer on a full ring.
 //
-// Termination: a shard that finishes its quota sends kDone to every peer and then
-// blocks on its inbox until it has seen kDone from all peers, guaranteeing every
-// in-flight delta is applied before stats are merged.
+// Termination: a shard that finishes its quota flushes its deltas over the data
+// rings, sends kDone to every peer over the control channel, and waits until it
+// has seen kDone from all peers; ring pushes happen-before the corresponding
+// kDone (release on the ring tail, then the channel mutex), so one final ring
+// drain after the last kDone observes every in-flight delta before stats merge.
 #ifndef DISTCACHE_SIM_SHARDED_BACKEND_H_
 #define DISTCACHE_SIM_SHARDED_BACKEND_H_
 
@@ -65,6 +87,7 @@
 #include "common/alias_sampler.h"
 #include "net/shard_map.h"
 #include "runtime/channel.h"
+#include "runtime/spsc_ring.h"
 #include "sim/cluster_model.h"
 #include "sim/engine_core.h"
 #include "sim/event_queue.h"
@@ -87,14 +110,14 @@ class ShardedBackend : public SimBackend {
   struct ShardSink;
 
   void ShardMain(Shard& shard, uint64_t quota, uint64_t num_requests);
-  // Controller role: multicast the precomputed timeline plan over the shard
+  // Controller role: multicast the precomputed timeline plan over the control
   // channels before processing starts (steps at/after num_requests never fire
   // and are not sent).
   void BroadcastTimeline(Shard& shard, uint64_t num_requests);
   void QueueTimelineMsg(Shard& shard, const ShardMsg& msg);
   void ProcessBatch(Shard& shard, uint32_t count);
   // kReallocateCache rendezvous (header comment): returns the post-reallocation
-  // route table, or null if the channels were shut down mid-rendezvous.
+  // route table, or null if the control channels were shut down mid-rendezvous.
   std::shared_ptr<const RouteTable> Reallocate(Shard& shard);
   // Controller side of the rendezvous: merged refill + current table, plus
   // rebuilt snapshots for the remaining timeline steps in *suffix_routes.
@@ -105,11 +128,21 @@ class ShardedBackend : public SimBackend {
   // Installs rebuilt suffix snapshots over the shard's pending actions.
   void ApplySuffixRoutes(
       Shard& shard, const std::vector<std::shared_ptr<const RouteTable>>& suffix);
-  void SendMsg(Shard& shard, uint32_t peer, ShardMsg msg);
+  // Data plane: lock-free push into the receiver's per-sender ring; on a full
+  // ring, drains this shard's own rings and retries (deadlock-free, see above).
+  void SendData(Shard& shard, uint32_t peer, ShardMsg msg);
+  // Control plane: mutex-channel send (timeline, rendezvous, done markers).
+  void SendControl(Shard& shard, uint32_t peer, ShardMsg msg);
   void BroadcastTelemetry(Shard& shard);
-  void FlushCacheDeltas(Shard& shard);
-  void FlushServerDeltas(Shard& shard);
-  void DrainInbox(Shard& shard, bool blocking);
+  void FlushLoads(Shard& shard);
+  // Non-blocking absorb of everything pending: data rings, then the control
+  // channel (lock-free fast path when empty).
+  void PollInbox(Shard& shard);
+  void DrainDataRings(Shard& shard);
+  // Control-plane wait: polls the control channel, keeps draining data rings,
+  // and backs off (yield, then micro-sleep) between rounds. Returns nullopt
+  // only if the channel was closed under the waiter (shutdown).
+  std::optional<ShardMsg> WaitControl(Shard& shard);
   void Apply(Shard& shard, ShardMsg& msg);
 
   SimBackendConfig config_;

@@ -81,6 +81,9 @@ void BackendStats::Merge(const BackendStats& other) {
   server_reads += other.server_reads;
   dropped += other.dropped;
   cross_shard_messages += other.cross_shard_messages;
+  ring_messages += other.ring_messages;
+  uncontended_receives += other.uncontended_receives;
+  contended_receives += other.contended_receives;
   if (series.size() < other.series.size()) {
     series.resize(other.series.size());
   }

@@ -212,7 +212,9 @@ int Run(int argc, char** argv) {
     bcfg.cluster = cfg;
     uint64_t requests = 0;
     if (!uint32_flag("shards", 1, &bcfg.shards) ||
-        !uint32_flag("batch", 64, &bcfg.batch_size) ||
+        // Flag default = the engine default, so a flag-less CLI run matches
+        // library/bench runs bit for bit.
+        !uint32_flag("batch", bcfg.batch_size, &bcfg.batch_size) ||
         !flags.GetUintChecked("epoch", 4096, &bcfg.epoch_requests, &error) ||
         !flags.GetUintChecked("requests", 2'000'000, &requests, &error) ||
         !flags.GetUintChecked("sample", 0, &bcfg.sample_interval, &error)) {
