@@ -26,6 +26,16 @@ void CheckCacheLayersOrDie(const ClusterConfig& config) {
   }
 }
 
+void CheckCachePolicyOrDie(const ClusterConfig& config) {
+  const std::string error =
+      ValidateCachePolicy(config.cache_policy, config.cache_hierarchy,
+                          config.write_policy, config.mechanism);
+  if (!error.empty()) {
+    std::fprintf(stderr, "invalid cache policy: %s\n", error.c_str());
+    std::abort();
+  }
+}
+
 std::string ValidateCacheLayers(const ClusterConfig& config) {
   // Validate the *resolved* hierarchy so the legacy two-layer shape is held to
   // the same structural limits (notably the packed-candidate index range) as an
@@ -73,6 +83,7 @@ ClusterSim::ClusterSim(const ClusterConfig& config)
       dist_(MakeDistribution(config.num_keys, config.zipf_theta)),
       rng_(HashCombine(config.seed, 0xc1057e4ULL)) {
   CheckCacheLayersOrDie(config_);
+  CheckCachePolicyOrDie(config_);
   AllocationConfig alloc;
   alloc.mechanism = config_.mechanism;
   alloc.layers = layers_;
@@ -106,6 +117,7 @@ void ClusterSim::FailSpine(uint32_t spine) {
   if (spine < config_.num_spine) {
     spine_alive_[spine] = false;
     recovery_ran_ = false;  // hot objects of the dead switch lose their spine copy
+    policy_dirty_ = true;   // dynamic policies: the dead node's layer goes cold
   }
 }
 
@@ -113,6 +125,7 @@ void ClusterSim::RecoverSpine(uint32_t spine) {
   if (spine < config_.num_spine) {
     spine_alive_[spine] = true;
     ApplyRemap();  // restoration returns remapped partitions to their home switch
+    policy_dirty_ = true;
   }
 }
 
@@ -127,9 +140,16 @@ void ClusterSim::SetWorkload(double zipf_theta, double write_ratio) {
     popularity_ = BuildPopularityVector(*dist_, allocation_->candidate_pool());
   }
   config_.write_ratio = write_ratio;
+  policy_dirty_ = true;
 }
 
 void ClusterSim::ReallocateCacheToHotSet() {
+  if (UsesDynamicPolicy()) {
+    // The dynamic policies own their contents; the controller has nothing to
+    // re-allocate (the request engines likewise ignore the rebuilt routes on
+    // the policy path). The steady-state model already follows the hot set.
+    return;
+  }
   std::vector<uint64_t> hottest(allocation_->candidate_pool());
   for (uint64_t rank = 0; rank < hottest.size(); ++rank) {
     hottest[rank] = KeyOfRank(rank);
@@ -208,6 +228,14 @@ void ClusterSim::RouteKeyReads(uint64_t key, double read_rate, const CacheCopies
     return;
   }
   if (k == 1) {
+    acc.cache[cand[0].layer][cand[0].index] += read_rate;
+    return;
+  }
+
+  if (config_.cache_policy == CachePolicyKind::kStaticTopK) {
+    // The naive strawman: same static contents, but every query goes to the
+    // first alive candidate (top layer first) — no balanced choice. The gap to
+    // kDistCache under skew is the balanced-routing contribution in isolation.
     acc.cache[cand[0].layer][cand[0].index] += read_rate;
     return;
   }
@@ -343,26 +371,33 @@ LoadSnapshot ClusterSim::RunTicks(double offered_rate, int ticks) {
     }
     acc.server.assign(num_servers(), 0.0);
 
-    const double write_ratio = config_.write_ratio;
-    // Head ranks, hottest first (greedy order matters for water-filling quality).
-    // The queried key id follows the current rank→key rotation, so a hot-spot
-    // shift moves the head mass onto whatever is (un)cached at the new keys.
-    for (uint64_t rank = 0; rank < popularity_.head.size(); ++rank) {
-      const double rate = offered_rate * popularity_.head[rank];
-      if (rate <= 0.0) {
-        continue;
+    if (UsesDynamicPolicy()) {
+      // Dynamic per-node policies: loads come from the steady-state hit model,
+      // not the static allocation (see ComputePolicyModel).
+      ChargePolicyTick(offered_rate, acc);
+    } else {
+      const double write_ratio = config_.write_ratio;
+      // Head ranks, hottest first (greedy order matters for water-filling
+      // quality). The queried key id follows the current rank→key rotation, so a
+      // hot-spot shift moves the head mass onto whatever is (un)cached at the
+      // new keys.
+      for (uint64_t rank = 0; rank < popularity_.head.size(); ++rank) {
+        const double rate = offered_rate * popularity_.head[rank];
+        if (rate <= 0.0) {
+          continue;
+        }
+        const uint64_t key = KeyOfRank(rank);
+        const CacheCopies copies = allocation_->CopiesOf(key);
+        RouteKeyReads(key, rate * (1.0 - write_ratio), copies, acc);
+        ChargeWrite(key, rate * write_ratio, copies, acc);
       }
-      const uint64_t key = KeyOfRank(rank);
-      const CacheCopies copies = allocation_->CopiesOf(key);
-      RouteKeyReads(key, rate * (1.0 - write_ratio), copies, acc);
-      ChargeWrite(key, rate * write_ratio, copies, acc);
-    }
-    // Tail: individually negligible keys, spread uniformly by the placement hash;
-    // none are cached.
-    const double tail_rate = offered_rate * popularity_.tail_mass;
-    const double per_server = tail_rate / static_cast<double>(num_servers());
-    for (double& load : acc.server) {
-      load += per_server;
+      // Tail: individually negligible keys, spread uniformly by the placement
+      // hash; none are cached.
+      const double tail_rate = offered_rate * popularity_.tail_mass;
+      const double per_server = tail_rate / static_cast<double>(num_servers());
+      for (double& load : acc.server) {
+        load += per_server;
+      }
     }
 
     // Utilization & achieved throughput accounting. Traffic routed to a dead spine
@@ -448,6 +483,252 @@ double ClusterSim::SaturationThroughput(double tolerance) {
 
 double ClusterSim::AchievedThroughput(double offered_rate, int ticks) {
   return RunTicks(offered_rate, ticks).achieved;
+}
+
+// ---- Dynamic-policy fluid analytics ----------------------------------------
+
+CacheNodeId ClusterSim::PolicyCandidate(size_t layer, uint64_t key) const {
+  if (layer + 1 == layers_.size()) {
+    return {static_cast<uint8_t>(layer), placement_.RackOf(key)};
+  }
+  return {static_cast<uint8_t>(layer), allocation_->PartitionOf(layer, key)};
+}
+
+namespace {
+
+// Steady-state residency probability of one key with arrival share `a` at
+// characteristic time T.
+double PolicyResidency(CachePolicyKind kind, double a, double t) {
+  switch (kind) {
+    case CachePolicyKind::kLru:
+    case CachePolicyKind::kSegmented:
+      // Che's approximation: a line survives iff re-referenced within T.
+      // (SLRU's scan resistance shifts which keys win, not the aggregate
+      // occupancy constraint — the fluid model treats it as LRU.)
+      return 1.0 - std::exp(-a * t);
+    case CachePolicyKind::kFifo:
+      // FIFO/RANDOM fluid form: resident a fraction aT/(1+aT) of the time.
+      return (a * t) / (1.0 + a * t);
+    default:
+      return 0.0;  // LFU and the static policies never reach the fixed point
+  }
+}
+
+}  // namespace
+
+void ClusterSim::ComputePolicyModel() {
+  policy_dirty_ = false;
+  const CachePolicyKind kind = config_.cache_policy;
+  const size_t num_layers = layers_.size();
+  const size_t head = popularity_.head.size();
+  const double tail_keys =
+      static_cast<double>(config_.num_keys - static_cast<uint64_t>(head));
+  policy_hit_.assign(num_layers, std::vector<double>(head, 0.0));
+  policy_tail_hit_.assign(num_layers, {});
+
+  // Miss-through probability of each head rank (and the average tail key)
+  // accumulated over the layers above the one being solved.
+  std::vector<double> carry(head, 1.0);
+  double tail_carry = 1.0;
+
+  for (size_t l = 0; l < num_layers; ++l) {
+    const uint32_t nodes = layers_[l].nodes;
+    const double capacity = static_cast<double>(layers_[l].cache_objects);
+    policy_tail_hit_[l].assign(nodes, 0.0);
+
+    // Group the thinned head arrivals by candidate node.
+    std::vector<std::vector<std::pair<uint64_t, double>>> node_keys(nodes);
+    for (uint64_t rank = 0; rank < head; ++rank) {
+      const double a = popularity_.head[rank] * carry[rank];
+      if (a <= 0.0) {
+        continue;
+      }
+      const uint64_t key = KeyOfRank(rank);
+      const CacheNodeId node = PolicyCandidate(l, key);
+      if (l == 0 && !spine_alive_[node.index]) {
+        continue;  // dead top-layer node: its keys miss this layer entirely
+      }
+      node_keys[node.index].emplace_back(rank, a);
+    }
+    // Tail keys hash-spread uniformly across the layer's nodes; each carries a
+    // vanishing arrival share thinned by the layers above.
+    const double tail_per_node =
+        nodes > 0 ? tail_keys / static_cast<double>(nodes) : 0.0;
+    const double tail_arrival =
+        tail_keys > 0.0 ? popularity_.tail_mass / tail_keys * tail_carry : 0.0;
+
+    for (uint32_t n = 0; n < nodes; ++n) {
+      if (l == 0 && !spine_alive_[n]) {
+        continue;  // hit probability stays 0
+      }
+      auto& keys = node_keys[n];
+      if (capacity <= 0.0) {
+        continue;
+      }
+      if (kind == CachePolicyKind::kLfu) {
+        // Perfect-LFU steady state: the node retains its top-`capacity` keys by
+        // arrival rate; leftover slots fill with (interchangeable) tail keys.
+        std::sort(keys.begin(), keys.end(),
+                  [](const auto& x, const auto& y) {
+                    return x.second != y.second ? x.second > y.second
+                                                : x.first < y.first;
+                  });
+        const size_t resident = std::min(keys.size(), static_cast<size_t>(capacity));
+        for (size_t i = 0; i < resident; ++i) {
+          policy_hit_[l][keys[i].first] = 1.0;
+        }
+        const double leftover = capacity - static_cast<double>(resident);
+        if (leftover > 0.0 && tail_per_node > 0.0) {
+          policy_tail_hit_[l][n] = std::min(1.0, leftover / tail_per_node);
+        }
+        continue;
+      }
+      // Characteristic-time fixed point: find T with total expected occupancy
+      // equal to the capacity. Monotone in T → bisection; if every distinct key
+      // fits, residency saturates at 1.
+      const double distinct = static_cast<double>(keys.size()) + tail_per_node;
+      const auto occupancy = [&](double t) {
+        double occ = 0.0;
+        for (const auto& [rank, a] : keys) {
+          occ += PolicyResidency(kind, a, t);
+        }
+        if (tail_per_node > 0.0 && tail_arrival > 0.0) {
+          occ += tail_per_node * PolicyResidency(kind, tail_arrival, t);
+        }
+        return occ;
+      };
+      if (distinct <= capacity) {
+        for (const auto& [rank, a] : keys) {
+          policy_hit_[l][rank] = 1.0;
+        }
+        policy_tail_hit_[l][n] = tail_arrival > 0.0 ? 1.0 : 0.0;
+        continue;
+      }
+      double hi = 1.0;
+      for (int i = 0; i < 400 && occupancy(hi) < capacity; ++i) {
+        hi *= 2.0;
+      }
+      double lo = 0.0;
+      for (int i = 0; i < 80; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        (occupancy(mid) < capacity ? lo : hi) = mid;
+      }
+      const double t = 0.5 * (lo + hi);
+      for (const auto& [rank, a] : keys) {
+        policy_hit_[l][rank] = PolicyResidency(kind, a, t);
+      }
+      policy_tail_hit_[l][n] =
+          tail_arrival > 0.0 ? PolicyResidency(kind, tail_arrival, t) : 0.0;
+    }
+
+    // Thin the streams for the next layer down.
+    for (uint64_t rank = 0; rank < head; ++rank) {
+      carry[rank] *= 1.0 - policy_hit_[l][rank];
+    }
+    if (nodes > 0) {
+      double avg_tail = 0.0;
+      for (uint32_t n = 0; n < nodes; ++n) {
+        avg_tail += policy_tail_hit_[l][n];
+      }
+      tail_carry *= 1.0 - avg_tail / static_cast<double>(nodes);
+    }
+  }
+
+  policy_hit_mass_ = popularity_.tail_mass * (1.0 - tail_carry);
+  for (uint64_t rank = 0; rank < head; ++rank) {
+    policy_hit_mass_ += popularity_.head[rank] * (1.0 - carry[rank]);
+  }
+}
+
+double ClusterSim::PolicyHitMass() {
+  if (policy_dirty_) {
+    ComputePolicyModel();
+  }
+  return policy_hit_mass_;
+}
+
+void ClusterSim::ChargePolicyTick(double offered_rate, LoadSnapshot& acc) {
+  if (policy_dirty_) {
+    ComputePolicyModel();
+  }
+  const size_t num_layers = layers_.size();
+  const size_t head = popularity_.head.size();
+  const double write_ratio = config_.write_ratio;
+  const bool write_back = config_.write_policy == WritePolicy::kWriteBack;
+  const bool inclusive = config_.cache_hierarchy == HierarchyMode::kInclusive;
+
+  for (uint64_t rank = 0; rank < head; ++rank) {
+    const double rate = offered_rate * popularity_.head[rank];
+    if (rate <= 0.0) {
+      continue;
+    }
+    const uint64_t key = KeyOfRank(rank);
+    const double read = rate * (1.0 - write_ratio);
+    const double write = rate * write_ratio;
+    double carry = 1.0;
+    double resident_above = 0.0;  // Σ of unconditional hit probs so far
+    double expected_copies = 0.0;
+    for (size_t l = 0; l < num_layers; ++l) {
+      const CacheNodeId node = PolicyCandidate(l, key);
+      const double h = policy_hit_[l][rank];
+      const double q = carry * h;  // unconditional hit probability at layer l
+      double& load = acc.cache[l][node.index];
+      load += read * q;
+      if (write > 0.0) {
+        if (write_back) {
+          // The topmost resident copy absorbs the write (probability ≈ the
+          // layer's unconditional hit share), one unit per absorbed write.
+          load += write * q;
+        } else {
+          // Write-through coherence touches every resident copy: inclusive
+          // copies stack downward, exclusive lines live at exactly one layer.
+          const double resident = inclusive ? resident_above + q : q;
+          load += write * resident * config_.coherence_switch_cost;
+          expected_copies += resident;
+        }
+      }
+      resident_above += q;
+      carry *= 1.0 - h;
+    }
+    double server = read * carry;  // read misses
+    if (write > 0.0) {
+      if (write_back) {
+        // Unabsorbed writes go straight to the server; absorbed ones return as
+        // eventual write-backs (no-coalescing upper bound) — one unit either
+        // way, minus the coherence rounds write-through would have paid.
+        server += write;
+      } else {
+        server += write * (1.0 + config_.coherence_server_cost * expected_copies);
+      }
+    }
+    acc.server[placement_.ServerOf(key)] += server;
+  }
+
+  // Tail: uniform spread; per-node hit shares from the model, the rest (misses
+  // plus all tail writes — tail residency is vanishing, so coherence on tail
+  // copies is ignored) lands uniformly on the servers.
+  const double tail_rate = offered_rate * popularity_.tail_mass;
+  if (tail_rate > 0.0) {
+    const double tail_read = tail_rate * (1.0 - write_ratio);
+    double tail_carry = 1.0;
+    for (size_t l = 0; l < num_layers; ++l) {
+      const uint32_t nodes = layers_[l].nodes;
+      const double arrival_per_node =
+          tail_read * tail_carry / static_cast<double>(nodes);
+      double avg = 0.0;
+      for (uint32_t n = 0; n < nodes; ++n) {
+        const double h = policy_tail_hit_[l][n];
+        acc.cache[l][n] += arrival_per_node * h;
+        avg += h;
+      }
+      tail_carry *= 1.0 - avg / static_cast<double>(nodes);
+    }
+    const double to_servers = tail_read * tail_carry + tail_rate * write_ratio;
+    const double per_server = to_servers / static_cast<double>(num_servers());
+    for (double& load : acc.server) {
+      load += per_server;
+    }
+  }
 }
 
 }  // namespace distcache

@@ -35,6 +35,7 @@
 #include "common/workload.h"
 #include "common/zipf.h"
 #include "core/allocation.h"
+#include "core/cache_policy.h"
 #include "core/controller.h"
 #include "core/mechanism.h"
 #include "core/pot_router.h"
@@ -61,6 +62,18 @@ struct ClusterConfig {
   double write_ratio = 0.0;
 
   uint32_t per_switch_objects = 100;
+
+  // Per-node cache semantics (core/cache_policy.h). The default, kDistCache,
+  // reproduces the historical engines bit-for-bit. kStaticTopK keeps the static
+  // contents but routes serially (first alive candidate). The dynamic policies
+  // (lru/lfu/fifo/segmented) switch the request engines to the per-node policy
+  // runtime and this fluid engine to per-policy closed forms (Che's
+  // approximation for LRU/SLRU, λT/(1+λT) for FIFO, top-C for LFU, composed
+  // across layers by miss-stream thinning). Non-default policies require
+  // mechanism == kDistCache; hierarchy/write knobs require a dynamic policy.
+  CachePolicyKind cache_policy = CachePolicyKind::kDistCache;
+  HierarchyMode cache_hierarchy = HierarchyMode::kInclusive;
+  WritePolicy write_policy = WritePolicy::kWriteThrough;
 
   RoutingPolicy routing = RoutingPolicy::kPowerOfTwo;
   // false (default): routing sees loads accumulate within the epoch (continuous
@@ -105,6 +118,10 @@ std::string ValidateCacheLayers(const ClusterConfig& config);
 // proceed into out-of-bounds allocation writes).
 void CheckCacheLayersOrDie(const ClusterConfig& config);
 
+// Same enforcement for the cache-policy knobs (ValidateCachePolicy over the
+// config's policy/hierarchy/write/mechanism combination).
+void CheckCachePolicyOrDie(const ClusterConfig& config);
+
 // Per-tick load snapshot (arrival units, not utilization).
 struct LoadSnapshot {
   // One vector per cache layer, top first; cache.front() is the spine layer and
@@ -147,8 +164,13 @@ class ClusterSim {
   //
   // Rotates the rank→key mapping: popularity rank r now queries key
   // (r + shift) % num_keys, so the hot mass moves onto (typically uncached) new
-  // keys while the cached set stays put.
-  void SetHotShift(uint64_t shift) { hot_shift_ = shift; }
+  // keys while the cached set stays put. (Dynamic cache policies re-derive
+  // their steady-state hit model — they adapt to the new hot set on their own,
+  // which is exactly the comparison the policy benches make.)
+  void SetHotShift(uint64_t shift) {
+    hot_shift_ = shift;
+    policy_dirty_ = true;
+  }
   // Switches the workload's skew/write ratio (a phase boundary): the popularity
   // vector is re-derived when theta changes.
   void SetWorkload(double zipf_theta, double write_ratio);
@@ -159,6 +181,15 @@ class ClusterSim {
   void ReallocateCacheToHotSet();
   // The key id at popularity rank `rank` under the current rotation.
   uint64_t KeyOfRank(uint64_t rank) const;
+
+  // True when the configured cache policy runs the per-node dynamic runtime in
+  // the request engines (this fluid engine then uses the per-policy hit model).
+  bool UsesDynamicPolicy() const { return PolicyIsDynamic(config_.cache_policy); }
+  // Fraction of the total request mass the per-policy steady-state hit model
+  // absorbs in the cache layers (dynamic policies only; the static policies'
+  // equivalent is the allocation-based reachable cached mass the fluid backend
+  // computes). Lazily recomputed after workload/failure state changes.
+  double PolicyHitMass();
 
   double TotalServerCapacity() const {
     return config_.server_capacity * static_cast<double>(num_servers());
@@ -182,6 +213,18 @@ class ClusterSim {
                      LoadSnapshot& acc);
   void ChargeWrite(uint64_t key, double write_rate, const CacheCopies& copies,
                    LoadSnapshot& acc);
+  // Per-policy fluid analytics (dynamic cache policies): steady-state per-node
+  // hit probabilities via a characteristic-time fixed point (Che's
+  // approximation for LRU/segmented, λT/(1+λT) for FIFO, greedy top-C for
+  // LFU), composed across layers by miss-stream thinning, then one tick's
+  // loads charged from the closed form. The model is scale-free in the offered
+  // rate (T scales inversely with rate), so it is computed once per
+  // workload/alive state and reused across the saturation search.
+  void ComputePolicyModel();
+  void ChargePolicyTick(double offered_rate, LoadSnapshot& acc);
+  // The candidate cache node of `key` at `layer` under the dynamic-policy
+  // geometry (pure hash partition / rack binding; no failure remap).
+  CacheNodeId PolicyCandidate(size_t layer, uint64_t key) const;
 
   ClusterConfig config_;
   std::vector<LayerSpec> layers_;  // resolved cache hierarchy, top first
@@ -196,6 +239,12 @@ class ClusterSim {
   std::vector<double> layer_capacity_;  // per layer, top first
   LoadSnapshot prev_;  // previous epoch's loads (telemetry snapshot)
   Rng rng_;
+
+  // Dynamic-policy hit model state (see ComputePolicyModel).
+  bool policy_dirty_ = true;
+  std::vector<std::vector<double>> policy_hit_;       // [layer][head rank]
+  std::vector<std::vector<double>> policy_tail_hit_;  // [layer][node]
+  double policy_hit_mass_ = 0.0;
 };
 
 }  // namespace distcache

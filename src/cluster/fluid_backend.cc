@@ -16,6 +16,13 @@ FluidBackend::FluidBackend(const SimBackendConfig& config)
   SortPhasesByStart(phases_);
 }
 
+double FluidBackend::CachedMass() {
+  // Static policies: the allocation-defined cached mass that is reachable given
+  // the alive set. Dynamic policies: the per-policy steady-state hit model
+  // (Che/FIFO/LFU fixed point composed across layers, cluster_sim.cc).
+  return sim_.UsesDynamicPolicy() ? sim_.PolicyHitMass() : ReachableCachedMass();
+}
+
 double FluidBackend::ReachableCachedMass() const {
   const PopularityVector& pv = sim_.popularity();
   double mass = 0.0;
@@ -52,7 +59,7 @@ BackendStats FluidBackend::Run(uint64_t num_requests) {
         static_cast<double>(num_requests) * (1.0 - write_ratio);
     st.reads = static_cast<uint64_t>(std::llround(reads));
     st.cache_hits =
-        static_cast<uint64_t>(std::llround(reads * ReachableCachedMass()));
+        static_cast<uint64_t>(std::llround(reads * CachedMass()));
   } else {
     // Timeline mode: one fluid measurement per segment, where segments are
     // delimited by the sampling grid *and* every event/phase timestamp — so each
@@ -133,7 +140,7 @@ BackendStats FluidBackend::Run(uint64_t num_requests) {
       pt.reads = static_cast<uint64_t>(std::llround(
           static_cast<double>(pt.requests) * (1.0 - write_ratio)));
       pt.cache_hits = static_cast<uint64_t>(std::llround(
-          static_cast<double>(pt.reads) * fraction * ReachableCachedMass()));
+          static_cast<double>(pt.reads) * fraction * CachedMass()));
       st.series.push_back(pt);
       st.reads += pt.reads;
       st.cache_hits += pt.cache_hits;

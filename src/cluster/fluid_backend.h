@@ -43,6 +43,10 @@ class FluidBackend : public SimBackend {
   BackendStats Run(uint64_t num_requests) override;
 
  private:
+  // The analytic cache-hit probability under the configured policy: the static
+  // reachable-copy mass below, or ClusterSim::PolicyHitMass() for dynamic
+  // per-node policies (non-const: the policy model is lazily recomputed).
+  double CachedMass();
   // Pmf mass of head keys with at least one reachable cached copy (leaf, or a
   // spine that is currently alive) — the analytic hit probability the
   // request-level engines' degraded routing converges to.

@@ -29,16 +29,22 @@ class Channel {
  public:
   // Enqueues `item` unless the channel is closed. Returns false — and drops the
   // item — when closed; see the header comment for the caller contract.
+  //
+  // The notify happens *under* the mutex, deliberately: reply channels are
+  // owned by short-lived consumers (a runtime Client), and a consumer that
+  // wakes from Receive(), takes the item and returns may destroy the channel
+  // immediately. Holding mu_ across the signal pins the waiter inside wait()
+  // until the signal completes, so the condvar can never be destroyed mid-
+  // notify. (Signal-after-unlock is the textbook micro-optimization and was a
+  // TSan-caught use-after-free here.)
   [[nodiscard]] bool Send(T item) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (closed_) {
-        ++rejected_sends_;
-        return false;
-      }
-      items_.push_back(std::move(item));
-      approx_size_.store(items_.size(), std::memory_order_release);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      ++rejected_sends_;
+      return false;
     }
+    items_.push_back(std::move(item));
+    approx_size_.store(items_.size(), std::memory_order_release);
     cv_.notify_one();
     return true;
   }
@@ -77,12 +83,11 @@ class Channel {
   }
 
   // Closes the channel: subsequent Sends are rejected; queued items remain
-  // receivable until drained (Receive returns them, then nullopt).
+  // receivable until drained (Receive returns them, then nullopt). Notify under
+  // the lock for the same lifetime reason as Send.
   void Close() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      closed_ = true;
-    }
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
     cv_.notify_all();
   }
 
@@ -94,14 +99,12 @@ class Channel {
   // stranded-Receive() bug class. Blocked Receive() calls wake and return nullopt.
   std::vector<T> CloseAndDrain() {
     std::vector<T> undelivered;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      closed_ = true;
-      undelivered.assign(std::make_move_iterator(items_.begin()),
-                         std::make_move_iterator(items_.end()));
-      items_.clear();
-      approx_size_.store(0, std::memory_order_release);
-    }
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    undelivered.assign(std::make_move_iterator(items_.begin()),
+                       std::make_move_iterator(items_.end()));
+    items_.clear();
+    approx_size_.store(0, std::memory_order_release);
     cv_.notify_all();
     return undelivered;
   }

@@ -13,6 +13,7 @@ ClusterModel::ClusterModel(const ClusterConfig& config)
                 HashCombine(config.seed, 0x91ace3e22ULL)),
       dist(MakeDistribution(config.num_keys, config.zipf_theta)) {
   CheckCacheLayersOrDie(cfg);
+  CheckCachePolicyOrDie(cfg);
   AllocationConfig alloc;
   alloc.mechanism = cfg.mechanism;
   alloc.layers = layers;

@@ -141,6 +141,22 @@ EngineCore::EngineCore(const ClusterModel* model, uint64_t rng_seed,
   if (enable_observer) {
     observer_ = std::make_unique<HeavyHitterDetector>(ObserverConfig(model->pool));
   }
+  const CachePolicyKind kind = model->cfg.cache_policy;
+  if (kind == CachePolicyKind::kStaticTopK) {
+    policy_mode_ = kSerialStatic;
+  } else if (PolicyIsDynamic(kind)) {
+    policy_mode_ = kDynamicPolicy;
+    CachePolicyConfig pc;
+    pc.policy = kind;
+    pc.hierarchy = model->cfg.cache_hierarchy;
+    pc.write = model->cfg.write_policy;
+    // One replica per engine stream; the seed is stream-independent so every
+    // shard's replica filters identically (per-shard divergence comes from the
+    // request streams, like the telemetry-staleness relaxation).
+    pc.seed = HashCombine(model->cfg.seed, 0xca9e9071c7ULL);
+    policy_ = std::make_unique<CachePolicyRuntime>(
+        pc, model->allocation.get(), &model->placement, &spine_alive_);
+  }
 }
 
 void EngineCore::ApplyAction(const Action& action) {
@@ -167,6 +183,11 @@ void EngineCore::ApplyAction(const Action& action) {
         ++dead_spines_;
         recovery_ran_ = false;  // hot objects of the dead switch lose their copy
         view_.MarkDead({0, event.spine});
+        if (policy_) {
+          // The failed switch loses its cache (dirty lines and all); it comes
+          // back cold on recovery and rewarms through the policy's fill path.
+          policy_->InvalidateNode({0, event.spine});
+        }
       }
       break;
     case ClusterEvent::Kind::kRecoverSpine:

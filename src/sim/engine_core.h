@@ -48,8 +48,10 @@
 #include <vector>
 
 #include "common/cacheline.h"
+#include "common/hash.h"
 #include "common/random.h"
 #include "common/workload.h"
+#include "core/cache_policy.h"
 #include "core/load_tracker.h"
 #include "core/pot_router.h"
 #include "sim/cluster_model.h"
@@ -197,6 +199,17 @@ class EngineCore {
   template <typename Sink>
   void Process(Sink& sink, uint32_t bucket);
 
+  // Policy variants behind the single dispatch branch in Process() (PR 5
+  // hot-path rule: the default kDistCache path pays exactly one
+  // perfectly-predicted compare, keeping the golden runs bit-identical and the
+  // throughput within the gate). ProcessSerialStatic routes to the first alive
+  // candidate instead of the PoT choice; ProcessPolicy drives the per-node
+  // dynamic cache runtime (core/cache_policy.h).
+  template <typename Sink>
+  void ProcessSerialStatic(Sink& sink, uint32_t bucket);
+  template <typename Sink>
+  void ProcessPolicy(Sink& sink, uint32_t bucket);
+
   // Batched hot path: executes `count` requests whose sampled buckets were
   // staged into `buckets` up front (the batch's stochastic input as a flat
   // array), software-prefetching the route-table entries of upcoming requests
@@ -236,6 +249,10 @@ class EngineCore {
     return observer_ ? observer_->TopReports()
                      : std::vector<std::pair<uint64_t, uint32_t>>{};
   }
+
+  // The dynamic-policy runtime (null for kDistCache/kStaticTopK) — tests read
+  // its counters and node caches.
+  const CachePolicyRuntime* policy_runtime() const { return policy_.get(); }
 
  private:
   void ApplyAction(const Action& action);
@@ -279,12 +296,31 @@ class EngineCore {
 
   std::vector<CacheNodeId> scratch_candidates_;  // kReplicated slow path
 
+  // Cache-policy dispatch (set once at construction from cfg.cache_policy; the
+  // default path tests one always-equal byte and falls through).
+  enum PolicyMode : uint8_t { kStaticPot = 0, kSerialStatic = 1, kDynamicPolicy = 2 };
+  uint8_t policy_mode_ = kStaticPot;
+  std::unique_ptr<CachePolicyRuntime> policy_;  // kDynamicPolicy only
+  std::vector<CacheNodeId> scratch_copies_;     // write-through copy list
+  std::vector<uint32_t> scratch_servers_;       // dirty write-back targets
+
   PhaseHook phase_hook_;
   ReallocateHook realloc_hook_;
 };
 
 template <typename Sink>
 void EngineCore::Process(Sink& sink, uint32_t bucket) {
+  // Policy dispatch: one compare against a construction-time constant — under
+  // the default policy it is never taken and costs a perfectly-predicted
+  // not-taken branch, preserving the pre-policy goldens bit-for-bit.
+  if (__builtin_expect(policy_mode_ != kStaticPot, 0)) {
+    if (policy_mode_ == kDynamicPolicy) {
+      ProcessPolicy(sink, bucket);
+    } else {
+      ProcessSerialStatic(sink, bucket);
+    }
+    return;
+  }
   const ClusterConfig& cc = model_->cfg;
   BackendStats& st = *stats_;
   const bool is_tail = bucket == model_->pool;
@@ -441,6 +477,214 @@ void EngineCore::Process(Sink& sink, uint32_t bucket) {
   sink.AddCacheLoad(node, 1.0);
   ++st.cache_hits;
   ++(node.layer == 0 ? st.spine_hits : st.leaf_hits);
+}
+
+template <typename Sink>
+void EngineCore::ProcessSerialStatic(Sink& sink, uint32_t bucket) {
+  // kStaticTopK: identical contents, coherence and failure semantics to the
+  // static path above, but reads go to the *first alive candidate* (top layer
+  // first) instead of the balanced power-of-k choice. The PotRouter is never
+  // consulted (it draws from its own RNG, so the main request stream is
+  // unaffected either way). The hit/miss counters therefore match kDistCache
+  // exactly for the same stream; only the load distribution differs — which is
+  // precisely the paper's claim this policy isolates.
+  const ClusterConfig& cc = model_->cfg;
+  BackendStats& st = *stats_;
+  const bool is_tail = bucket == model_->pool;
+  const bool is_write = write_ratio_ > 0.0 && rng_.NextBernoulli(write_ratio_);
+
+  uint32_t server;
+  uint64_t key;
+  const RouteEntry* entry = nullptr;
+  if (is_tail) {
+    const uint64_t rank =
+        model_->pool + rng_.NextBounded(cc.num_keys - model_->pool);
+    key = KeyOfRank(rank, hot_shift_, cc.num_keys);
+    server = model_->placement.ServerOf(key);
+  } else {
+    key = KeyOfRank(bucket, hot_shift_, cc.num_keys);
+    entry = &route_data_[bucket];
+    server = entry->server;
+  }
+
+  if (is_write) {
+    // Writes are routing-independent: same coherence accounting as the static
+    // path (every alive copy is touched regardless of how reads are routed).
+    ++st.writes;
+    if (TransitBlackholed()) {
+      ++st.dropped;
+      return;
+    }
+    size_t num_copies = 0;
+    if (entry != nullptr) {
+      if (entry->kind == RouteEntry::kCached) {
+        const uint32_t inline_cands[2] = {entry->c0, entry->c1};
+        const uint32_t* cands =
+            entry->num <= 2 ? inline_cands : route_overflow_ + entry->c1;
+        for (uint8_t i = 0; i < entry->num; ++i) {
+          const CacheNodeId node = UnpackCandidate(cands[i]);
+          if (!NodeDead(node)) {
+            ++num_copies;
+            sink.AddCacheLoad(node, cc.coherence_switch_cost);
+          }
+        }
+      } else if (entry->kind == RouteEntry::kReplicated) {
+        num_copies = static_cast<size_t>(cc.num_spine - dead_spines_) +
+                     static_cast<size_t>(entry->num);
+        for (uint32_t s = 0; s < cc.num_spine; ++s) {
+          if (spine_alive_[s]) {
+            sink.AddCacheLoad({0, s}, cc.coherence_switch_cost);
+          }
+        }
+        if (entry->num > 0) {
+          sink.AddCacheLoad(UnpackCandidate(entry->c0), cc.coherence_switch_cost);
+        }
+      }
+    }
+    sink.AddServerLoad(server,
+                       1.0 + cc.coherence_server_cost * static_cast<double>(num_copies));
+    return;
+  }
+
+  ++st.reads;
+  if (observer_) {
+    observer_->Record(key);
+  }
+  CacheNodeId node;
+  bool have_node = false;
+  if (entry != nullptr && entry->kind == RouteEntry::kCached) {
+    // Candidates are stored in ascending layer order: the first alive one is
+    // the topmost copy — the naive "always hit the spine copy" route.
+    const uint32_t inline_cands[2] = {entry->c0, entry->c1};
+    const uint32_t* cands =
+        entry->num <= 2 ? inline_cands : route_overflow_ + entry->c1;
+    for (uint8_t i = 0; i < entry->num; ++i) {
+      const CacheNodeId c = UnpackCandidate(cands[i]);
+      if (!NodeDead(c)) {
+        node = c;
+        have_node = true;
+        break;
+      }
+    }
+  } else if (entry != nullptr && entry->kind == RouteEntry::kReplicated) {
+    for (uint32_t s = 0; s < cc.num_spine; ++s) {
+      if (spine_alive_[s]) {
+        node = {0, s};
+        have_node = true;
+        break;
+      }
+    }
+    if (!have_node && entry->num > 0) {
+      node = UnpackCandidate(entry->c0);
+      have_node = true;
+    }
+  }
+  if (!have_node) {
+    if (TransitBlackholed()) {
+      ++st.dropped;
+      return;
+    }
+    sink.AddServerLoad(server, 1.0);
+    ++st.server_reads;
+    return;
+  }
+  if (node.layer != 0 && TransitBlackholed()) {
+    ++st.dropped;
+    return;
+  }
+  sink.AddCacheLoad(node, 1.0);
+  ++st.cache_hits;
+  ++(node.layer == 0 ? st.spine_hits : st.leaf_hits);
+}
+
+template <typename Sink>
+void EngineCore::ProcessPolicy(Sink& sink, uint32_t bucket) {
+  // The dynamic-policy request path. Same stream derivation, coherence costs,
+  // transit-blackhole and counter semantics as the static path; hits and
+  // admissions come from the per-node policy runtime instead of the
+  // precomputed route table. The probe → drop-check → commit split keeps
+  // blackholed requests from perturbing replacement state (they never arrive).
+  const ClusterConfig& cc = model_->cfg;
+  BackendStats& st = *stats_;
+  const bool is_tail = bucket == model_->pool;
+  const bool is_write = write_ratio_ > 0.0 && rng_.NextBernoulli(write_ratio_);
+
+  uint64_t key;
+  if (is_tail) {
+    const uint64_t rank =
+        model_->pool + rng_.NextBounded(cc.num_keys - model_->pool);
+    key = KeyOfRank(rank, hot_shift_, cc.num_keys);
+  } else {
+    key = KeyOfRank(bucket, hot_shift_, cc.num_keys);
+  }
+  const uint32_t server = model_->placement.ServerOf(key);
+
+  if (is_write) {
+    ++st.writes;
+    if (TransitBlackholed()) {
+      ++st.dropped;
+      return;
+    }
+    scratch_servers_.clear();
+    if (policy_->config().write == WritePolicy::kWriteBack) {
+      const std::optional<CacheNodeId> absorbed =
+          policy_->WriteBack(key, scratch_servers_);
+      if (absorbed) {
+        sink.AddCacheLoad(*absorbed, 1.0);
+        ++st.cache_write_hits;
+      } else {
+        sink.AddServerLoad(server, 1.0);
+      }
+    } else {
+      scratch_copies_.clear();
+      policy_->WriteThrough(key, scratch_copies_, scratch_servers_);
+      for (const CacheNodeId copy : scratch_copies_) {
+        sink.AddCacheLoad(copy, cc.coherence_switch_cost);
+      }
+      sink.AddServerLoad(
+          server, 1.0 + cc.coherence_server_cost *
+                            static_cast<double>(scratch_copies_.size()));
+    }
+    for (const uint32_t wb_server : scratch_servers_) {
+      sink.AddServerLoad(wb_server, 1.0);
+      ++st.writebacks;
+    }
+    return;
+  }
+
+  ++st.reads;
+  if (observer_) {
+    observer_->Record(key);
+  }
+  const CachePolicyRuntime::ReadProbe probe = policy_->Probe(key);
+  if (!probe.hit) {
+    if (TransitBlackholed()) {
+      ++st.dropped;
+      return;
+    }
+    scratch_servers_.clear();
+    policy_->CommitMiss(key, scratch_servers_);
+    for (const uint32_t wb_server : scratch_servers_) {
+      sink.AddServerLoad(wb_server, 1.0);
+      ++st.writebacks;
+    }
+    sink.AddServerLoad(server, 1.0);
+    ++st.server_reads;
+    return;
+  }
+  if (probe.node.layer != 0 && TransitBlackholed()) {
+    ++st.dropped;
+    return;
+  }
+  scratch_servers_.clear();
+  policy_->CommitHit(key, probe.node, scratch_servers_);
+  for (const uint32_t wb_server : scratch_servers_) {
+    sink.AddServerLoad(wb_server, 1.0);
+    ++st.writebacks;
+  }
+  sink.AddCacheLoad(probe.node, 1.0);
+  ++st.cache_hits;
+  ++(probe.node.layer == 0 ? st.spine_hits : st.leaf_hits);
 }
 
 template <typename Sink>

@@ -79,6 +79,8 @@ void BackendStats::Merge(const BackendStats& other) {
   spine_hits += other.spine_hits;
   leaf_hits += other.leaf_hits;
   server_reads += other.server_reads;
+  cache_write_hits += other.cache_write_hits;
+  writebacks += other.writebacks;
   dropped += other.dropped;
   cross_shard_messages += other.cross_shard_messages;
   ring_messages += other.ring_messages;

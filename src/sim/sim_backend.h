@@ -149,6 +149,12 @@ struct BackendStats {
   uint64_t spine_hits = 0;   // hits absorbed by the top (spine) layer
   uint64_t leaf_hits = 0;    // hits absorbed by any lower layer (mid or leaf)
   uint64_t server_reads = 0; // reads served by the primary storage server
+  // Dynamic-policy write path (core/cache_policy.h; zero under the default
+  // static policy): writes absorbed by a cache node under write-back, and dirty
+  // lines flushed to their primary server (on eviction, demotion off the bottom
+  // layer, or a write falling through to the server).
+  uint64_t cache_write_hits = 0;
+  uint64_t writebacks = 0;
   // Requests blackholed by a dead spine switch before the controller reacted
   // (ECMP transit through a failed switch, §4.4); they charge no load anywhere.
   uint64_t dropped = 0;

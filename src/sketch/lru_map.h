@@ -52,6 +52,13 @@ class LruMap {
     return it == index_.end() ? nullptr : &it->second->second;
   }
 
+  // Mutable lookup without promoting (update a line in place — e.g. a dirty
+  // bit — without counting as a use).
+  V* PeekMutable(const K& key) {
+    auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &it->second->second;
+  }
+
   bool Erase(const K& key) {
     auto it = index_.find(key);
     if (it == index_.end()) {
@@ -69,6 +76,9 @@ class LruMap {
 
   // Least-recently-used entry, if any (the next eviction victim).
   const std::pair<K, V>* Oldest() const { return order_.empty() ? nullptr : &order_.back(); }
+
+  // Recency-ordered view, most-recently-used first (iteration / invariant checks).
+  const std::list<std::pair<K, V>>& entries() const { return order_; }
 
  private:
   using Entry = std::pair<K, V>;

@@ -78,6 +78,55 @@ TEST(TwoLayerGolden, SequentialStaticRunMatchesSeedBuild) {
   EXPECT_DOUBLE_EQ(server.max, 10415.25);
 }
 
+// The cache-policy layer must be invisible at the default: an explicit
+// cache_policy = kDistCache (with the hierarchy/write knobs at their defaults)
+// takes the same zero-overhead static path and reproduces the golden above
+// bit-for-bit — no extra RNG draws, no perturbed load arithmetic.
+TEST(TwoLayerGolden, ExplicitDistCachePolicyKeepsSeedGolden) {
+  SimBackendConfig bcfg;
+  bcfg.cluster = GoldenCluster();
+  bcfg.cluster.cache_policy = CachePolicyKind::kDistCache;
+  bcfg.cluster.cache_hierarchy = HierarchyMode::kInclusive;
+  bcfg.cluster.write_policy = WritePolicy::kWriteThrough;
+  const BackendStats st =
+      MakeSimBackend(BackendKind::kSequential, bcfg)->Run(200'000);
+
+  EXPECT_EQ(st.reads, 160392u);
+  EXPECT_EQ(st.writes, 39608u);
+  EXPECT_EQ(st.cache_hits, 70787u);
+  EXPECT_EQ(st.spine_hits, 38066u);
+  EXPECT_EQ(st.leaf_hits, 32721u);
+  EXPECT_EQ(st.server_reads, 89605u);
+  EXPECT_DOUBLE_EQ(st.hit_ratio(), 0.44133747319068284);
+  EXPECT_DOUBLE_EQ(st.CacheImbalance(), 1.6673291479820629);
+  EXPECT_DOUBLE_EQ(st.ServerImbalance(), 2.418872676205579);
+}
+
+// kStaticTopK shares the static contents and the per-request RNG stream with
+// kDistCache (the PoT router draws from its own seed, so removing it does not
+// shift the request stream): on an event-free run the what-is-cached counters
+// must match the golden exactly — only the load *distribution* may differ, and
+// it must differ for the worse (serial first-candidate routing concentrates
+// load; the PoT spread is the paper's contribution this policy isolates).
+TEST(TwoLayerGolden, StaticTopKMatchesDistCacheContentsButNotBalance) {
+  SimBackendConfig bcfg;
+  bcfg.cluster = GoldenCluster();
+  bcfg.cluster.cache_policy = CachePolicyKind::kStaticTopK;
+  const BackendStats st =
+      MakeSimBackend(BackendKind::kSequential, bcfg)->Run(200'000);
+
+  EXPECT_EQ(st.reads, 160392u);
+  EXPECT_EQ(st.writes, 39608u);
+  EXPECT_EQ(st.cache_hits, 70787u);
+  EXPECT_EQ(st.server_reads, 89605u);
+  EXPECT_EQ(st.dropped, 0u);
+  // Serial routing sends every two-copy read to the spine copy: the spine/leaf
+  // split collapses upward and balance degrades vs the PoT golden (1.667).
+  EXPECT_GT(st.spine_hits, 38066u);
+  EXPECT_LT(st.leaf_hits, 32721u);
+  EXPECT_GT(st.CacheImbalance(), 1.6673291479820629);
+}
+
 // Same capture discipline, with the full reconfiguration timeline: two failures,
 // controller recovery, a hot-spot shift, an observed-count re-allocation, switch
 // restoration, and a workload phase change — the complete §4.4 + §6.4 loop.

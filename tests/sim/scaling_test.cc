@@ -103,6 +103,25 @@ TEST(ShardedGolden, SingleShardStaticRunMatchesPreRefactorBuild) {
   EXPECT_EQ(st.contended_receives, 0u);
 }
 
+// The policy layer's dispatch byte must be invisible on the sharded hot path
+// too: an explicit default policy reproduces the pre-refactor pins bit-for-bit.
+TEST(ShardedGolden, ExplicitDistCachePolicyKeepsPreRefactorGolden) {
+  SimBackendConfig bcfg = GoldenBackendConfig(1);
+  bcfg.cluster.cache_policy = CachePolicyKind::kDistCache;
+  const BackendStats st =
+      MakeSimBackend(BackendKind::kSharded, bcfg)->Run(200'000);
+
+  EXPECT_EQ(st.reads, 159921u);
+  EXPECT_EQ(st.writes, 40079u);
+  EXPECT_EQ(st.cache_hits, 70684u);
+  EXPECT_EQ(st.spine_hits, 37907u);
+  EXPECT_EQ(st.leaf_hits, 32777u);
+  EXPECT_EQ(st.server_reads, 89237u);
+  EXPECT_DOUBLE_EQ(st.hit_ratio(), 0.4419932341593662);
+  EXPECT_DOUBLE_EQ(st.CacheImbalance(), 1.6847555511301404);
+  EXPECT_DOUBLE_EQ(st.ServerImbalance(), 2.463468562519127);
+}
+
 // Same capture discipline on the full failure+shift+realloc timeline (the
 // batched hot path must also be a no-op across failure windows, where it runs
 // the per-request RNG interleaving).

@@ -56,6 +56,14 @@ int Run(int argc, char** argv) {
         "  [--backend=... --phases=start:theta:write[:shift],...]\n"
         "   (workload phase timeline: switch skew / write ratio / hot rotation at\n"
         "   the given request timestamps)\n"
+        "  [--cache-policy=distcache|static-topk|lru|lfu|fifo|segmented]\n"
+        "  [--hierarchy=inclusive|exclusive] [--write-policy=write-through|write-back]\n"
+        "   (per-node cache semantics, core/cache_policy.h: distcache is the\n"
+        "   paper's static balanced allocation + PoT routing; static-topk keeps\n"
+        "   the static contents but routes to the first alive candidate; the\n"
+        "   dynamic policies run per-node admission/replacement in the request\n"
+        "   engines and per-policy closed forms in the fluid engine. The\n"
+        "   hierarchy and write knobs apply to dynamic policies only)\n"
         "  [--layers=L] [--layer-sizes=a,b,c] [--layer-cache=x,y,z]\n"
         "   (multi-layer hierarchical caching, §3.1: L cache layers, top first;\n"
         "   the last layer is the rack-bound leaf layer, so its size must equal\n"
@@ -173,6 +181,36 @@ int Run(int argc, char** argv) {
   cfg.routing = routing == "random"  ? RoutingPolicy::kRandom
                 : routing == "first" ? RoutingPolicy::kFirstChoice
                                      : RoutingPolicy::kPowerOfTwo;
+  // Per-node cache semantics (core/cache_policy.h). Parse errors and invalid
+  // combinations (e.g. --cache-policy=lru with --mechanism=nocache) are
+  // rejected here with the same message the engine boundary would abort with.
+  if (const std::string name = flags.GetString("cache-policy", "distcache");
+      !ParseCachePolicy(name, &cfg.cache_policy)) {
+    std::fprintf(stderr,
+                 "unknown --cache-policy=%s (want distcache|static-topk|lru|"
+                 "lfu|fifo|segmented)\n", name.c_str());
+    return 1;
+  }
+  if (const std::string name = flags.GetString("hierarchy", "inclusive");
+      !ParseHierarchyMode(name, &cfg.cache_hierarchy)) {
+    std::fprintf(stderr, "unknown --hierarchy=%s (want inclusive|exclusive)\n",
+                 name.c_str());
+    return 1;
+  }
+  if (const std::string name = flags.GetString("write-policy", "write-through");
+      !ParseWritePolicy(name, &cfg.write_policy)) {
+    std::fprintf(stderr,
+                 "unknown --write-policy=%s (want write-through|write-back)\n",
+                 name.c_str());
+    return 1;
+  }
+  if (const std::string policy_error =
+          ValidateCachePolicy(cfg.cache_policy, cfg.cache_hierarchy,
+                              cfg.write_policy, cfg.mechanism);
+      !policy_error.empty()) {
+    std::fprintf(stderr, "%s\n", policy_error.c_str());
+    return 1;
+  }
 
   std::printf("mechanism=%s  %u spines, %u racks x %u servers, cache %u/switch, %s, "
               "write ratio %.2f\n",
@@ -181,6 +219,14 @@ int Run(int argc, char** argv) {
               cfg.zipf_theta > 0 ? ("zipf-" + std::to_string(cfg.zipf_theta)).c_str()
                                  : "uniform",
               cfg.write_ratio);
+  if (cfg.cache_policy != CachePolicyKind::kDistCache) {
+    std::printf("cache policy: %s", CachePolicyName(cfg.cache_policy));
+    if (PolicyIsDynamic(cfg.cache_policy)) {
+      std::printf("  (%s, %s)", HierarchyModeName(cfg.cache_hierarchy),
+                  WritePolicyName(cfg.write_policy));
+    }
+    std::printf("\n");
+  }
   if (!cfg.cache_layers.empty()) {
     std::printf("hierarchy:");
     for (size_t l = 0; l < cfg.cache_layers.size(); ++l) {
