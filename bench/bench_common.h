@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cluster/cluster_sim.h"
+#include "core/cache_policy.h"
 #include "core/mechanism.h"
 
 namespace distcache {
@@ -49,6 +50,48 @@ inline ClusterConfig PaperDefaultConfig(Mechanism m) {
   cfg.zipf_theta = 0.99;
   return cfg;
 }
+
+// `--cache-policy=<name>` plumbing for benches: overrides the per-node cache
+// policy (core/cache_policy.h) on every DistCache-mechanism config the bench
+// builds — the comparison mechanisms keep their fixed semantics, so the flag
+// ablates DistCache's policy without touching the baselines. Unknown names and
+// invalid combinations fail fast instead of silently benchmarking the default.
+class BenchPolicyFlag {
+ public:
+  BenchPolicyFlag(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--cache-policy=", 15) == 0) {
+        const char* name = argv[i] + 15;
+        if (!ParseCachePolicy(name, &kind_)) {
+          std::fprintf(stderr,
+                       "unknown --cache-policy=%s (want distcache|static-topk|"
+                       "lru|lfu|fifo|segmented)\n", name);
+          std::exit(1);
+        }
+      }
+    }
+  }
+
+  void Apply(ClusterConfig* cfg) const {
+    if (cfg->mechanism != Mechanism::kDistCache) {
+      return;
+    }
+    cfg->cache_policy = kind_;
+    if (const std::string err =
+            ValidateCachePolicy(cfg->cache_policy, cfg->cache_hierarchy,
+                                cfg->write_policy, cfg->mechanism);
+        !err.empty()) {
+      std::fprintf(stderr, "--cache-policy: %s\n", err.c_str());
+      std::exit(1);
+    }
+  }
+
+  const char* name() const { return CachePolicyName(kind_); }
+  bool is_default() const { return kind_ == CachePolicyKind::kDistCache; }
+
+ private:
+  CachePolicyKind kind_ = CachePolicyKind::kDistCache;
+};
 
 inline void PrintHeader(const std::string& title, const std::string& note) {
   std::printf("\n=== %s ===\n", title.c_str());

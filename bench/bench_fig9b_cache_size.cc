@@ -9,9 +9,13 @@
 namespace distcache {
 namespace {
 
-void Run(BenchJson& json) {
+void Run(BenchJson& json, const BenchPolicyFlag& policy) {
   PrintHeader("Figure 9(b): impact of cache size (read-only, zipf-0.99)",
               "cache size = objects across all 64 switches; log-scale x in the paper");
+  if (!policy.is_default()) {
+    std::printf("DistCache column runs cache policy: %s\n", policy.name());
+  }
+  json.Config("cache_policy", policy.name());
   std::printf("%-12s %14s %18s %16s\n", "cache size", "DistCache", "CacheReplication",
               "CachePartition");
   const std::vector<uint32_t> sizes =
@@ -28,6 +32,7 @@ void Run(BenchJson& json) {
          {Mechanism::kDistCache, Mechanism::kCacheReplication, Mechanism::kCachePartition}) {
       ClusterConfig cfg = PaperDefaultConfig(m);
       cfg.per_switch_objects = per_switch;
+      policy.Apply(&cfg);
       ClusterSim sim(cfg);
       const int width = m == Mechanism::kDistCache          ? 14
                         : m == Mechanism::kCacheReplication ? 18
@@ -52,6 +57,7 @@ void Run(BenchJson& json) {
 
 int main(int argc, char** argv) {
   distcache::BenchJson json(argc, argv, "fig9b");
-  distcache::Run(json);
+  const distcache::BenchPolicyFlag policy(argc, argv);
+  distcache::Run(json, policy);
   return 0;
 }

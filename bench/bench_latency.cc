@@ -12,9 +12,13 @@
 namespace distcache {
 namespace {
 
-void Run(BenchJson& json) {
+void Run(BenchJson& json, const BenchPolicyFlag& policy) {
   PrintHeader("Latency vs offered load (zipf-0.99, paper defaults)",
-              "latency in storage-server service-time units; 100 = saturated node");
+              "latency in storage-server service-time units; inf = saturated node");
+  if (!policy.is_default()) {
+    std::printf("DistCache column runs cache policy: %s\n", policy.name());
+  }
+  json.Config("cache_policy", policy.name());
   std::printf("%-10s", "load");
   for (Mechanism m : AllMechanisms()) {
     std::printf("  %-16s p50/p99", MechanismName(m).c_str());
@@ -27,6 +31,7 @@ void Run(BenchJson& json) {
     std::printf("%-10.2f", fraction);
     for (Mechanism m : AllMechanisms()) {
       ClusterConfig cfg = PaperDefaultConfig(m);
+      policy.Apply(&cfg);
       ClusterSim sim(cfg);
       const double rate = fraction * sim.TotalServerCapacity();
       const LatencyReport report = ComputeLatencyReport(sim, rate);
@@ -44,6 +49,7 @@ void Run(BenchJson& json) {
   std::printf("\nhit fractions at 50%% load:\n");
   for (Mechanism m : AllMechanisms()) {
     ClusterConfig cfg = PaperDefaultConfig(m);
+    policy.Apply(&cfg);
     ClusterSim sim(cfg);
     const LatencyReport report =
         ComputeLatencyReport(sim, 0.5 * sim.TotalServerCapacity());
@@ -57,6 +63,7 @@ void Run(BenchJson& json) {
 
 int main(int argc, char** argv) {
   distcache::BenchJson json(argc, argv, "latency");
-  distcache::Run(json);
+  const distcache::BenchPolicyFlag policy(argc, argv);
+  distcache::Run(json, policy);
   return 0;
 }

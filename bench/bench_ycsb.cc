@@ -14,9 +14,13 @@
 namespace distcache {
 namespace {
 
-void Run(BenchJson& json) {
+void Run(BenchJson& json, const BenchPolicyFlag& policy) {
   PrintHeader("YCSB core workloads (zipf-0.99, paper-default cluster)",
               "normalized saturation throughput per mechanism");
+  if (!policy.is_default()) {
+    std::printf("DistCache column runs cache policy: %s\n", policy.name());
+  }
+  json.Config("cache_policy", policy.name());
   std::printf("%-24s %12s %18s %16s %10s\n", "workload", "DistCache",
               "CacheReplication", "CachePartition", "NoCache");
   const std::vector<YcsbWorkload> mixes = SmokeSweep<YcsbWorkload>(
@@ -27,6 +31,7 @@ void Run(BenchJson& json) {
     for (Mechanism m : AllMechanisms()) {
       ClusterConfig cfg = PaperDefaultConfig(m);
       cfg.write_ratio = EffectiveWriteRatio(w);
+      policy.Apply(&cfg);
       ClusterSim sim(cfg);
       const int width = m == Mechanism::kDistCache          ? 12
                         : m == Mechanism::kCacheReplication ? 18
@@ -87,6 +92,7 @@ void Run(BenchJson& json) {
 
 int main(int argc, char** argv) {
   distcache::BenchJson json(argc, argv, "ycsb");
-  distcache::Run(json);
+  const distcache::BenchPolicyFlag policy(argc, argv);
+  distcache::Run(json, policy);
   return 0;
 }

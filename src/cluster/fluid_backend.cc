@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "cluster/latency.h"
+
 namespace distcache {
 
 FluidBackend::FluidBackend(const SimBackendConfig& config)
@@ -47,7 +49,12 @@ double FluidBackend::ReachableCachedMass() const {
 
 BackendStats FluidBackend::Run(uint64_t num_requests) {
   const auto t0 = std::chrono::steady_clock::now();
-  const double offered = 0.5 * sim_.TotalServerCapacity();
+  // Open-loop mode pins the fluid arrival rate to the configured mean offered
+  // load (bursts average out in the fluid limit); the historical closed-loop
+  // default is half the aggregate server capacity.
+  const QueueModelConfig& queue = config_.queue;
+  const double offered = queue.enabled() ? queue.arrival.MeanRate()
+                                         : 0.5 * sim_.TotalServerCapacity();
 
   BackendStats st;
   LoadSnapshot snap;
@@ -146,6 +153,17 @@ BackendStats FluidBackend::Run(uint64_t num_requests) {
       st.cache_hits += pt.cache_hits;
       st.dropped += pt.dropped;
     }
+  }
+  if (queue.enabled()) {
+    // Analytic latency distribution for the read mix: per-key shifted
+    // exponentials (M/M/1 closed form, per-layer μ) against the end-of-run
+    // loads, scaled to the read count so the histogram is sample-comparable
+    // with the request-level engines'.
+    const double server_rate =
+        queue.server_service_rate > 0.0 ? queue.server_service_rate : 1.0;
+    FillAnalyticLatency(sim_, offered,
+                        ResolveServiceRates(queue, config_.cluster), server_rate,
+                        queue.hop_cost, st.reads, &st.latency);
   }
   const auto t1 = std::chrono::steady_clock::now();
 

@@ -11,27 +11,34 @@
 #ifndef DISTCACHE_CLUSTER_LATENCY_H_
 #define DISTCACHE_CLUSTER_LATENCY_H_
 
+#include <vector>
+
 #include "cluster/cluster_sim.h"
+#include "common/stats.h"
 
 namespace distcache {
 
 struct LatencyReport {
+  // Mean over the *finite* (non-saturated) query mass; +infinity when every
+  // query lands on a saturated node.
   double mean = 0.0;
+  // Percentiles over the full mix. A percentile whose rank falls inside the
+  // saturated mass is +infinity — saturated nodes have unbounded queues, so no
+  // finite number is honest there; `overloaded_fraction` carries the mass.
   double p50 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
   // Fraction of queries answered by a cache switch.
   double hit_fraction = 0.0;
-  // Fraction of queries whose serving node is saturated (unbounded queueing delay);
-  // their latency is reported as `saturated_latency`.
+  // Fraction of queries whose serving node is saturated (unbounded queueing
+  // delay). This is the explicit overload account: saturated queries contribute
+  // here and to the infinite percentile tail, never a finite pseudo-latency.
   double overloaded_fraction = 0.0;
 };
 
 struct LatencyModelOptions {
   // One-way network hop cost in service-time units of a storage server.
   double network_rtt = 0.2;
-  // Latency assigned to queries landing on a saturated node.
-  double saturated_latency = 100.0;
   int warmup_ticks = 4;
 };
 
@@ -39,6 +46,20 @@ struct LatencyModelOptions {
 // read mix from the resulting per-node loads.
 LatencyReport ComputeLatencyReport(ClusterSim& sim, double offered_rate,
                                    const LatencyModelOptions& options = {});
+
+// Open-loop analytic latency fill: runs the fluid simulator at `offered_rate`
+// and emits the read mix's full sojourn distribution — per key, a shifted
+// exponential hops·hop_cost + Exp(μ − λ) at the serving node, the M/M/1 closed
+// form generalized to per-layer service rates — into `out`, scaled to
+// `read_samples` total counts. Saturated mass lands in the histogram's infinite
+// bin. Hops follow the request-level engines' convention (cache hit at layer l:
+// l+1; server read: num_layers+1), so the histogram is directly comparable with
+// the sequential/sharded engines' measured ones at light load.
+void FillAnalyticLatency(ClusterSim& sim, double offered_rate,
+                         const std::vector<double>& cache_rates,
+                         double server_rate, double hop_cost,
+                         uint64_t read_samples, LatencyHistogram* out,
+                         int warmup_ticks = 4);
 
 }  // namespace distcache
 

@@ -73,6 +73,38 @@ bool ParsePhaseList(const std::string& text, std::vector<WorkloadPhase>* phases,
   return true;
 }
 
+bool ParseBurstSpec(const std::string& text, ArrivalConfig* arrival,
+                    std::string* error) {
+  const std::vector<std::string> fields = Split(text, ':');
+  if (fields.size() != 3) {
+    *error = "burst '" + text + "': want factor:every:duration";
+    return false;
+  }
+  double factor = 0.0;
+  double every = 0.0;
+  double duration = 0.0;
+  if (!ParseStrictDouble(fields[0], &factor) || factor < 1.0) {
+    *error = "burst '" + text + "': factor '" + fields[0] +
+             "' must be a finite value >= 1";
+    return false;
+  }
+  if (!ParseStrictDouble(fields[1], &every) || every <= 0.0) {
+    *error = "burst '" + text + "': period '" + fields[1] +
+             "' must be a positive finite value";
+    return false;
+  }
+  if (!ParseStrictDouble(fields[2], &duration) || duration <= 0.0 ||
+      duration > every) {
+    *error = "burst '" + text + "': duration '" + fields[2] +
+             "' must be a positive finite value <= the period";
+    return false;
+  }
+  arrival->burst_factor = factor;
+  arrival->burst_every = every;
+  arrival->burst_duration = duration;
+  return true;
+}
+
 WorkloadGenerator::WorkloadGenerator(const WorkloadConfig& config)
     : config_(config),
       dist_(MakeDistribution(config.num_keys, config.zipf_theta)),

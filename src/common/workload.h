@@ -9,6 +9,7 @@
 #ifndef DISTCACHE_COMMON_WORKLOAD_H_
 #define DISTCACHE_COMMON_WORKLOAD_H_
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -59,6 +60,55 @@ inline uint64_t KeyOfRank(uint64_t rank, uint64_t hot_shift, uint64_t num_keys) 
 // malformed input (non-numeric fields, NaN/negative values, theta > 1, write ratio
 // outside [0,1]). Phases are returned sorted by start_request.
 bool ParsePhaseList(const std::string& text, std::vector<WorkloadPhase>* phases,
+                    std::string* error);
+
+// Open-loop arrival process (the virtual-time layer): requests arrive Poisson at
+// `rate` per virtual-time unit, where one unit is one storage server's mean
+// service time — so rate is directly comparable to ClusterSim capacities
+// (rate == TotalServerCapacity() offers exactly aggregate server capacity).
+// Optional periodic bursts multiply the rate by `burst_factor` for the first
+// `burst_duration` units of every `burst_every`-unit window, modelling diurnal
+// or flash-crowd traffic. rate == 0 disables the open-loop clock entirely: the
+// engines then run closed-loop and record no latency (the historical behaviour,
+// bit-identical).
+struct ArrivalConfig {
+  double rate = 0.0;
+  double burst_factor = 1.0;
+  double burst_every = 0.0;     // 0 = no bursts
+  double burst_duration = 0.0;
+
+  bool enabled() const { return rate > 0.0; }
+  bool bursty() const {
+    return burst_factor != 1.0 && burst_every > 0.0 && burst_duration > 0.0;
+  }
+  // The instantaneous arrival rate at virtual time `now` (phase within the
+  // burst window decides; deterministic, consumes no RNG).
+  double RateAt(double now) const {
+    if (!bursty()) {
+      return rate;
+    }
+    const double phase = now - burst_every * std::floor(now / burst_every);
+    return phase < burst_duration ? rate * burst_factor : rate;
+  }
+  // Long-run mean rate (burst duty cycle folded in) — what the fluid engine's
+  // steady-state queueing forms see.
+  double MeanRate() const {
+    if (!bursty()) {
+      return rate;
+    }
+    const double duty = burst_duration >= burst_every
+                            ? 1.0
+                            : burst_duration / burst_every;
+    return rate * (1.0 + (burst_factor - 1.0) * duty);
+  }
+};
+
+// Parses the CLI burst syntax "factor:every:duration" (e.g. "4:1000:50": 4x the
+// base rate for the first 50 of every 1000 virtual-time units) into an existing
+// ArrivalConfig (rate is set separately). Returns false and sets *error on
+// malformed input (non-numeric, factor < 1, non-positive window, duration
+// outside (0, every]).
+bool ParseBurstSpec(const std::string& text, ArrivalConfig* arrival,
                     std::string* error);
 
 struct WorkloadConfig {

@@ -159,6 +159,22 @@ EngineCore::EngineCore(const ClusterModel* model, uint64_t rng_seed,
   }
 }
 
+void EngineCore::ConfigureOpenLoop(const QueueModelConfig& queue,
+                                   uint64_t time_seed) {
+  if (!queue.enabled()) {
+    return;  // closed loop: the byte stays 0 and no state is allocated
+  }
+  open_loop_ = 1;
+  time_rng_.Seed(time_seed);
+  arrival_ = queue.arrival;
+  hop_cost_ = queue.hop_cost;
+  server_rate_ = queue.server_service_rate > 0.0 ? queue.server_service_rate : 1.0;
+  layer_rate_ = ResolveServiceRates(queue, model_->cfg);
+  vnow_ = 0.0;
+  cache_free_at_ = model_->ZeroCacheLoads();
+  server_free_at_.assign(model_->num_servers(), 0.0);
+}
+
 void EngineCore::ApplyAction(const Action& action) {
   if (action.is_phase) {
     write_ratio_ = action.phase.write_ratio;

@@ -142,6 +142,13 @@ class EngineCore {
     next_sample_at_ = sample_step_;
     interval_mark_ = BackendStats::IntervalPoint{};
   }
+  // Enables the open-loop virtual-time layer (sim_backend.h QueueModelConfig
+  // comment: Poisson arrivals, per-node FIFO queues, per-layer service rates,
+  // hop costs). `time_seed` derives the dedicated time RNG — a separate stream
+  // from the request RNG, so the key/write draws of an open-loop run are
+  // bit-identical to the closed-loop run of the same config (tested). No-op
+  // when the arrival process is disabled; must be called before processing.
+  void ConfigureOpenLoop(const QueueModelConfig& queue, uint64_t time_seed);
   // Actions must be queued in at_local order (the plan/multicast order).
   void QueueAction(Action action) { actions_.push_back(std::move(action)); }
   // Drops queued/applied actions so a Run can re-queue its plan. Note this does
@@ -220,6 +227,43 @@ class EngineCore {
   template <typename Sink>
   void ProcessBatch(Sink& sink, const uint32_t* buckets, uint32_t count);
 
+  // ---- open-loop virtual time ----------------------------------------------
+  // Hot-path rule (same discipline as the policy dispatch byte): each helper
+  // opens with one never-taken compare against the construction-time open_loop_
+  // byte, so the closed-loop path pays a perfectly-predicted branch, consumes
+  // no time RNG, and stays bit-identical to the pre-layer goldens. When the
+  // layer is on, exactly one completion terminal (OpenLoopServer / OpenLoopCache)
+  // runs per delivered request; drops advance the clock but record nothing.
+  bool open_loop() const { return open_loop_ != 0; }
+  double virtual_now() const { return vnow_; }
+
+  // Poisson arrival: advances the virtual clock by an exponential gap at the
+  // (burst-modulated) instantaneous rate. Called once per request, before any
+  // routing work, so the arrival process is independent of the request mix.
+  void OpenLoopArrive() {
+    if (__builtin_expect(open_loop_ == 0, 1)) {
+      return;
+    }
+    vnow_ += time_rng_.NextExponential(arrival_.RateAt(vnow_));
+  }
+  // Completion at the primary storage server: full-descent hop count.
+  void OpenLoopServer(uint32_t server) {
+    if (__builtin_expect(open_loop_ == 0, 1)) {
+      return;
+    }
+    RecordDeparture(server_free_at_[server], server_rate_,
+                    static_cast<double>(model_->num_layers()) + 1.0);
+  }
+  // Completion at a cache switch: a layer-l hit is l+1 hops from the client.
+  void OpenLoopCache(CacheNodeId node) {
+    if (__builtin_expect(open_loop_ == 0, 1)) {
+      return;
+    }
+    RecordDeparture(cache_free_at_[node.layer][node.index],
+                    layer_rate_[node.layer],
+                    static_cast<double>(node.layer) + 1.0);
+  }
+
   // True when the request must be dropped: pre-recovery ECMP transit through one
   // of the dead spine switches. Consumes RNG only while failures are active.
   bool TransitBlackholed() {
@@ -256,6 +300,16 @@ class EngineCore {
 
  private:
   void ApplyAction(const Action& action);
+  // FIFO queue discipline at one station: the request starts service when both
+  // it and the node are ready, holds the node for an exponential service time,
+  // and its end-to-end latency is the network hops plus everything spent at the
+  // node (wait + service).
+  void RecordDeparture(double& free_at, double rate, double hops) {
+    const double start = free_at > vnow_ ? free_at : vnow_;
+    const double depart = start + time_rng_.NextExponential(rate);
+    free_at = depart;
+    stats_->latency.Add(hops * hop_cost_ + (depart - vnow_));
+  }
   void ResetObserver() {
     if (observer_) {
       observer_->NewEpoch();
@@ -296,6 +350,19 @@ class EngineCore {
 
   std::vector<CacheNodeId> scratch_candidates_;  // kReplicated slow path
 
+  // Open-loop virtual-time state (ConfigureOpenLoop). time_rng_ is a dedicated
+  // stream so enabling the layer never perturbs the key/write draws; free_at
+  // arrays are per-node FIFO horizons in virtual time.
+  uint8_t open_loop_ = 0;
+  Rng time_rng_{0};
+  ArrivalConfig arrival_;
+  double hop_cost_ = 0.2;
+  double vnow_ = 0.0;
+  double server_rate_ = 1.0;
+  std::vector<double> layer_rate_;                   // per cache layer, top first
+  std::vector<std::vector<double>> cache_free_at_;   // [layer][node]
+  std::vector<double> server_free_at_;
+
   // Cache-policy dispatch (set once at construction from cfg.cache_policy; the
   // default path tests one always-equal byte and falls through).
   enum PolicyMode : uint8_t { kStaticPot = 0, kSerialStatic = 1, kDynamicPolicy = 2 };
@@ -310,6 +377,10 @@ class EngineCore {
 
 template <typename Sink>
 void EngineCore::Process(Sink& sink, uint32_t bucket) {
+  // Open-loop arrival first (a no-op compare when the layer is off): every
+  // request's arrival timestamp exists before any routing decision, in all
+  // three policy variants, so the arrival process is policy-independent.
+  OpenLoopArrive();
   // Policy dispatch: one compare against a construction-time constant — under
   // the default policy it is never taken and costs a perfectly-predicted
   // not-taken branch, preserving the pre-policy goldens bit-for-bit.
@@ -379,6 +450,7 @@ void EngineCore::Process(Sink& sink, uint32_t bucket) {
         }
       }
     }
+    OpenLoopServer(server);
     sink.AddServerLoad(server,
                        1.0 + cc.coherence_server_cost * static_cast<double>(num_copies));
     return;
@@ -399,6 +471,7 @@ void EngineCore::Process(Sink& sink, uint32_t bucket) {
       ++st.dropped;
       return;
     }
+    OpenLoopServer(server);
     sink.AddServerLoad(server, 1.0);
     ++st.server_reads;
     return;
@@ -411,6 +484,7 @@ void EngineCore::Process(Sink& sink, uint32_t bucket) {
           ++st.dropped;
           return;
         }
+        OpenLoopServer(server);
         sink.AddServerLoad(server, 1.0);
         ++st.server_reads;
         return;
@@ -437,6 +511,7 @@ void EngineCore::Process(Sink& sink, uint32_t bucket) {
           ++st.dropped;
           return;
         }
+        OpenLoopServer(server);
         sink.AddServerLoad(server, 1.0);
         ++st.server_reads;
         return;
@@ -461,6 +536,7 @@ void EngineCore::Process(Sink& sink, uint32_t bucket) {
         ++st.dropped;
         return;
       }
+      OpenLoopServer(server);
       sink.AddServerLoad(server, 1.0);
       ++st.server_reads;
       return;
@@ -474,6 +550,7 @@ void EngineCore::Process(Sink& sink, uint32_t bucket) {
     ++st.dropped;
     return;
   }
+  OpenLoopCache(node);
   sink.AddCacheLoad(node, 1.0);
   ++st.cache_hits;
   ++(node.layer == 0 ? st.spine_hits : st.leaf_hits);
@@ -541,6 +618,7 @@ void EngineCore::ProcessSerialStatic(Sink& sink, uint32_t bucket) {
         }
       }
     }
+    OpenLoopServer(server);
     sink.AddServerLoad(server,
                        1.0 + cc.coherence_server_cost * static_cast<double>(num_copies));
     return;
@@ -584,6 +662,7 @@ void EngineCore::ProcessSerialStatic(Sink& sink, uint32_t bucket) {
       ++st.dropped;
       return;
     }
+    OpenLoopServer(server);
     sink.AddServerLoad(server, 1.0);
     ++st.server_reads;
     return;
@@ -592,6 +671,7 @@ void EngineCore::ProcessSerialStatic(Sink& sink, uint32_t bucket) {
     ++st.dropped;
     return;
   }
+  OpenLoopCache(node);
   sink.AddCacheLoad(node, 1.0);
   ++st.cache_hits;
   ++(node.layer == 0 ? st.spine_hits : st.leaf_hits);
@@ -630,9 +710,11 @@ void EngineCore::ProcessPolicy(Sink& sink, uint32_t bucket) {
       const std::optional<CacheNodeId> absorbed =
           policy_->WriteBack(key, scratch_servers_);
       if (absorbed) {
+        OpenLoopCache(*absorbed);
         sink.AddCacheLoad(*absorbed, 1.0);
         ++st.cache_write_hits;
       } else {
+        OpenLoopServer(server);
         sink.AddServerLoad(server, 1.0);
       }
     } else {
@@ -641,6 +723,7 @@ void EngineCore::ProcessPolicy(Sink& sink, uint32_t bucket) {
       for (const CacheNodeId copy : scratch_copies_) {
         sink.AddCacheLoad(copy, cc.coherence_switch_cost);
       }
+      OpenLoopServer(server);
       sink.AddServerLoad(
           server, 1.0 + cc.coherence_server_cost *
                             static_cast<double>(scratch_copies_.size()));
@@ -668,6 +751,7 @@ void EngineCore::ProcessPolicy(Sink& sink, uint32_t bucket) {
       sink.AddServerLoad(wb_server, 1.0);
       ++st.writebacks;
     }
+    OpenLoopServer(server);
     sink.AddServerLoad(server, 1.0);
     ++st.server_reads;
     return;
@@ -682,6 +766,7 @@ void EngineCore::ProcessPolicy(Sink& sink, uint32_t bucket) {
     sink.AddServerLoad(wb_server, 1.0);
     ++st.writebacks;
   }
+  OpenLoopCache(probe.node);
   sink.AddCacheLoad(probe.node, 1.0);
   ++st.cache_hits;
   ++(probe.node.layer == 0 ? st.spine_hits : st.leaf_hits);

@@ -41,6 +41,10 @@ SequentialBackend::SequentialBackend(const SimBackendConfig& config)
   // The pre-event route table must snapshot the pristine allocation, so build it
   // before the plan walk below mutates the controller state.
   core_.SetRoutes(std::make_shared<const RouteTable>(BuildRouteTable(model_)));
+  // Open-loop virtual time, when configured. The time stream gets its own seed
+  // derivation so the key/write streams stay bit-identical to closed-loop runs.
+  core_.ConfigureOpenLoop(config_.queue,
+                          HashCombine(config.cluster.seed, 0x0be71457ULL));
   plan_ = BuildTimelinePlan(config_, model_);
   core_.SetPhaseHook([this](const WorkloadPhase&,
                             const std::shared_ptr<const std::vector<double>>& pmf) {

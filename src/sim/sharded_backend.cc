@@ -461,6 +461,14 @@ void ShardedBackend::ShardMain(Shard& shard, uint64_t quota, uint64_t num_reques
                           : static_cast<double>(quota) / static_cast<double>(num_requests);
   shard.core.BindStats(&shard.local);
   shard.core.SetRoutes(base_routes_);
+  // Open-loop: each shard simulates an independent full-rate time slice of the
+  // cluster (full arrival rate, full service rates, its own queue horizons), so
+  // the quota-end Merge of per-shard histograms is a union of slices rather
+  // than a re-timed interleaving. The time stream mixes in the shard id — the
+  // key/write streams already diverge per shard the same way.
+  shard.core.ConfigureOpenLoop(
+      config_.queue,
+      HashCombine(HashCombine(config_.cluster.seed, 0x0be71457ULL), shard.id));
   shard.core.SetSampleStep(static_cast<double>(config_.sample_interval) *
                            shard.quota_scale);
   shard.core.SetPhaseHook(

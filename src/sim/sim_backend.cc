@@ -37,6 +37,31 @@ void AccumulateLoads(std::vector<double>& into, const std::vector<double>& from)
 
 }  // namespace
 
+std::vector<double> ResolveServiceRates(const QueueModelConfig& queue,
+                                        const ClusterConfig& cluster) {
+  const std::vector<LayerSpec> layers = ResolvedCacheLayers(cluster);
+  // Auto: the fluid model's rate-limit discipline (cluster_sim.cc) — every
+  // cache node matches a rack's aggregate, with the explicit spine/leaf
+  // capacity overrides honoured.
+  const double rack_aggregate = static_cast<double>(cluster.servers_per_rack) *
+                                cluster.server_capacity;
+  std::vector<double> rates(layers.size(), rack_aggregate);
+  if (cluster.spine_capacity > 0) {
+    rates.front() = cluster.spine_capacity;
+  }
+  if (cluster.leaf_capacity > 0) {
+    rates.back() = cluster.leaf_capacity;
+  }
+  if (queue.service_rates.size() == 1) {
+    rates.assign(layers.size(), queue.service_rates[0]);  // broadcast
+  } else if (!queue.service_rates.empty()) {
+    for (size_t l = 0; l < rates.size() && l < queue.service_rates.size(); ++l) {
+      rates[l] = queue.service_rates[l];
+    }
+  }
+  return rates;
+}
+
 void SortEventsByRequest(std::vector<ClusterEvent>& events) {
   std::stable_sort(events.begin(), events.end(),
                    [](const ClusterEvent& a, const ClusterEvent& b) {
@@ -51,11 +76,15 @@ void BackendStats::CloseIntervalAt(uint64_t processed, IntervalPoint& mark) {
   pt.delivered = pt.requests - pt.dropped;
   pt.reads = reads - mark.reads;
   pt.cache_hits = cache_hits - mark.cache_hits;
-  series.push_back(pt);
+  // Per-interval latency slice; a no-op pair of empty histograms on closed-loop
+  // runs (no allocation, golden-neutral).
+  pt.latency = latency.DeltaSince(mark.latency);
+  series.push_back(std::move(pt));
   mark.requests = processed;
   mark.dropped = dropped;
   mark.reads = reads;
   mark.cache_hits = cache_hits;
+  mark.latency = latency;
 }
 
 double BackendStats::CacheImbalance() const {
@@ -95,7 +124,9 @@ void BackendStats::Merge(const BackendStats& other) {
     series[i].dropped += other.series[i].dropped;
     series[i].reads += other.series[i].reads;
     series[i].cache_hits += other.series[i].cache_hits;
+    series[i].latency.Merge(other.series[i].latency);
   }
+  latency.Merge(other.latency);
   if (cache_load.size() < other.cache_load.size()) {
     cache_load.resize(other.cache_load.size());
   }

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "cluster/cluster_sim.h"
+#include "common/stats.h"
 #include "common/workload.h"
 
 namespace distcache {
@@ -92,6 +93,41 @@ struct ClusterEvent {
 // engines apply simultaneous events in).
 void SortEventsByRequest(std::vector<ClusterEvent>& events);
 
+// Open-loop virtual-time model (the tentpole of the latency layer). When the
+// arrival process is enabled every request acquires an arrival timestamp from a
+// Poisson clock, waits in a per-node FIFO at the node that serves it, draws an
+// exponential service time at that node's rate, and records
+//   latency = hops x hop_cost + (departure - arrival)
+// into BackendStats::latency. Time is measured in storage-server service-time
+// units (server_service_rate = 1.0 is one server), matching the fluid model's
+// capacity arithmetic, so arrival.rate is an absolute offered rate directly
+// comparable to ClusterSim::TotalServerCapacity(). Hop counts follow the
+// closed-loop model in cluster/latency.h: a layer-l cache hit pays l+1 hops
+// (spine hit = 1), a server answer pays num_layers+1 (the full descent).
+//
+// When disabled (the default) the engines are bit-identical to a build without
+// the layer: the open-loop branch is one never-taken compare and no time RNG is
+// ever consumed, so the PR 4/5/6 golden pins hold.
+struct QueueModelConfig {
+  ArrivalConfig arrival;
+  // Per-cache-layer service rates, top first. Empty = auto, mirroring the fluid
+  // model's capacity discipline: every cache node serves at servers_per_rack x
+  // server_capacity (overridden by spine_capacity / leaf_capacity when set). A
+  // single entry broadcasts to all layers.
+  std::vector<double> service_rates;
+  double server_service_rate = 1.0;
+  // One-way network hop cost in virtual-time units (cluster/latency.h default).
+  double hop_cost = 0.2;
+
+  bool enabled() const { return arrival.enabled(); }
+};
+
+// The per-layer cache service rates a QueueModelConfig resolves to against a
+// cluster (auto-derivation + broadcast above). Used by the request engines and
+// the fluid engine's analytic forms, so their mus cannot diverge.
+std::vector<double> ResolveServiceRates(const QueueModelConfig& queue,
+                                        const ClusterConfig& cluster);
+
 // Engine configuration: the simulated cluster plus execution-engine knobs.
 struct SimBackendConfig {
   ClusterConfig cluster;
@@ -128,6 +164,12 @@ struct SimBackendConfig {
   // Request-level engines rebuild their samplers and route tables at each phase
   // boundary; the fluid engine re-derives its popularity vector per segment.
   std::vector<WorkloadPhase> phases;
+  // Open-loop virtual-time model (disabled by default — closed-loop runs stay
+  // bit-identical to the historical engines). The sharded engine gives every
+  // shard its own full-rate clock and per-node queue replicas (independent time
+  // slices of the same arrival process, like the PR 6 policy replicas) and
+  // merges the per-shard histograms at quota end.
+  QueueModelConfig queue;
   // When > 0, BackendStats::series records one IntervalPoint per this many
   // requests — the Fig. 11 time-series instrumentation. The sharded backend
   // samples each shard every sample_interval/shards local requests and merges
@@ -178,6 +220,10 @@ struct BackendStats {
     uint64_t dropped = 0;
     uint64_t reads = 0;
     uint64_t cache_hits = 0;
+    // This interval's latency slice (empty on closed-loop runs). Inside the
+    // engines' interval mark it holds the cumulative snapshot the next delta is
+    // taken against.
+    LatencyHistogram latency;
 
     double delivered_fraction() const {
       return requests == 0
@@ -204,6 +250,11 @@ struct BackendStats {
 
   const std::vector<double>& spine_load() const { return cache_load.front(); }
   const std::vector<double>& leaf_load() const { return cache_load.back(); }
+
+  // End-to-end latency distribution of the run (empty unless the open-loop
+  // arrival process was configured). Shard-merge associative: the sharded
+  // engine's quota-end Merge yields the bucket-exact union of its streams.
+  LatencyHistogram latency;
 
   double wall_seconds = 0.0;
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace distcache {
 namespace {
 
@@ -63,6 +65,38 @@ TEST(Latency, HitFractionMatchesCacheSize) {
   EXPECT_LT(r.hit_fraction, 0.9);
   ClusterSim none(Cfg(Mechanism::kNoCache));
   EXPECT_EQ(ComputeLatencyReport(none, 1.0).hit_fraction, 0.0);
+}
+
+// Saturated mass is explicit overload accounting, not a finite pseudo-latency:
+// a percentile rank inside it reads +infinity, the fraction carries the mass,
+// and the mean covers the finite queries only.
+TEST(Latency, SaturatedMassReportsInfinity) {
+  ClusterSim none(Cfg(Mechanism::kNoCache));
+  const LatencyReport r =
+      ComputeLatencyReport(none, 0.3 * none.TotalServerCapacity());
+  EXPECT_GT(r.overloaded_fraction, 0.01);
+  EXPECT_TRUE(std::isinf(r.p99));
+  EXPECT_TRUE(std::isfinite(r.p50));
+  EXPECT_TRUE(std::isfinite(r.mean));
+  EXPECT_GT(r.mean, 0.0);
+}
+
+// The open-loop analytic fill integrates the same mixture the report
+// summarizes: totals land on the requested sample count (up to per-bucket
+// rounding) and the distribution's mean matches the report's finite-mass mean.
+TEST(Latency, AnalyticFillMatchesReportMean) {
+  ClusterSim sim(Cfg(Mechanism::kDistCache));
+  const double rate = 0.3 * sim.TotalServerCapacity();
+  const LatencyReport report = ComputeLatencyReport(sim, rate);
+  LatencyHistogram hist;
+  constexpr uint64_t kSamples = 1'000'000;
+  FillAnalyticLatency(sim, rate, {sim.layer_capacity(0), sim.layer_capacity(1)},
+                      sim.config().server_capacity, /*hop_cost=*/0.2, kSamples,
+                      &hist);
+  EXPECT_NEAR(static_cast<double>(hist.total()), static_cast<double>(kSamples),
+              1000.0);
+  EXPECT_NEAR(hist.mean(), report.mean, 0.05 * report.mean);
+  EXPECT_DOUBLE_EQ(hist.infinite_fraction(), 0.0);
 }
 
 TEST(Latency, NetworkRttIsFloor) {

@@ -136,6 +136,39 @@ class Flags {
     return true;
   }
 
+  // Parses --name as a comma-separated list of positive finite doubles (strict
+  // per element, e.g. "6,1.5"). An absent flag leaves *out untouched and
+  // returns true; malformed input fills *error and returns false.
+  bool GetDoubleList(const std::string& name, std::vector<double>* out,
+                     std::string* error) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) {
+      return true;
+    }
+    std::vector<double> parsed;
+    const std::string& text = it->second;
+    size_t start = 0;
+    while (start <= text.size()) {
+      const size_t comma = text.find(',', start);
+      const std::string field =
+          text.substr(start, comma == std::string::npos ? std::string::npos
+                                                        : comma - start);
+      double value = 0.0;
+      if (!ParseStrictDouble(field, &value) || value <= 0.0) {
+        *error = "--" + name + "=" + text +
+                 ": want a comma-separated list of positive finite values";
+        return false;
+      }
+      parsed.push_back(value);
+      if (comma == std::string::npos) {
+        break;
+      }
+      start = comma + 1;
+    }
+    *out = std::move(parsed);
+    return true;
+  }
+
   bool Has(const std::string& name) const { return values_.contains(name); }
 
  private:
