@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstring>
 
 #include "cache/cache_switch.h"
 #include "cluster/cluster_sim.h"
@@ -17,6 +18,8 @@
 #include "core/pot_router.h"
 #include "kv/kv_store.h"
 #include "runtime/channel.h"
+#include "runtime/shm_arena.h"
+#include "runtime/shm_ring.h"
 #include "runtime/spsc_ring.h"
 #include "sketch/bloom_filter.h"
 #include "sketch/count_min.h"
@@ -184,6 +187,85 @@ void BM_SpscRingTransfer(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpscRingTransfer)->Threads(1)->Threads(2)->UseRealTime();
+
+// Same handoff over the multiproc substrate: a shared-memory arena ring
+// (runtime/shm_ring.h) with one 64-byte slot per message. Threads stand in for
+// the fork pair — each side holds its own view object over the same arena
+// storage, exactly the aliasing the processes have — so the row isolates the
+// ring-port cost (serialize-into-slot, offset arithmetic) without fork noise.
+// Compare the three Transfer rows: shm ring vs in-process ring is the
+// substrate swap; channel is the mutex baseline both rings replaced.
+void BM_ShmRingTransfer(benchmark::State& state) {
+  constexpr size_t kCapacity = 1024;
+  constexpr size_t kSlotBytes = sizeof(uint64_t);
+  static ShmArena* arena = nullptr;
+  if (state.thread_index() == 0) {
+    arena = new ShmArena();
+    arena->Map(ShmSpscRing::BytesFor(kCapacity, kSlotBytes),
+               /*huge_pages=*/false);
+  }
+  // Per-thread view, like per-process views over the inherited mapping.
+  ShmSpscRing ring(arena->base(), kCapacity, kSlotBytes);
+  uint64_t x = 0;
+  for (auto _ : state) {
+    if (state.threads() == 1) {
+      void* slot;
+      while ((slot = ring.TryStage()) == nullptr) {
+      }
+      ++x;
+      std::memcpy(slot, &x, sizeof(x));
+      ring.Publish();
+      const void* front = ring.Front();
+      benchmark::DoNotOptimize(front);
+      ring.Pop();
+    } else if (state.thread_index() == 0) {
+      void* slot;
+      while ((slot = ring.TryStage()) == nullptr) {
+      }
+      ++x;
+      std::memcpy(slot, &x, sizeof(x));
+      ring.Publish();
+    } else {
+      const void* front;
+      while ((front = ring.Front()) == nullptr) {
+      }
+      uint64_t v;
+      std::memcpy(&v, front, sizeof(v));
+      benchmark::DoNotOptimize(v);
+      ring.Pop();
+    }
+  }
+  if (state.thread_index() == 0) {
+    delete arena;
+    arena = nullptr;
+  }
+}
+BENCHMARK(BM_ShmRingTransfer)->Threads(1)->Threads(2)->UseRealTime();
+
+// The mutex-channel transfer baseline for the same two-thread handoff.
+void BM_ChannelTransfer(benchmark::State& state) {
+  static Channel<uint64_t>* channel = nullptr;
+  if (state.thread_index() == 0) {
+    channel = new Channel<uint64_t>();
+  }
+  uint64_t x = 0;
+  for (auto _ : state) {
+    if (state.threads() == 1) {
+      benchmark::DoNotOptimize(channel->Send(uint64_t{++x}));
+      benchmark::DoNotOptimize(channel->TryReceive());
+    } else if (state.thread_index() == 0) {
+      benchmark::DoNotOptimize(channel->Send(uint64_t{++x}));
+    } else {
+      while (!channel->TryReceive()) {
+      }
+    }
+  }
+  if (state.thread_index() == 0) {
+    delete channel;
+    channel = nullptr;
+  }
+}
+BENCHMARK(BM_ChannelTransfer)->Threads(1)->Threads(2)->UseRealTime();
 
 // The batch-boundary poll of an idle inbox: the Channel's lock-free emptiness
 // fast path (one acquire load) vs the cost it replaced (full mutex acquisition,

@@ -136,6 +136,22 @@ class LatencyHistogram {
 
   const std::vector<uint64_t>& counts() const { return counts_; }
 
+  // Raw state access for lossless serialization (sim/stats_codec.h): the
+  // finite-sample sum alongside counts()/total()/infinite() reads the whole
+  // state, and FromRaw rebuilds a histogram bit-identical to the serialized
+  // one (the double round-trips via its bit pattern, not via re-adding
+  // samples — re-adding would re-order the floating-point sum).
+  double finite_sum() const { return sum_; }
+  static LatencyHistogram FromRaw(std::vector<uint64_t> counts, uint64_t total,
+                                  uint64_t infinite, double finite_sum) {
+    LatencyHistogram h;
+    h.counts_ = std::move(counts);
+    h.total_ = total;
+    h.infinite_ = infinite;
+    h.sum_ = finite_sum;
+    return h;
+  }
+
  private:
   void EnsureBuckets() {
     if (counts_.empty()) {

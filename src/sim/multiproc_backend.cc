@@ -1,0 +1,890 @@
+#include "sim/multiproc_backend.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/cacheline.h"
+#include "common/hash.h"
+#include "runtime/affinity.h"
+#include "runtime/backoff.h"
+#include "sim/stats_codec.h"
+#include "sketch/heavy_hitter.h"
+
+namespace distcache {
+
+namespace {
+
+// Ring depths per directed shard pair. Data traffic is O(epochs + 1) messages
+// (telemetry broadcasts plus the end-of-run delta flush, chunked), same as the
+// in-process engine's 256-deep rings; control traffic is chunked heavy-hitter
+// reports plus one kDone, and its consumers drain while waiting, so a shallow
+// ring only adds retry rounds, never deadlock.
+constexpr size_t kDataRingCapacity = 256;
+constexpr size_t kCtrlRingCapacity = 64;
+
+// Control-plane slot payload: 256 report entries per chunk.
+constexpr size_t kCtrlPayloadBytes = 4096;
+// Floor for the data-plane payload when the topology is tiny.
+constexpr size_t kMinDataPayloadBytes = 1024;
+
+// The cross-process message set. Everything that crosses an address space is
+// one of these four POD-serialized kinds — the in-process engine's other kinds
+// do not exist here: kClusterEvent because every child queues the fired plan
+// locally, kRouteUpdate because every child runs the controller computation
+// itself (see multiproc_backend.h).
+enum WireKind : uint8_t {
+  kWireTelemetry = 0,  // dense own-contribution partials, one slot
+  kWireDeltas = 1,     // end-of-run load deltas, chunked
+  kWireReport = 2,     // heavy-hitter report, chunked, `last` terminates
+  kWireDone = 3,       // end-of-stream marker
+};
+
+struct WireHeader {
+  uint8_t kind;
+  uint8_t last;      // kWireReport: final chunk of this report
+  uint16_t pad16;
+  uint32_t from;     // sender shard
+  uint32_t count_a;  // telemetry: #partials; deltas: #cache; report: #pairs
+  uint32_t count_b;  // deltas: #server entries
+};
+static_assert(sizeof(WireHeader) == 16, "wire header layout");
+
+// Fixed 16-byte entry for both delta kinds ({flat-or-server index, delta}) and
+// report pairs ({key, count}); everything moves through memcpy, so slot
+// alignment is a non-issue and no object is ever aliased across the arena.
+struct DeltaEntry {
+  uint64_t index;
+  double delta;
+};
+struct ReportEntry {
+  uint64_t key;
+  uint64_t count;
+};
+static_assert(sizeof(DeltaEntry) == 16 && sizeof(ReportEntry) == 16,
+              "wire entry layout");
+
+// Supervisor/child handshake block at the head of the arena.
+enum ShardState : uint32_t {
+  kShardRunning = 0,
+  kShardDone = 1,     // full quota, stats published
+  kShardAborted = 2,  // wound down after the abort flag, partial stats published
+};
+
+struct alignas(kCacheLineSize) ShmControlBlock {
+  // Set by the supervisor when any child dies abnormally; checked by every
+  // child wait loop, full-ring retry and backoff — the no-hang guarantee.
+  std::atomic<uint32_t> abort{0};
+  // Start barrier: children prefault their inbound rings (first-touch NUMA
+  // placement under pinning), then rendezvous here before any ring traffic,
+  // so the prefault writes can never race a producer.
+  std::atomic<uint32_t> ready{0};
+};
+
+struct alignas(kCacheLineSize) ShardSlot {
+  std::atomic<uint32_t> state{kShardRunning};
+  std::atomic<uint64_t> stats_len{0};
+};
+static_assert(sizeof(ShmControlBlock) == kCacheLineSize &&
+                  sizeof(ShardSlot) == kCacheLineSize,
+              "one line each: a child's completion store must not invalidate "
+              "its neighbour's");
+
+void WritePod(void* slot, const void* src, size_t bytes, size_t offset = 0) {
+  if (bytes == 0) {
+    return;  // an empty report chunk carries data() == nullptr; memcpy forbids it
+  }
+  std::memcpy(static_cast<uint8_t*>(slot) + offset, src, bytes);
+}
+
+}  // namespace
+
+// Child-side per-shard state — the process-local mirror of ShardedBackend's
+// Shard, minus the thread and the heap-payload message types. Ring *views*
+// (runtime/shm_ring.h) live here (process-local index caches); ring storage
+// lives in the arena.
+struct alignas(kCacheLineSize) MultiprocBackend::Proc {
+  Proc(uint32_t id, const ClusterModel* model, uint64_t seed, bool observer)
+      : id(id),
+        core(model, HashCombine(HashCombine(seed, 0x5aa4dedULL), id),
+             HashCombine(HashCombine(seed, 0x90076eULL), id), observer) {}
+
+  uint32_t id;
+  EngineCore core;
+  EventQueue queue;
+
+  // Indexed by peer; the self slot is a detached default view, never touched.
+  std::vector<ShmSpscRing> data_in;   // consumer views: peer -> this shard
+  std::vector<ShmSpscRing> data_out;  // producer views: this shard -> peer
+  std::vector<ShmSpscRing> ctrl_in;
+  std::vector<ShmSpscRing> ctrl_out;
+
+  BackendStats local;
+  CacheAlignedVector<double> own_cache;
+  CacheAlignedVector<double> own_server;
+  std::vector<std::vector<double>> last_partial;  // [peer][flat]
+  CacheAlignedVector<uint32_t> batch_keys;
+  uint64_t processed = 0;
+  uint32_t done_seen = 0;
+
+  const AliasSampler* sampler = nullptr;
+  std::unique_ptr<AliasSampler> phase_sampler;
+
+  // Heavy-hitter report reassembly: chunks accumulate per sender (SPSC rings
+  // are FIFO per sender, so chunks of one report are contiguous), completed
+  // reports queue per sender so multiple kReallocateCache steps stay paired
+  // with the right rendezvous.
+  std::vector<std::vector<std::pair<uint64_t, uint32_t>>> partial_report;
+  std::vector<std::deque<std::vector<std::pair<uint64_t, uint32_t>>>>
+      ready_reports;
+
+  // Flush / deserialize scratch.
+  std::vector<std::vector<std::pair<uint32_t, double>>> out_cache;
+  std::vector<std::vector<std::pair<uint32_t, double>>> out_server;
+  std::vector<double> telemetry_scratch;
+  std::vector<DeltaEntry> delta_scratch;
+  std::vector<ReportEntry> report_scratch;
+
+  double quota_scale = 1.0;
+  bool abort_seen = false;
+};
+
+// The branch-free hot-path sink — identical arithmetic to ShardedBackend's
+// ShardSink, which is half of the x1 bit-identity claim.
+struct MultiprocBackend::ProcSink {
+  MultiprocBackend* backend;
+  Proc* p;
+
+  void AddCacheLoad(CacheNodeId node, double delta) {
+    p->own_cache[backend->shard_map_.FlatIndex(node)] += delta;
+    p->core.view().Add(node, delta);  // optimistic local view
+  }
+  void AddServerLoad(uint32_t server, double delta) {
+    p->own_server[server] += delta;
+  }
+};
+
+MultiprocBackend::MultiprocBackend(const SimBackendConfig& config)
+    : config_(config),
+      model_(config.cluster),
+      shard_map_(
+          [this] {
+            std::vector<uint32_t> sizes;
+            for (const LayerSpec& layer : model_.layers) {
+              sizes.push_back(layer.nodes);
+            }
+            return sizes;
+          }(),
+          model_.num_servers(), config.shards),
+      sampler_(model_.head_with_tail),
+      base_routes_(std::make_shared<const RouteTable>(BuildRouteTable(model_))) {
+  if (config_.batch_size == 0) {
+    config_.batch_size = 1;
+  }
+  plan_ = BuildTimelinePlan(config_, model_);
+}
+
+MultiprocBackend::~MultiprocBackend() = default;
+
+bool MultiprocBackend::Supported() {
+#ifdef __linux__
+  return ShmArena::Available(1u << 20);
+#else
+  return false;
+#endif
+}
+
+// ---- arena layout ----------------------------------------------------------
+
+bool MultiprocBackend::LayoutAndMapArena(uint64_t num_requests) {
+  const uint32_t n = shard_map_.shards();
+  const size_t nodes = shard_map_.num_cache_nodes();
+  // A full telemetry snapshot (one double per cache node) must fit one slot.
+  data_slot_bytes_ =
+      sizeof(WireHeader) + std::max(nodes * sizeof(double), kMinDataPayloadBytes);
+  ctrl_slot_bytes_ = sizeof(WireHeader) + kCtrlPayloadBytes;
+  const uint64_t max_points =
+      config_.sample_interval == 0 ? 0
+                                   : num_requests / config_.sample_interval + 4;
+  stats_bound_ = StatsCodecBound(model_.layers.size(), nodes,
+                                 model_.num_servers(), max_points);
+
+  ArenaLayout layout;
+  control_offset_ = layout.Reserve(sizeof(ShmControlBlock) +
+                                   static_cast<size_t>(n) * sizeof(ShardSlot));
+  data_ring_offset_.assign(static_cast<size_t>(n) * n, 0);
+  ctrl_ring_offset_.assign(static_cast<size_t>(n) * n, 0);
+  for (uint32_t to = 0; to < n; ++to) {
+    for (uint32_t from = 0; from < n; ++from) {
+      if (to == from) {
+        continue;
+      }
+      data_ring_offset_[static_cast<size_t>(to) * n + from] = layout.Reserve(
+          ShmSpscRing::BytesFor(kDataRingCapacity, data_slot_bytes_));
+      ctrl_ring_offset_[static_cast<size_t>(to) * n + from] = layout.Reserve(
+          ShmSpscRing::BytesFor(kCtrlRingCapacity, ctrl_slot_bytes_));
+    }
+  }
+  stats_offset_.assign(n, 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    stats_offset_[i] = layout.Reserve(stats_bound_);
+  }
+  if (!arena_.Map(layout.total(), config_.huge_pages)) {
+    return false;
+  }
+  // Pre-fork, single-threaded: construct the handshake block in place (the
+  // zero-filled bytes are already the right values; this makes it formal).
+  auto* ctrl = new (arena_.At(control_offset_)) ShmControlBlock();
+  (void)ctrl;
+  auto* slots = reinterpret_cast<ShardSlot*>(arena_.At(control_offset_) +
+                                             sizeof(ShmControlBlock));
+  for (uint32_t i = 0; i < n; ++i) {
+    new (&slots[i]) ShardSlot();
+  }
+  return true;
+}
+
+namespace {
+ShmControlBlock* CtrlBlockAt(const ShmArena& arena, size_t offset) {
+  return reinterpret_cast<ShmControlBlock*>(arena.At(offset));
+}
+ShardSlot* ShardSlotAt(const ShmArena& arena, size_t offset, uint32_t shard) {
+  return reinterpret_cast<ShardSlot*>(arena.At(offset) +
+                                      sizeof(ShmControlBlock)) +
+         shard;
+}
+}  // namespace
+
+bool MultiprocBackend::Aborted() const {
+  return CtrlBlockAt(arena_, control_offset_)
+             ->abort.load(std::memory_order_acquire) != 0;
+}
+
+BackendStats MultiprocBackend::FailAll(uint32_t shards) const {
+  BackendStats stats;
+  stats.failed_shards = shards;
+  return stats;
+}
+
+// ---- child side ------------------------------------------------------------
+
+void MultiprocBackend::ChildMain(uint32_t id, uint64_t quota,
+                                 uint64_t num_requests) {
+  if (config_.pin_cores) {
+    // Pin before the prefault below so the rings this shard consumes land on
+    // the pinned core's NUMA node (first touch).
+    PinToCore(id);
+  }
+  const uint32_t n = shard_map_.shards();
+  Proc p(id, &model_, config_.cluster.seed,
+         TimelineNeedsObserver(config_.events));
+  p.data_in.resize(n);
+  p.data_out.resize(n);
+  p.ctrl_in.resize(n);
+  p.ctrl_out.resize(n);
+  for (uint32_t peer = 0; peer < n; ++peer) {
+    if (peer == id) {
+      continue;
+    }
+    const size_t in_idx = static_cast<size_t>(id) * n + peer;
+    const size_t out_idx = static_cast<size_t>(peer) * n + id;
+    p.data_in[peer] = ShmSpscRing(arena_.At(data_ring_offset_[in_idx]),
+                                  kDataRingCapacity, data_slot_bytes_);
+    p.data_out[peer] = ShmSpscRing(arena_.At(data_ring_offset_[out_idx]),
+                                   kDataRingCapacity, data_slot_bytes_);
+    p.ctrl_in[peer] = ShmSpscRing(arena_.At(ctrl_ring_offset_[in_idx]),
+                                  kCtrlRingCapacity, ctrl_slot_bytes_);
+    p.ctrl_out[peer] = ShmSpscRing(arena_.At(ctrl_ring_offset_[out_idx]),
+                                   kCtrlRingCapacity, ctrl_slot_bytes_);
+    // Prefault this shard's *inbound* ring pages by writing (reads would map
+    // shared zero pages, placing nothing): first touch from the pinned core
+    // allocates them on its node. Pre-barrier, so no producer can be writing.
+    for (const size_t off : {data_ring_offset_[in_idx], ctrl_ring_offset_[in_idx]}) {
+      const size_t bytes =
+          off == data_ring_offset_[in_idx]
+              ? ShmSpscRing::BytesFor(kDataRingCapacity, data_slot_bytes_)
+              : ShmSpscRing::BytesFor(kCtrlRingCapacity, ctrl_slot_bytes_);
+      volatile uint8_t* page = arena_.At(off);
+      for (size_t b = 0; b < bytes; b += 4096) {
+        page[b] = 0;
+      }
+    }
+  }
+
+  // Start barrier (ShmControlBlock comment): everyone's prefault is complete
+  // before anyone's first send.
+  ShmControlBlock* ctrl = CtrlBlockAt(arena_, control_offset_);
+  ctrl->ready.fetch_add(1, std::memory_order_acq_rel);
+  Backoff barrier_backoff;
+  while (ctrl->ready.load(std::memory_order_acquire) < n) {
+    if (Aborted()) {
+      break;
+    }
+    barrier_backoff.Pause();
+  }
+
+  RunShard(p, quota, num_requests);
+
+  uint8_t* region = arena_.At(stats_offset_[id]);
+  const size_t len = SerializeBackendStats(p.local, region, stats_bound_);
+  ShardSlot* slot = ShardSlotAt(arena_, control_offset_, id);
+  slot->stats_len.store(len, std::memory_order_release);
+  slot->state.store(p.abort_seen ? kShardAborted : kShardDone,
+                    std::memory_order_release);
+  // _exit, never exit: no atexit handlers, no gtest/ASan teardown of inherited
+  // parent state — the child owns nothing but its stats region.
+  _exit(p.abort_seen ? 3 : 0);
+}
+
+void* MultiprocBackend::AcquireSlot(Proc& p, ShmSpscRing& ring) {
+  Backoff backoff;
+  while (true) {
+    if (void* slot = ring.TryStage()) {
+      return slot;
+    }
+    // Full ring: the receiver is behind. Draining our own rings while
+    // retrying guarantees global progress (same argument as the in-process
+    // engine); the abort check guarantees a dead receiver cannot wedge us.
+    DrainDataRings(p);
+    DrainControlRings(p);
+    if (Aborted()) {
+      p.abort_seen = true;
+      return nullptr;
+    }
+    backoff.Pause();
+  }
+}
+
+void MultiprocBackend::BroadcastTelemetry(Proc& p) {
+  const uint32_t n = shard_map_.shards();
+  const uint32_t count = static_cast<uint32_t>(p.own_cache.size());
+  for (uint32_t peer = 0; peer < n; ++peer) {
+    if (peer == p.id) {
+      continue;
+    }
+    void* slot = AcquireSlot(p, p.data_out[peer]);
+    if (slot == nullptr) {
+      return;  // aborted
+    }
+    const WireHeader h{kWireTelemetry, 0, 0, p.id, count, 0};
+    WritePod(slot, &h, sizeof(h));
+    WritePod(slot, p.own_cache.data(), count * sizeof(double), sizeof(h));
+    p.data_out[peer].Publish();
+    ++p.local.cross_shard_messages;
+    ++p.local.ring_messages;
+  }
+}
+
+void MultiprocBackend::SendLoadDeltas(
+    Proc& p, uint32_t peer,
+    const std::vector<std::pair<uint32_t, double>>& cache,
+    const std::vector<std::pair<uint32_t, double>>& server) {
+  const size_t max_entries =
+      (data_slot_bytes_ - sizeof(WireHeader)) / sizeof(DeltaEntry);
+  size_t ci = 0;
+  size_t si = 0;
+  // Chunked so any topology fits the fixed slot; every chunk is independently
+  // applicable (pure += deltas), so no reassembly state is needed.
+  while (ci < cache.size() || si < server.size()) {
+    const size_t nc = std::min(cache.size() - ci, max_entries);
+    const size_t ns = std::min(server.size() - si, max_entries - nc);
+    void* slot = AcquireSlot(p, p.data_out[peer]);
+    if (slot == nullptr) {
+      return;  // aborted
+    }
+    const WireHeader h{kWireDeltas, 0, 0, p.id, static_cast<uint32_t>(nc),
+                       static_cast<uint32_t>(ns)};
+    WritePod(slot, &h, sizeof(h));
+    p.delta_scratch.clear();
+    for (size_t i = 0; i < nc; ++i) {
+      p.delta_scratch.push_back({cache[ci + i].first, cache[ci + i].second});
+    }
+    for (size_t i = 0; i < ns; ++i) {
+      p.delta_scratch.push_back({server[si + i].first, server[si + i].second});
+    }
+    WritePod(slot, p.delta_scratch.data(),
+             p.delta_scratch.size() * sizeof(DeltaEntry), sizeof(h));
+    p.data_out[peer].Publish();
+    ++p.local.cross_shard_messages;
+    ++p.local.ring_messages;
+    ci += nc;
+    si += ns;
+  }
+}
+
+void MultiprocBackend::BroadcastHotReport(
+    Proc& p, const std::vector<std::pair<uint64_t, uint32_t>>& report) {
+  const uint32_t n = shard_map_.shards();
+  const size_t max_entries =
+      (ctrl_slot_bytes_ - sizeof(WireHeader)) / sizeof(ReportEntry);
+  for (uint32_t peer = 0; peer < n; ++peer) {
+    if (peer == p.id) {
+      continue;
+    }
+    size_t i = 0;
+    do {  // at least one chunk, so an empty report still carries `last`
+      const size_t k = std::min(report.size() - i, max_entries);
+      void* slot = AcquireSlot(p, p.ctrl_out[peer]);
+      if (slot == nullptr) {
+        return;  // aborted
+      }
+      const uint8_t last = i + k == report.size() ? 1 : 0;
+      const WireHeader h{kWireReport, last, 0, p.id,
+                         static_cast<uint32_t>(k), 0};
+      WritePod(slot, &h, sizeof(h));
+      p.report_scratch.clear();
+      for (size_t e = 0; e < k; ++e) {
+        p.report_scratch.push_back(
+            {report[i + e].first, report[i + e].second});
+      }
+      WritePod(slot, p.report_scratch.data(),
+               p.report_scratch.size() * sizeof(ReportEntry), sizeof(h));
+      p.ctrl_out[peer].Publish();
+      ++p.local.cross_shard_messages;  // control traffic: not a ring_message
+      i += k;
+    } while (i < report.size());
+  }
+}
+
+void MultiprocBackend::SendDone(Proc& p, uint32_t peer) {
+  void* slot = AcquireSlot(p, p.ctrl_out[peer]);
+  if (slot == nullptr) {
+    return;  // aborted
+  }
+  const WireHeader h{kWireDone, 1, 0, p.id, 0, 0};
+  WritePod(slot, &h, sizeof(h));
+  // This release orders every earlier data-ring publish by this process
+  // before the kDone: a peer that has acquired the kDone and then drains its
+  // data rings observes all of this shard's deltas (the no-missed-delta edge).
+  p.ctrl_out[peer].Publish();
+  ++p.local.cross_shard_messages;
+}
+
+void MultiprocBackend::ApplyDataSlot(Proc& p, const void* slot) {
+  WireHeader h;
+  std::memcpy(&h, slot, sizeof(h));
+  const uint8_t* payload = static_cast<const uint8_t*>(slot) + sizeof(h);
+  if (h.kind == kWireTelemetry) {
+    // Fold in the sender's monotone increment since its previous broadcast —
+    // identical arithmetic to the in-process Apply(kTelemetry).
+    p.telemetry_scratch.resize(h.count_a);
+    if (h.count_a != 0) {
+      std::memcpy(p.telemetry_scratch.data(), payload,
+                  h.count_a * sizeof(double));
+    }
+    std::vector<double>& last = p.last_partial[h.from];
+    for (uint32_t flat = 0; flat < h.count_a; ++flat) {
+      const double delta = p.telemetry_scratch[flat] - last[flat];
+      if (delta != 0.0) {
+        p.core.view().Add(shard_map_.NodeOfFlat(flat), delta);
+        last[flat] = p.telemetry_scratch[flat];
+      }
+    }
+    return;
+  }
+  // kWireDeltas
+  const size_t entries = static_cast<size_t>(h.count_a) + h.count_b;
+  p.delta_scratch.resize(entries);
+  if (entries != 0) {
+    std::memcpy(p.delta_scratch.data(), payload, entries * sizeof(DeltaEntry));
+  }
+  for (uint32_t i = 0; i < h.count_a; ++i) {
+    const CacheNodeId node =
+        shard_map_.NodeOfFlat(static_cast<uint32_t>(p.delta_scratch[i].index));
+    p.local.cache_load[node.layer][node.index] += p.delta_scratch[i].delta;
+  }
+  for (uint32_t i = 0; i < h.count_b; ++i) {
+    const DeltaEntry& e = p.delta_scratch[h.count_a + i];
+    p.local.server_load[static_cast<uint32_t>(e.index)] += e.delta;
+  }
+}
+
+void MultiprocBackend::DrainDataRings(Proc& p) {
+  const uint32_t n = shard_map_.shards();
+  for (uint32_t peer = 0; peer < n; ++peer) {
+    if (peer == p.id) {
+      continue;
+    }
+    ShmSpscRing& ring = p.data_in[peer];
+    if (ring.EmptyApprox()) {
+      continue;
+    }
+    while (const void* slot = ring.Front()) {
+      ApplyDataSlot(p, slot);
+      ring.Pop();
+    }
+  }
+}
+
+void MultiprocBackend::DrainControlRings(Proc& p) {
+  const uint32_t n = shard_map_.shards();
+  for (uint32_t peer = 0; peer < n; ++peer) {
+    if (peer == p.id) {
+      continue;
+    }
+    ShmSpscRing& ring = p.ctrl_in[peer];
+    while (const void* slot = ring.Front()) {
+      WireHeader h;
+      std::memcpy(&h, slot, sizeof(h));
+      if (h.kind == kWireDone) {
+        ++p.done_seen;
+      } else {  // kWireReport chunk
+        const uint8_t* payload = static_cast<const uint8_t*>(slot) + sizeof(h);
+        p.report_scratch.resize(h.count_a);
+        if (h.count_a != 0) {
+          std::memcpy(p.report_scratch.data(), payload,
+                      h.count_a * sizeof(ReportEntry));
+        }
+        auto& partial = p.partial_report[peer];
+        for (uint32_t i = 0; i < h.count_a; ++i) {
+          partial.emplace_back(p.report_scratch[i].key,
+                               static_cast<uint32_t>(p.report_scratch[i].count));
+        }
+        if (h.last) {
+          p.ready_reports[peer].push_back(std::move(partial));
+          partial.clear();
+        }
+      }
+      ring.Pop();
+    }
+  }
+}
+
+void MultiprocBackend::PollInbox(Proc& p) {
+  DrainDataRings(p);
+  // Batch-boundary control poll, same accounting as the in-process engine: an
+  // all-empty probe (one acquire load per peer, vacuous at x1) counts as one
+  // uncontended receive; anything pending counts as one contended receive.
+  const uint32_t n = shard_map_.shards();
+  bool pending = false;
+  for (uint32_t peer = 0; peer < n && !pending; ++peer) {
+    if (peer != p.id && !p.ctrl_in[peer].EmptyApprox()) {
+      pending = true;
+    }
+  }
+  if (!pending) {
+    ++p.local.uncontended_receives;
+    return;
+  }
+  ++p.local.contended_receives;
+  DrainControlRings(p);
+}
+
+void MultiprocBackend::FlushLoads(Proc& p) {
+  // End-of-run owner split — the exact double arithmetic of the in-process
+  // FlushLoads (same iteration order, same += sequence), with the deltas
+  // serialized into chunks instead of heap messages.
+  for (uint32_t flat = 0; flat < p.own_cache.size(); ++flat) {
+    const double delta = p.own_cache[flat];
+    if (delta == 0.0) {
+      continue;
+    }
+    const CacheNodeId node = shard_map_.NodeOfFlat(flat);
+    if (shard_map_.OwnerOfFlat(flat) == p.id) {
+      p.local.cache_load[node.layer][node.index] += delta;
+    } else {
+      p.out_cache[shard_map_.OwnerOfFlat(flat)].emplace_back(flat, delta);
+    }
+  }
+  for (uint32_t server = 0; server < p.own_server.size(); ++server) {
+    const double delta = p.own_server[server];
+    if (delta == 0.0) {
+      continue;
+    }
+    if (shard_map_.OwnerOfServer(server) == p.id) {
+      p.local.server_load[server] += delta;
+    } else {
+      p.out_server[shard_map_.OwnerOfServer(server)].emplace_back(server, delta);
+    }
+  }
+  const uint32_t n = shard_map_.shards();
+  for (uint32_t peer = 0; peer < n; ++peer) {
+    if (peer == p.id ||
+        (p.out_cache[peer].empty() && p.out_server[peer].empty())) {
+      continue;
+    }
+    SendLoadDeltas(p, peer, p.out_cache[peer], p.out_server[peer]);
+    p.out_cache[peer].clear();
+    p.out_server[peer].clear();
+  }
+}
+
+std::shared_ptr<const RouteTable> MultiprocBackend::Reallocate(Proc& p) {
+  const uint32_t n = shard_map_.shards();
+  // All-to-all rendezvous: broadcast our observed counts, then collect one
+  // report per peer (FIFO per sender pairs the k-th report with the k-th
+  // rendezvous). Peers are guaranteed to reach the same step (it precedes
+  // their quota), so only a dead peer can keep us waiting — and that trips
+  // the abort flag.
+  std::vector<std::vector<std::pair<uint64_t, uint32_t>>> reports;
+  reports.push_back(p.core.ObservedCounts());
+  BroadcastHotReport(p, reports.front());
+  for (uint32_t peer = 0; peer < n; ++peer) {
+    if (peer == p.id) {
+      continue;
+    }
+    Backoff backoff;
+    while (p.ready_reports[peer].empty()) {
+      DrainDataRings(p);
+      DrainControlRings(p);
+      if (!p.ready_reports[peer].empty()) {
+        break;
+      }
+      if (Aborted()) {
+        p.abort_seen = true;
+        return nullptr;  // keep current routes; we are winding down
+      }
+      backoff.Pause();
+    }
+    reports.push_back(std::move(p.ready_reports[peer].front()));
+    p.ready_reports[peer].pop_front();
+  }
+  // Every process runs the controller computation on its own model copy.
+  // MergeHeavyHitterReports is order-independent and the refill/route build
+  // is hash-based and RNG-free, so all processes arrive at identical routes —
+  // and at x1 this is literally the in-process controller's code path.
+  model_.SyncControllerRemap(p.core.spine_alive());
+  std::vector<uint64_t> hottest;
+  for (const auto& [key, count] : MergeHeavyHitterReports(reports)) {
+    hottest.push_back(key);
+  }
+  model_.ReallocateCache(hottest);
+  auto routes = std::make_shared<const RouteTable>(
+      BuildRouteTable(model_, p.core.hot_shift()));
+  const std::vector<std::shared_ptr<const RouteTable>> suffix =
+      RebuildPlanSuffixRoutes(fired_plan_, p.core.next_action_index(), model_,
+                              p.core.spine_alive(), p.core.hot_shift());
+  const size_t from = p.core.next_action_index();
+  for (size_t i = 0; i < suffix.size(); ++i) {
+    if (suffix[i] != nullptr) {
+      p.core.SetActionRoutes(from + i, suffix[i]);
+    }
+  }
+  return routes;
+}
+
+void MultiprocBackend::ProcessBatch(Proc& p, uint32_t count) {
+  if (p.id == crash_shard_ && p.processed >= crash_after_) {
+    // Crash-isolation test hook: die the hard way, mid-run, like a real
+    // shard-process crash would.
+    raise(SIGKILL);
+  }
+  PollInbox(p);
+  p.core.AdvanceTo(p.processed);
+  p.batch_keys.resize(count);
+  p.sampler->SampleBatch(p.core.rng(), p.batch_keys.data(), count);
+  ProcSink sink{this, &p};
+  p.core.ProcessBatch(sink, p.batch_keys.data(), count);
+  p.processed += count;
+}
+
+void MultiprocBackend::RunShard(Proc& p, uint64_t quota,
+                                uint64_t num_requests) {
+  const uint32_t n = shard_map_.shards();
+  const uint32_t num_cache_nodes = shard_map_.num_cache_nodes();
+  p.local.cache_load = model_.ZeroCacheLoads();
+  p.local.server_load.assign(model_.num_servers(), 0.0);
+  p.own_cache.assign(num_cache_nodes, 0.0);
+  p.own_server.assign(model_.num_servers(), 0.0);
+  p.last_partial.assign(n, std::vector<double>(num_cache_nodes, 0.0));
+  p.partial_report.assign(n, {});
+  p.ready_reports.assign(n, {});
+  p.out_cache.assign(n, {});
+  p.out_server.assign(n, {});
+  p.sampler = &sampler_;
+  p.quota_scale = num_requests == 0 ? 0.0
+                                    : static_cast<double>(quota) /
+                                          static_cast<double>(num_requests);
+  p.core.BindStats(&p.local);
+  p.core.SetRoutes(base_routes_);
+  // Same open-loop discipline and seed derivation as the in-process shards:
+  // each shard process simulates an independent full-rate time slice.
+  p.core.ConfigureOpenLoop(
+      config_.queue,
+      HashCombine(HashCombine(config_.cluster.seed, 0x0be71457ULL), p.id));
+  p.core.SetSampleStep(static_cast<double>(config_.sample_interval) *
+                       p.quota_scale);
+  p.core.SetPhaseHook(
+      [&p](const WorkloadPhase&,
+           const std::shared_ptr<const std::vector<double>>& pmf) {
+        if (pmf != nullptr) {
+          p.phase_sampler = std::make_unique<AliasSampler>(*pmf);
+          p.sampler = p.phase_sampler.get();
+        }
+      });
+  p.core.SetReallocateHook([this, &p] { return Reallocate(p); });
+
+  // The timeline plan is a pure function of the config, so every child queues
+  // it locally — no controller multicast to wait on. Action construction
+  // matches the in-process QueueTimelineMsg field-for-field.
+  for (const TimelineStep& step : fired_plan_) {
+    ClusterEvent ev = step.event;
+    ev.at_request = step.at_request;
+    p.core.QueueAction({static_cast<double>(step.at_request) * p.quota_scale,
+                        step.is_phase, step.phase, ev, step.pmf, step.routes});
+  }
+
+  std::function<void()> batch_event = [&] {
+    if (p.processed >= quota) {
+      return;
+    }
+    const uint32_t count = static_cast<uint32_t>(
+        std::min<uint64_t>(config_.batch_size, quota - p.processed));
+    ProcessBatch(p, count);
+    if (p.processed < quota) {
+      p.queue.Schedule(static_cast<double>(count), batch_event);
+    }
+  };
+  std::function<void()> telemetry_event = [&] {
+    if (p.processed >= quota) {
+      return;
+    }
+    BroadcastTelemetry(p);
+    p.queue.Schedule(static_cast<double>(config_.epoch_requests),
+                     telemetry_event);
+  };
+  p.queue.Schedule(0.0, batch_event);
+  if (config_.epoch_requests > 0 && n > 1) {
+    p.queue.Schedule(static_cast<double>(config_.epoch_requests),
+                     telemetry_event);
+  }
+  p.queue.RunUntil(static_cast<double>(quota) + 1.0);
+
+  p.core.AdvanceTo(quota);
+
+  FlushLoads(p);
+  for (uint32_t peer = 0; peer < n; ++peer) {
+    if (peer != p.id) {
+      SendDone(p, peer);
+    }
+  }
+  {
+    const uint32_t peers = n - 1;
+    Backoff backoff;
+    while (p.done_seen < peers) {
+      DrainDataRings(p);
+      DrainControlRings(p);
+      if (p.done_seen >= peers) {
+        break;
+      }
+      if (Aborted()) {
+        p.abort_seen = true;
+        break;
+      }
+      backoff.Pause();
+    }
+    DrainDataRings(p);  // every live peer's final deltas are visible now
+  }
+  p.core.FinishSeries(p.processed);
+  p.local.requests = p.processed;
+}
+
+// ---- supervisor ------------------------------------------------------------
+
+BackendStats MultiprocBackend::Run(uint64_t num_requests) {
+  const uint32_t n = shard_map_.shards();
+  fired_plan_.clear();
+  for (const TimelineStep& step : plan_) {
+    if (step.at_request < num_requests) {
+      fired_plan_.push_back(step);
+    }
+  }
+  if (!LayoutAndMapArena(num_requests)) {
+    return FailAll(n);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<pid_t> pids(n, -1);
+  bool fork_failed = false;
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint64_t quota = num_requests / n + (i < num_requests % n ? 1 : 0);
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ChildMain(i, quota, num_requests);  // [[noreturn]]
+    }
+    if (pid < 0) {
+      fork_failed = true;
+      CtrlBlockAt(arena_, control_offset_)
+          ->abort.store(1, std::memory_order_release);
+      break;
+    }
+    pids[i] = pid;
+  }
+
+  // Reap loop: children exit on their own (quota done, or abort-flag
+  // wind-down); a child that dies abnormally trips the abort flag so the
+  // survivors wind down too — the supervisor never blocks indefinitely.
+  std::vector<uint8_t> failed(n, fork_failed ? 1 : 0);
+  uint32_t live = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    live += pids[i] >= 0 ? 1 : 0;
+    failed[i] = pids[i] < 0 ? 1 : 0;
+  }
+  Backoff backoff;
+  while (live > 0) {
+    bool progress = false;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (pids[i] < 0) {
+        continue;
+      }
+      int status = 0;
+      const pid_t r = ::waitpid(pids[i], &status, WNOHANG);
+      if (r == 0) {
+        continue;
+      }
+      pids[i] = -1;
+      --live;
+      progress = true;
+      // Exit 0 = clean; exit 3 = orderly wind-down after the abort flag
+      // (partial stats published, not this shard's fault). Anything else —
+      // a signal (the SIGKILL case), a crash, a nonzero exit, a waitpid
+      // error — is a dead shard: record it and abort the survivors.
+      const bool orderly =
+          r > 0 && WIFEXITED(status) &&
+          (WEXITSTATUS(status) == 0 || WEXITSTATUS(status) == 3);
+      if (!orderly) {
+        failed[i] = 1;
+        CtrlBlockAt(arena_, control_offset_)
+            ->abort.store(1, std::memory_order_release);
+      }
+    }
+    if (live > 0 && !progress) {
+      backoff.Pause();
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  // Bucket-exact quota-end merge from the arena-resident per-shard stats:
+  // deserialization is bit-exact and BackendStats::Merge is the same
+  // element-wise accumulate the in-process engine uses across its joined
+  // threads.
+  BackendStats total;
+  for (uint32_t i = 0; i < n; ++i) {
+    ShardSlot* slot = ShardSlotAt(arena_, control_offset_, i);
+    const uint32_t state = slot->state.load(std::memory_order_acquire);
+    const uint64_t len = slot->stats_len.load(std::memory_order_acquire);
+    BackendStats partial;
+    if (failed[i] || state == kShardRunning || len == 0 ||
+        len > stats_bound_ ||
+        !DeserializeBackendStats(arena_.At(stats_offset_[i]), len, &partial)) {
+      ++total.failed_shards;
+      continue;
+    }
+    total.Merge(partial);
+  }
+  total.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  arena_.Unmap();
+  return total;
+}
+
+}  // namespace distcache

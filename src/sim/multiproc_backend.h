@@ -1,0 +1,162 @@
+// The multi-process sharded runtime: the sharded engine's semantics with every
+// shard as a separate pinned *process* over a shared-memory arena.
+//
+// Why processes: the in-process sharded engine (sharded_backend.h) tops out at
+// one address space — one heap for every shard's route tables and samplers,
+// one crash domain, one NUMA node unless the allocator cooperates. This
+// backend is the production deployment shape from ROADMAP: per-shard crash
+// isolation and the path past the single-process memory wall, with the same
+// lock-free SPSC transport underneath (ported to the arena in
+// runtime/shm_ring.h) so `bench_scaling` measures the substrate swap and
+// nothing else.
+//
+// Process model — fork *without* exec, deliberately: the supervisor constructs
+// the full immutable run state (cluster model, route tables, alias sampler,
+// precomputed timeline plan) exactly like the in-process engine, maps the
+// arena, and forks one child per shard. Children inherit the read-only state
+// copy-on-write and the arena by mapping inheritance — no serialization of
+// route tables or pmfs, no fixed-address mmap negotiation, no exec'd binary to
+// locate. (A fork+exec supervisor would add a full config/route-table wire
+// format for zero isolation benefit: a corrupted shard process dies either
+// way, and the supervisor detects it either way.) Each child pins itself to
+// core (shard % online-cores) when pin_cores is set, prefaults its inbound
+// rings (first-touch NUMA placement), runs the identical per-shard event loop
+// (EngineCore + EventQueue + batched hot path), and _exit()s after publishing
+// its serialized partial BackendStats into its arena stats region.
+//
+// Transport: the same two-plane split as in-process, but both planes ride
+// arena rings (there is no cross-process mutex channel worth having):
+//
+//   * data plane — one ShmSpscRing per directed shard pair carries telemetry
+//     partials and end-of-run load deltas, serialized into fixed slots sized
+//     so a full telemetry snapshot fits one slot;
+//   * control plane — a second, smaller ShmSpscRing per directed pair carries
+//     chunked heavy-hitter reports and kDone markers.
+//
+// Control-plane divergences from the in-process engine (equivalent by
+// construction, pinned by the x1 bit-identity goldens):
+//
+//   * no timeline multicast — the fired plan is a pure function of the config,
+//     so every child queues it locally instead of receiving it from the
+//     controller shard;
+//   * the kReallocateCache rendezvous is an all-to-all report broadcast, and
+//     *every* process runs the controller computation on its own model copy.
+//     MergeHeavyHitterReports is order-independent (counts sum per key, ties
+//     break on the smaller key) and the refill/route-build is hash-based and
+//     RNG-free, so all processes compute identical routes — no kRouteUpdate
+//     push needed, and at x1 the code path collapses to exactly the
+//     in-process controller's local computation.
+//
+// Termination and crash isolation: a child that finishes its quota flushes
+// deltas, publishes kDone to every peer (the ring release orders the earlier
+// data publishes before it — the same happens-before edge the in-process
+// engine gets from release-on-ring-tail before the channel mutex), drains
+// until it has seen every peer's kDone, serializes its stats and exits 0. The
+// supervisor reaps children as they exit; a child that dies abnormally (crash,
+// SIGKILL) trips the arena abort flag, which every wait loop, full-ring retry
+// and backoff checks — surviving children wind down, publish *partial* stats
+// and exit; the supervisor merges what it can and reports the dead shards in
+// BackendStats::failed_shards instead of hanging on the quota-end rendezvous.
+#ifndef DISTCACHE_SIM_MULTIPROC_BACKEND_H_
+#define DISTCACHE_SIM_MULTIPROC_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/alias_sampler.h"
+#include "net/shard_map.h"
+#include "runtime/shm_arena.h"
+#include "runtime/shm_ring.h"
+#include "sim/cluster_model.h"
+#include "sim/engine_core.h"
+#include "sim/event_queue.h"
+#include "sim/route_table.h"
+#include "sim/sim_backend.h"
+
+namespace distcache {
+
+class MultiprocBackend : public SimBackend {
+ public:
+  explicit MultiprocBackend(const SimBackendConfig& config);
+  ~MultiprocBackend() override;  // out-of-line: Proc is incomplete here
+
+  std::string name() const override { return "multiproc"; }
+  BackendStats Run(uint64_t num_requests) override;
+
+  // False when the platform cannot run this backend (no fork / no shared
+  // anonymous mappings — i.e. non-Linux builds). A Run() on an unsupported
+  // platform returns empty stats with failed_shards == shards.
+  static bool Supported();
+
+  // Test hook (crash-isolation coverage): shard `shard` SIGKILLs itself after
+  // processing `after_requests` of its quota, modelling a shard-process crash
+  // mid-run. The supervisor must detect it, merge the survivors' partial
+  // stats and report failed_shards — never hang.
+  void TestCrashShardAt(uint32_t shard, uint64_t after_requests) {
+    crash_shard_ = shard;
+    crash_after_ = after_requests;
+  }
+
+ private:
+  struct Proc;      // child-side per-shard state (process-local)
+  struct ProcSink;  // branch-free hot-path sink (mirror of ShardSink)
+
+  // ---- child side ----------------------------------------------------------
+  // The whole shard lifecycle; never returns (ends in _exit).
+  [[noreturn]] void ChildMain(uint32_t id, uint64_t quota,
+                              uint64_t num_requests);
+  void RunShard(Proc& p, uint64_t quota, uint64_t num_requests);
+  void ProcessBatch(Proc& p, uint32_t count);
+  void PollInbox(Proc& p);
+  void DrainDataRings(Proc& p);
+  void DrainControlRings(Proc& p);
+  void FlushLoads(Proc& p);
+  void BroadcastTelemetry(Proc& p);
+  void SendLoadDeltas(Proc& p, uint32_t peer,
+                      const std::vector<std::pair<uint32_t, double>>& cache,
+                      const std::vector<std::pair<uint32_t, double>>& server);
+  void BroadcastHotReport(
+      Proc& p, const std::vector<std::pair<uint64_t, uint32_t>>& report);
+  void SendDone(Proc& p, uint32_t peer);
+  // kReallocateCache: all-to-all reports, then the local controller
+  // computation (header comment). Null on abort.
+  std::shared_ptr<const RouteTable> Reallocate(Proc& p);
+  void ApplyDataSlot(Proc& p, const void* slot);
+  // Full-ring retry with own-ring drains + backoff; null once aborted.
+  void* AcquireSlot(Proc& p, ShmSpscRing& ring);
+  bool Aborted() const;
+
+  // ---- supervisor side -----------------------------------------------------
+  // Computes the arena layout for `shards` and this run's series bound, maps
+  // it; false when the mapping fails.
+  bool LayoutAndMapArena(uint64_t num_requests);
+  BackendStats FailAll(uint32_t shards) const;
+
+  SimBackendConfig config_;
+  ClusterModel model_;
+  ShardMap shard_map_;
+  AliasSampler sampler_;            // head ranks + one tail bucket (phase 0)
+  std::shared_ptr<const RouteTable> base_routes_;
+  std::vector<TimelineStep> plan_;
+  std::vector<TimelineStep> fired_plan_;  // restricted to this Run, pre-fork
+
+  // Arena geometry, computed pre-fork and inherited by the children.
+  ShmArena arena_;
+  size_t control_offset_ = 0;
+  size_t data_slot_bytes_ = 0;
+  size_t ctrl_slot_bytes_ = 0;
+  std::vector<size_t> data_ring_offset_;   // [to * shards + from]
+  std::vector<size_t> ctrl_ring_offset_;   // [to * shards + from]
+  std::vector<size_t> stats_offset_;       // [shard]
+  size_t stats_bound_ = 0;
+
+  uint32_t crash_shard_ = UINT32_MAX;  // test hook; no shard by default
+  uint64_t crash_after_ = 0;
+};
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_SIM_MULTIPROC_BACKEND_H_

@@ -9,26 +9,13 @@
 
 #include "common/cacheline.h"
 #include "common/hash.h"
+#include "runtime/affinity.h"
+#include "runtime/backoff.h"
 #include "sketch/heavy_hitter.h"
 
 namespace distcache {
 
 namespace {
-
-// Wait-loop pacing for the off-hot-path control waits (timeline rendezvous,
-// re-allocation barrier, final drain): yield first so a runnable peer gets the
-// core (the single-core case), then drop to micro-sleeps so a long wait does
-// not burn the timeslice a working shard needs.
-struct Backoff {
-  int spins = 0;
-  void Pause() {
-    if (++spins < 64) {
-      std::this_thread::yield();
-    } else {
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
-    }
-  }
-};
 
 // Data-plane ring depth per directed shard pair. Traffic is O(epochs + 1) per
 // pair (telemetry broadcasts plus one end-of-run delta flush), so 256 slots is
@@ -447,6 +434,12 @@ void ShardedBackend::ProcessBatch(Shard& shard, uint32_t count) {
 }
 
 void ShardedBackend::ShardMain(Shard& shard, uint64_t quota, uint64_t num_requests) {
+  if (config_.pin_cores) {
+    // One shard per core: stops the scheduler migrating shards mid-run, which
+    // both steadies bench numbers and keeps each shard's working set on the
+    // core (and NUMA node) that first touched it.
+    PinToCore(shard.id);
+  }
   const uint32_t num_cache_nodes = shard_map_.num_cache_nodes();
   shard.local.cache_load = model_.ZeroCacheLoads();
   shard.local.server_load.assign(model_.num_servers(), 0.0);

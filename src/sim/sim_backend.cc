@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cluster/fluid_backend.h"
+#include "sim/multiproc_backend.h"
 #include "sim/sequential_backend.h"
 #include "sim/sharded_backend.h"
 
@@ -115,6 +116,7 @@ void BackendStats::Merge(const BackendStats& other) {
   ring_messages += other.ring_messages;
   uncontended_receives += other.uncontended_receives;
   contended_receives += other.contended_receives;
+  failed_shards += other.failed_shards;
   if (series.size() < other.series.size()) {
     series.resize(other.series.size());
   }
@@ -144,6 +146,9 @@ BackendKind ParseBackendKind(const std::string& name) {
   if (name == "fluid") {
     return BackendKind::kFluid;
   }
+  if (name == "multiproc") {
+    return BackendKind::kMultiproc;
+  }
   return BackendKind::kSequential;
 }
 
@@ -154,6 +159,8 @@ std::unique_ptr<SimBackend> MakeSimBackend(BackendKind kind,
       return std::make_unique<ShardedBackend>(config);
     case BackendKind::kFluid:
       return std::make_unique<FluidBackend>(config);
+    case BackendKind::kMultiproc:
+      return std::make_unique<MultiprocBackend>(config);
     case BackendKind::kSequential:
       break;
   }

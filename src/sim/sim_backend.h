@@ -170,6 +170,14 @@ struct SimBackendConfig {
   // slices of the same arrival process, like the PR 6 policy replicas) and
   // merges the per-shard histograms at quota end.
   QueueModelConfig queue;
+  // Pin each shard worker to a CPU core (shard i -> core i % online cores):
+  // pthread affinity in the in-process sharded engine, process affinity (plus
+  // first-touch NUMA placement of the arena rings) in the multiproc engine.
+  // Off by default — pinning helps dedicated hosts and hurts shared ones.
+  bool pin_cores = false;
+  // Back the multiproc engine's shared arena with 2 MiB huge pages when the
+  // reserved pool has them (runtime/shm_arena.h; silent fallback otherwise).
+  bool huge_pages = false;
   // When > 0, BackendStats::series records one IntervalPoint per this many
   // requests — the Fig. 11 time-series instrumentation. The sharded backend
   // samples each shard every sample_interval/shards local requests and merges
@@ -210,6 +218,11 @@ struct BackendStats {
   uint64_t ring_messages = 0;
   uint64_t uncontended_receives = 0;
   uint64_t contended_receives = 0;
+  // Multiproc engine only: shard processes that died (crashed / were killed)
+  // before reporting their stats. Nonzero means the run's counters are a
+  // partial picture and the driver should report failure — the crash-isolation
+  // contract: a dead shard yields an explicit error, never a hang.
+  uint64_t failed_shards = 0;
 
   // One entry per sample_interval requests (when SimBackendConfig::sample_interval
   // is set): the per-interval slice of the aggregate counters, for failure
@@ -292,9 +305,14 @@ enum class BackendKind {
   kSequential,
   kSharded,
   kFluid,
+  // The sharded engine's semantics with shards as separate pinned *processes*
+  // over a shared-memory arena (sim/multiproc_backend.h) — crash isolation per
+  // shard and the path past the single-process memory wall.
+  kMultiproc,
 };
 
-// Parses "sequential" / "sharded" / "fluid"; defaults to kSequential on anything else.
+// Parses "sequential" / "sharded" / "fluid" / "multiproc"; defaults to
+// kSequential on anything else.
 BackendKind ParseBackendKind(const std::string& name);
 
 // Factory. The returned backend owns its cluster state; construction performs the

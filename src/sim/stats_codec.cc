@@ -1,0 +1,208 @@
+#include "sim/stats_codec.h"
+
+#include <cstring>
+
+#include "common/stats.h"
+
+namespace distcache {
+namespace {
+
+// Bump-pointer writer/reader over the caller's buffer; every primitive moves
+// through memcpy so doubles keep their exact bit pattern and alignment is a
+// non-issue.
+struct Writer {
+  uint8_t* p;
+  size_t left;
+  bool ok = true;
+
+  void Bytes(const void* src, size_t n) {
+    if (!ok || n > left) {
+      ok = false;
+      return;
+    }
+    if (n == 0) {
+      return;  // empty vectors hand us data() == nullptr; memcpy forbids it
+    }
+    std::memcpy(p, src, n);
+    p += n;
+    left -= n;
+  }
+  void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
+  void F64(double v) { Bytes(&v, sizeof(v)); }
+  void DoubleVec(const std::vector<double>& v) {
+    U64(v.size());
+    Bytes(v.data(), v.size() * sizeof(double));
+  }
+};
+
+struct Reader {
+  const uint8_t* p;
+  size_t left;
+  bool ok = true;
+
+  void Bytes(void* dst, size_t n) {
+    if (!ok || n > left) {
+      ok = false;
+      return;
+    }
+    if (n == 0) {
+      return;  // a resize(0) target keeps data() == nullptr; memcpy forbids it
+    }
+    std::memcpy(dst, p, n);
+    p += n;
+    left -= n;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Bytes(&v, sizeof(v));
+    return v;
+  }
+  double F64() {
+    double v = 0.0;
+    Bytes(&v, sizeof(v));
+    return v;
+  }
+  bool DoubleVec(std::vector<double>* v) {
+    const uint64_t n = U64();
+    if (!ok || n > left / sizeof(double)) {
+      return ok = false;
+    }
+    v->resize(n);
+    Bytes(v->data(), n * sizeof(double));
+    return ok;
+  }
+};
+
+void PutHistogram(Writer& w, const LatencyHistogram& h) {
+  const std::vector<uint64_t>& counts = h.counts();
+  w.U64(counts.size());  // 0 (lazily unallocated) or kNumBuckets
+  w.Bytes(counts.data(), counts.size() * sizeof(uint64_t));
+  w.U64(h.total());
+  w.U64(h.infinite());
+  w.F64(h.finite_sum());
+}
+
+bool GetHistogram(Reader& r, LatencyHistogram* h) {
+  const uint64_t n = r.U64();
+  if (!r.ok || (n != 0 && n != LatencyHistogram::kNumBuckets) ||
+      n > r.left / sizeof(uint64_t)) {
+    return r.ok = false;
+  }
+  std::vector<uint64_t> counts(n);
+  r.Bytes(counts.data(), n * sizeof(uint64_t));
+  const uint64_t total = r.U64();
+  const uint64_t infinite = r.U64();
+  const double sum = r.F64();
+  if (!r.ok) {
+    return false;
+  }
+  *h = LatencyHistogram::FromRaw(std::move(counts), total, infinite, sum);
+  return true;
+}
+
+constexpr size_t kHistogramBound =
+    8 + LatencyHistogram::kNumBuckets * 8 + 8 + 8 + 8;
+constexpr size_t kCounterBound = 16 * 8 + 8;  // counters + wall + slack word
+
+}  // namespace
+
+size_t StatsCodecBound(size_t num_layers, size_t num_cache_nodes,
+                       size_t num_servers, size_t max_series_points) {
+  size_t bytes = kCounterBound;
+  bytes += 8 + num_layers * 8 + num_cache_nodes * 8;  // cache_load
+  bytes += 8 + num_servers * 8;                       // server_load
+  bytes += kHistogramBound;                           // latency
+  bytes += 8 + max_series_points * (5 * 8 + kHistogramBound);  // series
+  return bytes;
+}
+
+size_t SerializeBackendStats(const BackendStats& stats, uint8_t* out,
+                             size_t cap) {
+  Writer w{out, cap};
+  w.U64(stats.requests);
+  w.U64(stats.reads);
+  w.U64(stats.writes);
+  w.U64(stats.cache_hits);
+  w.U64(stats.spine_hits);
+  w.U64(stats.leaf_hits);
+  w.U64(stats.server_reads);
+  w.U64(stats.cache_write_hits);
+  w.U64(stats.writebacks);
+  w.U64(stats.dropped);
+  w.U64(stats.cross_shard_messages);
+  w.U64(stats.ring_messages);
+  w.U64(stats.uncontended_receives);
+  w.U64(stats.contended_receives);
+  w.U64(stats.failed_shards);
+  w.F64(stats.wall_seconds);
+  w.U64(stats.cache_load.size());
+  for (const std::vector<double>& layer : stats.cache_load) {
+    w.DoubleVec(layer);
+  }
+  w.DoubleVec(stats.server_load);
+  PutHistogram(w, stats.latency);
+  w.U64(stats.series.size());
+  for (const BackendStats::IntervalPoint& pt : stats.series) {
+    w.U64(pt.requests);
+    w.U64(pt.delivered);
+    w.U64(pt.dropped);
+    w.U64(pt.reads);
+    w.U64(pt.cache_hits);
+    PutHistogram(w, pt.latency);
+  }
+  return w.ok ? cap - w.left : 0;
+}
+
+bool DeserializeBackendStats(const uint8_t* in, size_t len, BackendStats* out) {
+  *out = BackendStats{};
+  Reader r{in, len};
+  out->requests = r.U64();
+  out->reads = r.U64();
+  out->writes = r.U64();
+  out->cache_hits = r.U64();
+  out->spine_hits = r.U64();
+  out->leaf_hits = r.U64();
+  out->server_reads = r.U64();
+  out->cache_write_hits = r.U64();
+  out->writebacks = r.U64();
+  out->dropped = r.U64();
+  out->cross_shard_messages = r.U64();
+  out->ring_messages = r.U64();
+  out->uncontended_receives = r.U64();
+  out->contended_receives = r.U64();
+  out->failed_shards = r.U64();
+  out->wall_seconds = r.F64();
+  const uint64_t layers = r.U64();
+  if (!r.ok || layers > r.left / 8) {
+    *out = BackendStats{};
+    return false;
+  }
+  out->cache_load.resize(layers);
+  for (uint64_t l = 0; l < layers; ++l) {
+    r.DoubleVec(&out->cache_load[l]);
+  }
+  r.DoubleVec(&out->server_load);
+  GetHistogram(r, &out->latency);
+  const uint64_t points = r.U64();
+  if (!r.ok || points > r.left / (5 * 8)) {
+    *out = BackendStats{};
+    return false;
+  }
+  out->series.resize(points);
+  for (uint64_t i = 0; i < points; ++i) {
+    BackendStats::IntervalPoint& pt = out->series[i];
+    pt.requests = r.U64();
+    pt.delivered = r.U64();
+    pt.dropped = r.U64();
+    pt.reads = r.U64();
+    pt.cache_hits = r.U64();
+    GetHistogram(r, &pt.latency);
+  }
+  if (!r.ok) {
+    *out = BackendStats{};
+    return false;
+  }
+  return true;
+}
+
+}  // namespace distcache

@@ -1,0 +1,49 @@
+// Lossless BackendStats (de)serialization — how a multiproc shard process
+// returns its quota-end partial stats to the supervisor.
+//
+// The in-process engines hand BackendStats across a join; a shard *process*
+// must hand it across an address space, so each child serializes its partial
+// into its arena-resident stats region and the supervisor deserializes and
+// Merge()s after reaping it. Requirements that shape the format:
+//
+//   * bit-exact doubles — loads and latency sums round-trip via their bit
+//     patterns (memcpy), never via text, so the multiproc x1 run stays
+//     bit-identical to the in-process sharded x1 goldens;
+//   * self-describing lengths — vector sizes are written inline, so the
+//     supervisor needs no side channel beyond the byte count;
+//   * bounded size — StatsCodecBound() gives a pre-run upper bound from the
+//     topology and series geometry, which is what sizes the arena regions
+//     before the fork (a child can never outgrow its region: the bound is a
+//     function of the same config the child runs).
+//
+// Fields host-endian: the producer and consumer are a fork pair on one
+// machine, never a network peer.
+#ifndef DISTCACHE_SIM_STATS_CODEC_H_
+#define DISTCACHE_SIM_STATS_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/sim_backend.h"
+
+namespace distcache {
+
+// Upper bound on SerializeBackendStats output for any BackendStats produced by
+// a run over `num_layers` cache layers of `num_cache_nodes` total switches,
+// `num_servers` servers, and at most `max_series_points` interval points.
+size_t StatsCodecBound(size_t num_layers, size_t num_cache_nodes,
+                       size_t num_servers, size_t max_series_points);
+
+// Serializes `stats` into `out` (capacity `cap`). Returns bytes written, or 0
+// when the encoding would not fit (callers size `cap` with StatsCodecBound, so
+// 0 indicates a config/bound mismatch, not a runtime condition).
+size_t SerializeBackendStats(const BackendStats& stats, uint8_t* out,
+                             size_t cap);
+
+// Inverse. Returns false on a truncated or malformed buffer; *out is
+// value-initialized first, so a false return leaves an empty stats object.
+bool DeserializeBackendStats(const uint8_t* in, size_t len, BackendStats* out);
+
+}  // namespace distcache
+
+#endif  // DISTCACHE_SIM_STATS_CODEC_H_

@@ -1,0 +1,52 @@
+// Pins the Backoff escalation schedule (runtime/backoff.h): the first
+// kYieldSpins - 1 pauses yield, everything after micro-sleeps, and the schedule
+// restarts on Reset(). The wait loops this paces (rendezvous barriers, full-ring
+// retries, the multiproc supervisor's reap loop) rely on the yield phase being
+// long enough to cover a one-batch wait and on the sleep phase existing at all —
+// a Backoff that never sleeps burns a pinned core against a stalled peer.
+#include <gtest/gtest.h>
+
+#include "runtime/backoff.h"
+
+namespace distcache {
+namespace {
+
+TEST(Backoff, EscalatesFromYieldToSleepAtTheDocumentedSpin) {
+  Backoff b;
+  for (int i = 1; i < Backoff::kYieldSpins; ++i) {
+    EXPECT_EQ(b.NextKind(), Backoff::Kind::kYield) << "spin " << i;
+    EXPECT_EQ(b.Pause(), Backoff::Kind::kYield) << "spin " << i;
+    EXPECT_EQ(b.spins(), i);
+  }
+  // Spin kYieldSpins and beyond: sleeps, forever (no exponential growth — the
+  // header documents why).
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(b.NextKind(), Backoff::Kind::kSleep);
+    EXPECT_EQ(b.Pause(), Backoff::Kind::kSleep);
+  }
+  EXPECT_EQ(b.spins(), Backoff::kYieldSpins + 2);
+}
+
+TEST(Backoff, NextKindPredictsPauseWithoutAdvancing) {
+  Backoff b;
+  for (int i = 0; i < Backoff::kYieldSpins + 8; ++i) {
+    const Backoff::Kind predicted = b.NextKind();
+    EXPECT_EQ(b.NextKind(), predicted);  // pure: no state advance
+    EXPECT_EQ(b.Pause(), predicted);
+  }
+}
+
+TEST(Backoff, ResetRestartsTheYieldPhase) {
+  Backoff b;
+  for (int i = 0; i < Backoff::kYieldSpins + 4; ++i) {
+    b.Pause();
+  }
+  ASSERT_EQ(b.NextKind(), Backoff::Kind::kSleep);
+  b.Reset();
+  EXPECT_EQ(b.spins(), 0);
+  EXPECT_EQ(b.NextKind(), Backoff::Kind::kYield);
+  EXPECT_EQ(b.Pause(), Backoff::Kind::kYield);
+}
+
+}  // namespace
+}  // namespace distcache

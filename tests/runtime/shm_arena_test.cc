@@ -1,0 +1,188 @@
+// Shared-memory arena tests (runtime/shm_arena.h + runtime/shm_ring.h):
+//
+//  * ArenaLayout hands out cache-line-aligned, non-overlapping offsets;
+//  * Map/Unmap round-trips cleanly (zero-filled, writable, idempotent unmap —
+//    the teardown path the ASan CI job runs through this very test);
+//  * a huge-page request on a host with no hugepage pool silently falls back
+//    to normal pages instead of failing the run;
+//  * the availability probes answer without side effects;
+//  * a ShmSpscRing over the arena carries slots from a forked child to the
+//    parent — the exact producer/consumer topology the multiproc engine runs.
+//
+// The fork smoke test is skipped under TSan (TSan's runtime does not follow
+// fork-without-exec children) and on platforms without fork; the pure-layout
+// tests run everywhere.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/cacheline.h"
+#include "runtime/backoff.h"
+#include "runtime/shm_arena.h"
+#include "runtime/shm_ring.h"
+
+#if defined(__linux__)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#if defined(__SANITIZE_THREAD__)
+#define DISTCACHE_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DISTCACHE_TSAN 1
+#endif
+#endif
+
+namespace distcache {
+namespace {
+
+TEST(ArenaLayout, ReservationsAreAlignedAndDisjoint) {
+  ArenaLayout layout;
+  const size_t a = layout.Reserve(1);    // sub-line block still gets a line
+  const size_t b = layout.Reserve(100);  // unaligned size
+  const size_t c = layout.Reserve(64, 4096);  // page-aligned request
+  EXPECT_EQ(a % kCacheLineSize, 0u);
+  EXPECT_EQ(b % kCacheLineSize, 0u);
+  EXPECT_EQ(c % 4096u, 0u);
+  // Disjoint and ordered: each block starts at or after the previous end.
+  EXPECT_GE(b, a + 1);
+  EXPECT_GE(c, b + 100);
+  EXPECT_GE(layout.total(), c + 64);
+  // Alignment floor: an under-aligned request is raised to the cache line, so
+  // two reservations can never share a line (the false-sharing rule).
+  ArenaLayout floor;
+  floor.Reserve(1, 1);
+  EXPECT_EQ(floor.Reserve(1, 1) % kCacheLineSize, 0u);
+}
+
+TEST(ShmArena, MapWriteReadUnmapIsClean) {
+  ShmArena arena;
+  ASSERT_TRUE(arena.Map(1 << 20, /*huge_pages=*/false));
+  EXPECT_TRUE(arena.mapped());
+  EXPECT_EQ(arena.size(), size_t{1} << 20);
+  // Zero-filled by the kernel...
+  EXPECT_EQ(arena.base()[0], 0);
+  EXPECT_EQ(arena.At((1 << 20) - 1)[0], 0);
+  // ...and writable end to end.
+  std::memset(arena.base(), 0xab, 1 << 20);
+  EXPECT_EQ(arena.At(12345)[0], 0xab);
+  arena.Unmap();
+  EXPECT_FALSE(arena.mapped());
+  arena.Unmap();  // idempotent
+  EXPECT_FALSE(arena.mapped());
+}
+
+TEST(ShmArena, HugePageRequestFallsBackWhenPoolIsEmpty) {
+  // Whether or not this host has a hugepage pool, the mapping must succeed;
+  // huge() only reports which backing won.
+  ShmArena arena;
+  ASSERT_TRUE(arena.Map(1 << 20, /*huge_pages=*/true));
+  EXPECT_TRUE(arena.mapped());
+  if (!ShmArena::HugePagesAvailable()) {
+    EXPECT_FALSE(arena.huge());
+  }
+  arena.base()[0] = 1;  // backed pages are really there
+  arena.Unmap();
+}
+
+TEST(ShmArena, AvailabilityProbesAnswerWithoutMapping) {
+  // A small normal-page region is available on every supported platform; the
+  // probe must not leave a mapping behind (ASan would flag the leak at exit,
+  // and repeated probes would exhaust address space).
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(ShmArena::Available(1 << 16));
+  }
+  (void)ShmArena::HugePagesAvailable();  // either answer; must not crash
+}
+
+TEST(ShmRing, StageAndPublishBatchCrossesViewObjects) {
+  // Producer and consumer hold *separate* views over the same storage — the
+  // in-one-process shape of what the fork pair does.
+  constexpr size_t kCapacity = 8;
+  constexpr size_t kSlot = 16;
+  ShmArena arena;
+  ASSERT_TRUE(arena.Map(ShmSpscRing::BytesFor(kCapacity, kSlot), false));
+  ShmSpscRing producer(arena.base(), kCapacity, kSlot);
+  ShmSpscRing consumer(arena.base(), kCapacity, kSlot);
+
+  EXPECT_TRUE(consumer.EmptyApprox());
+  EXPECT_EQ(consumer.Front(), nullptr);
+
+  // Stage two, publish once: neither visible before the Publish, both after.
+  for (uint64_t v = 1; v <= 2; ++v) {
+    void* slot = producer.TryStage();
+    ASSERT_NE(slot, nullptr);
+    std::memcpy(slot, &v, sizeof(v));
+  }
+  EXPECT_TRUE(consumer.EmptyApprox());
+  producer.Publish();
+  for (uint64_t want = 1; want <= 2; ++want) {
+    const void* front = consumer.Front();
+    ASSERT_NE(front, nullptr);
+    uint64_t got = 0;
+    std::memcpy(&got, front, sizeof(got));
+    EXPECT_EQ(got, want);
+    consumer.Pop();
+  }
+  EXPECT_TRUE(consumer.EmptyApprox());
+
+  // Full ring: capacity stages succeed, one more fails until a Pop frees it.
+  for (size_t i = 0; i < kCapacity; ++i) {
+    ASSERT_NE(producer.TryStage(), nullptr);
+  }
+  producer.Publish();
+  EXPECT_EQ(producer.TryStage(), nullptr);
+  consumer.Pop();
+  EXPECT_NE(producer.TryStage(), nullptr);
+}
+
+#if defined(__linux__) && !defined(DISTCACHE_TSAN)
+TEST(ShmRing, ForkedChildProducesParentConsumes) {
+  constexpr size_t kCapacity = 64;
+  constexpr size_t kSlot = sizeof(uint64_t);
+  constexpr uint64_t kMessages = 10'000;
+  ShmArena arena;
+  ASSERT_TRUE(arena.Map(ShmSpscRing::BytesFor(kCapacity, kSlot), false));
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: its own producer view over the inherited mapping.
+    ShmSpscRing ring(arena.base(), kCapacity, kSlot);
+    for (uint64_t v = 1; v <= kMessages; ++v) {
+      void* slot;
+      Backoff backoff;
+      while ((slot = ring.TryStage()) == nullptr) {
+        backoff.Pause();
+      }
+      std::memcpy(slot, &v, sizeof(v));
+      ring.Publish();  // per-message publish: maximal ordering traffic
+    }
+    _exit(0);  // no gtest teardown in the child
+  }
+
+  ShmSpscRing ring(arena.base(), kCapacity, kSlot);
+  uint64_t expect = 1;
+  Backoff backoff;
+  while (expect <= kMessages) {
+    const void* front = ring.Front();
+    if (front == nullptr) {
+      backoff.Pause();
+      continue;
+    }
+    uint64_t got = 0;
+    std::memcpy(&got, front, sizeof(got));
+    ASSERT_EQ(got, expect) << "FIFO violated";  // in order, none lost
+    ring.Pop();
+    ++expect;
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+#endif  // __linux__ && !DISTCACHE_TSAN
+
+}  // namespace
+}  // namespace distcache

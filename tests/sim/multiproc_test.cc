@@ -1,0 +1,344 @@
+// Multi-process backend tests (sim/multiproc_backend.h):
+//
+//  * x1 bit-identity — a one-process multiproc run exchanges no messages, so it
+//    must reproduce the in-process sharded engine's golden pins bit for bit
+//    (the same constants scaling_test.cc pins, static and full-timeline): the
+//    substrate swap — fork, arena rings, stats codec — is a strict behavioral
+//    no-op for the simulated cluster.
+//  * multi-process parity — hit ratio, balance and drop counters agree across
+//    1, 2 and 4 shard processes within the same statistical tolerance as the
+//    in-process engine (telemetry arrival timing is scheduling-dependent by
+//    design, now across processes).
+//  * crash isolation — a shard process SIGKILLed mid-run must be detected by
+//    the supervisor: the run returns (never hangs) with the survivors' partial
+//    stats and failed_shards reporting the dead shard.
+//  * stats codec — the arena hand-off format round-trips BackendStats exactly,
+//    doubles bit for bit, and rejects truncated buffers.
+//
+// Everything that forks is skipped under TSan (TSan's runtime does not follow
+// fork-without-exec children; the in-process engines keep TSan coverage of the
+// shared ring/transport logic) and on hosts where the arena cannot be mapped.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/multiproc_backend.h"
+#include "sim/sim_backend.h"
+#include "sim/stats_codec.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define DISTCACHE_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DISTCACHE_TSAN 1
+#endif
+#endif
+
+namespace distcache {
+namespace {
+
+bool MultiprocRunnable() {
+#if defined(DISTCACHE_TSAN)
+  return false;
+#else
+  return MultiprocBackend::Supported();
+#endif
+}
+
+#define SKIP_UNLESS_MULTIPROC_RUNNABLE()                                  \
+  do {                                                                    \
+    if (!MultiprocRunnable()) {                                           \
+      GTEST_SKIP() << "multiproc backend not runnable here (TSan build, " \
+                      "non-Linux, or shm arena unavailable)";             \
+    }                                                                     \
+  } while (0)
+
+// The scaling_test.cc golden cluster (8 spines, 8 racks, 4 servers/rack, 1M
+// keys, zipf 0.99, 20% writes, seed 42) and batch size — the bit-level pins
+// are only valid at the batch size they were captured under.
+SimBackendConfig GoldenBackendConfig(uint32_t shards) {
+  SimBackendConfig bcfg;
+  bcfg.cluster.num_spine = 8;
+  bcfg.cluster.num_racks = 8;
+  bcfg.cluster.servers_per_rack = 4;
+  bcfg.cluster.per_switch_objects = 50;
+  bcfg.cluster.num_keys = 1'000'000;
+  bcfg.cluster.zipf_theta = 0.99;
+  bcfg.cluster.write_ratio = 0.2;
+  bcfg.cluster.seed = 42;
+  bcfg.shards = shards;
+  bcfg.batch_size = 64;
+  return bcfg;
+}
+
+std::vector<ClusterEvent> FullTimeline() {
+  return {ClusterEvent::FailSpine(40'000, 2), ClusterEvent::RunRecovery(60'000),
+          ClusterEvent::ShiftHotspot(90'000, 12'345),
+          ClusterEvent::ReallocateCache(120'000),
+          ClusterEvent::RecoverSpine(150'000, 2)};
+}
+
+struct LoadSummary {
+  double sum = 0.0;
+  double max = 0.0;
+};
+
+LoadSummary Summarize(const std::vector<double>& loads) {
+  LoadSummary s;
+  for (double x : loads) {
+    s.sum += x;
+    s.max = std::max(s.max, x);
+  }
+  return s;
+}
+
+// The exact constants ShardedGolden.SingleShardStaticRunMatchesPreRefactorBuild
+// pins for the in-process engine: one substrate's goldens are the other's.
+TEST(MultiprocGolden, SingleProcessStaticRunMatchesShardedGolden) {
+  SKIP_UNLESS_MULTIPROC_RUNNABLE();
+  const BackendStats st =
+      MakeSimBackend(BackendKind::kMultiproc, GoldenBackendConfig(1))
+          ->Run(200'000);
+
+  EXPECT_EQ(st.reads, 159921u);
+  EXPECT_EQ(st.writes, 40079u);
+  EXPECT_EQ(st.cache_hits, 70684u);
+  EXPECT_EQ(st.spine_hits, 37907u);
+  EXPECT_EQ(st.leaf_hits, 32777u);
+  EXPECT_EQ(st.server_reads, 89237u);
+  EXPECT_EQ(st.dropped, 0u);
+  EXPECT_EQ(st.failed_shards, 0u);
+  EXPECT_DOUBLE_EQ(st.hit_ratio(), 0.4419932341593662);
+  EXPECT_DOUBLE_EQ(st.CacheImbalance(), 1.6847555511301404);
+  EXPECT_DOUBLE_EQ(st.ServerImbalance(), 2.463468562519127);
+  const LoadSummary spine = Summarize(st.spine_load());
+  const LoadSummary leaf = Summarize(st.leaf_load());
+  const LoadSummary server = Summarize(st.server_load);
+  EXPECT_DOUBLE_EQ(spine.sum, 72909.0);
+  EXPECT_DOUBLE_EQ(spine.max, 14805.0);
+  EXPECT_DOUBLE_EQ(leaf.sum, 67693.0);
+  EXPECT_DOUBLE_EQ(leaf.max, 14805.0);
+  EXPECT_DOUBLE_EQ(server.sum, 138055.75);
+  EXPECT_DOUBLE_EQ(server.max, 10628.0);
+  // One process: nothing crosses the arena.
+  EXPECT_EQ(st.cross_shard_messages, 0u);
+  EXPECT_EQ(st.ring_messages, 0u);
+  EXPECT_EQ(st.contended_receives, 0u);
+}
+
+// And the full failure+shift+realloc timeline pins: the locally-queued
+// timeline and the all-to-all realloc rendezvous must collapse, at one
+// process, to exactly the in-process controller's computation.
+TEST(MultiprocGolden, SingleProcessTimelineRunMatchesShardedGolden) {
+  SKIP_UNLESS_MULTIPROC_RUNNABLE();
+  SimBackendConfig bcfg = GoldenBackendConfig(1);
+  bcfg.events = FullTimeline();
+  bcfg.sample_interval = 40'000;
+  const BackendStats st =
+      MakeSimBackend(BackendKind::kMultiproc, bcfg)->Run(200'000);
+
+  EXPECT_EQ(st.reads, 159917u);
+  EXPECT_EQ(st.writes, 40083u);
+  EXPECT_EQ(st.cache_hits, 59286u);
+  EXPECT_EQ(st.spine_hits, 28850u);
+  EXPECT_EQ(st.leaf_hits, 30436u);
+  EXPECT_EQ(st.server_reads, 98995u);
+  EXPECT_EQ(st.dropped, 2148u);
+  EXPECT_DOUBLE_EQ(st.hit_ratio(), 0.37072981609209776);
+  EXPECT_DOUBLE_EQ(st.CacheImbalance(), 1.285477107402653);
+  EXPECT_DOUBLE_EQ(st.ServerImbalance(), 1.7278636677037489);
+  const LoadSummary spine = Summarize(st.spine_load());
+  const LoadSummary leaf = Summarize(st.leaf_load());
+  const LoadSummary server = Summarize(st.server_load);
+  EXPECT_DOUBLE_EQ(spine.sum, 57452.0);
+  EXPECT_DOUBLE_EQ(spine.max, 9387.0);
+  EXPECT_DOUBLE_EQ(leaf.sum, 59398.0);
+  EXPECT_DOUBLE_EQ(leaf.max, 9388.0);
+  EXPECT_DOUBLE_EQ(server.sum, 145761.5);
+  EXPECT_DOUBLE_EQ(server.max, 7870.5);
+  // The series geometry survives the codec hand-off (200k / 40k intervals).
+  EXPECT_EQ(st.series.size(), 5u);
+}
+
+// Belt and braces beyond the pinned constants: whatever the in-process engine
+// computes at x1 today — including future legitimate golden updates — the
+// multiproc substrate must match it field for field.
+TEST(MultiprocGolden, SingleProcessTracksInProcessShardedExactly) {
+  SKIP_UNLESS_MULTIPROC_RUNNABLE();
+  SimBackendConfig bcfg = GoldenBackendConfig(1);
+  bcfg.events = FullTimeline();
+  bcfg.sample_interval = 50'000;
+  bcfg.queue.arrival.rate = 24.0;  // open-loop: exercises the latency path
+  const BackendStats sharded =
+      MakeSimBackend(BackendKind::kSharded, bcfg)->Run(150'000);
+  const BackendStats multiproc =
+      MakeSimBackend(BackendKind::kMultiproc, bcfg)->Run(150'000);
+
+  EXPECT_EQ(multiproc.requests, sharded.requests);
+  EXPECT_EQ(multiproc.reads, sharded.reads);
+  EXPECT_EQ(multiproc.cache_hits, sharded.cache_hits);
+  EXPECT_EQ(multiproc.spine_hits, sharded.spine_hits);
+  EXPECT_EQ(multiproc.server_reads, sharded.server_reads);
+  EXPECT_EQ(multiproc.dropped, sharded.dropped);
+  ASSERT_EQ(multiproc.cache_load.size(), sharded.cache_load.size());
+  for (size_t l = 0; l < sharded.cache_load.size(); ++l) {
+    ASSERT_EQ(multiproc.cache_load[l].size(), sharded.cache_load[l].size());
+    for (size_t i = 0; i < sharded.cache_load[l].size(); ++i) {
+      EXPECT_EQ(multiproc.cache_load[l][i], sharded.cache_load[l][i])
+          << "layer " << l << " node " << i;  // bit-exact, not NEAR
+    }
+  }
+  EXPECT_EQ(multiproc.latency.total(), sharded.latency.total());
+  EXPECT_EQ(multiproc.latency.finite_sum(), sharded.latency.finite_sum());
+  ASSERT_EQ(multiproc.series.size(), sharded.series.size());
+  for (size_t i = 0; i < sharded.series.size(); ++i) {
+    EXPECT_EQ(multiproc.series[i].requests, sharded.series[i].requests);
+    EXPECT_EQ(multiproc.series[i].cache_hits, sharded.series[i].cache_hits);
+  }
+}
+
+// Shard-process parity on the full timeline, mirroring the in-process
+// tolerance test: the process substrate must not change what the cluster does.
+TEST(MultiprocScaling, TimelineStatsParityAcross124Processes) {
+  SKIP_UNLESS_MULTIPROC_RUNNABLE();
+  constexpr uint64_t kRequests = 400'000;
+  std::vector<BackendStats> runs;
+  for (uint32_t shards : {1u, 2u, 4u}) {
+    SimBackendConfig bcfg = GoldenBackendConfig(shards);
+    bcfg.events = FullTimeline();
+    runs.push_back(
+        MakeSimBackend(BackendKind::kMultiproc, bcfg)->Run(kRequests));
+  }
+  const BackendStats& ref = runs.front();
+  ASSERT_GT(ref.hit_ratio(), 0.2);
+  ASSERT_GT(ref.dropped, 0u);
+  for (size_t i = 1; i < runs.size(); ++i) {
+    const BackendStats& st = runs[i];
+    EXPECT_EQ(st.requests, kRequests);
+    EXPECT_EQ(st.failed_shards, 0u);
+    EXPECT_NEAR(st.hit_ratio(), ref.hit_ratio(), 0.02) << "shards run " << i;
+    EXPECT_NEAR(st.CacheImbalance(), ref.CacheImbalance(),
+                0.12 * ref.CacheImbalance())
+        << "shards run " << i;
+    const double drop_ref = static_cast<double>(ref.dropped);
+    EXPECT_NEAR(static_cast<double>(st.dropped), drop_ref, 0.15 * drop_ref)
+        << "shards run " << i;
+  }
+}
+
+// The crash-isolation contract: SIGKILL one shard process mid-run. The
+// supervisor must reap the corpse, wind the survivors down via the abort flag,
+// merge their *partial* stats, and report the dead shard — never hang on the
+// quota-end rendezvous.
+TEST(MultiprocCrash, KilledShardIsReportedAndSurvivorsReturnPartialStats) {
+  SKIP_UNLESS_MULTIPROC_RUNNABLE();
+  constexpr uint64_t kRequests = 400'000;
+  MultiprocBackend backend(GoldenBackendConfig(2));
+  backend.TestCrashShardAt(/*shard=*/1, /*after_requests=*/10'000);
+  const BackendStats st = backend.Run(kRequests);
+
+  EXPECT_EQ(st.failed_shards, 1u);
+  // The survivor's full quota is merged; the dead shard contributes nothing.
+  EXPECT_GE(st.requests, kRequests / 2);
+  EXPECT_LT(st.requests, kRequests);
+  EXPECT_GT(st.reads + st.writes, 0u);
+}
+
+TEST(MultiprocCrash, CrashDuringReallocateRendezvousDoesNotHang) {
+  SKIP_UNLESS_MULTIPROC_RUNNABLE();
+  // The dead shard (killed at 10k) never reaches the re-allocation rendezvous
+  // at 120k — the survivor would wait for its report forever if the abort flag
+  // were not checked inside the rendezvous wait.
+  constexpr uint64_t kRequests = 400'000;
+  SimBackendConfig bcfg = GoldenBackendConfig(2);
+  bcfg.events = FullTimeline();
+  MultiprocBackend backend(bcfg);
+  backend.TestCrashShardAt(/*shard=*/0, /*after_requests=*/10'000);
+  const BackendStats st = backend.Run(kRequests);
+
+  EXPECT_EQ(st.failed_shards, 1u);
+  EXPECT_LT(st.requests, kRequests);  // survivor wound down early or finished
+}
+
+// ---- stats codec -----------------------------------------------------------
+
+TEST(StatsCodec, RoundTripsARealRunBitForBit) {
+  // A real open-loop timeline run populates every field: counters, loads,
+  // latency histogram, interval series with per-interval histograms.
+  SimBackendConfig bcfg = GoldenBackendConfig(1);
+  bcfg.events = FullTimeline();
+  bcfg.sample_interval = 40'000;
+  bcfg.queue.arrival.rate = 24.0;
+  const BackendStats st =
+      MakeSimBackend(BackendKind::kSequential, bcfg)->Run(200'000);
+  ASSERT_FALSE(st.latency.empty());
+  ASSERT_FALSE(st.series.empty());
+
+  const size_t bound = StatsCodecBound(
+      st.cache_load.size(),
+      st.cache_load.empty() ? 0 : st.cache_load.size() * st.cache_load[0].size(),
+      st.server_load.size(), st.series.size());
+  std::vector<uint8_t> buf(bound);
+  const size_t len = SerializeBackendStats(st, buf.data(), buf.size());
+  ASSERT_GT(len, 0u);
+  ASSERT_LE(len, bound);
+
+  BackendStats rt;
+  ASSERT_TRUE(DeserializeBackendStats(buf.data(), len, &rt));
+  EXPECT_EQ(rt.requests, st.requests);
+  EXPECT_EQ(rt.reads, st.reads);
+  EXPECT_EQ(rt.writes, st.writes);
+  EXPECT_EQ(rt.cache_hits, st.cache_hits);
+  EXPECT_EQ(rt.spine_hits, st.spine_hits);
+  EXPECT_EQ(rt.leaf_hits, st.leaf_hits);
+  EXPECT_EQ(rt.server_reads, st.server_reads);
+  EXPECT_EQ(rt.dropped, st.dropped);
+  EXPECT_EQ(rt.failed_shards, st.failed_shards);
+  EXPECT_EQ(rt.wall_seconds, st.wall_seconds);  // == : bit-exact double
+  ASSERT_EQ(rt.cache_load.size(), st.cache_load.size());
+  for (size_t l = 0; l < st.cache_load.size(); ++l) {
+    ASSERT_EQ(rt.cache_load[l], st.cache_load[l]);  // element bit-exact
+  }
+  EXPECT_EQ(rt.server_load, st.server_load);
+  EXPECT_EQ(rt.latency.counts(), st.latency.counts());
+  EXPECT_EQ(rt.latency.total(), st.latency.total());
+  EXPECT_EQ(rt.latency.infinite(), st.latency.infinite());
+  EXPECT_EQ(rt.latency.finite_sum(), st.latency.finite_sum());
+  ASSERT_EQ(rt.series.size(), st.series.size());
+  for (size_t i = 0; i < st.series.size(); ++i) {
+    EXPECT_EQ(rt.series[i].requests, st.series[i].requests);
+    EXPECT_EQ(rt.series[i].delivered, st.series[i].delivered);
+    EXPECT_EQ(rt.series[i].dropped, st.series[i].dropped);
+    EXPECT_EQ(rt.series[i].reads, st.series[i].reads);
+    EXPECT_EQ(rt.series[i].cache_hits, st.series[i].cache_hits);
+    EXPECT_EQ(rt.series[i].latency.counts(), st.series[i].latency.counts());
+    EXPECT_EQ(rt.series[i].latency.finite_sum(),
+              st.series[i].latency.finite_sum());
+  }
+}
+
+TEST(StatsCodec, RejectsTruncatedBuffersWithoutCrashing) {
+  BackendStats st;
+  st.requests = 123;
+  st.cache_load = {{1.0, 2.0}, {3.0}};
+  st.server_load = {4.0, 5.0};
+  std::vector<uint8_t> buf(StatsCodecBound(2, 3, 2, 0));
+  const size_t len = SerializeBackendStats(st, buf.data(), buf.size());
+  ASSERT_GT(len, 0u);
+
+  BackendStats out;
+  for (size_t cut : {size_t{0}, size_t{1}, size_t{7}, len / 2, len - 1}) {
+    EXPECT_FALSE(DeserializeBackendStats(buf.data(), cut, &out))
+        << "accepted a " << cut << "-byte truncation of " << len;
+    EXPECT_EQ(out.requests, 0u);  // value-initialized on failure
+  }
+  ASSERT_TRUE(DeserializeBackendStats(buf.data(), len, &out));
+  EXPECT_EQ(out.requests, 123u);
+
+  // And a too-small serialize target reports 0, never a partial write claim.
+  std::vector<uint8_t> tiny(8);
+  EXPECT_EQ(SerializeBackendStats(st, tiny.data(), tiny.size()), 0u);
+}
+
+}  // namespace
+}  // namespace distcache

@@ -7,6 +7,7 @@
 //   distcache_sim --mechanism=distcache --latency --load=0.5
 //   distcache_sim --mechanism=distcache --fail-spines=4 --offered=512
 //   distcache_sim --backend=sharded --shards=4 --requests=2000000
+//   distcache_sim --backend=multiproc --shards=4 --pin-cores --requests=2000000
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -43,8 +44,13 @@ int Run(int argc, char** argv) {
         "  [--keys=N] [--zipf=T] [--write-ratio=W] [--seed=S]\n"
         "  [--routing=pot|random|first] [--stale-telemetry] [--uncapped]\n"
         "  [--latency --load=F] [--fail-spines=K --offered=R]\n"
-        "  [--backend=sequential|sharded|fluid --shards=N --requests=N\n"
-        "   --batch=N --epoch=N]   (request-level engine run)\n"
+        "  [--backend=sequential|sharded|multiproc|fluid --shards=N\n"
+        "   --requests=N --batch=N --epoch=N]   (request-level engine run;\n"
+        "   multiproc runs one forked, shared-memory shard process per shard)\n"
+        "  [--backend=sharded|multiproc --pin-cores]   (pin each shard to a\n"
+        "   core: threads in-process, whole processes for multiproc)\n"
+        "  [--backend=multiproc --huge-pages]   (try 2 MiB pages for the shared\n"
+        "   arena; silently falls back when the hugepage pool is empty)\n"
         "  [--backend=... --fail-spines=K [--fail-at=R] [--remap-at=R]\n"
         "   [--recover-at=R] [--sample=N]]   (failure timeline: fail spines 0..K-1\n"
         "   at request fail-at, controller recovery at remap-at, switches restored\n"
@@ -251,8 +257,10 @@ int Run(int argc, char** argv) {
     // Request-level engine run through the pluggable SimBackend interface.
     const std::string backend_name = flags.GetString("backend", "sequential");
     if (backend_name != "sequential" && backend_name != "sharded" &&
-        backend_name != "fluid") {
-      std::fprintf(stderr, "unknown --backend=%s (want sequential|sharded|fluid)\n",
+        backend_name != "multiproc" && backend_name != "fluid") {
+      std::fprintf(stderr,
+                   "unknown --backend=%s (want sequential|sharded|multiproc|"
+                   "fluid)\n",
                    backend_name.c_str());
       return 1;
     }
@@ -276,6 +284,17 @@ int Run(int argc, char** argv) {
         !flags.GetUintChecked("requests", 2'000'000, &requests, &error) ||
         !flags.GetUintChecked("sample", 0, &bcfg.sample_interval, &error)) {
       std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    bcfg.pin_cores = flags.GetBool("pin-cores", false);
+    bcfg.huge_pages = flags.GetBool("huge-pages", false);
+    if (bcfg.pin_cores && backend_name != "sharded" &&
+        backend_name != "multiproc") {
+      std::fprintf(stderr, "--pin-cores needs --backend=sharded|multiproc\n");
+      return 1;
+    }
+    if (bcfg.huge_pages && backend_name != "multiproc") {
+      std::fprintf(stderr, "--huge-pages needs --backend=multiproc\n");
       return 1;
     }
     // Open-loop virtual time (sim/sim_backend.h QueueModelConfig): Poisson
@@ -432,6 +451,15 @@ int Run(int argc, char** argv) {
                     100.0 * pt.delivered_fraction(),
                     static_cast<unsigned long long>(pt.dropped), pt.hit_ratio());
       }
+    }
+    if (stats.failed_shards > 0) {
+      // Partial picture: the summary above covers the surviving shards only.
+      std::fprintf(stderr,
+                   "error: %llu of %u shard processes died; stats above are "
+                   "partial\n",
+                   static_cast<unsigned long long>(stats.failed_shards),
+                   bcfg.shards);
+      return 1;
     }
     return 0;
   }
