@@ -87,6 +87,7 @@ ClusterSim::ClusterSim(const ClusterConfig& config)
   AllocationConfig alloc;
   alloc.mechanism = config_.mechanism;
   alloc.layers = layers_;
+  alloc.candidate_pool = std::min(config_.candidate_pool, config_.num_keys);
   alloc.hash_seed = HashCombine(config_.seed, 0xd15ca4eULL);
   allocation_ = std::make_unique<CacheAllocation>(alloc, placement_);
   controller_ = std::make_unique<CacheController>(allocation_.get(), config_.num_spine);

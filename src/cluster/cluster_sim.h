@@ -63,6 +63,15 @@ struct ClusterConfig {
 
   uint32_t per_switch_objects = 100;
 
+  // Candidate-pool override: how many of the hottest ranks are individually
+  // tracked (the allocation's candidate set, the dense samplers' head, and the
+  // span of a dense route table). 0 = auto, 8× the total cache budget — the
+  // historical shape, bit-identical to every pinned golden. bench_memwall
+  // raises it toward the key space to reproduce the dense O(keys) memory wall
+  // the compact tables / two-level sampler exist to break. Clamped to
+  // num_keys.
+  uint64_t candidate_pool = 0;
+
   // Per-node cache semantics (core/cache_policy.h). The default, kDistCache,
   // reproduces the historical engines bit-for-bit. kStaticTopK keeps the static
   // contents but routes serially (first alive candidate). The dynamic policies

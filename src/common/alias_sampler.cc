@@ -1,6 +1,9 @@
 #include "common/alias_sampler.h"
 
+#include <cmath>
 #include <numeric>
+
+#include "common/zipf.h"
 
 namespace distcache {
 
@@ -46,6 +49,62 @@ AliasSampler::AliasSampler(const std::vector<double>& weights) {
   for (uint32_t i : large) {
     prob_[i] = 1.0;
   }
+}
+
+namespace {
+// Mirrors zipf.cc: distance from theta == 1 below which the power-law
+// antiderivative x^(1-θ)/(1-θ) switches to its logarithmic limit.
+constexpr double kThetaOneEps = 1e-6;
+}  // namespace
+
+TwoLevelSampler::TwoLevelSampler(uint64_t num_keys, double theta, uint64_t pool,
+                                 uint64_t hot_len) {
+  if (pool > num_keys) {
+    pool = num_keys;
+  }
+  if (hot_len > pool) {
+    hot_len = pool;
+  }
+  pool_ = static_cast<uint32_t>(pool);
+  hot_len_ = static_cast<uint32_t>(hot_len);
+  const double th = theta > 0.0 ? theta : 0.0;
+
+  // Level-1 masses: exact per-rank weights for the hot head, Zeta partial-sum
+  // differences for the two aggregate buckets — the same normalization
+  // ZipfDistribution itself uses, so head probabilities equal the dense pmf.
+  std::vector<double> weights(hot_len + 2, 0.0);
+  for (uint64_t i = 0; i < hot_len; ++i) {
+    weights[i] = std::pow(static_cast<double>(i + 1), -th);
+  }
+  const double zeta_hot = ZipfDistribution::Zeta(hot_len, th);
+  const double zeta_pool =
+      pool == hot_len ? zeta_hot : ZipfDistribution::Zeta(pool, th);
+  const double zeta_all =
+      num_keys == pool ? zeta_pool : ZipfDistribution::Zeta(num_keys, th);
+  weights[hot_len] = zeta_pool - zeta_hot;          // cold head
+  weights[hot_len + 1] = zeta_all - zeta_pool;      // aggregated tail
+  alias_ = AliasSampler(weights);
+
+  // Level-2 inversion constants over x ∈ [a, b) = [hot_len+0.5, pool+0.5).
+  cold_a_ = static_cast<double>(hot_len) + 0.5;
+  const double cold_b = static_cast<double>(pool) + 0.5;
+  theta_one_ = std::abs(1.0 - th) < kThetaOneEps;
+  if (theta_one_) {
+    cold_log_ratio_ = std::log(cold_b / cold_a_);
+  } else {
+    const double one_minus = 1.0 - th;
+    cold_pow_a_ = std::pow(cold_a_, one_minus);
+    cold_pow_span_ = std::pow(cold_b, one_minus) - cold_pow_a_;
+    inv_one_minus_theta_ = 1.0 / one_minus;
+  }
+}
+
+double TwoLevelSampler::cold_pow_ratio(double u) const {
+  return cold_a_ * std::exp(u * cold_log_ratio_);
+}
+
+double TwoLevelSampler::cold_inverse(double u) const {
+  return std::pow(cold_pow_a_ + u * cold_pow_span_, inv_one_minus_theta_);
 }
 
 }  // namespace distcache

@@ -105,6 +105,11 @@ class DiscreteDistribution : public KeyDistribution {
   uint64_t num_keys() const override { return pmf_.size(); }
   std::string name() const override { return name_; }
 
+  // Table memory (capacity-based): the O(pool) cost the two-level sampler avoids.
+  size_t bytes() const {
+    return (pmf_.capacity() + cdf_.capacity()) * sizeof(double);
+  }
+
  private:
   std::vector<double> pmf_;
   std::vector<double> cdf_;

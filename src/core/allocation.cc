@@ -158,6 +158,37 @@ CacheCopies CacheAllocation::CopiesOf(uint64_t key) const {
   return copies;
 }
 
+uint64_t CacheAllocation::CachedRankEnd() const {
+  const size_t num_layers = config_.layers.size();
+  for (uint64_t rank = pool_; rank-- > 0;) {
+    for (size_t l = 0; l < num_layers; ++l) {
+      if (cached_[l][rank]) {
+        return rank + 1;
+      }
+    }
+  }
+  return 0;
+}
+
+size_t CacheAllocation::OverflowCandidates() const {
+  // Replicated entries never spill (the layer-0 replicas are implicit and the
+  // optional leaf copy rides inline), so only the partitioned mechanism with
+  // three or more layers can produce overflow runs.
+  if (config_.mechanism != Mechanism::kDistCache || config_.layers.size() <= 2) {
+    return 0;
+  }
+  const size_t num_layers = config_.layers.size();
+  size_t total = 0;
+  for (uint64_t rank = 0; rank < pool_; ++rank) {
+    size_t copies = 0;
+    for (size_t l = 0; l < num_layers; ++l) {
+      copies += cached_[l][rank] != 0 ? 1 : 0;
+    }
+    total += copies > 2 ? copies : 0;
+  }
+  return total;
+}
+
 void CacheAllocation::Refill(const std::vector<uint64_t>& hottest_first,
                              const Placement& placement) {
   explicit_hot_list_ = true;

@@ -55,7 +55,7 @@ struct AllocationConfig {
   // How many of the hottest keys are considered for caching. Must comfortably
   // exceed the per-partition demand; 8× the total budget is ample because
   // partitions are hash-balanced.
-  uint32_t candidate_pool = 0;  // 0 = auto
+  uint64_t candidate_pool = 0;  // 0 = auto
   uint64_t hash_seed = 0xd15ca4e;
 
   // The historical two-layer shape (spine + leaf, uniform per-switch budget).
@@ -133,6 +133,15 @@ class CacheAllocation {
 
   // Total number of distinct cached keys.
   size_t num_cached_keys() const { return num_cached_; }
+  // One past the largest rank holding any cached copy (0 when nothing is
+  // cached). Ranks at or beyond this resolve to an uncached CacheCopies, which
+  // is what lets the compact route-table build (sim/route_table.h) truncate
+  // its entry array here instead of materializing the full candidate pool.
+  uint64_t CachedRankEnd() const;
+  // Exact number of packed candidates the route-table build spills into
+  // RouteTable::overflow (keys with more than two cached copies contribute all
+  // their copies). Lets the build reserve exactly instead of growth-doubling.
+  size_t OverflowCandidates() const;
   uint64_t candidate_pool() const { return pool_; }
   const AllocationConfig& config() const { return config_; }
 

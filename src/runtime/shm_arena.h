@@ -77,6 +77,14 @@ class ShmArena {
   uint8_t* base() const { return base_; }
   uint8_t* At(size_t offset) const { return base_ + offset; }
 
+  // Best-effort MPOL_INTERLEAVE across every NUMA node the process is allowed
+  // to allocate on (the multiproc --numa-interleave flag; raw mbind syscall, no
+  // libnuma dependency). Call after Map() and before the region is faulted —
+  // the policy binds pages at first touch, so already-faulted pages keep their
+  // node. Returns false, leaving the first-touch default in place, on
+  // single-node hosts, non-Linux builds and kernels without mbind.
+  bool InterleaveAcrossNumaNodes();
+
   // Probe: can a region of `bytes` be mapped right now (normal pages)? Used by
   // the bench/CI detect-and-skip path — maps and immediately unmaps.
   static bool Available(size_t bytes);

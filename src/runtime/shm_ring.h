@@ -77,6 +77,19 @@ class ShmSpscRing {
   size_t capacity() const { return mask_ + 1; }
   size_t slot_size() const { return slot_size_; }
 
+  // Re-attach after a process respawn (multiproc --respawn): a fresh view's
+  // local caches start at zero, which is only correct for a pristine ring.
+  // Adopt the shared indices instead: staged_ jumps to the published tail
+  // (slots the dead incarnation staged but never published are forgotten —
+  // correct, they were never visible to the consumer), and the consumer-side
+  // tail cache starts at head so the first Front() re-reads the true tail
+  // with acquire semantics rather than trusting a stale bound.
+  void SyncFromShared() {
+    staged_ = hdr_->tail.load(std::memory_order_acquire);
+    head_cache_ = hdr_->head.load(std::memory_order_acquire);
+    tail_cache_ = head_cache_;
+  }
+
   // ---- producer side -------------------------------------------------------
 
   // Claims the next slot for writing without publishing it; returns null when

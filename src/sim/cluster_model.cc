@@ -1,12 +1,13 @@
 #include "sim/cluster_model.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/hash.h"
 
 namespace distcache {
 
-ClusterModel::ClusterModel(const ClusterConfig& config)
+ClusterModel::ClusterModel(const ClusterConfig& config, bool build_popularity)
     : cfg(config),
       layers(ResolvedCacheLayers(config)),
       placement(config.num_racks, config.servers_per_rack,
@@ -17,13 +18,16 @@ ClusterModel::ClusterModel(const ClusterConfig& config)
   AllocationConfig alloc;
   alloc.mechanism = cfg.mechanism;
   alloc.layers = layers;
+  alloc.candidate_pool = std::min(cfg.candidate_pool, cfg.num_keys);
   alloc.hash_seed = HashCombine(cfg.seed, 0xd15ca4eULL);
   allocation = std::make_unique<CacheAllocation>(alloc, placement);
   controller = std::make_unique<CacheController>(allocation.get(), cfg.num_spine);
   pool = allocation->candidate_pool();
-  popularity = BuildPopularityVector(*dist, pool);
-  head_with_tail = popularity.head;
-  head_with_tail.push_back(popularity.tail_mass);
+  if (build_popularity) {
+    popularity = BuildPopularityVector(*dist, pool);
+    head_with_tail = popularity.head;
+    head_with_tail.push_back(popularity.tail_mass);
+  }
 }
 
 void ClusterModel::ReallocateCache(const std::vector<uint64_t>& hottest_first) {

@@ -36,7 +36,11 @@ inline LoadTracker::Config MakeTrackerConfig(const ClusterConfig& cfg) {
 }
 
 struct ClusterModel {
-  explicit ClusterModel(const ClusterConfig& config);
+  // `build_popularity` materializes the O(pool) head pmf (`popularity` /
+  // `head_with_tail`) the dense samplers draw from; the two-level sampling
+  // mode passes false and derives its per-bucket masses in closed form
+  // instead (common/alias_sampler.h), keeping construction O(cached keys).
+  explicit ClusterModel(const ClusterConfig& config, bool build_popularity = true);
 
   // Syncs the controller's alive set to `spine_alive` (same transition logic as
   // ClusterSim::ApplyRemap): failed spines hand their partitions to alive ones via
@@ -65,6 +69,10 @@ struct ClusterModel {
 
   // Keys [0, pool) are tracked individually ("head"); the rest is the uniform tail.
   uint64_t pool = 0;
+  // Differential-test / memory-baseline mode: BuildRouteTable materializes the
+  // full-pool dense layout instead of the compact hot prefix (bit-identical
+  // routing either way; see sim/route_table.h). Off everywhere by default.
+  bool dense_routes = false;
   PopularityVector popularity;
   // popularity.head with the aggregate tail mass appended as one extra bucket —
   // the pmf both request-level samplers draw from.

@@ -65,6 +65,17 @@ std::shared_ptr<const RouteTable> AdvancePlanState(const TimelineStep& step,
 
 }  // namespace
 
+uint64_t PlanRouteTableBytes(const RouteTable* base,
+                             const std::vector<TimelineStep>& plan) {
+  uint64_t total = base != nullptr ? base->bytes() : 0;
+  for (const TimelineStep& step : plan) {
+    if (step.routes != nullptr) {
+      total += step.routes->bytes();
+    }
+  }
+  return total;
+}
+
 bool TimelineNeedsObserver(const std::vector<ClusterEvent>& events) {
   return std::any_of(events.begin(), events.end(), [](const ClusterEvent& e) {
     return e.kind == ClusterEvent::Kind::kReallocateCache;
@@ -105,7 +116,10 @@ std::vector<TimelineStep> BuildTimelinePlan(const SimBackendConfig& config,
   std::vector<uint8_t> alive(model.cfg.num_spine, 1);
   uint64_t shift = 0;
   for (TimelineStep& step : plan) {
-    if (step.is_phase) {
+    if (step.is_phase && !config.two_level_sampling) {
+      // O(pool) dense pmf for the phase's sampler rebuild. Two-level mode
+      // skips it: the engines rebuild their O(hot) samplers from the phase's
+      // zipf_theta in closed form instead (the hook receives a null pmf).
       step.pmf = std::make_shared<const std::vector<double>>(
           model.HeadWithTailFor(step.phase.zipf_theta));
     }
@@ -176,12 +190,20 @@ void EngineCore::ConfigureOpenLoop(const QueueModelConfig& queue,
 }
 
 void EngineCore::ApplyAction(const Action& action) {
+  // Route installation honoring both snapshot flavors: the owning shared_ptr
+  // (in-process plans) and the non-owning arena view (multiproc plans).
+  const auto install_routes = [this, &action] {
+    if (action.has_route_view) {
+      SetRouteView(action.route_view, action.route_view_len,
+                   action.overflow_view);
+    } else if (action.routes != nullptr) {
+      SetRoutes(action.routes);
+    }
+  };
   if (action.is_phase) {
     write_ratio_ = action.phase.write_ratio;
     hot_shift_ = action.phase.hot_shift;
-    if (action.routes != nullptr) {
-      SetRoutes(action.routes);
-    }
+    install_routes();
     // Phase boundaries reset the observation window: the controller must rank
     // keys by their popularity under the *new* regime, not the accumulated past.
     ResetObserver();
@@ -212,21 +234,15 @@ void EngineCore::ApplyAction(const Action& action) {
         --dead_spines_;
         view_.MarkAlive({0, event.spine});
       }
-      if (action.routes != nullptr) {
-        SetRoutes(action.routes);  // partitions return to their home switch
-      }
+      install_routes();  // partitions return to their home switch
       break;
     case ClusterEvent::Kind::kRunRecovery:
       recovery_ran_ = true;
-      if (action.routes != nullptr) {
-        SetRoutes(action.routes);  // invalidate cached routes
-      }
+      install_routes();  // invalidate cached routes
       break;
     case ClusterEvent::Kind::kShiftHotspot:
       hot_shift_ = event.value;
-      if (action.routes != nullptr) {
-        SetRoutes(action.routes);
-      }
+      install_routes();
       ResetObserver();
       break;
     case ClusterEvent::Kind::kReallocateCache:

@@ -97,6 +97,13 @@ std::vector<std::shared_ptr<const RouteTable>> RebuildPlanSuffixRoutes(
 // the core's heavy-hitter observer from the start of the run.
 bool TimelineNeedsObserver(const std::vector<ClusterEvent>& events);
 
+// Total bytes of the base route table plus every precomputed plan snapshot —
+// the figure the engines stamp into BackendStats::route_table_bytes. Tables a
+// runtime re-allocation builds later are not included (realloc timelines are
+// small-config test territory; the plan covers the steady-state footprint).
+uint64_t PlanRouteTableBytes(const RouteTable* base,
+                             const std::vector<TimelineStep>& plan);
+
 class EngineCore {
  public:
   // A TimelineStep localized to one engine stream's clock. `at_local` is the
@@ -109,6 +116,13 @@ class EngineCore {
     ClusterEvent event;
     std::shared_ptr<const std::vector<double>> pmf;
     std::shared_ptr<const RouteTable> routes;
+    // Non-owning alternative to `routes`: a route snapshot resident in memory
+    // that outlives the run (the multiproc engine's arena-resident plan). When
+    // `has_route_view` is set the view wins and `routes` is ignored.
+    bool has_route_view = false;
+    const RouteEntry* route_view = nullptr;
+    size_t route_view_len = 0;
+    const uint32_t* overflow_view = nullptr;
   };
 
   // Rebuild-the-sampler callback, invoked after the core switched phase state.
@@ -134,6 +148,18 @@ class EngineCore {
     routes_ = std::move(routes);
     route_data_ = routes_ ? routes_->entries.data() : nullptr;
     route_overflow_ = routes_ ? routes_->overflow.data() : nullptr;
+    route_hot_len_ = routes_ ? static_cast<uint32_t>(routes_->entries.size()) : 0;
+  }
+  // Non-owning route snapshot (the arena-resident plan): the caller guarantees
+  // the arrays outlive every request routed through them. Compact semantics are
+  // identical to SetRoutes — ranks at or beyond `hot_len` take the computed
+  // uncached fallback.
+  void SetRouteView(const RouteEntry* entries, size_t hot_len,
+                    const uint32_t* overflow) {
+    routes_.reset();
+    route_data_ = entries;
+    route_overflow_ = overflow;
+    route_hot_len_ = static_cast<uint32_t>(hot_len);
   }
   // Interval-series step in local request units (0 disables series bookkeeping).
   // Resets the interval mark, so call once per Run before processing.
@@ -170,6 +196,18 @@ class EngineCore {
   void SetActionRoutes(size_t index, std::shared_ptr<const RouteTable> routes) {
     if (index >= next_action_ && index < actions_.size()) {
       actions_[index].routes = std::move(routes);
+      actions_[index].has_route_view = false;
+    }
+  }
+  // View flavor of SetActionRoutes (arena-published suffix tables).
+  void SetActionRouteView(size_t index, const RouteEntry* entries,
+                          size_t hot_len, const uint32_t* overflow) {
+    if (index >= next_action_ && index < actions_.size()) {
+      actions_[index].routes.reset();
+      actions_[index].has_route_view = true;
+      actions_[index].route_view = entries;
+      actions_[index].route_view_len = hot_len;
+      actions_[index].overflow_view = overflow;
     }
   }
 
@@ -322,9 +360,13 @@ class EngineCore {
   PotRouter router_;
   BackendStats* stats_ = nullptr;
 
-  std::shared_ptr<const RouteTable> routes_;
-  const RouteEntry* route_data_ = nullptr;      // hot-path view of routes_
+  std::shared_ptr<const RouteTable> routes_;  // null when a view is installed
+  const RouteEntry* route_data_ = nullptr;      // hot-path view of the snapshot
   const uint32_t* route_overflow_ = nullptr;    // candidate runs of k>2 entries
+  // Stored hot-prefix length of the current snapshot: buckets at or beyond it
+  // are uncached by construction and take the computed-server fallback in
+  // Process (dense tables make this the pool, so the branch is never taken).
+  uint32_t route_hot_len_ = 0;
 
   // Current workload-phase state.
   double write_ratio_;
@@ -409,10 +451,18 @@ void EngineCore::Process(Sink& sink, uint32_t bucket) {
     // the formerly-hot (still cached, now tail) keys would briefly hit: their
     // per-key mass is ~1/num_keys, a vanishing correction the fluid model ignores
     // for the same reason.
-  } else {
+  } else if (__builtin_expect(bucket < route_hot_len_, 1)) {
     key = KeyOfRank(bucket, hot_shift_, cc.num_keys);
     entry = &route_data_[bucket];
     server = entry->server;
+  } else {
+    // Compact-table fallback: ranks past the stored hot prefix are uncached by
+    // construction, so recompute the primary server from the same placement
+    // hash the dense build evaluated and leave `entry` null — the request then
+    // flows down the existing uncached path, bit-identical to reading a dense
+    // kUncached entry (no RNG is consumed either way).
+    key = KeyOfRank(bucket, hot_shift_, cc.num_keys);
+    server = model_->placement.ServerOf(key);
   }
 
   if (is_write) {
@@ -578,10 +628,14 @@ void EngineCore::ProcessSerialStatic(Sink& sink, uint32_t bucket) {
         model_->pool + rng_.NextBounded(cc.num_keys - model_->pool);
     key = KeyOfRank(rank, hot_shift_, cc.num_keys);
     server = model_->placement.ServerOf(key);
-  } else {
+  } else if (__builtin_expect(bucket < route_hot_len_, 1)) {
     key = KeyOfRank(bucket, hot_shift_, cc.num_keys);
     entry = &route_data_[bucket];
     server = entry->server;
+  } else {
+    // Same compact-table fallback as the static path.
+    key = KeyOfRank(bucket, hot_shift_, cc.num_keys);
+    server = model_->placement.ServerOf(key);
   }
 
   if (is_write) {
@@ -789,16 +843,21 @@ void EngineCore::ProcessBatch(Sink& sink, const uint32_t* buckets, uint32_t coun
   // staging stores add traffic without removing any misses the prefetch does
   // not already hide. Re-measure with bench_scaling before re-staging.
   const RouteEntry* const route_data = route_data_;
+  const uint32_t hot_len = route_hot_len_;
   constexpr uint32_t kPrefetchDistance = 16;
-  // &route_data[bucket] is at most one-past-the-end (the tail bucket); that
-  // address is legal to form and prefetching it is a harmless hint.
+  // Compact tables leave buckets past the hot prefix (and the tail bucket)
+  // with no entry to fetch; clamp those to entry 0 — one cmov, and the
+  // formed address stays inside the allocation.
+  const auto prefetch_entry = [route_data, hot_len](uint32_t bucket) {
+    __builtin_prefetch(&route_data[bucket < hot_len ? bucket : 0], 0, 1);
+  };
   const uint32_t lead = count < kPrefetchDistance ? count : kPrefetchDistance;
   for (uint32_t i = 0; i < lead; ++i) {
-    __builtin_prefetch(&route_data[buckets[i]], 0, 1);
+    prefetch_entry(buckets[i]);
   }
   for (uint32_t i = 0; i < count; ++i) {
     if (i + kPrefetchDistance < count) {
-      __builtin_prefetch(&route_data[buckets[i + kPrefetchDistance]], 0, 1);
+      prefetch_entry(buckets[i + kPrefetchDistance]);
     }
     Process(sink, buckets[i]);
   }

@@ -89,6 +89,10 @@ struct alignas(kCacheLineSize) ShmControlBlock {
   // placement under pinning), then rendezvous here before any ring traffic,
   // so the prefault writes can never race a producer.
   std::atomic<uint32_t> ready{0};
+  // TestCrashShardAt one-shot latch: the crash fires on the incarnation that
+  // wins the exchange, so a respawned shard re-running the same request range
+  // does not kill itself again.
+  std::atomic<uint32_t> crash_consumed{0};
 };
 
 struct alignas(kCacheLineSize) ShardSlot {
@@ -105,6 +109,65 @@ void WritePod(void* slot, const void* src, size_t bytes, size_t offset = 0) {
     return;  // an empty report chunk carries data() == nullptr; memcpy forbids it
   }
   std::memcpy(static_cast<uint8_t*>(slot) + offset, src, bytes);
+}
+
+// ---- arena-resident route tables -------------------------------------------
+// A serialized table is a 16-byte header followed by the entry array and the
+// overflow array, all raw POD. The header comes first in a cache-line-aligned
+// reservation, so entries land 16-byte aligned and overflow 4-byte aligned —
+// children read them in place through typed views, no deserialization copy.
+struct ArenaTableHeader {
+  uint64_t entries_len;
+  uint64_t overflow_len;
+};
+// entries_len sentinel for a null snapshot (plan steps that change no routes).
+constexpr uint64_t kNullTableLen = ~0ull;
+
+size_t SerializedTableBytes(const RouteTable* table) {
+  if (table == nullptr) {
+    return sizeof(ArenaTableHeader);
+  }
+  return sizeof(ArenaTableHeader) + table->entries.size() * sizeof(RouteEntry) +
+         table->overflow.size() * sizeof(uint32_t);
+}
+
+void SerializeTable(uint8_t* dst, const RouteTable* table) {
+  ArenaTableHeader h;
+  if (table == nullptr) {
+    h.entries_len = kNullTableLen;
+    h.overflow_len = 0;
+    std::memcpy(dst, &h, sizeof(h));
+    return;
+  }
+  h.entries_len = table->entries.size();
+  h.overflow_len = table->overflow.size();
+  std::memcpy(dst, &h, sizeof(h));
+  WritePod(dst, table->entries.data(), h.entries_len * sizeof(RouteEntry),
+           sizeof(h));
+  WritePod(dst, table->overflow.data(), h.overflow_len * sizeof(uint32_t),
+           sizeof(h) + h.entries_len * sizeof(RouteEntry));
+}
+
+struct TableView {
+  bool null = false;
+  const RouteEntry* entries = nullptr;
+  size_t len = 0;
+  const uint32_t* overflow = nullptr;
+};
+
+TableView ViewTable(const uint8_t* src) {
+  ArenaTableHeader h;
+  std::memcpy(&h, src, sizeof(h));
+  TableView v;
+  if (h.entries_len == kNullTableLen) {
+    v.null = true;
+    return v;
+  }
+  v.entries = reinterpret_cast<const RouteEntry*>(src + sizeof(h));
+  v.len = static_cast<size_t>(h.entries_len);
+  v.overflow = reinterpret_cast<const uint32_t*>(
+      src + sizeof(h) + h.entries_len * sizeof(RouteEntry));
+  return v;
 }
 
 }  // namespace
@@ -135,10 +198,15 @@ struct alignas(kCacheLineSize) MultiprocBackend::Proc {
   std::vector<std::vector<double>> last_partial;  // [peer][flat]
   CacheAlignedVector<uint32_t> batch_keys;
   uint64_t processed = 0;
-  uint32_t done_seen = 0;
+  std::vector<uint8_t> done_ring;  // [peer] kDone marker consumed from the ring
+  uint32_t realloc_seq = 0;        // fired kReallocateCache steps, plan order
 
+  // Exactly one of sampler / two_level is active (two-level mode swaps the
+  // dense alias table for the O(hot) one — see alias_sampler.h).
   const AliasSampler* sampler = nullptr;
   std::unique_ptr<AliasSampler> phase_sampler;
+  const TwoLevelSampler* two_level = nullptr;
+  std::unique_ptr<TwoLevelSampler> phase_two_level;
 
   // Heavy-hitter report reassembly: chunks accumulate per sender (SPSC rings
   // are FIFO per sender, so chunks of one report are contiguous), completed
@@ -176,7 +244,7 @@ struct MultiprocBackend::ProcSink {
 
 MultiprocBackend::MultiprocBackend(const SimBackendConfig& config)
     : config_(config),
-      model_(config.cluster),
+      model_(config.cluster, /*build_popularity=*/!config.two_level_sampling),
       shard_map_(
           [this] {
             std::vector<uint32_t> sizes;
@@ -186,10 +254,15 @@ MultiprocBackend::MultiprocBackend(const SimBackendConfig& config)
             return sizes;
           }(),
           model_.num_servers(), config.shards),
-      sampler_(model_.head_with_tail),
-      base_routes_(std::make_shared<const RouteTable>(BuildRouteTable(model_))) {
+      sampler_(model_.head_with_tail) {
+  model_.dense_routes = config_.dense_routes;
+  base_routes_ = std::make_shared<const RouteTable>(BuildRouteTable(model_));
   if (config_.batch_size == 0) {
     config_.batch_size = 1;
+  }
+  if (config_.two_level_sampling) {
+    two_level_ = std::make_unique<TwoLevelSampler>(
+        model_.cfg.num_keys, model_.cfg.zipf_theta, model_.pool);
   }
   plan_ = BuildTimelinePlan(config_, model_);
 }
@@ -239,6 +312,59 @@ bool MultiprocBackend::LayoutAndMapArena(uint64_t num_requests) {
   for (uint32_t i = 0; i < n; ++i) {
     stats_offset_[i] = layout.Reserve(stats_bound_);
   }
+
+  // Arena-resident plan: exact-size reservations — every table already exists
+  // on the supervisor heap, so no capacity guesswork (SerializePlanTables
+  // frees the heap copies right after writing these).
+  plan_table_offset_.assign(1 + fired_plan_.size(), 0);
+  plan_table_offset_[0] = layout.Reserve(SerializedTableBytes(base_routes_.get()));
+  for (size_t i = 0; i < fired_plan_.size(); ++i) {
+    plan_table_offset_[1 + i] =
+        layout.Reserve(SerializedTableBytes(fired_plan_[i].routes.get()));
+  }
+
+  // Single-controller realloc rendezvous (static policies only; dynamic
+  // policies keep the legacy all-to-all — see multiproc_backend.h). Runtime
+  // tables cannot be pre-sized exactly, so the regions are worst-case: a
+  // report slot holds the observer's max_reports_per_epoch (2·pool) and a
+  // table slot the dense pool with every entry spilled to overflow. Realloc
+  // timelines are small-config test territory, so the worst case stays small.
+  arena_realloc_ = !PolicyIsDynamic(config_.cluster.cache_policy);
+  realloc_step_index_.clear();
+  report_offset_.clear();
+  realloc_ready_offset_.clear();
+  realloc_table_offset_.clear();
+  for (uint32_t i = 0; i < fired_plan_.size(); ++i) {
+    if (!fired_plan_[i].is_phase &&
+        fired_plan_[i].event.kind == ClusterEvent::Kind::kReallocateCache) {
+      realloc_step_index_.push_back(i);
+    }
+  }
+  if (arena_realloc_ && !realloc_step_index_.empty()) {
+    report_entry_cap_ = static_cast<size_t>(2 * model_.pool);
+    table_cap_bytes_ =
+        sizeof(ArenaTableHeader) +
+        static_cast<size_t>(model_.pool) * sizeof(RouteEntry) +
+        static_cast<size_t>(model_.pool) * model_.layers.size() * sizeof(uint32_t);
+    const size_t report_bytes =
+        kCacheLineSize + report_entry_cap_ * sizeof(ReportEntry);
+    for (const uint32_t step : realloc_step_index_) {
+      for (uint32_t s = 0; s < n; ++s) {
+        report_offset_.push_back(layout.Reserve(report_bytes));
+      }
+      realloc_ready_offset_.push_back(layout.Reserve(kCacheLineSize));
+      // One immediate table plus one per remaining plan step (the suffix the
+      // controller rebuilds against the refilled allocation).
+      std::vector<size_t> tables;
+      const size_t count = 1 + (fired_plan_.size() - step - 1);
+      tables.reserve(count);
+      for (size_t t = 0; t < count; ++t) {
+        tables.push_back(layout.Reserve(table_cap_bytes_));
+      }
+      realloc_table_offset_.push_back(std::move(tables));
+    }
+  }
+
   if (!arena_.Map(layout.total(), config_.huge_pages)) {
     return false;
   }
@@ -252,6 +378,24 @@ bool MultiprocBackend::LayoutAndMapArena(uint64_t num_requests) {
     new (&slots[i]) ShardSlot();
   }
   return true;
+}
+
+void MultiprocBackend::SerializePlanTables() {
+  SerializeTable(arena_.At(plan_table_offset_[0]), base_routes_.get());
+  for (size_t i = 0; i < fired_plan_.size(); ++i) {
+    SerializeTable(arena_.At(plan_table_offset_[1 + i]),
+                   fired_plan_[i].routes.get());
+  }
+  // The arena is the only copy from here on: drop the heap tables before the
+  // first fork, so neither the supervisor nor any child ever holds (or
+  // COW-duplicates) a private one.
+  base_routes_.reset();
+  for (TimelineStep& step : fired_plan_) {
+    step.routes.reset();
+  }
+  for (TimelineStep& step : plan_) {
+    step.routes.reset();
+  }
 }
 
 namespace {
@@ -279,7 +423,7 @@ BackendStats MultiprocBackend::FailAll(uint32_t shards) const {
 // ---- child side ------------------------------------------------------------
 
 void MultiprocBackend::ChildMain(uint32_t id, uint64_t quota,
-                                 uint64_t num_requests) {
+                                 uint64_t num_requests, bool respawned) {
   if (config_.pin_cores) {
     // Pin before the prefault below so the rings this shard consumes land on
     // the pinned core's NUMA node (first touch).
@@ -306,6 +450,17 @@ void MultiprocBackend::ChildMain(uint32_t id, uint64_t quota,
                                   kCtrlRingCapacity, ctrl_slot_bytes_);
     p.ctrl_out[peer] = ShmSpscRing(arena_.At(ctrl_ring_offset_[out_idx]),
                                    kCtrlRingCapacity, ctrl_slot_bytes_);
+    if (respawned) {
+      // Live rings: adopt the shared indices (a fresh view's zeroed caches
+      // are only valid for a pristine ring) and do NOT prefault — writing a
+      // zero into every page of an in-use ring would clobber in-flight slots
+      // and the header's published tail.
+      p.data_in[peer].SyncFromShared();
+      p.data_out[peer].SyncFromShared();
+      p.ctrl_in[peer].SyncFromShared();
+      p.ctrl_out[peer].SyncFromShared();
+      continue;
+    }
     // Prefault this shard's *inbound* ring pages by writing (reads would map
     // shared zero pages, placing nothing): first touch from the pinned core
     // allocates them on its node. Pre-barrier, so no producer can be writing.
@@ -322,15 +477,18 @@ void MultiprocBackend::ChildMain(uint32_t id, uint64_t quota,
   }
 
   // Start barrier (ShmControlBlock comment): everyone's prefault is complete
-  // before anyone's first send.
-  ShmControlBlock* ctrl = CtrlBlockAt(arena_, control_offset_);
-  ctrl->ready.fetch_add(1, std::memory_order_acq_rel);
-  Backoff barrier_backoff;
-  while (ctrl->ready.load(std::memory_order_acquire) < n) {
-    if (Aborted()) {
-      break;
+  // before anyone's first send. A respawned incarnation skips it — the
+  // barrier released long ago and the counter already reached n.
+  if (!respawned) {
+    ShmControlBlock* ctrl = CtrlBlockAt(arena_, control_offset_);
+    ctrl->ready.fetch_add(1, std::memory_order_acq_rel);
+    Backoff barrier_backoff;
+    while (ctrl->ready.load(std::memory_order_acquire) < n) {
+      if (Aborted()) {
+        break;
+      }
+      barrier_backoff.Pause();
     }
-    barrier_backoff.Pause();
   }
 
   RunShard(p, quota, num_requests);
@@ -537,7 +695,7 @@ void MultiprocBackend::DrainControlRings(Proc& p) {
       WireHeader h;
       std::memcpy(&h, slot, sizeof(h));
       if (h.kind == kWireDone) {
-        ++p.done_seen;
+        p.done_ring[h.from] = 1;
       } else {  // kWireReport chunk
         const uint8_t* payload = static_cast<const uint8_t*>(slot) + sizeof(h);
         p.report_scratch.resize(h.count_a);
@@ -673,16 +831,134 @@ std::shared_ptr<const RouteTable> MultiprocBackend::Reallocate(Proc& p) {
   return routes;
 }
 
+std::shared_ptr<const RouteTable> MultiprocBackend::ReallocateViaArena(Proc& p) {
+  const uint32_t n = shard_map_.shards();
+  const uint32_t step = p.realloc_seq++;
+  // 1. Publish this shard's heavy-hitter report into its idempotent slot:
+  //    entries first, then count+1 through the release flag. A respawned
+  //    incarnation finds the flag set (reports are deterministic per shard)
+  //    and skips the write, so a concurrent controller read never races.
+  {
+    uint8_t* slot = arena_.At(report_offset_[static_cast<size_t>(step) * n + p.id]);
+    auto* flag = reinterpret_cast<std::atomic<uint64_t>*>(slot);
+    if (flag->load(std::memory_order_acquire) == 0) {
+      const auto report = p.core.ObservedCounts();
+      const size_t count = std::min(report.size(), report_entry_cap_);
+      auto* entries = reinterpret_cast<ReportEntry*>(slot + kCacheLineSize);
+      for (size_t i = 0; i < count; ++i) {
+        entries[i] = {report[i].first, report[i].second};
+      }
+      flag->store(count + 1, std::memory_order_release);
+    }
+  }
+  auto* table_ready = reinterpret_cast<std::atomic<uint64_t>*>(
+      arena_.At(realloc_ready_offset_[step]));
+  const std::vector<size_t>& tables = realloc_table_offset_[step];
+  // 2. Shard 0 alone runs the controller: gather every report, refill, build
+  //    the immediate + suffix tables and publish them behind the ready flag.
+  //    (On a controller respawn the flag may already be set; the model
+  //    mutations still run — later realloc steps need the refilled state —
+  //    but the identical bytes are not rewritten under concurrent readers.)
+  if (p.id == 0) {
+    std::vector<std::vector<std::pair<uint64_t, uint32_t>>> reports;
+    reports.reserve(n);
+    for (uint32_t s = 0; s < n; ++s) {
+      const uint8_t* slot =
+          arena_.At(report_offset_[static_cast<size_t>(step) * n + s]);
+      const auto* flag = reinterpret_cast<const std::atomic<uint64_t>*>(slot);
+      Backoff backoff;
+      uint64_t published = flag->load(std::memory_order_acquire);
+      while (published == 0) {
+        // Keep draining while waiting: a peer stuck on a full ring toward us
+        // must make progress before it can reach this step (same global-
+        // progress argument as AcquireSlot).
+        DrainDataRings(p);
+        DrainControlRings(p);
+        published = flag->load(std::memory_order_acquire);
+        if (published != 0) {
+          break;
+        }
+        if (Aborted()) {
+          p.abort_seen = true;
+          return nullptr;
+        }
+        backoff.Pause();
+      }
+      const size_t count = static_cast<size_t>(published - 1);
+      const auto* entries =
+          reinterpret_cast<const ReportEntry*>(slot + kCacheLineSize);
+      std::vector<std::pair<uint64_t, uint32_t>> report;
+      report.reserve(count);
+      for (size_t i = 0; i < count; ++i) {
+        report.emplace_back(entries[i].key,
+                            static_cast<uint32_t>(entries[i].count));
+      }
+      reports.push_back(std::move(report));
+    }
+    model_.SyncControllerRemap(p.core.spine_alive());
+    std::vector<uint64_t> hottest;
+    for (const auto& [key, count] : MergeHeavyHitterReports(reports)) {
+      hottest.push_back(key);
+    }
+    model_.ReallocateCache(hottest);
+    const RouteTable routes = BuildRouteTable(model_, p.core.hot_shift());
+    const std::vector<std::shared_ptr<const RouteTable>> suffix =
+        RebuildPlanSuffixRoutes(fired_plan_, p.core.next_action_index(), model_,
+                                p.core.spine_alive(), p.core.hot_shift());
+    if (table_ready->load(std::memory_order_acquire) == 0) {
+      SerializeTable(arena_.At(tables[0]), &routes);
+      for (size_t i = 0; i < suffix.size(); ++i) {
+        SerializeTable(arena_.At(tables[1 + i]), suffix[i].get());
+      }
+      table_ready->store(1, std::memory_order_release);
+    }
+  }
+  // 3. Everyone — controller included, for one uniform install path — waits
+  //    for the publication and installs the views straight out of the arena.
+  {
+    Backoff backoff;
+    while (table_ready->load(std::memory_order_acquire) == 0) {
+      DrainDataRings(p);
+      DrainControlRings(p);
+      if (table_ready->load(std::memory_order_acquire) != 0) {
+        break;
+      }
+      if (Aborted()) {
+        p.abort_seen = true;
+        return nullptr;  // keep current routes; we are winding down
+      }
+      backoff.Pause();
+    }
+  }
+  const TableView immediate = ViewTable(arena_.At(tables[0]));
+  p.core.SetRouteView(immediate.entries, immediate.len, immediate.overflow);
+  const size_t from = p.core.next_action_index();
+  for (size_t i = 1; i < tables.size(); ++i) {
+    const TableView v = ViewTable(arena_.At(tables[i]));
+    if (!v.null) {
+      p.core.SetActionRouteView(from + (i - 1), v.entries, v.len, v.overflow);
+    }
+  }
+  return nullptr;  // views installed directly; nothing for the hook to swap
+}
+
 void MultiprocBackend::ProcessBatch(Proc& p, uint32_t count) {
-  if (p.id == crash_shard_ && p.processed >= crash_after_) {
+  if (p.id == crash_shard_ && p.processed >= crash_after_ &&
+      CtrlBlockAt(arena_, control_offset_)
+              ->crash_consumed.exchange(1, std::memory_order_acq_rel) == 0) {
     // Crash-isolation test hook: die the hard way, mid-run, like a real
-    // shard-process crash would.
+    // shard-process crash would. One-shot via the arena latch, so the
+    // respawned incarnation survives the same request range.
     raise(SIGKILL);
   }
   PollInbox(p);
   p.core.AdvanceTo(p.processed);
   p.batch_keys.resize(count);
-  p.sampler->SampleBatch(p.core.rng(), p.batch_keys.data(), count);
+  if (p.two_level != nullptr) {
+    p.two_level->SampleBatch(p.core.rng(), p.batch_keys.data(), count);
+  } else {
+    p.sampler->SampleBatch(p.core.rng(), p.batch_keys.data(), count);
+  }
   ProcSink sink{this, &p};
   p.core.ProcessBatch(sink, p.batch_keys.data(), count);
   p.processed += count;
@@ -701,12 +977,17 @@ void MultiprocBackend::RunShard(Proc& p, uint64_t quota,
   p.ready_reports.assign(n, {});
   p.out_cache.assign(n, {});
   p.out_server.assign(n, {});
+  p.done_ring.assign(n, 0);
   p.sampler = &sampler_;
+  p.two_level = two_level_.get();
   p.quota_scale = num_requests == 0 ? 0.0
                                     : static_cast<double>(quota) /
                                           static_cast<double>(num_requests);
   p.core.BindStats(&p.local);
-  p.core.SetRoutes(base_routes_);
+  // Arena-resident plan: the base table lives in the arena; install it as a
+  // non-owning view (the arena outlives the run by construction).
+  const TableView base = ViewTable(arena_.At(plan_table_offset_[0]));
+  p.core.SetRouteView(base.entries, base.len, base.overflow);
   // Same open-loop discipline and seed derivation as the in-process shards:
   // each shard process simulates an independent full-rate time slice.
   p.core.ConfigureOpenLoop(
@@ -715,23 +996,38 @@ void MultiprocBackend::RunShard(Proc& p, uint64_t quota,
   p.core.SetSampleStep(static_cast<double>(config_.sample_interval) *
                        p.quota_scale);
   p.core.SetPhaseHook(
-      [&p](const WorkloadPhase&,
-           const std::shared_ptr<const std::vector<double>>& pmf) {
-        if (pmf != nullptr) {
+      [this, &p](const WorkloadPhase& phase,
+                 const std::shared_ptr<const std::vector<double>>& pmf) {
+        if (p.two_level != nullptr) {
+          // Closed-form O(hot) rebuild from the phase's skew (no pmf exists in
+          // two-level mode); deterministic across shard processes.
+          p.phase_two_level = std::make_unique<TwoLevelSampler>(
+              model_.cfg.num_keys, phase.zipf_theta, model_.pool);
+          p.two_level = p.phase_two_level.get();
+        } else if (pmf != nullptr) {
           p.phase_sampler = std::make_unique<AliasSampler>(*pmf);
           p.sampler = p.phase_sampler.get();
         }
       });
-  p.core.SetReallocateHook([this, &p] { return Reallocate(p); });
+  p.core.SetReallocateHook([this, &p] {
+    return arena_realloc_ ? ReallocateViaArena(p) : Reallocate(p);
+  });
 
   // The timeline plan is a pure function of the config, so every child queues
   // it locally — no controller multicast to wait on. Action construction
-  // matches the in-process QueueTimelineMsg field-for-field.
-  for (const TimelineStep& step : fired_plan_) {
+  // matches the in-process QueueTimelineMsg field-for-field, except the route
+  // snapshots: those are arena-resident (the heap copies were freed pre-fork),
+  // so each step gets its serialized table installed as a view.
+  for (size_t i = 0; i < fired_plan_.size(); ++i) {
+    const TimelineStep& step = fired_plan_[i];
     ClusterEvent ev = step.event;
     ev.at_request = step.at_request;
     p.core.QueueAction({static_cast<double>(step.at_request) * p.quota_scale,
-                        step.is_phase, step.phase, ev, step.pmf, step.routes});
+                        step.is_phase, step.phase, ev, step.pmf, nullptr});
+    const TableView v = ViewTable(arena_.At(plan_table_offset_[1 + i]));
+    if (!v.null) {
+      p.core.SetActionRouteView(i, v.entries, v.len, v.overflow);
+    }
   }
 
   std::function<void()> batch_event = [&] {
@@ -769,12 +1065,30 @@ void MultiprocBackend::RunShard(Proc& p, uint64_t quota,
     }
   }
   {
-    const uint32_t peers = n - 1;
+    // A peer is finished when its kDone arrived on the ring — or when its
+    // completion slot says it already exited (its kDone may have been
+    // consumed by a since-crashed incarnation of this shard under respawn;
+    // the slot store is release-ordered after the peer's last ring publish,
+    // so counting it finished still guarantees its deltas are visible to the
+    // drains below).
+    const auto all_done = [&] {
+      for (uint32_t peer = 0; peer < n; ++peer) {
+        if (peer == p.id || p.done_ring[peer]) {
+          continue;
+        }
+        if (ShardSlotAt(arena_, control_offset_, peer)
+                ->state.load(std::memory_order_acquire) != kShardRunning) {
+          continue;
+        }
+        return false;
+      }
+      return true;
+    };
     Backoff backoff;
-    while (p.done_seen < peers) {
+    while (!all_done()) {
       DrainDataRings(p);
       DrainControlRings(p);
-      if (p.done_seen >= peers) {
+      if (all_done()) {
         break;
       }
       if (Aborted()) {
@@ -787,6 +1101,16 @@ void MultiprocBackend::RunShard(Proc& p, uint64_t quota,
   }
   p.core.FinishSeries(p.processed);
   p.local.requests = p.processed;
+  // Memory accounting (max-merged, sim_backend.h): the base table and every
+  // plan snapshot are arena-resident (counted once, in the supervisor's
+  // arena_bytes stamp), so a child's private route-table footprint is zero —
+  // the figure the memwall gate banks on. Tables a runtime re-allocation
+  // builds on the legacy path are small-config test territory, uncounted
+  // (same rule as PlanRouteTableBytes).
+  p.local.peak_rss_bytes = CurrentPeakRssBytes();
+  p.local.route_table_bytes = 0;
+  p.local.sampler_bytes = p.two_level != nullptr ? p.two_level->bytes()
+                                                 : p.sampler->bytes();
 }
 
 // ---- supervisor ------------------------------------------------------------
@@ -802,15 +1126,23 @@ BackendStats MultiprocBackend::Run(uint64_t num_requests) {
   if (!LayoutAndMapArena(num_requests)) {
     return FailAll(n);
   }
+  if (config_.numa_interleave) {
+    // Before any arena page is faulted: the plan tables serialized below then
+    // stripe across nodes instead of landing wholly on the supervisor's.
+    arena_.InterleaveAcrossNumaNodes();
+  }
+  SerializePlanTables();
 
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<pid_t> pids(n, -1);
   bool fork_failed = false;
+  const auto quota_of = [&](uint32_t i) {
+    return num_requests / n + (i < num_requests % n ? 1 : 0);
+  };
   for (uint32_t i = 0; i < n; ++i) {
-    const uint64_t quota = num_requests / n + (i < num_requests % n ? 1 : 0);
     const pid_t pid = ::fork();
     if (pid == 0) {
-      ChildMain(i, quota, num_requests);  // [[noreturn]]
+      ChildMain(i, quota_of(i), num_requests, /*respawned=*/false);  // [[noreturn]]
     }
     if (pid < 0) {
       fork_failed = true;
@@ -825,6 +1157,8 @@ BackendStats MultiprocBackend::Run(uint64_t num_requests) {
   // wind-down); a child that dies abnormally trips the abort flag so the
   // survivors wind down too — the supervisor never blocks indefinitely.
   std::vector<uint8_t> failed(n, fork_failed ? 1 : 0);
+  std::vector<uint8_t> respawn_left(n, config_.respawn && !fork_failed ? 1 : 0);
+  uint32_t respawned = 0;
   uint32_t live = 0;
   for (uint32_t i = 0; i < n; ++i) {
     live += pids[i] >= 0 ? 1 : 0;
@@ -848,15 +1182,38 @@ BackendStats MultiprocBackend::Run(uint64_t num_requests) {
       // Exit 0 = clean; exit 3 = orderly wind-down after the abort flag
       // (partial stats published, not this shard's fault). Anything else —
       // a signal (the SIGKILL case), a crash, a nonzero exit, a waitpid
-      // error — is a dead shard: record it and abort the survivors.
+      // error — is a dead shard: under --respawn it is re-forked once to
+      // re-join from the arena-resident plan; otherwise (or on a second
+      // death) record it and abort the survivors.
       const bool orderly =
           r > 0 && WIFEXITED(status) &&
           (WEXITSTATUS(status) == 0 || WEXITSTATUS(status) == 3);
-      if (!orderly) {
-        failed[i] = 1;
-        CtrlBlockAt(arena_, control_offset_)
-            ->abort.store(1, std::memory_order_release);
+      if (orderly) {
+        continue;
       }
+      if (respawn_left[i]) {
+        respawn_left[i] = 0;
+        // Reset the completion slot: SIGKILL usually left it untouched, but a
+        // death between the stats publish and _exit would otherwise let peers
+        // count this shard done while the respawn is still re-running.
+        ShardSlot* slot = ShardSlotAt(arena_, control_offset_, i);
+        slot->stats_len.store(0, std::memory_order_release);
+        slot->state.store(kShardRunning, std::memory_order_release);
+        const pid_t fresh = ::fork();
+        if (fresh == 0) {
+          ChildMain(i, quota_of(i), num_requests, /*respawned=*/true);
+        }
+        if (fresh > 0) {
+          pids[i] = fresh;
+          ++live;
+          ++respawned;
+          continue;
+        }
+        // fork failed: fall through to the dead-shard path
+      }
+      failed[i] = 1;
+      CtrlBlockAt(arena_, control_offset_)
+          ->abort.store(1, std::memory_order_release);
     }
     if (live > 0 && !progress) {
       backoff.Pause();
@@ -883,6 +1240,9 @@ BackendStats MultiprocBackend::Run(uint64_t num_requests) {
     total.Merge(partial);
   }
   total.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  total.respawned_shards = respawned;
+  total.arena_bytes = arena_.size();
+  total.peak_rss_bytes = std::max(total.peak_rss_bytes, CurrentPeakRssBytes());
   arena_.Unmap();
   return total;
 }

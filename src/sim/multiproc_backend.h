@@ -13,16 +13,40 @@
 // Process model — fork *without* exec, deliberately: the supervisor constructs
 // the full immutable run state (cluster model, route tables, alias sampler,
 // precomputed timeline plan) exactly like the in-process engine, maps the
-// arena, and forks one child per shard. Children inherit the read-only state
-// copy-on-write and the arena by mapping inheritance — no serialization of
-// route tables or pmfs, no fixed-address mmap negotiation, no exec'd binary to
-// locate. (A fork+exec supervisor would add a full config/route-table wire
-// format for zero isolation benefit: a corrupted shard process dies either
-// way, and the supervisor detects it either way.) Each child pins itself to
-// core (shard % online-cores) when pin_cores is set, prefaults its inbound
-// rings (first-touch NUMA placement), runs the identical per-shard event loop
-// (EngineCore + EventQueue + batched hot path), and _exit()s after publishing
-// its serialized partial BackendStats into its arena stats region.
+// arena, and forks one child per shard. Children inherit the small read-only
+// state copy-on-write and the arena by mapping inheritance — no fixed-address
+// mmap negotiation, no exec'd binary to locate. (A fork+exec supervisor would
+// add a full config wire format for zero isolation benefit: a corrupted shard
+// process dies either way, and the supervisor detects it either way.) Each
+// child pins itself to core (shard % online-cores) when pin_cores is set,
+// prefaults its inbound rings (first-touch NUMA placement), runs the identical
+// per-shard event loop (EngineCore + EventQueue + batched hot path), and
+// _exit()s after publishing its serialized partial BackendStats into its arena
+// stats region.
+//
+// Arena-resident plan: the big per-run state — the base route table and every
+// precomputed timeline snapshot — is serialized *into the arena* pre-fork and
+// freed from the supervisor heap before the first fork. Children install the
+// tables as non-owning views (EngineCore::SetRouteView /
+// SetActionRouteView), so exactly one physical copy exists no matter the
+// shard count, it is huge-page eligible when the arena is, and no process
+// ever COW-copies a table page (children only read; the supervisor's heap
+// copy is gone). With --numa-interleave the arena is mbind-interleaved before
+// serialization so the shared tables stripe across nodes instead of landing
+// wholly on the supervisor's; the rings keep their per-shard first-touch
+// placement either way (children fault them post-fork).
+//
+// Respawn (config.respawn): a shard that dies abnormally is re-forked once
+// instead of aborting the run. The respawned incarnation re-joins from the
+// arena-resident plan and re-runs its quota from the start: it skips the ring
+// prefault (zero-filling a live ring would clobber in-flight slots and the
+// header's published tail) and the start barrier, and re-attaches its ring
+// views via ShmSpscRing::SyncFromShared. Known accepted skews, bounded by one
+// crash: peers that folded the dead incarnation's telemetry see negative
+// deltas when the respawn's counters restart (the telemetry view is
+// approximate by design), and a crash landing inside the end-of-run delta
+// flush can double-count the flushed portion (the crash test kills mid-run,
+// far from the flush).
 //
 // Transport: the same two-plane split as in-process, but both planes ride
 // arena rings (there is no cross-process mutex channel worth having):
@@ -39,13 +63,20 @@
 //   * no timeline multicast — the fired plan is a pure function of the config,
 //     so every child queues it locally instead of receiving it from the
 //     controller shard;
-//   * the kReallocateCache rendezvous is an all-to-all report broadcast, and
-//     *every* process runs the controller computation on its own model copy.
-//     MergeHeavyHitterReports is order-independent (counts sum per key, ties
-//     break on the smaller key) and the refill/route-build is hash-based and
-//     RNG-free, so all processes compute identical routes — no kRouteUpdate
-//     push needed, and at x1 the code path collapses to exactly the
-//     in-process controller's local computation.
+//   * the kReallocateCache rendezvous goes through the arena, single-
+//     controller: every shard publishes its heavy-hitter report into an
+//     idempotent per-(step, shard) arena slot, shard 0 alone merges the
+//     reports, runs the controller computation and serializes the rebuilt
+//     immediate + suffix tables into the step's arena region behind a ready
+//     flag; every shard (including shard 0) then installs them as views. The
+//     slots are write-once per incarnation and the computation is
+//     deterministic, so a respawned shard — even a respawned controller —
+//     re-publishes identical bytes and the rendezvous stays consistent.
+//     Dynamic cache policies keep the legacy all-to-all broadcast where every
+//     process runs the controller computation on its own model copy (their
+//     policy runtimes read the local allocation, which must stay in sync);
+//     MergeHeavyHitterReports is order-independent and the refill/route-build
+//     is hash-based and RNG-free, so both schemes compute identical routes.
 //
 // Termination and crash isolation: a child that finishes its quota flushes
 // deltas, publishes kDone to every peer (the ring release orders the earlier
@@ -105,9 +136,11 @@ class MultiprocBackend : public SimBackend {
   struct ProcSink;  // branch-free hot-path sink (mirror of ShardSink)
 
   // ---- child side ----------------------------------------------------------
-  // The whole shard lifecycle; never returns (ends in _exit).
-  [[noreturn]] void ChildMain(uint32_t id, uint64_t quota,
-                              uint64_t num_requests);
+  // The whole shard lifecycle; never returns (ends in _exit). `respawned`
+  // marks a second incarnation re-joining live rings (header comment): it
+  // skips the prefault and the start barrier and syncs its ring views.
+  [[noreturn]] void ChildMain(uint32_t id, uint64_t quota, uint64_t num_requests,
+                              bool respawned);
   void RunShard(Proc& p, uint64_t quota, uint64_t num_requests);
   void ProcessBatch(Proc& p, uint32_t count);
   void PollInbox(Proc& p);
@@ -121,24 +154,40 @@ class MultiprocBackend : public SimBackend {
   void BroadcastHotReport(
       Proc& p, const std::vector<std::pair<uint64_t, uint32_t>>& report);
   void SendDone(Proc& p, uint32_t peer);
-  // kReallocateCache: all-to-all reports, then the local controller
-  // computation (header comment). Null on abort.
+  // kReallocateCache, legacy all-to-all flavor (dynamic policies only): every
+  // process collects the reports and runs the controller computation. Null on
+  // abort.
   std::shared_ptr<const RouteTable> Reallocate(Proc& p);
+  // kReallocateCache, arena flavor (header comment): publish report → shard 0
+  // computes and publishes the tables → install views. Always returns null
+  // (the views are installed directly on p.core).
+  std::shared_ptr<const RouteTable> ReallocateViaArena(Proc& p);
   void ApplyDataSlot(Proc& p, const void* slot);
   // Full-ring retry with own-ring drains + backoff; null once aborted.
   void* AcquireSlot(Proc& p, ShmSpscRing& ring);
   bool Aborted() const;
 
   // ---- supervisor side -----------------------------------------------------
-  // Computes the arena layout for `shards` and this run's series bound, maps
-  // it; false when the mapping fails.
+  // Computes the arena layout for `shards` and this run's series bound —
+  // rings, stats regions, the serialized plan tables and (static policies
+  // with realloc steps) the realloc rendezvous slots — and maps it; false
+  // when the mapping fails.
   bool LayoutAndMapArena(uint64_t num_requests);
+  // Serializes the base route table and every fired-plan snapshot into the
+  // arena (pre-fork, post-interleave), then frees the supervisor-heap copies —
+  // from here on the arena is the only copy and Run() is single-shot (the
+  // repo-wide new-backend-per-Run discipline, see EngineCore::ClearActions).
+  void SerializePlanTables();
   BackendStats FailAll(uint32_t shards) const;
 
   SimBackendConfig config_;
   ClusterModel model_;
   ShardMap shard_map_;
   AliasSampler sampler_;            // head ranks + one tail bucket (phase 0)
+  // Opt-in O(hot) sampler (config.two_level_sampling): children inherit it
+  // pre-fork and draw from it instead of sampler_ — a different RNG stream,
+  // differentially validated, never golden-pinned.
+  std::unique_ptr<TwoLevelSampler> two_level_;
   std::shared_ptr<const RouteTable> base_routes_;
   std::vector<TimelineStep> plan_;
   std::vector<TimelineStep> fired_plan_;  // restricted to this Run, pre-fork
@@ -152,6 +201,20 @@ class MultiprocBackend : public SimBackend {
   std::vector<size_t> ctrl_ring_offset_;   // [to * shards + from]
   std::vector<size_t> stats_offset_;       // [shard]
   size_t stats_bound_ = 0;
+
+  // Arena-resident plan: serialized-table offsets — [0] the base table,
+  // [1 + i] fired_plan_[i]'s snapshot (null steps carry a sentinel header).
+  std::vector<size_t> plan_table_offset_;
+  // Single-controller realloc rendezvous (arena_realloc_ set for static
+  // policies): per fired kReallocateCache step, one report slot per shard and
+  // one ready-flag + published-tables region sized for the worst case.
+  bool arena_realloc_ = false;
+  size_t report_entry_cap_ = 0;        // entries per report slot
+  size_t table_cap_bytes_ = 0;         // capacity of one published table
+  std::vector<uint32_t> realloc_step_index_;    // fired_plan_ index per step
+  std::vector<size_t> report_offset_;           // [step * shards + shard]
+  std::vector<size_t> realloc_ready_offset_;    // [step]
+  std::vector<std::vector<size_t>> realloc_table_offset_;  // [step][table]
 
   uint32_t crash_shard_ = UINT32_MAX;  // test hook; no shard by default
   uint64_t crash_after_ = 0;

@@ -2,10 +2,18 @@
 
 namespace distcache {
 
-RouteTable BuildRouteTable(const ClusterModel& model, uint64_t hot_shift) {
+namespace {
+
+// Fills entries [0, end) — the shared body of the compact and dense builds.
+// `reserve_overflow` is the exact spill count so neither build ever pays a
+// doubling-growth spike during plan construction.
+RouteTable BuildPrefix(const ClusterModel& model, uint64_t hot_shift,
+                       uint64_t end, size_t reserve_overflow) {
   RouteTable routes;
-  routes.entries.resize(model.pool);
-  for (uint64_t rank = 0; rank < model.pool; ++rank) {
+  routes.entries.reserve(end);
+  routes.entries.resize(end);
+  routes.overflow.reserve(reserve_overflow);
+  for (uint64_t rank = 0; rank < end; ++rank) {
     const uint64_t key = KeyOfRank(rank, hot_shift, model.cfg.num_keys);
     RouteEntry& e = routes.entries[rank];
     e.server = model.placement.ServerOf(key);
@@ -35,6 +43,40 @@ RouteTable BuildRouteTable(const ClusterModel& model, uint64_t hot_shift) {
     }
   }
   return routes;
+}
+
+}  // namespace
+
+RouteTable BuildRouteTable(const ClusterModel& model, uint64_t hot_shift) {
+  if (model.dense_routes) {
+    return BuildDenseRouteTable(model, hot_shift);
+  }
+  // The hot prefix ends one past the deepest *table* rank with a cached copy.
+  // That is not the allocation's CachedRankEnd() in general: the table is
+  // indexed in rotated rank space (entry r describes key (r + hot_shift) %
+  // num_keys), and after a refill the allocation ranks keys through the
+  // observed key→rank index — so find the boundary by probing CopiesOf in
+  // table-rank order from the top. Every rank at or beyond `end` then produces
+  // exactly the kUncached entry the engines' inline fallback recomputes, which
+  // makes the truncated table bit-identical to the dense one at ~C entries
+  // instead of the full 8×-budget candidate pool. The downward probe touches
+  // only uncached ranks (array reads, or hash-index misses post-refill), so
+  // the build stays O(pool) time like the dense one while dropping its memory.
+  uint64_t end = model.pool;
+  while (end > 0) {
+    const uint64_t key = KeyOfRank(end - 1, hot_shift, model.cfg.num_keys);
+    if (model.allocation->CopiesOf(key).cached()) {
+      break;
+    }
+    --end;
+  }
+  return BuildPrefix(model, hot_shift, end,
+                     model.allocation->OverflowCandidates());
+}
+
+RouteTable BuildDenseRouteTable(const ClusterModel& model, uint64_t hot_shift) {
+  return BuildPrefix(model, hot_shift, model.pool,
+                     model.allocation->OverflowCandidates());
 }
 
 }  // namespace distcache

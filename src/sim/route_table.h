@@ -55,18 +55,41 @@ struct RouteEntry {
 static_assert(sizeof(RouteEntry) == 16, "RouteEntry must stay 16 bytes");
 
 struct RouteTable {
+  // The hot prefix: one entry per rank [0, entries.size()). A *compact* table
+  // truncates at the allocation's CachedRankEnd() — every rank at or beyond
+  // entries.size() is uncached by construction, and the engines recompute its
+  // server inline from the placement hash (the branch-free fallback in
+  // EngineCore::Process), which is bit-identical to reading a dense kUncached
+  // entry. A dense table (BuildDenseRouteTable) spans the full candidate pool,
+  // so the fallback branch is never taken and behavior is unchanged.
   std::vector<RouteEntry> entries;
   // Packed candidate runs of entries with num > 2 (see RouteEntry::c1).
   std::vector<uint32_t> overflow;
 
   size_t size() const { return entries.size(); }
+  // Length of the stored hot prefix — the engines' fallback threshold.
+  size_t hot_len() const { return entries.size(); }
+  // Heap bytes this snapshot actually holds (capacity, not size — the exact
+  // reserve in the builders makes the two equal; a divergence is a regression).
+  size_t bytes() const {
+    return entries.capacity() * sizeof(RouteEntry) +
+           overflow.capacity() * sizeof(uint32_t);
+  }
 };
 
-// One entry per head rank [0, model.pool), reflecting the allocation's current
-// partition→node mappings (i.e. post-remap if the controller ran) and cached set
-// (post-refill if it re-allocated). `hot_shift` is the workload's current rank→key
-// rotation: entry r describes key (r + hot_shift) % num_keys.
+// Builds the table for the allocation's current partition→node mappings (i.e.
+// post-remap if the controller ran) and cached set (post-refill if it
+// re-allocated). `hot_shift` is the workload's current rank→key rotation:
+// entry r describes key (r + hot_shift) % num_keys. Compact by default (one
+// entry per rank in [0, allocation->CachedRankEnd()), exact-reserved); builds
+// the full-pool dense layout instead when model.dense_routes is set (the
+// differential-test / memory-baseline mode).
 RouteTable BuildRouteTable(const ClusterModel& model, uint64_t hot_shift = 0);
+
+// The pre-compaction layout: one entry per rank [0, model.pool), uncached tail
+// materialized. Kept for the compact-vs-dense equivalence tests and as the
+// memory baseline bench_memwall gates against.
+RouteTable BuildDenseRouteTable(const ClusterModel& model, uint64_t hot_shift = 0);
 
 }  // namespace distcache
 

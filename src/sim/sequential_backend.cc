@@ -32,23 +32,35 @@ struct SequentialSink {
 
 SequentialBackend::SequentialBackend(const SimBackendConfig& config)
     : config_(config),
-      model_(config.cluster),
-      head_dist_(std::make_unique<DiscreteDistribution>(model_.head_with_tail,
-                                                        "head+tail")),
+      model_(config.cluster, /*build_popularity=*/!config.two_level_sampling),
       core_(&model_, HashCombine(config.cluster.seed, 0xc1057e4ULL),
             HashCombine(config.cluster.seed, 0x90076eULL),
             TimelineNeedsObserver(config.events)) {
+  if (config_.two_level_sampling) {
+    two_level_ = std::make_unique<TwoLevelSampler>(
+        model_.cfg.num_keys, model_.cfg.zipf_theta, model_.pool);
+  } else {
+    head_dist_ = std::make_unique<DiscreteDistribution>(model_.head_with_tail,
+                                                        "head+tail");
+  }
   // The pre-event route table must snapshot the pristine allocation, so build it
   // before the plan walk below mutates the controller state.
-  core_.SetRoutes(std::make_shared<const RouteTable>(BuildRouteTable(model_)));
+  model_.dense_routes = config_.dense_routes;
+  auto base = std::make_shared<const RouteTable>(BuildRouteTable(model_));
+  base_route_bytes_ = base->bytes();
+  core_.SetRoutes(std::move(base));
   // Open-loop virtual time, when configured. The time stream gets its own seed
   // derivation so the key/write streams stay bit-identical to closed-loop runs.
   core_.ConfigureOpenLoop(config_.queue,
                           HashCombine(config.cluster.seed, 0x0be71457ULL));
   plan_ = BuildTimelinePlan(config_, model_);
-  core_.SetPhaseHook([this](const WorkloadPhase&,
+  core_.SetPhaseHook([this](const WorkloadPhase& phase,
                             const std::shared_ptr<const std::vector<double>>& pmf) {
-    if (pmf != nullptr) {
+    if (two_level_ != nullptr) {
+      // Closed-form rebuild from the phase's skew — no pmf was materialized.
+      two_level_ = std::make_unique<TwoLevelSampler>(
+          model_.cfg.num_keys, phase.zipf_theta, model_.pool);
+    } else if (pmf != nullptr) {
       head_dist_ = std::make_unique<DiscreteDistribution>(*pmf, "head+tail");
     }
   });
@@ -113,13 +125,20 @@ BackendStats SequentialBackend::Run(uint64_t num_requests) {
       }
     }
 
-    const uint32_t bucket = static_cast<uint32_t>(head_dist_->Sample(core_.rng()));
+    const uint32_t bucket =
+        two_level_ != nullptr
+            ? two_level_->Sample(core_.rng())
+            : static_cast<uint32_t>(head_dist_->Sample(core_.rng()));
     core_.Process(sink, bucket);
   }
   const auto t1 = std::chrono::steady_clock::now();
   st.requests = num_requests;
   core_.FinishSeries(num_requests);
   st.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  st.peak_rss_bytes = CurrentPeakRssBytes();
+  st.route_table_bytes = base_route_bytes_ + PlanRouteTableBytes(nullptr, plan_);
+  st.sampler_bytes =
+      two_level_ != nullptr ? two_level_->bytes() : head_dist_->bytes();
   return st;
 }
 

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/alias_sampler.h"
 #include "sim/cluster_model.h"
 #include "sim/engine_core.h"
 #include "sim/sim_backend.h"
@@ -47,6 +48,11 @@ class SequentialBackend : public SimBackend {
   ClusterModel model_;
   std::vector<TimelineStep> plan_;
   std::unique_ptr<DiscreteDistribution> head_dist_;  // head ranks + one tail bucket
+  // Opt-in O(hot) sampler (config.two_level_sampling): replaces head_dist_ and
+  // the O(pool) pmf materialization entirely — different RNG stream, so it is
+  // differentially validated, never golden-pinned.
+  std::unique_ptr<TwoLevelSampler> two_level_;
+  uint64_t base_route_bytes_ = 0;  // pre-timeline snapshot, for stats
   EngineCore core_;
 };
 

@@ -61,9 +61,12 @@ struct alignas(kCacheLineSize) ShardedBackend::Shard {
   uint32_t done_seen = 0;
 
   // Current phase's sampler: the backend-shared phase-0 table, or this shard's
-  // rebuilt one after a phase boundary.
+  // rebuilt one after a phase boundary. Exactly one of sampler / two_level is
+  // active (two-level mode swaps the dense alias table for the O(hot) one).
   const AliasSampler* sampler = nullptr;
   std::unique_ptr<AliasSampler> phase_sampler;
+  const TwoLevelSampler* two_level = nullptr;
+  std::unique_ptr<TwoLevelSampler> phase_two_level;
 
   // Timeline bookkeeping: steps queued from the controller multicast (the core
   // applies them at this shard's scaled local clock), plus re-allocation
@@ -94,7 +97,7 @@ struct ShardedBackend::ShardSink {
 
 ShardedBackend::ShardedBackend(const SimBackendConfig& config)
     : config_(config),
-      model_(config.cluster),
+      model_(config.cluster, /*build_popularity=*/!config.two_level_sampling),
       shard_map_(
           [this] {
             std::vector<uint32_t> sizes;
@@ -104,10 +107,15 @@ ShardedBackend::ShardedBackend(const SimBackendConfig& config)
             return sizes;
           }(),
           model_.num_servers(), config.shards),
-      sampler_(model_.head_with_tail),
-      base_routes_(std::make_shared<const RouteTable>(BuildRouteTable(model_))) {
+      sampler_(model_.head_with_tail) {
+  model_.dense_routes = config_.dense_routes;
+  base_routes_ = std::make_shared<const RouteTable>(BuildRouteTable(model_));
   if (config_.batch_size == 0) {
     config_.batch_size = 1;  // a 0-request batch would respawn itself forever
+  }
+  if (config_.two_level_sampling) {
+    two_level_ = std::make_unique<TwoLevelSampler>(
+        model_.cfg.num_keys, model_.cfg.zipf_theta, model_.pool);
   }
   // Snapshot walk: every step's post-step route table / pmf is a pure function
   // of the timeline prefix, precomputed here off the hot path (base_routes_
@@ -427,7 +435,11 @@ void ShardedBackend::ProcessBatch(Shard& shard, uint32_t count) {
   // then close any due sample intervals.
   shard.core.AdvanceTo(shard.processed);
   shard.batch_keys.resize(count);
-  shard.sampler->SampleBatch(shard.core.rng(), shard.batch_keys.data(), count);
+  if (shard.two_level != nullptr) {
+    shard.two_level->SampleBatch(shard.core.rng(), shard.batch_keys.data(), count);
+  } else {
+    shard.sampler->SampleBatch(shard.core.rng(), shard.batch_keys.data(), count);
+  }
   ShardSink sink{this, &shard};
   shard.core.ProcessBatch(sink, shard.batch_keys.data(), count);
   shard.processed += count;
@@ -449,6 +461,7 @@ void ShardedBackend::ShardMain(Shard& shard, uint64_t quota, uint64_t num_reques
                             std::vector<double>(num_cache_nodes, 0.0));
   shard.out.resize(shard_map_.shards());
   shard.sampler = &sampler_;
+  shard.two_level = two_level_.get();
   shard.quota_scale = num_requests == 0
                           ? 0.0
                           : static_cast<double>(quota) / static_cast<double>(num_requests);
@@ -465,9 +478,15 @@ void ShardedBackend::ShardMain(Shard& shard, uint64_t quota, uint64_t num_reques
   shard.core.SetSampleStep(static_cast<double>(config_.sample_interval) *
                            shard.quota_scale);
   shard.core.SetPhaseHook(
-      [&shard](const WorkloadPhase&,
-               const std::shared_ptr<const std::vector<double>>& pmf) {
-        if (pmf != nullptr) {
+      [this, &shard](const WorkloadPhase& phase,
+                     const std::shared_ptr<const std::vector<double>>& pmf) {
+        if (shard.two_level != nullptr) {
+          // Closed-form O(hot) rebuild from the phase's skew — no pmf exists
+          // in two-level mode. Consumes no RNG, like the dense rebuild.
+          shard.phase_two_level = std::make_unique<TwoLevelSampler>(
+              model_.cfg.num_keys, phase.zipf_theta, model_.pool);
+          shard.two_level = shard.phase_two_level.get();
+        } else if (pmf != nullptr) {
           // O(pool) rebuild, amortized over the phase; consumes no RNG, so the
           // shard's key stream stays deterministic.
           shard.phase_sampler = std::make_unique<AliasSampler>(*pmf);
@@ -558,6 +577,14 @@ void ShardedBackend::ShardMain(Shard& shard, uint64_t quota, uint64_t num_reques
   }
   shard.core.FinishSeries(shard.processed);
   shard.local.requests = shard.processed;
+  // Memory accounting (max-merged across shards, sim_backend.h): the shared
+  // plan figure is identical per shard; the sampler figure is this shard's
+  // currently active table (base or per-phase rebuild — same size either way).
+  shard.local.peak_rss_bytes = CurrentPeakRssBytes();
+  shard.local.route_table_bytes = PlanRouteTableBytes(base_routes_.get(), plan_);
+  shard.local.sampler_bytes = shard.two_level != nullptr
+                                  ? shard.two_level->bytes()
+                                  : shard.sampler->bytes();
 }
 
 BackendStats ShardedBackend::Run(uint64_t num_requests) {

@@ -149,6 +149,10 @@ class ShardedBackend : public SimBackend {
   ClusterModel model_;
   ShardMap shard_map_;
   AliasSampler sampler_;            // head ranks + one tail bucket (phase 0)
+  // Opt-in O(hot) sampler (config.two_level_sampling): when set, shards draw
+  // from it (or their per-phase rebuild) instead of sampler_ — a different RNG
+  // stream, differentially validated, never golden-pinned.
+  std::unique_ptr<TwoLevelSampler> two_level_;
   std::shared_ptr<const RouteTable> base_routes_;  // pre-timeline snapshot
   std::vector<TimelineStep> plan_;  // merged events+phases, with snapshots
   // plan_ restricted to steps that fire within the current Run (at_request <

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "cluster/fluid_backend.h"
 #include "sim/multiproc_backend.h"
 #include "sim/sequential_backend.h"
@@ -117,6 +121,13 @@ void BackendStats::Merge(const BackendStats& other) {
   uncontended_receives += other.uncontended_receives;
   contended_receives += other.contended_receives;
   failed_shards += other.failed_shards;
+  respawned_shards += other.respawned_shards;
+  // Memory fields keep the max (shared pages / shared snapshots would be
+  // overcounted by a sum — see the field comments).
+  peak_rss_bytes = std::max(peak_rss_bytes, other.peak_rss_bytes);
+  route_table_bytes = std::max(route_table_bytes, other.route_table_bytes);
+  sampler_bytes = std::max(sampler_bytes, other.sampler_bytes);
+  arena_bytes = std::max(arena_bytes, other.arena_bytes);
   if (series.size() < other.series.size()) {
     series.resize(other.series.size());
   }
@@ -137,6 +148,22 @@ void BackendStats::Merge(const BackendStats& other) {
   }
   AccumulateLoads(server_load, other.server_load);
   wall_seconds = std::max(wall_seconds, other.wall_seconds);
+}
+
+uint64_t CurrentPeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0;
+  }
+#if defined(__APPLE__)
+  return static_cast<uint64_t>(usage.ru_maxrss);  // bytes on Darwin
+#else
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;  // kilobytes elsewhere
+#endif
+#else
+  return 0;
+#endif
 }
 
 BackendKind ParseBackendKind(const std::string& name) {

@@ -178,6 +178,31 @@ struct SimBackendConfig {
   // Back the multiproc engine's shared arena with 2 MiB huge pages when the
   // reserved pool has them (runtime/shm_arena.h; silent fallback otherwise).
   bool huge_pages = false;
+  // Interleave the multiproc arena's pages across NUMA nodes (mbind
+  // MPOL_INTERLEAVE) instead of the default first-touch placement — the right
+  // policy when many shards on different nodes read the one shared plan.
+  // Silent no-op off Linux or when the mbind call is unavailable.
+  bool numa_interleave = false;
+  // Multiproc: re-fork a shard process that dies abnormally, once, instead of
+  // aborting the run. The respawned shard re-joins from the arena-resident
+  // plan and re-runs its quota from the start of its (deterministic) stream;
+  // exact counters stay exact-once (only the final incarnation serializes its
+  // stats), but telemetry partials the dead incarnation broadcast are not
+  // recalled, so peers' *approximate* load views may double-count them. A
+  // shard that dies twice fails the run as without respawn.
+  bool respawn = false;
+  // Opt-in two-level workload sampling: an alias table over the cached hot
+  // prefix plus a closed-form inverse-CDF for the capped-Zipf tail
+  // (common/alias_sampler.h), making sampler memory O(cached keys) instead of
+  // O(candidate pool). The RNG draw sequence differs from the dense samplers,
+  // so this mode is differentially validated (hit ratio / imbalance
+  // tolerances) rather than golden-pinned; default off keeps every engine
+  // bit-identical to the dense path.
+  bool two_level_sampling = false;
+  // Differential-test / memory-baseline mode: build full-pool dense route
+  // tables (pre-compaction layout). Routing is bit-identical either way; this
+  // exists so tests and bench_memwall can measure compact vs dense.
+  bool dense_routes = false;
   // When > 0, BackendStats::series records one IntervalPoint per this many
   // requests — the Fig. 11 time-series instrumentation. The sharded backend
   // samples each shard every sample_interval/shards local requests and merges
@@ -223,6 +248,31 @@ struct BackendStats {
   // partial picture and the driver should report failure — the crash-isolation
   // contract: a dead shard yields an explicit error, never a hang.
   uint64_t failed_shards = 0;
+  // Multiproc engine only: dead shards that were re-forked under respawn mode
+  // and completed on their second incarnation (supervisor-set; a shard that
+  // dies twice still counts as failed). See SimBackendConfig::respawn.
+  uint64_t respawned_shards = 0;
+
+  // ---- memory accounting -----------------------------------------------------
+  // Peak resident set (getrusage ru_maxrss) of the process that produced these
+  // stats. Merge keeps the max: multi-process children each count their view
+  // of shared pages, so a sum would overcount the arena/COW pages — the max is
+  // the honest single-number summary, and bench_memwall derives totals from
+  // the deterministic byte fields below instead.
+  uint64_t peak_rss_bytes = 0;
+  // Bytes held by this engine's route-table snapshots (base table + every
+  // precomputed timeline snapshot, compact hot-prefix layout). Merge keeps the
+  // max: in-process shards share one plan and multiproc children alias one
+  // arena/COW copy, so per-shard partials all report the same figure.
+  uint64_t route_table_bytes = 0;
+  // Bytes held by this engine's per-process workload sampler(s): the dense
+  // alias / inverse-CDF tables, or the O(hot) two-level sampler. Merge keeps
+  // the max (shards are symmetric); bench_memwall multiplies by the shard
+  // count when it wants the per-process private total.
+  uint64_t sampler_bytes = 0;
+  // Multiproc engine only: bytes of the shared-memory arena, mapped once and
+  // shared by every shard process (supervisor-set after the merge).
+  uint64_t arena_bytes = 0;
 
   // One entry per sample_interval requests (when SimBackendConfig::sample_interval
   // is set): the per-interval slice of the aggregate counters, for failure
@@ -314,6 +364,12 @@ enum class BackendKind {
 // Parses "sequential" / "sharded" / "fluid" / "multiproc"; defaults to
 // kSequential on anything else.
 BackendKind ParseBackendKind(const std::string& name);
+
+// This process's peak resident set in bytes (getrusage ru_maxrss; 0 where the
+// platform has no rusage). Engines stamp it into BackendStats::peak_rss_bytes
+// at the end of a Run; note maxrss is a process-lifetime high-water mark, so
+// back-to-back runs in one process report the largest of them.
+uint64_t CurrentPeakRssBytes();
 
 // Factory. The returned backend owns its cluster state; construction performs the
 // full allocation (same derived seeds as ClusterSim for cross-backend parity).

@@ -102,7 +102,7 @@ bool GetHistogram(Reader& r, LatencyHistogram* h) {
 
 constexpr size_t kHistogramBound =
     8 + LatencyHistogram::kNumBuckets * 8 + 8 + 8 + 8;
-constexpr size_t kCounterBound = 16 * 8 + 8;  // counters + wall + slack word
+constexpr size_t kCounterBound = 21 * 8 + 8;  // counters + wall + slack word
 
 }  // namespace
 
@@ -134,6 +134,11 @@ size_t SerializeBackendStats(const BackendStats& stats, uint8_t* out,
   w.U64(stats.uncontended_receives);
   w.U64(stats.contended_receives);
   w.U64(stats.failed_shards);
+  w.U64(stats.respawned_shards);
+  w.U64(stats.peak_rss_bytes);
+  w.U64(stats.route_table_bytes);
+  w.U64(stats.sampler_bytes);
+  w.U64(stats.arena_bytes);
   w.F64(stats.wall_seconds);
   w.U64(stats.cache_load.size());
   for (const std::vector<double>& layer : stats.cache_load) {
@@ -171,6 +176,11 @@ bool DeserializeBackendStats(const uint8_t* in, size_t len, BackendStats* out) {
   out->uncontended_receives = r.U64();
   out->contended_receives = r.U64();
   out->failed_shards = r.U64();
+  out->respawned_shards = r.U64();
+  out->peak_rss_bytes = r.U64();
+  out->route_table_bytes = r.U64();
+  out->sampler_bytes = r.U64();
+  out->arena_bytes = r.U64();
   out->wall_seconds = r.F64();
   const uint64_t layers = r.U64();
   if (!r.ok || layers > r.left / 8) {

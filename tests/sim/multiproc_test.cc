@@ -260,6 +260,84 @@ TEST(MultiprocCrash, CrashDuringReallocateRendezvousDoesNotHang) {
   EXPECT_LT(st.requests, kRequests);  // survivor wound down early or finished
 }
 
+// The compact-vs-dense leg for this substrate (route_compact_test.cc covers
+// the in-process engines): a dense-table multiproc run must reproduce the same
+// timeline pins as the compact default — the fallback branch and the stored
+// tail entry are bit-identical routes.
+TEST(MultiprocGolden, DenseRoutesTimelineRunMatchesCompactPins) {
+  SKIP_UNLESS_MULTIPROC_RUNNABLE();
+  SimBackendConfig bcfg = GoldenBackendConfig(1);
+  bcfg.events = FullTimeline();
+  bcfg.dense_routes = true;
+  const BackendStats st =
+      MakeSimBackend(BackendKind::kMultiproc, bcfg)->Run(200'000);
+  EXPECT_EQ(st.reads, 159917u);
+  EXPECT_EQ(st.writes, 40083u);
+  EXPECT_EQ(st.cache_hits, 59286u);
+  EXPECT_EQ(st.spine_hits, 28850u);
+  EXPECT_EQ(st.leaf_hits, 30436u);
+  EXPECT_EQ(st.server_reads, 98995u);
+  EXPECT_EQ(st.dropped, 2148u);
+  EXPECT_DOUBLE_EQ(st.hit_ratio(), 0.37072981609209776);
+  EXPECT_DOUBLE_EQ(st.CacheImbalance(), 1.285477107402653);
+  EXPECT_DOUBLE_EQ(st.ServerImbalance(), 1.7278636677037489);
+}
+
+// Memory accounting fields (PR 9): a multiproc run reports its peak RSS, the
+// one shared arena, and the per-process sampler; the route tables live in the
+// arena, so the per-process route figure is zero by design.
+TEST(MultiprocMemory, RunReportsArenaAndRssBytes) {
+  SKIP_UNLESS_MULTIPROC_RUNNABLE();
+  SimBackendConfig bcfg = GoldenBackendConfig(2);
+  bcfg.events = FullTimeline();
+  const BackendStats st = MakeSimBackend(BackendKind::kMultiproc, bcfg)->Run(200'000);
+  EXPECT_EQ(st.failed_shards, 0u);
+  EXPECT_GT(st.peak_rss_bytes, 0u);
+  EXPECT_GT(st.arena_bytes, 0u);
+  EXPECT_GT(st.sampler_bytes, 0u);
+  EXPECT_EQ(st.route_table_bytes, 0u);  // arena-resident, counted in arena_bytes
+  EXPECT_EQ(st.respawned_shards, 0u);
+}
+
+// ---- respawn ---------------------------------------------------------------
+
+TEST(MultiprocRespawn, KilledShardIsRespawnedAndTheRunCompletes) {
+  SKIP_UNLESS_MULTIPROC_RUNNABLE();
+  constexpr uint64_t kRequests = 400'000;
+  SimBackendConfig bcfg = GoldenBackendConfig(2);
+  bcfg.respawn = true;
+  MultiprocBackend backend(bcfg);
+  backend.TestCrashShardAt(/*shard=*/1, /*after_requests=*/10'000);
+  const BackendStats st = backend.Run(kRequests);
+
+  // The second incarnation re-joins from the arena-resident plan, re-runs its
+  // quota from the start of its deterministic stream, and the run completes in
+  // full: no failed shards, every request accounted for exactly once.
+  EXPECT_EQ(st.failed_shards, 0u);
+  EXPECT_EQ(st.respawned_shards, 1u);
+  EXPECT_EQ(st.requests, kRequests);
+  EXPECT_EQ(st.reads + st.writes, kRequests);
+}
+
+TEST(MultiprocRespawn, RespawnedControllerShardSurvivesReallocRendezvous) {
+  SKIP_UNLESS_MULTIPROC_RUNNABLE();
+  // Kill shard 0 — the realloc controller — before the rendezvous at 120k. The
+  // respawned incarnation must republish its (idempotent, deterministic)
+  // heavy-hitter report, rerun the controller computation, and publish the
+  // rebuilt tables; the peer must neither hang nor observe torn state.
+  constexpr uint64_t kRequests = 400'000;
+  SimBackendConfig bcfg = GoldenBackendConfig(2);
+  bcfg.events = FullTimeline();
+  bcfg.respawn = true;
+  MultiprocBackend backend(bcfg);
+  backend.TestCrashShardAt(/*shard=*/0, /*after_requests=*/10'000);
+  const BackendStats st = backend.Run(kRequests);
+
+  EXPECT_EQ(st.failed_shards, 0u);
+  EXPECT_EQ(st.respawned_shards, 1u);
+  EXPECT_EQ(st.requests, kRequests);
+}
+
 // ---- stats codec -----------------------------------------------------------
 
 TEST(StatsCodec, RoundTripsARealRunBitForBit) {
@@ -294,6 +372,16 @@ TEST(StatsCodec, RoundTripsARealRunBitForBit) {
   EXPECT_EQ(rt.server_reads, st.server_reads);
   EXPECT_EQ(rt.dropped, st.dropped);
   EXPECT_EQ(rt.failed_shards, st.failed_shards);
+  // Memory fields (PR 9): a real sequential run stamps RSS, table and sampler
+  // bytes — they must survive the hand-off too.
+  EXPECT_GT(st.peak_rss_bytes, 0u);
+  EXPECT_GT(st.route_table_bytes, 0u);
+  EXPECT_GT(st.sampler_bytes, 0u);
+  EXPECT_EQ(rt.peak_rss_bytes, st.peak_rss_bytes);
+  EXPECT_EQ(rt.route_table_bytes, st.route_table_bytes);
+  EXPECT_EQ(rt.sampler_bytes, st.sampler_bytes);
+  EXPECT_EQ(rt.arena_bytes, st.arena_bytes);
+  EXPECT_EQ(rt.respawned_shards, st.respawned_shards);
   EXPECT_EQ(rt.wall_seconds, st.wall_seconds);  // == : bit-exact double
   ASSERT_EQ(rt.cache_load.size(), st.cache_load.size());
   for (size_t l = 0; l < st.cache_load.size(); ++l) {
@@ -320,6 +408,8 @@ TEST(StatsCodec, RoundTripsARealRunBitForBit) {
 TEST(StatsCodec, RejectsTruncatedBuffersWithoutCrashing) {
   BackendStats st;
   st.requests = 123;
+  st.respawned_shards = 2;
+  st.arena_bytes = 1u << 20;
   st.cache_load = {{1.0, 2.0}, {3.0}};
   st.server_load = {4.0, 5.0};
   std::vector<uint8_t> buf(StatsCodecBound(2, 3, 2, 0));
@@ -334,6 +424,8 @@ TEST(StatsCodec, RejectsTruncatedBuffersWithoutCrashing) {
   }
   ASSERT_TRUE(DeserializeBackendStats(buf.data(), len, &out));
   EXPECT_EQ(out.requests, 123u);
+  EXPECT_EQ(out.respawned_shards, 2u);
+  EXPECT_EQ(out.arena_bytes, 1u << 20);
 
   // And a too-small serialize target reports 0, never a partial write claim.
   std::vector<uint8_t> tiny(8);

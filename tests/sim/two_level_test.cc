@@ -1,0 +1,161 @@
+// Two-level workload sampling (opt-in, SimBackendConfig::two_level_sampling):
+// an alias table over the hot head plus closed-form inverse-CDF for the
+// capped-Zipf cold head and tail, O(hot) memory instead of O(pool). The mode
+// is a different RNG stream by design, so it is validated *differentially* —
+// the sampled distribution must match the exact pmf, and engine aggregates
+// must match the dense-sampler reference within statistical tolerance — and
+// never against the bit-exact goldens.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/alias_sampler.h"
+#include "common/random.h"
+#include "common/zipf.h"
+#include "sim/sim_backend.h"
+
+namespace distcache {
+namespace {
+
+double RelDiff(double a, double b) {
+  return b == 0.0 ? std::abs(a) : std::abs(a - b) / std::abs(b);
+}
+
+SimBackendConfig SmallConfig() {
+  SimBackendConfig bcfg;
+  bcfg.cluster.mechanism = Mechanism::kDistCache;
+  bcfg.cluster.num_spine = 8;
+  bcfg.cluster.num_racks = 8;
+  bcfg.cluster.servers_per_rack = 4;
+  bcfg.cluster.per_switch_objects = 50;
+  bcfg.cluster.num_keys = 1'000'000;
+  bcfg.cluster.zipf_theta = 0.99;
+  bcfg.cluster.seed = 7;
+  return bcfg;
+}
+
+// Direct distribution check against the exact Zipf pmf: individual hot ranks,
+// the aggregate cold-head mass (where the closed-form inversion runs), and the
+// aggregate tail bucket.
+TEST(TwoLevelSampler, MatchesExactZipfMasses) {
+  constexpr uint64_t kKeys = 1'000'000;
+  constexpr uint64_t kPool = 51'200;
+  constexpr uint64_t kHot = 4'096;
+  constexpr double kTheta = 0.99;
+  constexpr size_t kDraws = 2'000'000;
+  const ZipfDistribution exact(kKeys, kTheta);
+  const TwoLevelSampler sampler(kKeys, kTheta, kPool, kHot);
+  Rng rng(0x7e57ed);
+
+  std::vector<uint64_t> hot_counts(16, 0);
+  uint64_t hot_total = 0;
+  uint64_t cold_head = 0;
+  uint64_t tail = 0;
+  std::vector<uint64_t> cold_decile(10, 0);
+  for (size_t i = 0; i < kDraws; ++i) {
+    const uint32_t b = sampler.Sample(rng);
+    ASSERT_LE(b, kPool);
+    if (b < kHot) {
+      ++hot_total;
+      if (b < hot_counts.size()) {
+        ++hot_counts[b];
+      }
+    } else if (b < kPool) {
+      ++cold_head;
+      ++cold_decile[(b - kHot) * 10 / (kPool - kHot)];
+    } else {
+      ++tail;
+    }
+  }
+
+  const double n = static_cast<double>(kDraws);
+  // Top ranks individually: each carries >= ~0.1% mass, so 2M draws give
+  // sub-percent sampling noise; 5% tolerance is generous.
+  for (size_t r = 0; r < hot_counts.size(); ++r) {
+    EXPECT_LT(RelDiff(hot_counts[r] / n, exact.Pmf(r)), 0.05) << "rank " << r;
+  }
+  EXPECT_LT(RelDiff(hot_total / n, exact.TopMass(kHot)), 0.01);
+  EXPECT_LT(RelDiff(cold_head / n, exact.TopMass(kPool) - exact.TopMass(kHot)),
+            0.02);
+  EXPECT_LT(RelDiff(tail / n, 1.0 - exact.TopMass(kPool)), 0.02);
+  // Inside the cold head the closed-form inversion must reproduce the power
+  // law's *shape*, not just its total: check coarse deciles.
+  const double cold_mass = exact.TopMass(kPool) - exact.TopMass(kHot);
+  for (size_t d = 0; d < 10; ++d) {
+    const uint64_t lo = kHot + d * (kPool - kHot) / 10;
+    const uint64_t hi = kHot + (d + 1) * (kPool - kHot) / 10;
+    const double want = exact.TopMass(hi) - exact.TopMass(lo);
+    ASSERT_GT(want, 0.0);
+    EXPECT_LT(RelDiff(cold_decile[d] / n, want), 0.05)
+        << "cold decile " << d << " of mass " << want / cold_mass;
+  }
+}
+
+TEST(TwoLevelSampler, UniformThetaIsExactlyUniformAcrossBuckets) {
+  constexpr uint64_t kKeys = 100'000;
+  constexpr uint64_t kPool = 10'000;
+  constexpr uint64_t kHot = 256;
+  const TwoLevelSampler sampler(kKeys, 0.0, kPool, kHot);
+  Rng rng(99);
+  uint64_t head = 0;
+  constexpr size_t kDraws = 1'000'000;
+  for (size_t i = 0; i < kDraws; ++i) {
+    if (sampler.Sample(rng) < kPool) {
+      ++head;
+    }
+  }
+  EXPECT_LT(RelDiff(head / static_cast<double>(kDraws),
+                    static_cast<double>(kPool) / kKeys),
+            0.03);
+}
+
+// Memory is the point: the two-level sampler must be orders of magnitude
+// smaller than the dense O(pool) structures it replaces.
+TEST(TwoLevelSampler, BytesAreOHotNotOPool) {
+  constexpr uint64_t kPool = 2'000'000;
+  const TwoLevelSampler two(4'000'000, 0.99, kPool);
+  // Dense baseline: one pmf entry + one cdf entry per pool rank.
+  const size_t dense_bytes = 2 * (kPool + 1) * sizeof(double);
+  EXPECT_GE(dense_bytes, 20 * two.bytes())
+      << "two-level " << two.bytes() << " B vs dense " << dense_bytes << " B";
+}
+
+// Engine-level differential: every request backend under two_level_sampling
+// must reproduce the dense reference's aggregates within statistical
+// tolerance (same cluster, same cached set — only the workload RNG stream
+// differs).
+TEST(TwoLevelSampling, BackendsMatchDenseReferenceAggregates) {
+  constexpr uint64_t kRequests = 400'000;
+  const SimBackendConfig ref_cfg = SmallConfig();
+  const BackendStats ref =
+      MakeSimBackend(BackendKind::kSequential, ref_cfg)->Run(kRequests);
+  for (const BackendKind kind : {BackendKind::kSequential, BackendKind::kSharded}) {
+    SimBackendConfig bcfg = SmallConfig();
+    bcfg.two_level_sampling = true;
+    if (kind == BackendKind::kSharded) {
+      bcfg.shards = 4;
+    }
+    const BackendStats st = MakeSimBackend(kind, bcfg)->Run(kRequests);
+    SCOPED_TRACE(kind == BackendKind::kSequential ? "sequential" : "sharded x4");
+    EXPECT_EQ(st.requests, kRequests);
+    EXPECT_LT(RelDiff(st.hit_ratio(), ref.hit_ratio()), 0.02)
+        << st.hit_ratio() << " vs " << ref.hit_ratio();
+    EXPECT_LT(RelDiff(st.CacheImbalance(), ref.CacheImbalance()), 0.05);
+    EXPECT_LT(RelDiff(st.ServerImbalance(), ref.ServerImbalance()), 0.05);
+    // Load conservation holds exactly regardless of the sampler: every read
+    // charges one unit somewhere (read-only workload).
+    double total = 0.0;
+    for (const auto& layer : st.cache_load) {
+      for (double x : layer) total += x;
+    }
+    for (double x : st.server_load) total += x;
+    EXPECT_NEAR(total, static_cast<double>(kRequests), 1e-6);
+    // And the sampler the run reports is the small one.
+    EXPECT_GT(st.sampler_bytes, 0u);
+    EXPECT_LT(st.sampler_bytes, ref.sampler_bytes);
+  }
+}
+
+}  // namespace
+}  // namespace distcache

@@ -51,6 +51,16 @@ int Run(int argc, char** argv) {
         "   core: threads in-process, whole processes for multiproc)\n"
         "  [--backend=multiproc --huge-pages]   (try 2 MiB pages for the shared\n"
         "   arena; silently falls back when the hugepage pool is empty)\n"
+        "  [--backend=multiproc --numa-interleave]   (interleave the shared\n"
+        "   arena's pages across NUMA nodes; no-op on single-node hosts)\n"
+        "  [--backend=multiproc --respawn]   (respawn a shard process that dies\n"
+        "   mid-run instead of failing the run; the summary reports the count)\n"
+        "  [--backend=... --two-level]   (O(hot) two-level workload sampler —\n"
+        "   alias table over the hot head + closed-form capped-Zipf tail —\n"
+        "   instead of the dense O(pool) inverse-CDF; different RNG stream, so\n"
+        "   aggregates match statistically, not bit for bit)\n"
+        "  [--backend=... --dense-routes]   (pre-PR-9 dense O(pool) route\n"
+        "   tables, for memory A/B runs; results are bit-identical either way)\n"
         "  [--backend=... --fail-spines=K [--fail-at=R] [--remap-at=R]\n"
         "   [--recover-at=R] [--sample=N]]   (failure timeline: fail spines 0..K-1\n"
         "   at request fail-at, controller recovery at remap-at, switches restored\n"
@@ -288,6 +298,10 @@ int Run(int argc, char** argv) {
     }
     bcfg.pin_cores = flags.GetBool("pin-cores", false);
     bcfg.huge_pages = flags.GetBool("huge-pages", false);
+    bcfg.numa_interleave = flags.GetBool("numa-interleave", false);
+    bcfg.respawn = flags.GetBool("respawn", false);
+    bcfg.two_level_sampling = flags.GetBool("two-level", false);
+    bcfg.dense_routes = flags.GetBool("dense-routes", false);
     if (bcfg.pin_cores && backend_name != "sharded" &&
         backend_name != "multiproc") {
       std::fprintf(stderr, "--pin-cores needs --backend=sharded|multiproc\n");
@@ -295,6 +309,14 @@ int Run(int argc, char** argv) {
     }
     if (bcfg.huge_pages && backend_name != "multiproc") {
       std::fprintf(stderr, "--huge-pages needs --backend=multiproc\n");
+      return 1;
+    }
+    if (bcfg.numa_interleave && backend_name != "multiproc") {
+      std::fprintf(stderr, "--numa-interleave needs --backend=multiproc\n");
+      return 1;
+    }
+    if (bcfg.respawn && backend_name != "multiproc") {
+      std::fprintf(stderr, "--respawn needs --backend=multiproc\n");
       return 1;
     }
     // Open-loop virtual time (sim/sim_backend.h QueueModelConfig): Poisson
@@ -434,6 +456,18 @@ int Run(int argc, char** argv) {
         stats.CacheImbalance(), stats.ServerImbalance(),
         static_cast<unsigned long long>(stats.cross_shard_messages),
         static_cast<unsigned long long>(stats.dropped));
+    // Memory footprint: peak RSS is the max across the driver and any shard
+    // processes; route/sampler bytes are per-process state (multiproc keeps
+    // route tables in the shared arena, counted once under `arena`).
+    constexpr double kMiB = 1024.0 * 1024.0;
+    std::printf("  memory: peak RSS %.1f MiB  route tables %.1f MiB  "
+                "sampler %.1f MiB  arena %.1f MiB\n",
+                stats.peak_rss_bytes / kMiB, stats.route_table_bytes / kMiB,
+                stats.sampler_bytes / kMiB, stats.arena_bytes / kMiB);
+    if (stats.respawned_shards > 0) {
+      std::printf("  respawned %llu shard process(es) mid-run (--respawn)\n",
+                  static_cast<unsigned long long>(stats.respawned_shards));
+    }
     if (!stats.latency.empty()) {
       std::printf(
           "  latency (virtual time units): mean %.3f  p50 %.3f  p95 %.3f  "
