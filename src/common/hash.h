@@ -38,6 +38,12 @@ constexpr uint64_t HashCombine(uint64_t a, uint64_t b) {
 // Hashes an arbitrary byte string (FNV-1a core + Mix64 finalizer).
 uint64_t HashBytes(const void* data, size_t len, uint64_t seed = 0);
 
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte range.
+// Used as the integrity check on multiproc stats blobs: unlike the avalanche
+// hashes above it is the standard wire checksum, so a corrupted shared-memory
+// region is detected with well-understood error characteristics.
+uint32_t Crc32(const void* data, size_t len);
+
 // Simple tabulation hashing over the 8 bytes of a 64-bit key.
 //
 // Each of the 8 key bytes indexes a 256-entry table of random 64-bit words; the hash is

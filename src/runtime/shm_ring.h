@@ -36,6 +36,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <ctime>
 
 #include "common/cacheline.h"
 
@@ -111,10 +112,26 @@ class ShmSpscRing {
   // process (e.g. publishes into other rings) before the tail value — the
   // happens-before edge the multiproc done-protocol leans on.
   void Publish() {
+    if (__builtin_expect(drop_next_ != 0 || delay_next_ms_ != 0, 0)) {
+      FaultedPublish();
+      return;
+    }
     if (staged_ != hdr_->tail.load(std::memory_order_relaxed)) {
       hdr_->tail.store(staged_, std::memory_order_release);
     }
   }
+
+  // Fault-injection arms (runtime/fault_plan.h), process-local to this view:
+  // both words are zero in a fault-free run, so Publish keeps its two-
+  // instruction fast path behind one unlikely branch. ArmDropNext swallows
+  // the next `n` Publish batches (the staged slots are rewound to the
+  // published tail and never become visible — a dropped control message);
+  // ArmDelayNext sleeps the next Publish `ms` wall-milliseconds before the
+  // release (a delayed one). Injected here, at the transport seam, so every
+  // consumer-side staleness/fallback path is exercised exactly as a real
+  // lost/late message would.
+  void ArmDropNext(uint32_t n) { drop_next_ += n; }
+  void ArmDelayNext(uint32_t ms) { delay_next_ms_ += ms; }
 
   // ---- consumer side -------------------------------------------------------
 
@@ -149,6 +166,25 @@ class ShmSpscRing {
   }
 
  private:
+  // Cold path of Publish() when a fault arm is set: consume one drop (rewind
+  // the staged batch) or the pending delay (sleep, then release normally).
+  void FaultedPublish() {
+    if (drop_next_ != 0) {
+      --drop_next_;
+      staged_ = hdr_->tail.load(std::memory_order_relaxed);
+      return;
+    }
+    const uint32_t ms = delay_next_ms_;
+    delay_next_ms_ = 0;
+    struct timespec ts {
+      static_cast<time_t>(ms / 1000), static_cast<long>(ms % 1000) * 1000000L
+    };
+    nanosleep(&ts, nullptr);
+    if (staged_ != hdr_->tail.load(std::memory_order_relaxed)) {
+      hdr_->tail.store(staged_, std::memory_order_release);
+    }
+  }
+
   SharedHeader* hdr_ = nullptr;
   uint8_t* slots_ = nullptr;
   size_t stride_ = 0;
@@ -161,6 +197,11 @@ class ShmSpscRing {
   uint64_t staged_ = 0;      // producer: next slot to write
   uint64_t head_cache_ = 0;  // producer: cached consumer head
   uint64_t tail_cache_ = 0;  // consumer: cached producer tail
+
+  // Producer-side fault arms (see ArmDropNext/ArmDelayNext); zero when no
+  // fault plan targets this view.
+  uint32_t drop_next_ = 0;
+  uint32_t delay_next_ms_ = 0;
 };
 
 }  // namespace distcache

@@ -10,6 +10,9 @@
 #include <functional>
 #include <utility>
 
+#include <ctime>
+
+#include <sys/resource.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -79,6 +82,10 @@ enum ShardState : uint32_t {
   kShardRunning = 0,
   kShardDone = 1,     // full quota, stats published
   kShardAborted = 2,  // wound down after the abort flag, partial stats published
+  // Supervisor-set after reaping a shard it will not respawn: the shard is
+  // permanently gone. Peers skip it in every send, rendezvous gather and the
+  // done protocol, and the run completes degraded instead of aborting.
+  kShardDead = 3,
 };
 
 struct alignas(kCacheLineSize) ShmControlBlock {
@@ -97,7 +104,18 @@ struct alignas(kCacheLineSize) ShmControlBlock {
 
 struct alignas(kCacheLineSize) ShardSlot {
   std::atomic<uint32_t> state{kShardRunning};
+  // CRC-32 (common/hash.h) of the serialized stats blob, stored before the
+  // len/state releases: the supervisor recomputes it over the region and a
+  // mismatch marks the shard failed instead of deserializing a corrupted
+  // blob.
+  std::atomic<uint32_t> stats_crc{0};
   std::atomic<uint64_t> stats_len{0};
+  // Liveness word: bumped (relaxed) once per processed batch and on every
+  // wait-loop backoff pause. The supervisor's wall-clock escalation ladder
+  // (wait → warn → declare-dead) only ever watches it advance, so legitimate
+  // rendezvous waits never trip a deadline but a genuinely stalled or wedged
+  // shard does.
+  std::atomic<uint64_t> heartbeat{0};
 };
 static_assert(sizeof(ShmControlBlock) == kCacheLineSize &&
                   sizeof(ShardSlot) == kCacheLineSize,
@@ -225,6 +243,27 @@ struct alignas(kCacheLineSize) MultiprocBackend::Proc {
 
   double quota_scale = 1.0;
   bool abort_seen = false;
+
+  // ---- fault injection (runtime/fault_plan.h) ------------------------------
+  // This shard's planned events on its *local* request clock, sorted; fired
+  // by MaybeInjectFaults behind one unlikely branch in the batch loop. Empty
+  // in fault-free runs.
+  struct PlannedFault {
+    uint64_t at_local;     // fires when processed >= at_local
+    uint32_t plan_index;   // index into config.fault_plan (the arena latch)
+    FaultKind kind;
+    uint64_t param;
+    uint64_t at_request;   // original config-clock timestamp, for the record
+  };
+  std::vector<PlannedFault> faults;
+  size_t next_fault = 0;
+  // Armed survivable effects, consumed at their hook points.
+  uint32_t drop_telemetry = 0;  // broadcasts to swallow at the ring views
+  uint32_t ctrl_delay_ms = 0;   // delay armed on the next control publish
+  bool corrupt_stats = false;   // flip a byte of the stats blob post-CRC
+
+  // This shard's arena heartbeat word (ShardSlot::heartbeat).
+  std::atomic<uint64_t>* heartbeat = nullptr;
 };
 
 // The branch-free hot-path sink — identical arithmetic to ShardedBackend's
@@ -289,8 +328,13 @@ bool MultiprocBackend::LayoutAndMapArena(uint64_t num_requests) {
   const uint64_t max_points =
       config_.sample_interval == 0 ? 0
                                    : num_requests / config_.sample_interval + 4;
+  // Fault-record bound: a child can record at most its planned injections
+  // plus one failover per realloc step (plus slack for future record kinds).
+  const size_t max_fault_events =
+      config_.fault_plan.events.size() + fired_plan_.size() + 8;
   stats_bound_ = StatsCodecBound(model_.layers.size(), nodes,
-                                 model_.num_servers(), max_points);
+                                 model_.num_servers(), max_points,
+                                 max_fault_events);
 
   ArenaLayout layout;
   control_offset_ = layout.Reserve(sizeof(ShmControlBlock) +
@@ -365,6 +409,20 @@ bool MultiprocBackend::LayoutAndMapArena(uint64_t num_requests) {
     }
   }
 
+  // One-shot fault latches: a u32 per planned event, zero-initialized =
+  // unfired. Respawned incarnations consult them before re-firing.
+  fault_latch_offset_ = 0;
+  if (!config_.fault_plan.empty()) {
+    fault_latch_offset_ = layout.Reserve(
+        std::max<size_t>(kCacheLineSize, config_.fault_plan.events.size() *
+                                             sizeof(std::atomic<uint32_t>)));
+  }
+
+  if (config_.fault_plan.arena_map_failure()) {
+    // Injected allocation-failure simulation: report the mapping failed
+    // before touching the pool, exercising the clean FailAll path.
+    return false;
+  }
   if (!arena_.Map(layout.total(), config_.huge_pages)) {
     return false;
   }
@@ -417,7 +475,36 @@ bool MultiprocBackend::Aborted() const {
 BackendStats MultiprocBackend::FailAll(uint32_t shards) const {
   BackendStats stats;
   stats.failed_shards = shards;
+  stats.degraded_fraction = 1.0;
   return stats;
+}
+
+void MultiprocBackend::PulseHeartbeat(Proc& p) {
+  if (p.heartbeat != nullptr) {
+    p.heartbeat->fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool MultiprocBackend::ShardDead(uint32_t shard) const {
+  return ShardSlotAt(arena_, control_offset_, shard)
+             ->state.load(std::memory_order_acquire) == kShardDead;
+}
+
+uint32_t MultiprocBackend::FirstLiveShard() const {
+  const uint32_t n = shard_map_.shards();
+  for (uint32_t s = 0; s < n; ++s) {
+    if (!ShardDead(s)) {
+      return s;
+    }
+  }
+  return 0;  // unreachable while any process runs this code
+}
+
+void MultiprocBackend::RecordFault(Proc& p, FaultKind kind,
+                                   uint64_t at_request) {
+  ++p.local.injected_faults;
+  p.local.fault_events.push_back(
+      {p.id, static_cast<uint32_t>(kind), at_request});
 }
 
 // ---- child side ------------------------------------------------------------
@@ -432,6 +519,7 @@ void MultiprocBackend::ChildMain(uint32_t id, uint64_t quota,
   const uint32_t n = shard_map_.shards();
   Proc p(id, &model_, config_.cluster.seed,
          TimelineNeedsObserver(config_.events));
+  p.heartbeat = &ShardSlotAt(arena_, control_offset_, id)->heartbeat;
   p.data_in.resize(n);
   p.data_out.resize(n);
   p.ctrl_in.resize(n);
@@ -477,16 +565,25 @@ void MultiprocBackend::ChildMain(uint32_t id, uint64_t quota,
   }
 
   // Start barrier (ShmControlBlock comment): everyone's prefault is complete
-  // before anyone's first send. A respawned incarnation skips it — the
-  // barrier released long ago and the counter already reached n.
-  if (!respawned) {
+  // before anyone's first send. Every incarnation — fresh or respawned —
+  // increments, and the release condition also counts supervisor-declared-
+  // dead shards, so a shard that dies before arriving can never wedge the
+  // others (the respawn over-count is harmless under >=). A respawned
+  // incarnation usually finds the barrier long released and falls through.
+  {
     ShmControlBlock* ctrl = CtrlBlockAt(arena_, control_offset_);
     ctrl->ready.fetch_add(1, std::memory_order_acq_rel);
     Backoff barrier_backoff;
-    while (ctrl->ready.load(std::memory_order_acquire) < n) {
-      if (Aborted()) {
+    while (true) {
+      uint32_t dead = 0;
+      for (uint32_t s = 0; s < n; ++s) {
+        dead += ShardDead(s) ? 1 : 0;
+      }
+      if (ctrl->ready.load(std::memory_order_acquire) + dead >= n ||
+          Aborted()) {
         break;
       }
+      PulseHeartbeat(p);
       barrier_backoff.Pause();
     }
   }
@@ -495,7 +592,16 @@ void MultiprocBackend::ChildMain(uint32_t id, uint64_t quota,
 
   uint8_t* region = arena_.At(stats_offset_[id]);
   const size_t len = SerializeBackendStats(p.local, region, stats_bound_);
+  const uint32_t crc = Crc32(region, len);
+  if (__builtin_expect(p.corrupt_stats, 0)) {
+    // Injected kCorruptStats: damage the blob *after* the checksum was
+    // taken, so the supervisor's integrity check is what must catch it.
+    if (len != 0) {
+      region[len / 2] ^= 0x5a;
+    }
+  }
   ShardSlot* slot = ShardSlotAt(arena_, control_offset_, id);
+  slot->stats_crc.store(crc, std::memory_order_release);
   slot->stats_len.store(len, std::memory_order_release);
   slot->state.store(p.abort_seen ? kShardAborted : kShardDone,
                     std::memory_order_release);
@@ -504,7 +610,7 @@ void MultiprocBackend::ChildMain(uint32_t id, uint64_t quota,
   _exit(p.abort_seen ? 3 : 0);
 }
 
-void* MultiprocBackend::AcquireSlot(Proc& p, ShmSpscRing& ring) {
+void* MultiprocBackend::AcquireSlot(Proc& p, ShmSpscRing& ring, uint32_t peer) {
   Backoff backoff;
   while (true) {
     if (void* slot = ring.TryStage()) {
@@ -512,13 +618,18 @@ void* MultiprocBackend::AcquireSlot(Proc& p, ShmSpscRing& ring) {
     }
     // Full ring: the receiver is behind. Draining our own rings while
     // retrying guarantees global progress (same argument as the in-process
-    // engine); the abort check guarantees a dead receiver cannot wedge us.
+    // engine); the abort and dead-peer checks guarantee a dead receiver
+    // cannot wedge us.
     DrainDataRings(p);
     DrainControlRings(p);
     if (Aborted()) {
       p.abort_seen = true;
       return nullptr;
     }
+    if (ShardDead(peer)) {
+      return nullptr;  // receiver permanently gone; the message is moot
+    }
+    PulseHeartbeat(p);
     backoff.Pause();
   }
 }
@@ -527,12 +638,20 @@ void MultiprocBackend::BroadcastTelemetry(Proc& p) {
   const uint32_t n = shard_map_.shards();
   const uint32_t count = static_cast<uint32_t>(p.own_cache.size());
   for (uint32_t peer = 0; peer < n; ++peer) {
-    if (peer == p.id) {
+    if (peer == p.id || ShardDead(peer)) {
       continue;
     }
-    void* slot = AcquireSlot(p, p.data_out[peer]);
+    if (__builtin_expect(p.drop_telemetry != 0, 0)) {
+      // Armed kDropTelemetry: the staged slot below is rewound at Publish,
+      // so this broadcast is lost exactly as a dropped message would be.
+      p.data_out[peer].ArmDropNext(1);
+    }
+    void* slot = AcquireSlot(p, p.data_out[peer], peer);
     if (slot == nullptr) {
-      return;  // aborted
+      if (p.abort_seen) {
+        return;
+      }
+      continue;  // peer died while we waited; skip it
     }
     const WireHeader h{kWireTelemetry, 0, 0, p.id, count, 0};
     WritePod(slot, &h, sizeof(h));
@@ -540,6 +659,9 @@ void MultiprocBackend::BroadcastTelemetry(Proc& p) {
     p.data_out[peer].Publish();
     ++p.local.cross_shard_messages;
     ++p.local.ring_messages;
+  }
+  if (__builtin_expect(p.drop_telemetry != 0, 0)) {
+    --p.drop_telemetry;
   }
 }
 
@@ -556,9 +678,9 @@ void MultiprocBackend::SendLoadDeltas(
   while (ci < cache.size() || si < server.size()) {
     const size_t nc = std::min(cache.size() - ci, max_entries);
     const size_t ns = std::min(server.size() - si, max_entries - nc);
-    void* slot = AcquireSlot(p, p.data_out[peer]);
+    void* slot = AcquireSlot(p, p.data_out[peer], peer);
     if (slot == nullptr) {
-      return;  // aborted
+      return;  // aborted, or the peer died — its merge share is lost anyway
     }
     const WireHeader h{kWireDeltas, 0, 0, p.id, static_cast<uint32_t>(nc),
                        static_cast<uint32_t>(ns)};
@@ -586,15 +708,18 @@ void MultiprocBackend::BroadcastHotReport(
   const size_t max_entries =
       (ctrl_slot_bytes_ - sizeof(WireHeader)) / sizeof(ReportEntry);
   for (uint32_t peer = 0; peer < n; ++peer) {
-    if (peer == p.id) {
+    if (peer == p.id || ShardDead(peer)) {
       continue;
     }
     size_t i = 0;
     do {  // at least one chunk, so an empty report still carries `last`
       const size_t k = std::min(report.size() - i, max_entries);
-      void* slot = AcquireSlot(p, p.ctrl_out[peer]);
+      void* slot = AcquireSlot(p, p.ctrl_out[peer], peer);
       if (slot == nullptr) {
-        return;  // aborted
+        if (p.abort_seen) {
+          return;
+        }
+        break;  // peer died while we waited; skip its remaining chunks
       }
       const uint8_t last = i + k == report.size() ? 1 : 0;
       const WireHeader h{kWireReport, last, 0, p.id,
@@ -607,6 +732,11 @@ void MultiprocBackend::BroadcastHotReport(
       }
       WritePod(slot, p.report_scratch.data(),
                p.report_scratch.size() * sizeof(ReportEntry), sizeof(h));
+      if (__builtin_expect(p.ctrl_delay_ms != 0, 0)) {
+        // Armed kDelayControl: this control publish is late by `param` ms.
+        p.ctrl_out[peer].ArmDelayNext(p.ctrl_delay_ms);
+        p.ctrl_delay_ms = 0;
+      }
       p.ctrl_out[peer].Publish();
       ++p.local.cross_shard_messages;  // control traffic: not a ring_message
       i += k;
@@ -615,12 +745,16 @@ void MultiprocBackend::BroadcastHotReport(
 }
 
 void MultiprocBackend::SendDone(Proc& p, uint32_t peer) {
-  void* slot = AcquireSlot(p, p.ctrl_out[peer]);
+  void* slot = AcquireSlot(p, p.ctrl_out[peer], peer);
   if (slot == nullptr) {
-    return;  // aborted
+    return;  // aborted, or the peer is dead and will never consume it
   }
   const WireHeader h{kWireDone, 1, 0, p.id, 0, 0};
   WritePod(slot, &h, sizeof(h));
+  if (__builtin_expect(p.ctrl_delay_ms != 0, 0)) {
+    p.ctrl_out[peer].ArmDelayNext(p.ctrl_delay_ms);
+    p.ctrl_delay_ms = 0;
+  }
   // This release orders every earlier data-ring publish by this process
   // before the kDone: a peer that has acquired the kDone and then drains its
   // data rings observes all of this shard's deltas (the no-missed-delta edge).
@@ -802,7 +936,15 @@ std::shared_ptr<const RouteTable> MultiprocBackend::Reallocate(Proc& p) {
         p.abort_seen = true;
         return nullptr;  // keep current routes; we are winding down
       }
+      if (ShardDead(peer)) {
+        break;  // died before (or mid-)report; the drains above got what exists
+      }
+      PulseHeartbeat(p);
       backoff.Pause();
+    }
+    if (p.ready_reports[peer].empty()) {
+      reports.push_back({});  // dead peer: its sample is simply absent
+      continue;
     }
     reports.push_back(std::move(p.ready_reports[peer].front()));
     p.ready_reports[peer].pop_front();
@@ -831,6 +973,100 @@ std::shared_ptr<const RouteTable> MultiprocBackend::Reallocate(Proc& p) {
   return routes;
 }
 
+std::vector<std::pair<uint64_t, uint32_t>> MultiprocBackend::ReadArenaReport(
+    uint32_t step, uint32_t s) {
+  const uint32_t n = shard_map_.shards();
+  const uint8_t* slot =
+      arena_.At(report_offset_[static_cast<size_t>(step) * n + s]);
+  const auto* flag = reinterpret_cast<const std::atomic<uint64_t>*>(slot);
+  const uint64_t published = flag->load(std::memory_order_acquire);
+  std::vector<std::pair<uint64_t, uint32_t>> report;
+  if (published == 0) {
+    return report;  // never published (dead shard)
+  }
+  const size_t count = static_cast<size_t>(published - 1);
+  const auto* entries =
+      reinterpret_cast<const ReportEntry*>(slot + kCacheLineSize);
+  report.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    report.emplace_back(entries[i].key, static_cast<uint32_t>(entries[i].count));
+  }
+  return report;
+}
+
+void MultiprocBackend::ApplyReallocModel(
+    Proc& p, std::vector<std::vector<std::pair<uint64_t, uint32_t>>> reports) {
+  // MergeHeavyHitterReports is order-independent and the refill is hash-based
+  // and RNG-free, so every process given the same report set arrives at the
+  // same model state — the property controller failover leans on.
+  model_.SyncControllerRemap(p.core.spine_alive());
+  std::vector<uint64_t> hottest;
+  for (const auto& [key, count] : MergeHeavyHitterReports(reports)) {
+    hottest.push_back(key);
+  }
+  model_.ReallocateCache(hottest);
+}
+
+bool MultiprocBackend::ControllerPublishRealloc(Proc& p, uint32_t step) {
+  const uint32_t n = shard_map_.shards();
+  auto* table_ready = reinterpret_cast<std::atomic<uint64_t>*>(
+      arena_.At(realloc_ready_offset_[step]));
+  const std::vector<size_t>& tables = realloc_table_offset_[step];
+  uint64_t mask = 0;
+  std::vector<std::vector<std::pair<uint64_t, uint32_t>>> reports;
+  reports.reserve(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    const uint8_t* slot =
+        arena_.At(report_offset_[static_cast<size_t>(step) * n + s]);
+    const auto* flag = reinterpret_cast<const std::atomic<uint64_t>*>(slot);
+    Backoff backoff;
+    while (flag->load(std::memory_order_acquire) == 0) {
+      // Keep draining while waiting: a peer stuck on a full ring toward us
+      // must make progress before it can reach this step (same global-
+      // progress argument as AcquireSlot).
+      DrainDataRings(p);
+      DrainControlRings(p);
+      if (flag->load(std::memory_order_acquire) != 0) {
+        break;
+      }
+      if (Aborted()) {
+        p.abort_seen = true;
+        return false;
+      }
+      if (s != p.id && ShardDead(s)) {
+        break;  // died before publishing; its sample is simply absent
+      }
+      PulseHeartbeat(p);
+      backoff.Pause();
+    }
+    if (flag->load(std::memory_order_acquire) == 0) {
+      continue;  // excluded from the merge — and from the published mask
+    }
+    if (s < 63) {
+      mask |= 1ull << s;
+    }
+    reports.push_back(ReadArenaReport(step, s));
+  }
+  ApplyReallocModel(p, std::move(reports));
+  const RouteTable routes = BuildRouteTable(model_, p.core.hot_shift());
+  const std::vector<std::shared_ptr<const RouteTable>> suffix =
+      RebuildPlanSuffixRoutes(fired_plan_, p.core.next_action_index(), model_,
+                              p.core.spine_alive(), p.core.hot_shift());
+  // On a controller respawn the flag may already be set; the model mutations
+  // above still ran — later realloc steps need the refilled state — but the
+  // identical bytes are not rewritten under concurrent readers. A failover
+  // successor always finds the flag clear (kShardDead is set only after the
+  // dead claimant's writes stopped), so its full rewrite wins cleanly.
+  if (table_ready->load(std::memory_order_acquire) == 0) {
+    SerializeTable(arena_.At(tables[0]), &routes);
+    for (size_t i = 0; i < suffix.size(); ++i) {
+      SerializeTable(arena_.At(tables[1 + i]), suffix[i].get());
+    }
+    table_ready->store(1 | (mask << 1), std::memory_order_release);
+  }
+  return true;
+}
+
 std::shared_ptr<const RouteTable> MultiprocBackend::ReallocateViaArena(Proc& p) {
   const uint32_t n = shard_map_.shards();
   const uint32_t step = p.realloc_seq++;
@@ -851,84 +1087,87 @@ std::shared_ptr<const RouteTable> MultiprocBackend::ReallocateViaArena(Proc& p) 
       flag->store(count + 1, std::memory_order_release);
     }
   }
-  auto* table_ready = reinterpret_cast<std::atomic<uint64_t>*>(
-      arena_.At(realloc_ready_offset_[step]));
+  uint8_t* ready_line = arena_.At(realloc_ready_offset_[step]);
+  auto* table_ready = reinterpret_cast<std::atomic<uint64_t>*>(ready_line);
+  // Controller claim word (claimant id + 1), sharing the reserved line with
+  // the ready flag. Zero until the first live shard elects itself; re-pointed
+  // at the deterministic successor when a claimant dies before publishing.
+  auto* claim = reinterpret_cast<std::atomic<uint64_t>*>(ready_line + 8);
   const std::vector<size_t>& tables = realloc_table_offset_[step];
-  // 2. Shard 0 alone runs the controller: gather every report, refill, build
-  //    the immediate + suffix tables and publish them behind the ready flag.
-  //    (On a controller respawn the flag may already be set; the model
-  //    mutations still run — later realloc steps need the refilled state —
-  //    but the identical bytes are not rewritten under concurrent readers.)
-  if (p.id == 0) {
-    std::vector<std::vector<std::pair<uint64_t, uint32_t>>> reports;
-    reports.reserve(n);
-    for (uint32_t s = 0; s < n; ++s) {
-      const uint8_t* slot =
-          arena_.At(report_offset_[static_cast<size_t>(step) * n + s]);
-      const auto* flag = reinterpret_cast<const std::atomic<uint64_t>*>(slot);
-      Backoff backoff;
-      uint64_t published = flag->load(std::memory_order_acquire);
-      while (published == 0) {
-        // Keep draining while waiting: a peer stuck on a full ring toward us
-        // must make progress before it can reach this step (same global-
-        // progress argument as AcquireSlot).
-        DrainDataRings(p);
-        DrainControlRings(p);
-        published = flag->load(std::memory_order_acquire);
-        if (published != 0) {
-          break;
-        }
-        if (Aborted()) {
-          p.abort_seen = true;
-          return nullptr;
-        }
-        backoff.Pause();
-      }
-      const size_t count = static_cast<size_t>(published - 1);
-      const auto* entries =
-          reinterpret_cast<const ReportEntry*>(slot + kCacheLineSize);
-      std::vector<std::pair<uint64_t, uint32_t>> report;
-      report.reserve(count);
-      for (size_t i = 0; i < count; ++i) {
-        report.emplace_back(entries[i].key,
-                            static_cast<uint32_t>(entries[i].count));
-      }
-      reports.push_back(std::move(report));
-    }
-    model_.SyncControllerRemap(p.core.spine_alive());
-    std::vector<uint64_t> hottest;
-    for (const auto& [key, count] : MergeHeavyHitterReports(reports)) {
-      hottest.push_back(key);
-    }
-    model_.ReallocateCache(hottest);
-    const RouteTable routes = BuildRouteTable(model_, p.core.hot_shift());
-    const std::vector<std::shared_ptr<const RouteTable>> suffix =
-        RebuildPlanSuffixRoutes(fired_plan_, p.core.next_action_index(), model_,
-                                p.core.spine_alive(), p.core.hot_shift());
-    if (table_ready->load(std::memory_order_acquire) == 0) {
-      SerializeTable(arena_.At(tables[0]), &routes);
-      for (size_t i = 0; i < suffix.size(); ++i) {
-        SerializeTable(arena_.At(tables[1 + i]), suffix[i].get());
-      }
-      table_ready->store(1, std::memory_order_release);
-    }
-  }
-  // 3. Everyone — controller included, for one uniform install path — waits
-  //    for the publication and installs the views straight out of the arena.
+  const auto report_flag = [&](uint32_t s) {
+    return reinterpret_cast<const std::atomic<uint64_t>*>(
+               arena_.At(report_offset_[static_cast<size_t>(step) * n + s]))
+        ->load(std::memory_order_acquire);
+  };
+
+  // 2. Controller election + publication. The first live shard claims the
+  //    role and runs ControllerPublishRealloc (gather → refill → publish
+  //    behind the ready flag). A waiter that observes a dead claimant with
+  //    the tables still unpublished CASes the claim to the current first
+  //    live shard — the paper's §4.4-style deterministic failover. In a
+  //    fault-free run shard 0 wins the first CAS uncontested, so the
+  //    controller call sequence is exactly the PR 9 one.
+  bool is_publisher = false;
+  uint64_t ready = table_ready->load(std::memory_order_acquire);
   {
     Backoff backoff;
-    while (table_ready->load(std::memory_order_acquire) == 0) {
+    while (ready == 0) {
+      uint64_t cur = claim->load(std::memory_order_acquire);
+      if (cur == 0) {
+        if (FirstLiveShard() == p.id &&
+            claim->compare_exchange_strong(cur, p.id + 1,
+                                           std::memory_order_acq_rel) &&
+            p.id != 0) {
+          // Shard 0 died before ever claiming: this election IS the failover.
+          ++p.local.controller_failovers;
+          p.local.fault_events.push_back(
+              {p.id, BackendStats::FaultRecord::kControllerFailover, 0});
+        }
+      } else if (cur != p.id + 1 &&
+                 ShardDead(static_cast<uint32_t>(cur - 1))) {
+        const uint32_t successor = FirstLiveShard();
+        if (claim->compare_exchange_strong(cur, successor + 1,
+                                           std::memory_order_acq_rel)) {
+          ++p.local.controller_failovers;
+          p.local.fault_events.push_back(
+              {successor, BackendStats::FaultRecord::kControllerFailover, 0});
+        }
+      }
+      if (claim->load(std::memory_order_acquire) == p.id + 1) {
+        if (!ControllerPublishRealloc(p, step)) {
+          return nullptr;  // winding down
+        }
+        is_publisher = true;
+        ready = table_ready->load(std::memory_order_acquire);
+        continue;
+      }
       DrainDataRings(p);
       DrainControlRings(p);
-      if (table_ready->load(std::memory_order_acquire) != 0) {
-        break;
-      }
       if (Aborted()) {
         p.abort_seen = true;
         return nullptr;  // keep current routes; we are winding down
       }
+      PulseHeartbeat(p);
       backoff.Pause();
+      ready = table_ready->load(std::memory_order_acquire);
     }
+  }
+  // 3. Non-publishers replay the controller's model mutations from the
+  //    masked report set, so any of them can take over as controller at a
+  //    later step with the refilled allocation state. (The mask covers
+  //    shards 0..62; beyond that the report flags stand in, which can
+  //    over-include a report the publisher missed — documented limitation.)
+  if (!is_publisher && n > 1) {
+    const uint64_t mask = ready >> 1;
+    std::vector<std::vector<std::pair<uint64_t, uint32_t>>> reports;
+    for (uint32_t s = 0; s < n; ++s) {
+      const bool included =
+          s < 63 ? ((mask >> s) & 1) != 0 : report_flag(s) != 0;
+      if (included) {
+        reports.push_back(ReadArenaReport(step, s));
+      }
+    }
+    ApplyReallocModel(p, std::move(reports));
   }
   const TableView immediate = ViewTable(arena_.At(tables[0]));
   p.core.SetRouteView(immediate.entries, immediate.len, immediate.overflow);
@@ -942,7 +1181,65 @@ std::shared_ptr<const RouteTable> MultiprocBackend::ReallocateViaArena(Proc& p) 
   return nullptr;  // views installed directly; nothing for the hook to swap
 }
 
+void MultiprocBackend::MaybeInjectFaults(Proc& p) {
+  while (p.next_fault < p.faults.size() &&
+         p.processed >= p.faults[p.next_fault].at_local) {
+    const Proc::PlannedFault f = p.faults[p.next_fault++];
+    // One-shot arena latch: the event fires on the incarnation that wins the
+    // exchange; a respawned shard re-running the same range skips it.
+    auto* latch = reinterpret_cast<std::atomic<uint32_t>*>(
+        arena_.At(fault_latch_offset_) +
+        static_cast<size_t>(f.plan_index) * sizeof(std::atomic<uint32_t>));
+    if (latch->exchange(1, std::memory_order_acq_rel) != 0) {
+      continue;
+    }
+    switch (f.kind) {
+      case FaultKind::kCrashClean:
+        // Vanish with a clean exit code and *no* state/stats publish — the
+        // reap loop must not trust the exit status alone.
+        _exit(0);
+      case FaultKind::kCrashKill:
+        raise(SIGKILL);
+        _exit(101);  // unreachable
+      case FaultKind::kCrashAbort: {
+        struct rlimit no_core {0, 0};
+        setrlimit(RLIMIT_CORE, &no_core);  // an injected abort dumps no core
+        raise(SIGABRT);
+        _exit(102);  // unreachable
+      }
+      case FaultKind::kStall: {
+        RecordFault(p, f.kind, f.at_request);
+        // Straggler: wedge for `param` ms WITHOUT heartbeat pulses, so the
+        // supervisor ladder sees a genuine stall; sliced sleeps keep the
+        // shard abort-responsive.
+        struct timespec ms {0, 1000000L};
+        for (uint64_t i = 0; i < f.param && !Aborted(); ++i) {
+          nanosleep(&ms, nullptr);
+        }
+        break;
+      }
+      case FaultKind::kDropTelemetry:
+        RecordFault(p, f.kind, f.at_request);
+        p.drop_telemetry += static_cast<uint32_t>(f.param);
+        break;
+      case FaultKind::kDelayControl:
+        RecordFault(p, f.kind, f.at_request);
+        p.ctrl_delay_ms += static_cast<uint32_t>(f.param);
+        break;
+      case FaultKind::kCorruptStats:
+        RecordFault(p, f.kind, f.at_request);
+        p.corrupt_stats = true;
+        break;
+      case FaultKind::kArenaMapFail:
+        break;  // pre-fork only (LayoutAndMapArena); never planned per-shard
+    }
+  }
+}
+
 void MultiprocBackend::ProcessBatch(Proc& p, uint32_t count) {
+  if (__builtin_expect(p.next_fault < p.faults.size(), 0)) {
+    MaybeInjectFaults(p);
+  }
   if (p.id == crash_shard_ && p.processed >= crash_after_ &&
       CtrlBlockAt(arena_, control_offset_)
               ->crash_consumed.exchange(1, std::memory_order_acq_rel) == 0) {
@@ -962,6 +1259,7 @@ void MultiprocBackend::ProcessBatch(Proc& p, uint32_t count) {
   ProcSink sink{this, &p};
   p.core.ProcessBatch(sink, p.batch_keys.data(), count);
   p.processed += count;
+  PulseHeartbeat(p);
 }
 
 void MultiprocBackend::RunShard(Proc& p, uint64_t quota,
@@ -983,6 +1281,24 @@ void MultiprocBackend::RunShard(Proc& p, uint64_t quota,
   p.quota_scale = num_requests == 0 ? 0.0
                                     : static_cast<double>(quota) /
                                           static_cast<double>(num_requests);
+  // Schedule this shard's injected faults on its *local* request clock —
+  // config timestamps are global-clock, scaled exactly like the timeline
+  // plan below. Empty in fault-free runs: the batch-loop hook then compiles
+  // to one never-taken branch.
+  for (size_t i = 0; i < config_.fault_plan.events.size(); ++i) {
+    const FaultEvent& ev = config_.fault_plan.events[i];
+    if (ev.shard != p.id || ev.kind == FaultKind::kArenaMapFail) {
+      continue;
+    }
+    p.faults.push_back(
+        {static_cast<uint64_t>(static_cast<double>(ev.at_request) *
+                               p.quota_scale),
+         static_cast<uint32_t>(i), ev.kind, ev.param, ev.at_request});
+  }
+  std::stable_sort(p.faults.begin(), p.faults.end(),
+                   [](const Proc::PlannedFault& a, const Proc::PlannedFault& b) {
+                     return a.at_local < b.at_local;
+                   });
   p.core.BindStats(&p.local);
   // Arena-resident plan: the base table lives in the arena; install it as a
   // non-owning view (the arena outlives the run by construction).
@@ -1060,7 +1376,7 @@ void MultiprocBackend::RunShard(Proc& p, uint64_t quota,
 
   FlushLoads(p);
   for (uint32_t peer = 0; peer < n; ++peer) {
-    if (peer != p.id) {
+    if (peer != p.id && !ShardDead(peer)) {
       SendDone(p, peer);
     }
   }
@@ -1095,6 +1411,7 @@ void MultiprocBackend::RunShard(Proc& p, uint64_t quota,
         p.abort_seen = true;
         break;
       }
+      PulseHeartbeat(p);
       backoff.Pause();
     }
     DrainDataRings(p);  // every live peer's final deltas are visible now
@@ -1124,7 +1441,13 @@ BackendStats MultiprocBackend::Run(uint64_t num_requests) {
     }
   }
   if (!LayoutAndMapArena(num_requests)) {
-    return FailAll(n);
+    BackendStats stats = FailAll(n);
+    stats.fault_events.push_back(
+        {0, BackendStats::FaultRecord::kArenaMapFailed, 0});
+    if (config_.fault_plan.arena_map_failure()) {
+      stats.injected_faults = 1;
+    }
+    return stats;
   }
   if (config_.numa_interleave) {
     // Before any arena page is faulted: the plan tables serialized below then
@@ -1135,7 +1458,6 @@ BackendStats MultiprocBackend::Run(uint64_t num_requests) {
 
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<pid_t> pids(n, -1);
-  bool fork_failed = false;
   const auto quota_of = [&](uint32_t i) {
     return num_requests / n + (i < num_requests % n ? 1 : 0);
   };
@@ -1145,24 +1467,51 @@ BackendStats MultiprocBackend::Run(uint64_t num_requests) {
       ChildMain(i, quota_of(i), num_requests, /*respawned=*/false);  // [[noreturn]]
     }
     if (pid < 0) {
-      fork_failed = true;
+      // Partial-fork cleanup: kill and reap everything already spawned,
+      // release the arena, and report total failure — never leak children
+      // or a mapping on the fork-exhaustion path.
       CtrlBlockAt(arena_, control_offset_)
           ->abort.store(1, std::memory_order_release);
-      break;
+      for (uint32_t k = 0; k < i; ++k) {
+        if (pids[k] > 0) {
+          ::kill(pids[k], SIGKILL);
+        }
+      }
+      for (uint32_t k = 0; k < i; ++k) {
+        if (pids[k] > 0) {
+          int status = 0;
+          ::waitpid(pids[k], &status, 0);
+        }
+      }
+      arena_.Unmap();
+      return FailAll(n);
     }
     pids[i] = pid;
   }
 
   // Reap loop: children exit on their own (quota done, or abort-flag
-  // wind-down); a child that dies abnormally trips the abort flag so the
-  // survivors wind down too — the supervisor never blocks indefinitely.
-  std::vector<uint8_t> failed(n, fork_failed ? 1 : 0);
-  std::vector<uint8_t> respawn_left(n, config_.respawn && !fork_failed ? 1 : 0);
+  // wind-down). A child that dies abnormally is respawned while its budget
+  // lasts, then marked kShardDead so the survivors complete degraded — the
+  // abort flag is no longer raised for a lost shard, only for catastrophic
+  // setup failures. While a child lives, its heartbeat word is watched on a
+  // wall-clock ladder: warn_ms without progress records a miss, dead_ms
+  // SIGKILLs the wedged process into the same respawn-or-degrade path, so no
+  // fault class (including a silent stall) can hang the run.
+  std::vector<uint8_t> failed(n, 0);
+  std::vector<uint32_t> respawn_left(
+      n, config_.respawn ? config_.respawn_limit : 0);
   uint32_t respawned = 0;
-  uint32_t live = 0;
+  uint32_t live = n;
+  uint64_t heartbeat_misses = 0;
+  std::vector<BackendStats::FaultRecord> observed;
+  struct Watch {
+    uint64_t hb = 0;
+    std::chrono::steady_clock::time_point since;
+    bool warned = false;
+  };
+  std::vector<Watch> watch(n);
   for (uint32_t i = 0; i < n; ++i) {
-    live += pids[i] >= 0 ? 1 : 0;
-    failed[i] = pids[i] < 0 ? 1 : 0;
+    watch[i].since = t0;
   }
   Backoff backoff;
   while (live > 0) {
@@ -1174,25 +1523,55 @@ BackendStats MultiprocBackend::Run(uint64_t num_requests) {
       int status = 0;
       const pid_t r = ::waitpid(pids[i], &status, WNOHANG);
       if (r == 0) {
+        // Still running: advance the liveness ladder.
+        const uint64_t hb = ShardSlotAt(arena_, control_offset_, i)
+                                ->heartbeat.load(std::memory_order_relaxed);
+        const auto now = std::chrono::steady_clock::now();
+        if (hb != watch[i].hb) {
+          watch[i] = {hb, now, false};
+          continue;
+        }
+        const uint64_t stalled_ms = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - watch[i].since)
+                .count());
+        if (!watch[i].warned && config_.heartbeat_warn_ms != 0 &&
+            stalled_ms >= config_.heartbeat_warn_ms) {
+          watch[i].warned = true;
+          ++heartbeat_misses;
+          observed.push_back(
+              {i, BackendStats::FaultRecord::kHeartbeatWarn, 0});
+        }
+        if (config_.heartbeat_dead_ms != 0 &&
+            stalled_ms >= config_.heartbeat_dead_ms) {
+          // Declared dead: kill the wedged process; the next reap pass
+          // routes it through the normal respawn-or-degrade path below.
+          observed.push_back(
+              {i, BackendStats::FaultRecord::kShardDeclaredDead, 0});
+          ::kill(pids[i], SIGKILL);
+          watch[i].since = now;
+          watch[i].warned = false;
+        }
         continue;
       }
       pids[i] = -1;
       --live;
       progress = true;
-      // Exit 0 = clean; exit 3 = orderly wind-down after the abort flag
-      // (partial stats published, not this shard's fault). Anything else —
-      // a signal (the SIGKILL case), a crash, a nonzero exit, a waitpid
-      // error — is a dead shard: under --respawn it is re-forked once to
-      // re-join from the arena-resident plan; otherwise (or on a second
-      // death) record it and abort the survivors.
+      // Orderly = a clean exit code AND a published completion state. The
+      // state check is what catches an injected clean-exit crash: exit(0)
+      // with the slot still kShardRunning is a vanished shard, not a done
+      // one. Exit 3 is the orderly wind-down after the abort flag.
       const bool orderly =
           r > 0 && WIFEXITED(status) &&
-          (WEXITSTATUS(status) == 0 || WEXITSTATUS(status) == 3);
+          (WEXITSTATUS(status) == 0 || WEXITSTATUS(status) == 3) &&
+          ShardSlotAt(arena_, control_offset_, i)
+                  ->state.load(std::memory_order_acquire) != kShardRunning;
       if (orderly) {
         continue;
       }
-      if (respawn_left[i]) {
-        respawn_left[i] = 0;
+      observed.push_back({i, BackendStats::FaultRecord::kShardDeath, 0});
+      if (respawn_left[i] > 0) {
+        --respawn_left[i];
         // Reset the completion slot: SIGKILL usually left it untouched, but a
         // death between the stats publish and _exit would otherwise let peers
         // count this shard done while the respawn is still re-running.
@@ -1207,13 +1586,23 @@ BackendStats MultiprocBackend::Run(uint64_t num_requests) {
           pids[i] = fresh;
           ++live;
           ++respawned;
+          observed.push_back(
+              {i, BackendStats::FaultRecord::kShardRespawn, 0});
+          watch[i].since = std::chrono::steady_clock::now();
+          watch[i].warned = false;
           continue;
         }
         // fork failed: fall through to the dead-shard path
       }
+      // Budget exhausted: permanently dead. Peers see kShardDead and skip
+      // this shard in every send, rendezvous gather, election and the done
+      // protocol; the run completes with the survivors' quota — degrade,
+      // don't abort.
       failed[i] = 1;
-      CtrlBlockAt(arena_, control_offset_)
-          ->abort.store(1, std::memory_order_release);
+      ShardSlotAt(arena_, control_offset_, i)
+          ->state.store(kShardDead, std::memory_order_release);
+      observed.push_back(
+          {i, BackendStats::FaultRecord::kShardDeclaredDead, 0});
     }
     if (live > 0 && !progress) {
       backoff.Pause();
@@ -1224,23 +1613,43 @@ BackendStats MultiprocBackend::Run(uint64_t num_requests) {
   // Bucket-exact quota-end merge from the arena-resident per-shard stats:
   // deserialization is bit-exact and BackendStats::Merge is the same
   // element-wise accumulate the in-process engine uses across its joined
-  // threads.
+  // threads. Every blob must match its child-computed CRC-32 — a mismatch
+  // (torn write, injected corruption) fails the shard instead of merging
+  // garbage. Lost shards charge their quota to degraded_fraction, so the
+  // caller can check hit-ratio degradation is proportional to lost quota.
   BackendStats total;
+  uint64_t lost_quota = 0;
   for (uint32_t i = 0; i < n; ++i) {
     ShardSlot* slot = ShardSlotAt(arena_, control_offset_, i);
     const uint32_t state = slot->state.load(std::memory_order_acquire);
     const uint64_t len = slot->stats_len.load(std::memory_order_acquire);
+    const bool crc_ok =
+        len != 0 && len <= stats_bound_ &&
+        slot->stats_crc.load(std::memory_order_acquire) ==
+            Crc32(arena_.At(stats_offset_[i]), static_cast<size_t>(len));
+    if (!failed[i] && state != kShardRunning && len != 0 &&
+        len <= stats_bound_ && !crc_ok) {
+      observed.push_back(
+          {i, BackendStats::FaultRecord::kStatsCrcMismatch, 0});
+    }
     BackendStats partial;
-    if (failed[i] || state == kShardRunning || len == 0 ||
-        len > stats_bound_ ||
+    if (failed[i] || state == kShardRunning || state == kShardDead || !crc_ok ||
         !DeserializeBackendStats(arena_.At(stats_offset_[i]), len, &partial)) {
       ++total.failed_shards;
+      lost_quota += quota_of(i);
       continue;
     }
     total.Merge(partial);
   }
   total.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   total.respawned_shards = respawned;
+  total.heartbeat_misses += heartbeat_misses;
+  total.degraded_fraction =
+      num_requests == 0 ? 0.0
+                        : static_cast<double>(lost_quota) /
+                              static_cast<double>(num_requests);
+  total.fault_events.insert(total.fault_events.end(), observed.begin(),
+                            observed.end());
   total.arena_bytes = arena_.size();
   total.peak_rss_bytes = std::max(total.peak_rss_bytes, CurrentPeakRssBytes());
   arena_.Unmap();

@@ -36,17 +36,39 @@
 // wholly on the supervisor's; the rings keep their per-shard first-touch
 // placement either way (children fault them post-fork).
 //
-// Respawn (config.respawn): a shard that dies abnormally is re-forked once
-// instead of aborting the run. The respawned incarnation re-joins from the
-// arena-resident plan and re-runs its quota from the start: it skips the ring
-// prefault (zero-filling a live ring would clobber in-flight slots and the
-// header's published tail) and the start barrier, and re-attaches its ring
-// views via ShmSpscRing::SyncFromShared. Known accepted skews, bounded by one
-// crash: peers that folded the dead incarnation's telemetry see negative
+// Respawn (config.respawn): a shard that dies abnormally is re-forked — up to
+// config.respawn_limit times per shard — instead of degrading the run. The
+// respawned incarnation re-joins from the arena-resident plan and re-runs its
+// quota from the start: it skips the ring prefault (zero-filling a live ring
+// would clobber in-flight slots and the header's published tail), passes
+// straight through the already-released start barrier, and re-attaches its
+// ring views via ShmSpscRing::SyncFromShared. Known accepted skews, bounded
+// per crash: peers that folded the dead incarnation's telemetry see negative
 // deltas when the respawn's counters restart (the telemetry view is
 // approximate by design), and a crash landing inside the end-of-run delta
-// flush can double-count the flushed portion (the crash test kills mid-run,
+// flush can double-count the flushed portion (the crash tests kill mid-run,
 // far from the flush).
+//
+// Supervisor hardening (the PR 10 fault-model tentpole): each shard bumps a
+// heartbeat word in its arena slot at batch granularity and on every wait-loop
+// backoff pause, and the supervisor runs a wall-clock escalation ladder over
+// it — wait → warn (heartbeat_warn_ms; counted in heartbeat_misses) →
+// declare-dead (heartbeat_dead_ms; SIGKILL) → respawn-or-degrade. A shard
+// death without (or beyond) respawn budget no longer aborts the survivors:
+// the supervisor marks the slot kShardDead, every peer-facing wait (full-ring
+// retries, rendezvous gathers, the done protocol) skips dead peers, and the
+// run completes degraded — failed_shards + degraded_fraction (lost quota /
+// total) record the loss. Stats blobs are CRC32-checked (common/hash.h)
+// before deserialization, so a corrupted region marks the shard failed
+// instead of merging garbage. A clean exit that never published its state
+// word is treated as a death, not trusted. No fault class may hang the run.
+//
+// Fault injection (runtime/fault_plan.h, config.fault_plan): crash / stall /
+// drop / delay / corrupt / mapfail events fire on the deterministic per-shard
+// request clock from a hook in the batch loop — one unlikely branch when the
+// plan is empty, so fault-free runs stay bit-identical to the goldens. Each
+// event has a one-shot latch in the arena, so a respawned incarnation replays
+// its request stream without re-firing faults that already fired.
 //
 // Transport: the same two-plane split as in-process, but both planes ride
 // arena rings (there is no cross-process mutex channel worth having):
@@ -64,14 +86,24 @@
 //     so every child queues it locally instead of receiving it from the
 //     controller shard;
 //   * the kReallocateCache rendezvous goes through the arena, single-
-//     controller: every shard publishes its heavy-hitter report into an
-//     idempotent per-(step, shard) arena slot, shard 0 alone merges the
-//     reports, runs the controller computation and serializes the rebuilt
-//     immediate + suffix tables into the step's arena region behind a ready
-//     flag; every shard (including shard 0) then installs them as views. The
-//     slots are write-once per incarnation and the computation is
-//     deterministic, so a respawned shard — even a respawned controller —
-//     re-publishes identical bytes and the rendezvous stays consistent.
+//     controller with deterministic failover: every shard publishes its
+//     heavy-hitter report into an idempotent per-(step, shard) arena slot,
+//     then the lowest-indexed *live* shard claims a per-step controller word
+//     (CAS; value = claimant + 1), merges the published reports (a shard that
+//     died before publishing is excluded; the merged-shard mask rides in the
+//     ready word), runs the controller computation and serializes the rebuilt
+//     immediate + suffix tables into the step's arena region behind the ready
+//     flag; every shard then installs them as views. If the claimant dies
+//     before publishing (kShardDead is only set after the process is reaped,
+//     so its writes have stopped), waiters CAS the claim over to the next
+//     live shard by index, which recomputes and publishes — the
+//     controller_failovers counter records it. Every process (up to 63
+//     shards, the mask width) applies the same model mutations from the
+//     masked reports after the publish, so any shard's model is current
+//     enough to take over a *later* rendezvous too. The report slots are
+//     write-once per incarnation and the computation is deterministic, so a
+//     respawned shard — even a respawned controller — re-publishes identical
+//     bytes and the rendezvous stays consistent.
 //     Dynamic cache policies keep the legacy all-to-all broadcast where every
 //     process runs the controller computation on its own model copy (their
 //     policy runtimes read the local allocation, which must stay in sync);
@@ -82,12 +114,14 @@
 // deltas, publishes kDone to every peer (the ring release orders the earlier
 // data publishes before it — the same happens-before edge the in-process
 // engine gets from release-on-ring-tail before the channel mutex), drains
-// until it has seen every peer's kDone, serializes its stats and exits 0. The
-// supervisor reaps children as they exit; a child that dies abnormally (crash,
-// SIGKILL) trips the arena abort flag, which every wait loop, full-ring retry
-// and backoff checks — surviving children wind down, publish *partial* stats
-// and exit; the supervisor merges what it can and reports the dead shards in
-// BackendStats::failed_shards instead of hanging on the quota-end rendezvous.
+// until it has seen every peer's kDone (or the peer's slot says it exited or
+// died), serializes its stats behind a CRC and exits 0. The supervisor reaps
+// children as they exit; a child that dies abnormally is respawned while
+// budget remains, else marked kShardDead — survivors skip it everywhere and
+// complete their full quota, and the supervisor reports the loss in
+// failed_shards/degraded_fraction instead of hanging on the quota-end
+// rendezvous. The arena abort flag remains as the catastrophic backstop
+// (supervisor-side failures before/while forking).
 #ifndef DISTCACHE_SIM_MULTIPROC_BACKEND_H_
 #define DISTCACHE_SIM_MULTIPROC_BACKEND_H_
 
@@ -154,17 +188,48 @@ class MultiprocBackend : public SimBackend {
   void BroadcastHotReport(
       Proc& p, const std::vector<std::pair<uint64_t, uint32_t>>& report);
   void SendDone(Proc& p, uint32_t peer);
+  // Fault-injection hook (runtime/fault_plan.h): fires every planned fault of
+  // this shard whose local timestamp has been reached; one-shot per event via
+  // an arena latch. Called behind an unlikely-branch guard in the batch loop.
+  void MaybeInjectFaults(Proc& p);
+  void RecordFault(Proc& p, FaultKind kind, uint64_t at_request);
+  // Bumps this shard's arena heartbeat word (relaxed); called per batch and
+  // from every wait-loop backoff so legitimate waits never look like stalls.
+  void PulseHeartbeat(Proc& p);
+  // True once the supervisor declared `shard` permanently dead (kShardDead is
+  // only stored after the process was reaped — its writes have stopped).
+  bool ShardDead(uint32_t shard) const;
+  // Lowest-indexed shard not declared dead — the deterministic controller
+  // (and controller-successor) choice for the realloc rendezvous.
+  uint32_t FirstLiveShard() const;
   // kReallocateCache, legacy all-to-all flavor (dynamic policies only): every
   // process collects the reports and runs the controller computation. Null on
   // abort.
   std::shared_ptr<const RouteTable> Reallocate(Proc& p);
-  // kReallocateCache, arena flavor (header comment): publish report → shard 0
-  // computes and publishes the tables → install views. Always returns null
-  // (the views are installed directly on p.core).
+  // kReallocateCache, arena flavor (header comment): publish report → the
+  // first live shard claims controllership, computes and publishes the tables
+  // (failover CAS if the claimant dies) → everyone applies the masked-report
+  // model mutations and installs views. Always returns null (the views are
+  // installed directly on p.core).
   std::shared_ptr<const RouteTable> ReallocateViaArena(Proc& p);
+  // Controller half of the arena rendezvous: gather every live shard's
+  // published report, run the model mutations, build + serialize the tables
+  // and release the ready word carrying the merged-shard mask. False when
+  // aborted mid-gather.
+  bool ControllerPublishRealloc(Proc& p, uint32_t step);
+  // Reads shard `s`'s published report for `step` (its flag must be set).
+  std::vector<std::pair<uint64_t, uint32_t>> ReadArenaReport(uint32_t step,
+                                                             uint32_t s);
+  // The deterministic controller model mutations (remap sync + heavy-hitter
+  // merge + cache refill) every process applies, so later-step takeovers run
+  // against a current model.
+  void ApplyReallocModel(Proc& p,
+                         std::vector<std::vector<std::pair<uint64_t, uint32_t>>>
+                             reports);
   void ApplyDataSlot(Proc& p, const void* slot);
-  // Full-ring retry with own-ring drains + backoff; null once aborted.
-  void* AcquireSlot(Proc& p, ShmSpscRing& ring);
+  // Full-ring retry with own-ring drains + backoff; null once aborted or when
+  // `peer` was declared dead (callers distinguish via p.abort_seen).
+  void* AcquireSlot(Proc& p, ShmSpscRing& ring, uint32_t peer);
   bool Aborted() const;
 
   // ---- supervisor side -----------------------------------------------------
@@ -215,6 +280,10 @@ class MultiprocBackend : public SimBackend {
   std::vector<size_t> report_offset_;           // [step * shards + shard]
   std::vector<size_t> realloc_ready_offset_;    // [step]
   std::vector<std::vector<size_t>> realloc_table_offset_;  // [step][table]
+  // One-shot fault latches: one u32 per fault_plan event (zero = unfired), so
+  // respawned incarnations replay their streams without re-firing. 0 when the
+  // plan is empty (no reservation, no hook work).
+  size_t fault_latch_offset_ = 0;
 
   uint32_t crash_shard_ = UINT32_MAX;  // test hook; no shard by default
   uint64_t crash_after_ = 0;

@@ -122,6 +122,12 @@ void BackendStats::Merge(const BackendStats& other) {
   contended_receives += other.contended_receives;
   failed_shards += other.failed_shards;
   respawned_shards += other.respawned_shards;
+  injected_faults += other.injected_faults;
+  heartbeat_misses += other.heartbeat_misses;
+  controller_failovers += other.controller_failovers;
+  degraded_fraction += other.degraded_fraction;
+  fault_events.insert(fault_events.end(), other.fault_events.begin(),
+                      other.fault_events.end());
   // Memory fields keep the max (shared pages / shared snapshots would be
   // overcounted by a sum — see the field comments).
   peak_rss_bytes = std::max(peak_rss_bytes, other.peak_rss_bytes);

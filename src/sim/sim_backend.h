@@ -48,6 +48,7 @@
 #include "cluster/cluster_sim.h"
 #include "common/stats.h"
 #include "common/workload.h"
+#include "runtime/fault_plan.h"
 
 namespace distcache {
 
@@ -183,14 +184,29 @@ struct SimBackendConfig {
   // policy when many shards on different nodes read the one shared plan.
   // Silent no-op off Linux or when the mbind call is unavailable.
   bool numa_interleave = false;
-  // Multiproc: re-fork a shard process that dies abnormally, once, instead of
-  // aborting the run. The respawned shard re-joins from the arena-resident
+  // Multiproc: re-fork a shard process that dies abnormally instead of
+  // degrading the run. The respawned shard re-joins from the arena-resident
   // plan and re-runs its quota from the start of its (deterministic) stream;
   // exact counters stay exact-once (only the final incarnation serializes its
   // stats), but telemetry partials the dead incarnation broadcast are not
   // recalled, so peers' *approximate* load views may double-count them. A
-  // shard that dies twice fails the run as without respawn.
+  // shard that exhausts respawn_limit is declared dead and the run degrades
+  // (survivors complete; failed_shards/degraded_fraction record the loss).
   bool respawn = false;
+  // Respawns allowed per shard under respawn mode (total across the run).
+  uint32_t respawn_limit = 3;
+  // Multiproc: injected-fault schedule (runtime/fault_plan.h). Empty (the
+  // default) compiles to one never-taken branch per batch — bit-identical to
+  // a fault-free run. Other engines ignore it.
+  FaultPlan fault_plan;
+  // Multiproc supervisor heartbeat deadlines, in wall milliseconds. A shard
+  // whose arena heartbeat word stops advancing for heartbeat_warn_ms is
+  // counted as a heartbeat miss (warn); one silent for heartbeat_dead_ms is
+  // declared dead (SIGKILL + respawn-or-degrade). 0 disables that rung of the
+  // escalation. Deadlines are wall-clock and therefore never part of the
+  // deterministic stats digest.
+  uint64_t heartbeat_warn_ms = 2000;
+  uint64_t heartbeat_dead_ms = 30000;
   // Opt-in two-level workload sampling: an alias table over the cached hot
   // prefix plus a closed-form inverse-CDF for the capped-Zipf tail
   // (common/alias_sampler.h), making sampler memory O(cached keys) instead of
@@ -248,10 +264,26 @@ struct BackendStats {
   // partial picture and the driver should report failure — the crash-isolation
   // contract: a dead shard yields an explicit error, never a hang.
   uint64_t failed_shards = 0;
-  // Multiproc engine only: dead shards that were re-forked under respawn mode
-  // and completed on their second incarnation (supervisor-set; a shard that
-  // dies twice still counts as failed). See SimBackendConfig::respawn.
+  // Multiproc engine only: re-forks performed under respawn mode (supervisor-
+  // set; counts every respawn, so one shard killed twice contributes 2). A
+  // shard that exhausts SimBackendConfig::respawn_limit still counts failed.
   uint64_t respawned_shards = 0;
+  // Multiproc engine only: injected faults the shard processes survived and
+  // recorded (stall/drop/delay/corrupt; crash-class injections kill the
+  // recorder, so the supervisor's fault_events entry is their record).
+  uint64_t injected_faults = 0;
+  // Multiproc engine only: heartbeat warn episodes the supervisor observed
+  // (a shard silent past heartbeat_warn_ms; wall-clock, not deterministic).
+  uint64_t heartbeat_misses = 0;
+  // Multiproc engine only: realloc-rendezvous controller takeovers (the
+  // configured controller was dead, the next live shard by index published
+  // the tables instead). Child-recorded, deterministic for a given plan.
+  uint64_t controller_failovers = 0;
+  // Multiproc engine only: fraction of the run's request quota lost to shards
+  // that died without (or beyond) respawn — lost_quota / num_requests. The
+  // proportional-degradation contract: losing 1 of N shards without respawn
+  // costs 1/N of the quota and nothing else.
+  double degraded_fraction = 0.0;
 
   // ---- memory accounting -----------------------------------------------------
   // Peak resident set (getrusage ru_maxrss) of the process that produced these
@@ -304,6 +336,29 @@ struct BackendStats {
   // (with `processed` as the request count) and `mark`, then advances `mark`.
   // Shared by the request-level engines' series bookkeeping.
   void CloseIntervalAt(uint64_t processed, IntervalPoint& mark);
+
+  // One fault or recovery observation (multiproc only). kind < 16 is an
+  // injected FaultKind (runtime/fault_plan.h) recorded by the shard that
+  // survived it, with `at` the plan timestamp; kind >= 16 is a supervisor
+  // observation (death, respawn, declared-dead, heartbeat warn, CRC mismatch)
+  // or a child-recorded failover, with `at` = 0 — supervisor entries carry no
+  // virtual timestamp because they fire on the wall clock.
+  struct FaultRecord {
+    static constexpr uint32_t kShardDeath = 16;
+    static constexpr uint32_t kShardRespawn = 17;
+    static constexpr uint32_t kShardDeclaredDead = 18;
+    static constexpr uint32_t kHeartbeatWarn = 19;
+    static constexpr uint32_t kControllerFailover = 20;
+    static constexpr uint32_t kStatsCrcMismatch = 21;
+    static constexpr uint32_t kArenaMapFailed = 22;
+
+    uint32_t shard = 0;
+    uint32_t kind = 0;
+    uint64_t at = 0;
+  };
+  // The run's fault/recovery event series, in merge order (per-shard records
+  // first, supervisor observations appended after the merge).
+  std::vector<FaultRecord> fault_events;
 
   // Cumulative load per cache node, one vector per layer of the hierarchy (top
   // first: cache_load.front() is the spine layer, cache_load.back() the

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/hash.h"
 #include "common/stats.h"
 
 namespace distcache {
@@ -102,17 +103,20 @@ bool GetHistogram(Reader& r, LatencyHistogram* h) {
 
 constexpr size_t kHistogramBound =
     8 + LatencyHistogram::kNumBuckets * 8 + 8 + 8 + 8;
-constexpr size_t kCounterBound = 21 * 8 + 8;  // counters + wall + slack word
+constexpr size_t kCounterBound = 25 * 8 + 8;  // counters + doubles + slack word
+constexpr size_t kFaultRecordBound = 2 * 4 + 8;  // shard + kind + at
 
 }  // namespace
 
 size_t StatsCodecBound(size_t num_layers, size_t num_cache_nodes,
-                       size_t num_servers, size_t max_series_points) {
+                       size_t num_servers, size_t max_series_points,
+                       size_t max_fault_events) {
   size_t bytes = kCounterBound;
   bytes += 8 + num_layers * 8 + num_cache_nodes * 8;  // cache_load
   bytes += 8 + num_servers * 8;                       // server_load
   bytes += kHistogramBound;                           // latency
   bytes += 8 + max_series_points * (5 * 8 + kHistogramBound);  // series
+  bytes += 8 + max_fault_events * kFaultRecordBound;           // fault_events
   return bytes;
 }
 
@@ -135,6 +139,10 @@ size_t SerializeBackendStats(const BackendStats& stats, uint8_t* out,
   w.U64(stats.contended_receives);
   w.U64(stats.failed_shards);
   w.U64(stats.respawned_shards);
+  w.U64(stats.injected_faults);
+  w.U64(stats.heartbeat_misses);
+  w.U64(stats.controller_failovers);
+  w.F64(stats.degraded_fraction);
   w.U64(stats.peak_rss_bytes);
   w.U64(stats.route_table_bytes);
   w.U64(stats.sampler_bytes);
@@ -154,6 +162,12 @@ size_t SerializeBackendStats(const BackendStats& stats, uint8_t* out,
     w.U64(pt.reads);
     w.U64(pt.cache_hits);
     PutHistogram(w, pt.latency);
+  }
+  w.U64(stats.fault_events.size());
+  for (const BackendStats::FaultRecord& rec : stats.fault_events) {
+    w.Bytes(&rec.shard, sizeof(rec.shard));
+    w.Bytes(&rec.kind, sizeof(rec.kind));
+    w.U64(rec.at);
   }
   return w.ok ? cap - w.left : 0;
 }
@@ -177,6 +191,10 @@ bool DeserializeBackendStats(const uint8_t* in, size_t len, BackendStats* out) {
   out->contended_receives = r.U64();
   out->failed_shards = r.U64();
   out->respawned_shards = r.U64();
+  out->injected_faults = r.U64();
+  out->heartbeat_misses = r.U64();
+  out->controller_failovers = r.U64();
+  out->degraded_fraction = r.F64();
   out->peak_rss_bytes = r.U64();
   out->route_table_bytes = r.U64();
   out->sampler_bytes = r.U64();
@@ -208,11 +226,51 @@ bool DeserializeBackendStats(const uint8_t* in, size_t len, BackendStats* out) {
     pt.cache_hits = r.U64();
     GetHistogram(r, &pt.latency);
   }
+  const uint64_t faults = r.U64();
+  if (!r.ok || faults > r.left / kFaultRecordBound) {
+    *out = BackendStats{};
+    return false;
+  }
+  out->fault_events.resize(faults);
+  for (uint64_t i = 0; i < faults; ++i) {
+    BackendStats::FaultRecord& rec = out->fault_events[i];
+    r.Bytes(&rec.shard, sizeof(rec.shard));
+    r.Bytes(&rec.kind, sizeof(rec.kind));
+    rec.at = r.U64();
+  }
   if (!r.ok) {
     *out = BackendStats{};
     return false;
   }
   return true;
+}
+
+uint64_t DeterministicStatsDigest(const BackendStats& stats) {
+  uint64_t h = 0x5eed0d16e57ULL;
+  const auto mix = [&h](uint64_t v) { h = Mix64(HashCombine(h, v)); };
+  mix(stats.requests);
+  mix(stats.reads);
+  mix(stats.writes);
+  mix(stats.cache_hits);
+  mix(stats.server_reads);
+  mix(stats.cache_write_hits);
+  mix(stats.writebacks);
+  mix(stats.dropped);
+  mix(stats.failed_shards);
+  mix(stats.respawned_shards);
+  mix(stats.injected_faults);
+  mix(stats.controller_failovers);
+  uint64_t degraded_bits = 0;
+  std::memcpy(&degraded_bits, &stats.degraded_fraction, sizeof(degraded_bits));
+  mix(degraded_bits);
+  mix(stats.series.size());
+  for (const BackendStats::IntervalPoint& pt : stats.series) {
+    mix(pt.requests);
+    mix(pt.reads);
+    mix(pt.cache_hits);
+    mix(pt.dropped);
+  }
+  return h;
 }
 
 }  // namespace distcache

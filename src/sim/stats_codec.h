@@ -30,9 +30,12 @@ namespace distcache {
 
 // Upper bound on SerializeBackendStats output for any BackendStats produced by
 // a run over `num_layers` cache layers of `num_cache_nodes` total switches,
-// `num_servers` servers, and at most `max_series_points` interval points.
+// `num_servers` servers, at most `max_series_points` interval points, and at
+// most `max_fault_events` fault records (the size of the injected FaultPlan
+// plus a handful of per-shard recovery records; 0 for fault-free engines).
 size_t StatsCodecBound(size_t num_layers, size_t num_cache_nodes,
-                       size_t num_servers, size_t max_series_points);
+                       size_t num_servers, size_t max_series_points,
+                       size_t max_fault_events = 0);
 
 // Serializes `stats` into `out` (capacity `cap`). Returns bytes written, or 0
 // when the encoding would not fit (callers size `cap` with StatsCodecBound, so
@@ -43,6 +46,19 @@ size_t SerializeBackendStats(const BackendStats& stats, uint8_t* out,
 // Inverse. Returns false on a truncated or malformed buffer; *out is
 // value-initialized first, so a false return leaves an empty stats object.
 bool DeserializeBackendStats(const uint8_t* in, size_t len, BackendStats* out);
+
+// Order-independent digest over the *deterministic* subset of a run's stats:
+// the per-shard-stream counters (requests/reads/writes/cache_hits/
+// server_reads/dropped and the policy write path), failure accounting
+// (failed/respawned shards, injected faults, controller failovers,
+// degraded_fraction bits) and the per-interval request/read/hit series. It
+// deliberately excludes everything timing-dependent — telemetry-order-
+// sensitive layer splits (spine_hits/leaf_hits) and load vectors at shards>1,
+// wall seconds, RSS, heartbeat misses, transport message counts, and the
+// fault event series (supervisor entries fire on the wall clock). Same seed +
+// same fault plan ⇒ same digest; this is the byte-identity gate bench_chaos
+// and the chaos tests assert.
+uint64_t DeterministicStatsDigest(const BackendStats& stats);
 
 }  // namespace distcache
 

@@ -8,19 +8,42 @@
 //   distcache_sim --mechanism=distcache --fail-spines=4 --offered=512
 //   distcache_sim --backend=sharded --shards=4 --requests=2000000
 //   distcache_sim --backend=multiproc --shards=4 --pin-cores --requests=2000000
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/cluster_sim.h"
 #include "cluster/latency.h"
+#include "runtime/fault_plan.h"
 #include "sim/sim_backend.h"
 #include "tools/flags.h"
 
 namespace distcache {
 namespace {
+
+// Printable name for a BackendStats::FaultRecord kind: injected FaultKinds
+// (< 16) keep their plan spelling; supervisor observations get their own.
+const char* FaultRecordName(uint32_t kind) {
+  if (kind < 16) {
+    return FaultKindName(static_cast<FaultKind>(kind));
+  }
+  switch (kind) {
+    case BackendStats::FaultRecord::kShardDeath: return "death";
+    case BackendStats::FaultRecord::kShardRespawn: return "respawn";
+    case BackendStats::FaultRecord::kShardDeclaredDead: return "declared-dead";
+    case BackendStats::FaultRecord::kHeartbeatWarn: return "hb-warn";
+    case BackendStats::FaultRecord::kControllerFailover: return "failover";
+    case BackendStats::FaultRecord::kStatsCrcMismatch: return "crc-mismatch";
+    case BackendStats::FaultRecord::kArenaMapFailed: return "map-fail";
+    default: return "?";
+  }
+}
 
 Mechanism ParseMechanism(const std::string& name) {
   if (name == "nocache") {
@@ -53,8 +76,25 @@ int Run(int argc, char** argv) {
         "   arena; silently falls back when the hugepage pool is empty)\n"
         "  [--backend=multiproc --numa-interleave]   (interleave the shared\n"
         "   arena's pages across NUMA nodes; no-op on single-node hosts)\n"
-        "  [--backend=multiproc --respawn]   (respawn a shard process that dies\n"
-        "   mid-run instead of failing the run; the summary reports the count)\n"
+        "  [--backend=multiproc --respawn [--respawn-limit=N]]   (respawn a\n"
+        "   shard process that dies mid-run, up to N times per shard (default 3);\n"
+        "   past the budget the shard is declared dead and the survivors finish\n"
+        "   degraded — the summary reports respawns and the degraded fraction)\n"
+        "  [--backend=multiproc --fault-plan=SPEC [--fault-seed=S]]   (seeded\n"
+        "   fault injection, runtime/fault_plan.h: SPEC is comma-separated\n"
+        "   events kind:shard@request[:param] with kinds exit|kill|abort|stall|\n"
+        "   drop|delay|corrupt, plus 'mapfail' and 'random:count[:kind]' drawn\n"
+        "   from --fault-seed (default --seed); an empty plan is bit-identical\n"
+        "   to a fault-free run)\n"
+        "  [--backend=multiproc --heartbeat-warn-ms=D --heartbeat-dead-ms=D]\n"
+        "   (supervisor liveness ladder: a shard silent for warn-ms counts a\n"
+        "   heartbeat miss, one silent for dead-ms is killed into the\n"
+        "   respawn-or-degrade path; 0 disables a rung)\n"
+        "  [--deadline-sec=N]   (wall-clock watchdog: the whole invocation is\n"
+        "   killed with exit code 4 after N seconds; default off, armed in CI)\n"
+        "   exit codes: 0 clean run, 1 usage/config error, 2 failed shard\n"
+        "   processes (stats partial), 4 deadline exceeded (3 is reserved for\n"
+        "   bench gate failures, e.g. bench_chaos --gate)\n"
         "  [--backend=... --two-level]   (O(hot) two-level workload sampler —\n"
         "   alias table over the hot head + closed-form capped-Zipf tail —\n"
         "   instead of the dense O(pool) inverse-CDF; different RNG stream, so\n"
@@ -101,6 +141,25 @@ int Run(int argc, char** argv) {
     return 0;
   }
   std::string error;
+  // Wall-clock watchdog (--deadline-sec): a detached thread that _exits(4)
+  // when the budget runs out — armed before any simulation work, so even a
+  // wedged engine (the thing the fault tests exist to rule out) cannot hang
+  // a CI job past its deadline.
+  {
+    uint64_t deadline_sec = 0;
+    if (!flags.GetUintChecked("deadline-sec", 0, &deadline_sec, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    if (deadline_sec != 0) {
+      std::thread([deadline_sec] {
+        std::this_thread::sleep_for(std::chrono::seconds(deadline_sec));
+        std::fprintf(stderr, "error: --deadline-sec=%llu exceeded\n",
+                     static_cast<unsigned long long>(deadline_sec));
+        _exit(4);
+      }).detach();
+    }
+  }
   ClusterConfig cfg;
   cfg.mechanism = ParseMechanism(flags.GetString("mechanism", "distcache"));
   // Validated knobs: a NaN/negative/garbled value would silently skew every
@@ -302,6 +361,39 @@ int Run(int argc, char** argv) {
     bcfg.respawn = flags.GetBool("respawn", false);
     bcfg.two_level_sampling = flags.GetBool("two-level", false);
     bcfg.dense_routes = flags.GetBool("dense-routes", false);
+    // Robustness knobs (multiproc only): respawn budget, heartbeat ladder,
+    // injected fault plan.
+    {
+      uint64_t limit = bcfg.respawn_limit;
+      if (!flags.GetUintChecked("respawn-limit", limit, &limit, &error) ||
+          !flags.GetUintChecked("heartbeat-warn-ms", bcfg.heartbeat_warn_ms,
+                                &bcfg.heartbeat_warn_ms, &error) ||
+          !flags.GetUintChecked("heartbeat-dead-ms", bcfg.heartbeat_dead_ms,
+                                &bcfg.heartbeat_dead_ms, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+      }
+      if (limit > 0xffffffffULL) {
+        std::fprintf(stderr, "--respawn-limit must fit uint32\n");
+        return 1;
+      }
+      bcfg.respawn_limit = static_cast<uint32_t>(limit);
+    }
+    if (flags.Has("fault-plan")) {
+      if (backend_name != "multiproc") {
+        std::fprintf(stderr, "--fault-plan needs --backend=multiproc\n");
+        return 1;
+      }
+      uint64_t fault_seed = cfg.seed;
+      if (!flags.GetUintChecked("fault-seed", cfg.seed, &fault_seed, &error) ||
+          !ParseFaultPlan(flags.GetString("fault-plan", ""), bcfg.shards,
+                          requests, fault_seed, &bcfg.fault_plan, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+      }
+      std::printf("fault plan: %s\n",
+                  FaultPlanToString(bcfg.fault_plan).c_str());
+    }
     if (bcfg.pin_cores && backend_name != "sharded" &&
         backend_name != "multiproc") {
       std::fprintf(stderr, "--pin-cores needs --backend=sharded|multiproc\n");
@@ -468,6 +560,27 @@ int Run(int argc, char** argv) {
       std::printf("  respawned %llu shard process(es) mid-run (--respawn)\n",
                   static_cast<unsigned long long>(stats.respawned_shards));
     }
+    if (stats.injected_faults > 0 || stats.heartbeat_misses > 0 ||
+        stats.controller_failovers > 0 || stats.degraded_fraction > 0.0 ||
+        !stats.fault_events.empty()) {
+      std::printf(
+          "  faults: injected %llu  heartbeat misses %llu  controller "
+          "failovers %llu  degraded fraction %.4f\n",
+          static_cast<unsigned long long>(stats.injected_faults),
+          static_cast<unsigned long long>(stats.heartbeat_misses),
+          static_cast<unsigned long long>(stats.controller_failovers),
+          stats.degraded_fraction);
+      std::printf("  fault timeline:");
+      for (const BackendStats::FaultRecord& rec : stats.fault_events) {
+        if (rec.kind < 16) {  // injected: the plan timestamp is meaningful
+          std::printf(" %s:%u@%llu", FaultRecordName(rec.kind), rec.shard,
+                      static_cast<unsigned long long>(rec.at));
+        } else {  // supervisor/failover observation, wall-clock ordered
+          std::printf(" %s:%u", FaultRecordName(rec.kind), rec.shard);
+        }
+      }
+      std::printf("\n");
+    }
     if (!stats.latency.empty()) {
       std::printf(
           "  latency (virtual time units): mean %.3f  p50 %.3f  p95 %.3f  "
@@ -488,12 +601,14 @@ int Run(int argc, char** argv) {
     }
     if (stats.failed_shards > 0) {
       // Partial picture: the summary above covers the surviving shards only.
+      // Exit 2 distinguishes "shards lost, run degraded" from usage errors
+      // (1), bench gate failures (3) and deadline kills (4) — see --help.
       std::fprintf(stderr,
                    "error: %llu of %u shard processes died; stats above are "
                    "partial\n",
                    static_cast<unsigned long long>(stats.failed_shards),
                    bcfg.shards);
-      return 1;
+      return 2;
     }
     return 0;
   }
